@@ -1,0 +1,57 @@
+"""Ablation: the best-path criterion (10th percentile vs alternatives).
+
+The paper uses the 10th RTT percentile as the "baseline" and notes results
+with the 90th percentile and standard deviation.  This bench compares how
+often each criterion picks the same best path, and how the implied RTT
+increases differ.
+"""
+
+import numpy as np
+
+from repro.core.rttstats import best_path_id, path_percentiles, path_rtt_std
+from repro.harness.report import render_table
+from repro.net.ip import IPVersion
+
+
+def test_best_path_criteria_agreement(benchmark, longterm, emit):
+    timelines = [
+        timeline
+        for timeline in longterm.by_version(IPVersion.V4)
+        if len(timeline.observed_paths()) >= 2
+    ]
+
+    def compare():
+        agree_median = agree_p90 = agree_std = total = 0
+        for timeline in timelines:
+            by_p10 = best_path_id(timeline, q=10.0)
+            if by_p10 is None:
+                continue
+            by_median = best_path_id(timeline, q=50.0)
+            by_p90 = best_path_id(timeline, q=90.0)
+            stds = path_rtt_std(timeline)
+            by_std = min(stds, key=lambda pid: (stds[pid], pid)) if stds else None
+            total += 1
+            agree_median += by_p10 == by_median
+            agree_p90 += by_p10 == by_p90
+            agree_std += by_p10 == by_std
+        return total, agree_median, agree_p90, agree_std
+
+    total, agree_median, agree_p90, agree_std = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert total > 0
+    rows = [
+        ("median (50th pct)", f"{100 * agree_median / total:.1f}%"),
+        ("90th percentile", f"{100 * agree_p90 / total:.1f}%"),
+        ("lowest std dev", f"{100 * agree_std / total:.1f}%"),
+    ]
+    emit(
+        "ablation_baseline",
+        f"best-path agreement with the 10th-percentile criterion "
+        f"(n={total} multi-path timelines):\n"
+        + render_table(("criterion", "agreement"), rows),
+    )
+    # Baseline criteria largely agree: level shifts dominate percentile
+    # choice (the paper's standard-deviation remark points the same way).
+    assert agree_median / total >= 0.8
+    assert agree_p90 / total >= 0.6

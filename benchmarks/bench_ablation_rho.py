@@ -1,0 +1,47 @@
+"""Ablation: the Pearson-correlation threshold for localization (0.5).
+
+Sweeps rho and scores, against ground truth, how often the located hop is
+the first truly congested segment of the path.
+"""
+
+from repro.core.localization import localize_congestion
+from repro.harness.report import render_table
+
+
+def test_rho_threshold_sweep(benchmark, rich_traces, rich_platform, emit):
+    congested = set(rich_platform.congestion.congested_keys())
+    entries = [
+        entry for entry in rich_traces.entries.values() if entry.static_path
+    ]
+
+    def sweep():
+        rows = []
+        for rho in (0.3, 0.4, 0.5, 0.6, 0.7, 0.8):
+            located = correct = 0
+            for entry in entries:
+                result = localize_congestion(entry, rho_threshold=rho)
+                if not result.located:
+                    continue
+                located += 1
+                truly = [
+                    index for index, key in enumerate(entry.segment_keys)
+                    if key in congested
+                ]
+                if truly and truly[0] == result.congested_hop:
+                    correct += 1
+            accuracy = correct / located if located else float("nan")
+            rows.append((rho, located, correct, f"{accuracy:.2f}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_rho",
+        "Pearson threshold sweep for localization (paper uses 0.5):\n"
+        + render_table(("rho", "located", "exact hop", "accuracy"), rows),
+    )
+
+    by_rho = {row[0]: row for row in rows}
+    assert by_rho[0.5][1] >= 10, "expected localizations at the paper's threshold"
+    # Located counts shrink as the threshold tightens.
+    counts = [row[1] for row in rows]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))

@@ -1,0 +1,26 @@
+"""Extension: packet loss follows congestion (Section 8's follow-up).
+
+No paper numbers exist for this (it is the study the conclusion proposes);
+the bench asserts the qualitative signature instead: loss is rare overall,
+busy-hour-concentrated loss is a small minority of pairs, and on those
+pairs the hourly loss rate tracks the hourly RTT.
+"""
+
+from repro.harness.experiments import experiment_loss
+
+
+def test_ext_loss(benchmark, pings, emit):
+    result = benchmark.pedantic(
+        experiment_loss, args=(pings,), rounds=1, iterations=1
+    )
+    emit("ext_loss", result.render())
+
+    median_loss = result.metric("median loss rate v4").measured
+    diurnal = result.metric("pairs with busy-hour loss v4").measured
+    correlation = result.metric(
+        "loss/RTT correlation on those pairs v4"
+    ).measured
+
+    assert median_loss <= 2.0          # loss stays rare on core paths
+    assert diurnal <= 25.0             # a minority, like RTT congestion
+    assert correlation >= 0.15         # loss tracks the RTT busy hours

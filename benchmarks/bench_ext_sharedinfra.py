@@ -1,0 +1,30 @@
+"""Extension: IPv4/IPv6 infrastructure sharing (Section 8's question).
+
+Again no paper numbers -- this is the study the authors propose.  The
+qualitative signature under test: most dual-stack pairs share the dominant
+AS path; on shared paths, routing changes synchronize across protocols and
+the RTT series co-move far more than on divergent paths.
+"""
+
+import numpy as np
+
+from repro.harness.experiments import experiment_sharedinfra
+
+
+def test_ext_sharedinfra(benchmark, longterm, emit):
+    result = benchmark.pedantic(
+        experiment_sharedinfra, args=(longterm,), rounds=1, iterations=1
+    )
+    emit("ext_sharedinfra", result.render())
+
+    agree = result.metric("dominant AS paths agree").measured
+    synchronized = result.metric("median synchronized-change fraction").measured
+    same = result.metric("median RTT correlation, same dominant path").measured
+    different = result.metric(
+        "median RTT correlation, different dominant path"
+    ).measured
+
+    assert agree >= 40.0
+    assert np.isnan(synchronized) or synchronized >= 0.25
+    if np.isfinite(same) and np.isfinite(different):
+        assert same >= different

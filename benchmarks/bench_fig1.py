@@ -1,0 +1,19 @@
+"""Figure 1: the illustrative pair -- level shifts and a diurnal window.
+
+The paper's Hong Kong -> Osaka pair shows baseline level shifts of up to
+~108 ms when the AS path changes, and a week-long window of daily RTT
+oscillation.  The bench finds the scenario's most-shifted pair and checks
+that level shifts of tens of milliseconds exist.
+"""
+
+from repro.harness.experiments import experiment_fig1
+
+
+def test_fig1(benchmark, platform, longterm, emit):
+    result = benchmark.pedantic(
+        experiment_fig1, args=(platform, longterm), rounds=1, iterations=1
+    )
+    emit("fig1", result.render())
+
+    shift = result.metric("largest level shift observed").measured
+    assert shift >= 20.0, "expected visible routing level shifts"

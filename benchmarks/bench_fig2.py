@@ -1,0 +1,23 @@
+"""Figure 2: unique AS paths per timeline; AS-path pairs per server pair.
+
+Paper: 80% of trace timelines have <=5 (v4) / <=6 (v6) AS paths over 16
+months; 18% / 16% have exactly one; pairing directions, 80% of server
+pairs have <=8 / <=9 path pairs.
+"""
+
+from repro.harness.experiments import experiment_fig2
+
+
+def test_fig2(benchmark, longterm, emit):
+    result = benchmark.pedantic(
+        experiment_fig2, args=(longterm,), rounds=1, iterations=1
+    )
+    emit("fig2", result.render())
+
+    p80_v4 = result.metric("paths/timeline p80 v4").measured
+    p80_pairs_v4 = result.metric("AS-path pairs/server pair p80 v4").measured
+    single_v4 = result.metric("single-path timelines v4").measured
+
+    assert 1 <= p80_v4 <= 8          # paper: 5
+    assert p80_pairs_v4 >= p80_v4    # pairing directions only adds diversity
+    assert 2.0 <= single_v4 <= 45.0  # paper: 18%

@@ -1,0 +1,23 @@
+"""Figure 3: prevalence of popular AS paths; route-change frequency.
+
+Paper: the most popular path has >=50% prevalence for 80% of timelines;
+18% (v4) / 16% (v6) of timelines see no change at all; ~90% see <=30
+changes over 16 months.
+"""
+
+from repro.harness.experiments import experiment_fig3
+
+
+def test_fig3(benchmark, longterm, emit):
+    result = benchmark.pedantic(
+        experiment_fig3, args=(longterm,), rounds=1, iterations=1
+    )
+    emit("fig3", result.render())
+
+    dominant_v4 = result.metric("timelines with dominant path (prev>=50%) v4").measured
+    no_change_v4 = result.metric("no-change timelines v4").measured
+    p90_changes_v4 = result.metric("changes/timeline p90 v4").measured
+
+    assert dominant_v4 >= 70.0       # paper: 80%
+    assert 2.0 <= no_change_v4 <= 45.0
+    assert p90_changes_v4 <= 120.0   # paper: 30; artifact noise widens ours

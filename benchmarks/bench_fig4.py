@@ -1,0 +1,26 @@
+"""Figure 4: AS-path lifetime vs increase in baseline (10th pct) RTT.
+
+Paper headlines: sub-optimal paths with large RTT increases are
+short-lived (top-left corner of the heatmap); 10% of paths suffer at least
+48.3 ms (v4) / 59 ms (v6) extra baseline RTT; 20% at least ~25 ms.
+"""
+
+import numpy as np
+
+from repro.harness.experiments import experiment_fig4
+
+
+def test_fig4(benchmark, longterm, emit):
+    result = benchmark.pedantic(
+        experiment_fig4, args=(longterm,), rounds=1, iterations=1
+    )
+    emit("fig4", result.render())
+
+    p90_v4 = result.metric("p90 of RTT increase v4 (10% of paths exceed)").measured
+    p80_v4 = result.metric("p80 of RTT increase v4 (20% of paths exceed)").measured
+    short_share = result.metric("short-lived share of worst-decile paths v4").measured
+
+    assert 15.0 <= p90_v4 <= 250.0   # paper: 48.3 ms
+    assert p80_v4 <= p90_v4
+    # The paper's central qualitative claim: the worst paths skew short-lived.
+    assert np.isnan(short_share) or short_share >= 50.0

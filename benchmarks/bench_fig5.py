@@ -1,0 +1,19 @@
+"""Figure 5: AS-path lifetime vs increase in 90th-percentile RTT.
+
+Paper: same qualitative structure as Figure 4 at the spike-inclusive
+percentile; 10% of paths see at least ~70 ms (v4) / ~80 ms (v6) extra.
+"""
+
+from repro.harness.experiments import experiment_fig5
+
+
+def test_fig5(benchmark, longterm, emit):
+    result = benchmark.pedantic(
+        experiment_fig5, args=(longterm,), rounds=1, iterations=1
+    )
+    emit("fig5", result.render())
+
+    p90_v4 = result.metric("p90 of RTT increase v4 (10% of paths exceed)").measured
+    p90_v6 = result.metric("p90 of RTT increase v6 (10% of paths exceed)").measured
+    assert 15.0 <= p90_v4 <= 300.0   # paper: 71.3 ms
+    assert 15.0 <= p90_v6 <= 300.0   # paper: 79.6 ms

@@ -1,0 +1,23 @@
+"""Figure 7: 30-minute vs 3-hour-subsampled RTT-increase ECDFs.
+
+Paper: the two ECDFs nearly coincide, so the long-term campaign's 3-hour
+cadence does not distort the Section 4 analysis.
+"""
+
+from repro.harness.experiments import experiment_fig7
+
+
+def test_fig7(benchmark, platform, emit):
+    result = benchmark.pedantic(
+        experiment_fig7, args=(platform,), kwargs={"days": 22.0},
+        rounds=1, iterations=1,
+    )
+    emit("fig7", result.render())
+
+    # The ECDFs should nearly coincide: small KS distances, small median
+    # gaps (the paper's "difference ... is very small").
+    for metric in result.metrics:
+        if metric.name.startswith("KS distance"):
+            assert metric.measured <= 0.25, metric.name
+        else:
+            assert metric.measured <= 25.0, metric.name

@@ -1,0 +1,21 @@
+"""Figure 9: density of the congestion overhead.
+
+Paper: typical overhead 20-30 ms (>=60% of density for both internal and
+interconnection links; ~90% for US-US pairs), rising to ~60 ms on
+transcontinental links.
+"""
+
+from repro.harness.experiments import experiment_fig9
+
+
+def test_fig9(benchmark, rich_traces, rich_platform, emit):
+    result = benchmark.pedantic(
+        experiment_fig9, args=(rich_traces, rich_platform), rounds=1, iterations=1
+    )
+    emit("fig9", result.render())
+
+    median = result.metric("typical congestion overhead (median)").measured
+    band = result.metric("share of overheads in 20-30ms band").measured
+
+    assert 15.0 <= median <= 50.0    # paper: 20-30 ms typical
+    assert band >= 25.0              # paper: >=60% of density

@@ -1,0 +1,25 @@
+"""Section 5.3: classifying congested links by inferred router ownership.
+
+Paper: 3155 congested IP-IP links -- 1768 internal, 1121 interconnection
+(658 p2p + 463 c2p), 266 unknown; more internal links by count, but
+interconnection links are more popular when weighted by crossing pairs;
+the large majority of congested interconnects are private.
+"""
+
+from repro.harness.experiments import experiment_link_classification
+
+
+def test_link_classification(benchmark, rich_traces, rich_platform, emit):
+    result = benchmark.pedantic(
+        experiment_link_classification, args=(rich_traces, rich_platform),
+        rounds=1, iterations=1,
+    )
+    emit("link_classification", result.render())
+
+    ratio = result.metric("internal/interconnection count ratio").measured
+    private_share = result.metric("private share of congested interconnects").measured
+
+    # Internal links outnumber interconnection links by count (paper: 1.58x),
+    # and congested interconnects are overwhelmingly private.
+    assert ratio >= 1.0
+    assert private_share >= 60.0

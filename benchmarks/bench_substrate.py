@@ -1,0 +1,86 @@
+"""Performance benchmarks of the substrate primitives.
+
+These are the hot paths of dataset generation: longest-prefix matching,
+path-vector route computation, vectorized RTT series sampling, and the
+FFT detector.  They are micro-benchmarks (pytest-benchmark timings), with
+light sanity assertions.
+"""
+
+import numpy as np
+
+from repro.core.congestion import diurnal_power_ratio
+from repro.net.ip import IPAddress, IPVersion
+from repro.routing.bgp import compute_best_routes
+from repro.topology.generator import TopologyConfig, generate_topology
+
+
+def test_bench_prefix_lpm(benchmark, platform):
+    plan = platform.plan
+    addresses = [
+        IPAddress.v4(int(value))
+        for value in np.random.default_rng(1).integers(
+            16 << 24, 32 << 24, size=2000
+        )
+    ]
+
+    def lookup_all():
+        return sum(1 for address in addresses if plan.origin(address) is not None)
+
+    hits = benchmark(lookup_all)
+    assert hits > 0
+
+
+def test_bench_bgp_single_destination(benchmark, platform):
+    destination = platform.graph.asns()[-1]
+
+    def compute():
+        return compute_best_routes(platform.graph, destination)
+
+    best = benchmark(compute)
+    assert len(best) > 100
+
+
+def test_bench_topology_generation(benchmark):
+    def build():
+        return generate_topology(TopologyConfig(), rng=np.random.default_rng(5))
+
+    graph = benchmark(build)
+    assert len(graph.ases) == 173
+
+
+def test_bench_rtt_series(benchmark, platform):
+    src, dst = platform.server_pairs()[0]
+    realization = platform.realization(src, dst, IPVersion.V4, 0)
+    times = np.arange(0.0, 24.0 * 485, 3.0)
+
+    def sample():
+        return platform.delay_model.rtt_series(
+            realization, times, platform.rng("bench-series"), platform.congestion
+        )
+
+    series = benchmark(sample)
+    assert series.size == times.size
+
+
+def test_bench_traceroute_series(benchmark, platform):
+    src, dst = platform.server_pairs()[0]
+    realization = platform.realization(src, dst, IPVersion.V4, 0)
+    times = np.arange(0.0, 24.0 * 485, 3.0)
+
+    def sample():
+        return platform.engine.sample_series(
+            realization, times, platform.rng("bench-traces")
+        )
+
+    series = benchmark(sample)
+    assert series.outcome.size == times.size
+
+
+def test_bench_fft_detector(benchmark):
+    times = np.arange(0.0, 24.0 * 7, 0.25)
+    rng = np.random.default_rng(2)
+    signal = 50.0 + 20.0 * np.maximum(0, np.sin(2 * np.pi * times / 24.0))
+    signal += rng.normal(0, 1, times.size)
+
+    ratio = benchmark(diurnal_power_ratio, times, signal)
+    assert ratio > 0.3

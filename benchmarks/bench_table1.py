@@ -1,0 +1,39 @@
+"""Table 1: traceroute completeness summary.
+
+Paper rows (share of traceroutes that reached their destination):
+
+===================  ======  ======
+row                  IPv4    IPv6
+===================  ======  ======
+complete AS-level    70.30%  64.03%
+missing AS-level      1.58%   3.32%
+missing IP-level     28.12%  32.65%
+===================  ======  ======
+
+plus AS-loop rates of 2.16% / 5.5% and ~75% of collected traceroutes
+reaching their destination.
+"""
+
+from repro.harness.experiments import experiment_table1
+
+
+def test_table1(benchmark, longterm, emit):
+    result = benchmark.pedantic(
+        experiment_table1, args=(longterm,), rounds=3, iterations=1
+    )
+    emit("table1", result.render())
+
+    # Shape assertions: same ordering and rough magnitudes as the paper.
+    complete_v4 = result.metric("complete AS-level v4").measured
+    complete_v6 = result.metric("complete AS-level v6").measured
+    missing_ip_v4 = result.metric("missing IP-level v4").measured
+    loops_v4 = result.metric("AS-loop rate v4").measured
+    loops_v6 = result.metric("AS-loop rate v6").measured
+    reached = result.metric("reached destination (all)").measured
+
+    assert 50.0 <= complete_v4 <= 85.0
+    assert 45.0 <= complete_v6 <= 85.0
+    assert 15.0 <= missing_ip_v4 <= 45.0
+    assert loops_v4 <= 6.0
+    assert loops_v6 >= loops_v4  # IPv6 stays on classic traceroute
+    assert 65.0 <= reached <= 85.0

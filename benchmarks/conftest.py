@@ -1,0 +1,67 @@
+"""Shared benchmark fixtures: scenario datasets built once per session.
+
+Benches use the ``default`` scenario (30 clusters, the paper's full 485-day
+window) for the long-term analyses and the ``large`` congestion-rich
+scenario for the link-classification studies, mirroring how the paper's
+Section 5.2/5.3 campaign deliberately chased congested pairs.
+
+Each bench writes its rendered report (the paper's rows/series) to
+``benchmarks/output/<name>.txt`` so a full ``pytest benchmarks/
+--benchmark-only`` run regenerates every table and figure as text.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.scenarios import (
+    scenario_longterm,
+    scenario_ping,
+    scenario_platform,
+    scenario_traces,
+)
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def platform():
+    return scenario_platform("default")
+
+
+@pytest.fixture(scope="session")
+def longterm():
+    return scenario_longterm("default")
+
+
+@pytest.fixture(scope="session")
+def pings():
+    return scenario_ping("default")
+
+
+@pytest.fixture(scope="session")
+def traces():
+    return scenario_traces("default")
+
+
+@pytest.fixture(scope="session")
+def rich_platform():
+    return scenario_platform("large")
+
+
+@pytest.fixture(scope="session")
+def rich_traces():
+    return scenario_traces("large")
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Writer for rendered experiment reports."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Congestion study (the paper's Section 5) on a scaled scenario.
+
+Runs the full pipeline: a week of 15-minute pings over every server pair,
+the FFT diurnal detector to flag consistently congested pairs, a follow-up
+30-minute traceroute campaign over the flagged pairs, localization of the
+congested segment via Pearson correlation, router-ownership inference with
+the six heuristics, and classification of the congested links (internal vs
+interconnection, p2p vs c2p) with their overhead estimates.
+
+Run::
+
+    python examples/congestion_study.py [scenario]
+
+(``small`` is quick; ``large`` gives the richest link statistics).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import scenario_ping, scenario_platform, scenario_traces
+from repro.core.localization import localize_congestion
+from repro.core.overhead import congestion_overhead
+from repro.harness.experiments import (
+    experiment_congestion_norm,
+    experiment_fig9,
+    experiment_link_classification,
+    experiment_localization,
+)
+
+
+def main(scenario: str = "small") -> None:
+    print(f"building the short-term campaigns for the {scenario!r} scenario ...")
+    platform = scenario_platform(scenario)
+    pings = scenario_ping(scenario)
+    traces = scenario_traces(scenario)
+    print(
+        f"pings: {len(pings.timelines)} timelines; "
+        f"follow-up traceroutes: {len(traces.entries)} pair/protocol entries\n"
+    )
+
+    for experiment in (
+        experiment_congestion_norm(pings),
+        experiment_localization(traces, platform),
+        experiment_link_classification(traces, platform),
+        experiment_fig9(traces, platform),
+    ):
+        print(experiment.render())
+        print()
+
+    # Show one located congestion event end to end.
+    for entry in traces.entries.values():
+        if not entry.static_path:
+            continue
+        result = localize_congestion(entry)
+        if not result.located:
+            continue
+        near, far = result.link
+        overhead = congestion_overhead(entry.times_hours, entry.rtt_ms)
+        print("example located congestion event:")
+        print(f"  pair: server {entry.src_server_id} -> {entry.dst_server_id} "
+              f"(IPv{int(entry.version)})")
+        print(f"  congested link: {near} -> {far} (hop {result.congested_hop})")
+        correlations = ", ".join(
+            "nan" if c != c else f"{c:.2f}" for c in result.correlations
+        )
+        print(f"  per-segment correlations with the end-to-end series: {correlations}")
+        if overhead is not None:
+            print(f"  estimated busy-hour overhead: {overhead:.1f} ms")
+        break
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

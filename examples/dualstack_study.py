@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Dual-stack study (the paper's Section 6) on a scaled scenario.
+
+Compares IPv4 and IPv6 RTTs between dual-stack server pairs (Figure 10a),
+computes RTT inflation over the speed-of-light bound (Figure 10b), and
+turns the comparison into the operational recommendation the paper
+motivates: per destination, which protocol should a dual-stack deployment
+prefer, and how much does it save?
+
+Run::
+
+    python examples/dualstack_study.py [scenario]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import scenario_longterm, scenario_platform
+from repro.core.dualstack import paired_rtt_differences
+from repro.harness.experiments import experiment_fig10a, experiment_fig10b
+
+
+def main(scenario: str = "small") -> None:
+    print(f"building the long-term dataset for the {scenario!r} scenario ...")
+    platform = scenario_platform(scenario)
+    dataset = scenario_longterm(scenario)
+
+    for experiment in (experiment_fig10a(dataset), experiment_fig10b(dataset)):
+        print(experiment.render())
+        print()
+
+    # Operational view: a protocol-selection table for the worst pairs.
+    comparison = paired_rtt_differences(dataset)
+    ranked = sorted(
+        comparison.per_pair_median.items(), key=lambda item: -abs(item[1])
+    )
+    print("largest protocol-selection savings (median RTTv4 - RTTv6 per pair):")
+    print(f"{'pair':>12}  {'diff':>9}  recommendation")
+    shown = 0
+    for (src_id, dst_id), diff in ranked:
+        if abs(diff) < 10.0:
+            break
+        src = dataset.servers.get(src_id)
+        dst = dataset.servers.get(dst_id)
+        if src is None or dst is None:
+            continue
+        protocol = "IPv6" if diff > 0 else "IPv4"
+        print(f"{src_id:>5} ->{dst_id:>5}  {diff:>7.1f}ms  prefer {protocol} "
+              f"({src.city.city} -> {dst.city.city})")
+        shown += 1
+        if shown >= 10:
+            break
+    if shown == 0:
+        print("  (no pair saves 10 ms or more by switching protocols)")
+
+    savings = np.array([abs(d) for d in comparison.per_pair_median.values() if abs(d) >= 10.0])
+    if savings.size:
+        print(f"\npairs saving >=10ms by protocol selection: {savings.size} "
+              f"(median saving {np.median(savings):.1f} ms, max {savings.max():.1f} ms)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

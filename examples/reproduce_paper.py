@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Reproduce every table and figure of the paper in one run.
+
+Drives :func:`repro.harness.experiments.run_all_experiments` over a chosen
+scenario and writes the paper-vs-measured reports to stdout and to
+``experiments_output/`` (one text file per experiment).  This is the script
+EXPERIMENTS.md is refreshed from.
+
+Run::
+
+    python examples/reproduce_paper.py [scenario] [output_dir]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+from repro import scenario_longterm, scenario_ping, scenario_platform, scenario_traces
+from repro.harness.experiments import run_all_experiments
+
+
+def main(scenario: str = "default", output_dir: str = "experiments_output") -> None:
+    started = time.time()
+    print(f"building scenario {scenario!r} (platform + all campaigns) ...")
+    platform = scenario_platform(scenario)
+    longterm = scenario_longterm(scenario)
+    pings = scenario_ping(scenario)
+    traces = scenario_traces(scenario)
+    print(f"  built in {time.time() - started:.0f}s\n")
+
+    results = run_all_experiments(platform, longterm, pings, traces)
+
+    out = pathlib.Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for result in results:
+        text = result.render()
+        print(text)
+        print()
+        (out / f"{result.experiment_id}.txt").write_text(text + "\n")
+    print(f"reports written to {out}/ ({len(results)} experiments, "
+          f"total {time.time() - started:.0f}s)")
+
+
+if __name__ == "__main__":
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else "default",
+        sys.argv[2] if len(sys.argv) > 2 else "experiments_output",
+    )

@@ -1,0 +1,55 @@
+"""repro: a reproduction of *A Server-to-Server View of the Internet*.
+
+CoNEXT 2015, Chandrasekaran, Smaragdakis, Berger, Luckie and Ng.
+
+The paper measured the Internet's core from a commercial CDN's servers;
+this library rebuilds the whole stack in simulation and re-implements the
+paper's analysis pipeline on top:
+
+- **Substrates** -- :mod:`repro.net` (addresses, prefix trie, geography),
+  :mod:`repro.topology` (AS graph, addressing, routers, CDN deployment),
+  :mod:`repro.routing` (valley-free BGP and routing dynamics),
+  :mod:`repro.measurement` (RTT model, congestion processes, traceroute
+  and ping engines, the platform façade).
+- **Datasets** -- :mod:`repro.datasets` (trace/ping timelines, the
+  long-term and short-term campaign builders, persistence).
+- **The paper's analyses** -- :mod:`repro.core` (routing-change, congestion
+  detection/localization, router ownership, dual-stack and inflation
+  studies).
+- **Harness** -- :mod:`repro.harness` (scenarios, per-figure experiment
+  drivers, text rendering).
+
+Quickstart::
+
+    from repro import MeasurementPlatform, PlatformConfig
+    platform = MeasurementPlatform(PlatformConfig(seed=7, cluster_count=12))
+    src, dst = platform.server_pairs()[0]
+    from repro.net.ip import IPVersion
+    path = platform.realization(src, dst, IPVersion.V4, 0)
+    record = platform.engine.trace(path, time_hours=10.0, rng=platform.rng("demo"))
+    print(record.render())
+"""
+
+from repro.harness.scenarios import (
+    Scenario,
+    get_scenario,
+    scenario_longterm,
+    scenario_ping,
+    scenario_platform,
+    scenario_traces,
+)
+from repro.measurement.platform import MeasurementPlatform, PlatformConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MeasurementPlatform",
+    "PlatformConfig",
+    "Scenario",
+    "get_scenario",
+    "scenario_platform",
+    "scenario_longterm",
+    "scenario_ping",
+    "scenario_traces",
+    "__version__",
+]

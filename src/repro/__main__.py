@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``info``       -- summarize a scenario's synthetic world.
+- ``trace``      -- run one traceroute between two measurement servers.
+- ``reproduce``  -- run table/figure experiments and print the reports.
+
+Examples::
+
+    python -m repro info --scenario small
+    python -m repro trace --scenario small --src 0 --dst 3 --ipv6
+    python -m repro reproduce --scenario default --experiments table1,fig3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.scenarios import (
+    SCENARIOS,
+    scenario_longterm,
+    scenario_ping,
+    scenario_platform,
+    scenario_traces,
+)
+from repro.net.ip import IPVersion
+
+_EXPERIMENT_NAMES = (
+    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "congestion-norm", "localization", "link-classification", "fig9",
+    "fig10a", "fig10b", "ext-loss", "ext-sharedinfra",
+)
+
+
+def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", default="small", choices=sorted(SCENARIOS),
+        help="scenario scale (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="world seed")
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    platform = scenario_platform(args.scenario, args.seed)
+    graph = platform.graph
+    print(f"scenario {args.scenario!r} (seed {args.seed})")
+    print(f"  ASes:        {len(graph.ases)} ({len(graph.edge_media)} edges, "
+          f"{len(graph.ixps)} IXPs)")
+    print(f"  routers:     {len(platform.topology.routers)} "
+          f"({sum(len(v) for v in platform.topology.links.values())} interdomain links)")
+    print(f"  CDN:         {len(platform.cdn.clusters)} clusters, "
+          f"{len(platform.cdn.servers)} servers")
+    print(f"  window:      {platform.config.duration_hours / 24:.0f} days")
+    print(f"  congestion:  {len(platform.congested_segment_keys())} congested segments")
+    servers = platform.measurement_servers()
+    print("  measurement servers:")
+    for server in servers[:20]:
+        stack = "dual-stack" if server.dual_stack else "v4-only"
+        print(f"    #{server.server_id:<3} AS{server.asn:<5} {server.city}  ({stack})")
+    if len(servers) > 20:
+        print(f"    ... and {len(servers) - 20} more")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    platform = scenario_platform(args.scenario, args.seed)
+    servers = {s.server_id: s for s in platform.measurement_servers()}
+    if args.src not in servers or args.dst not in servers:
+        print(f"error: server ids must be in {sorted(servers)}", file=sys.stderr)
+        return 2
+    version = IPVersion.V6 if args.ipv6 else IPVersion.V4
+    src, dst = servers[args.src], servers[args.dst]
+    realization = platform.realization(src, dst, version, 0)
+    if realization is None:
+        print(
+            f"error: no IPv{int(version)} path from #{args.src} to #{args.dst}",
+            file=sys.stderr,
+        )
+        return 1
+    record = platform.engine.trace(
+        realization, args.time, platform.rng("cli-trace", args.src, args.dst)
+    )
+    print(f"{src.city} (AS{src.asn}) -> {dst.city} (AS{dst.asn})")
+    print(record.render())
+    return 0
+
+
+def _command_reproduce(args: argparse.Namespace) -> int:
+    from repro.harness import experiments as exp
+
+    wanted = (
+        [name.strip() for name in args.experiments.split(",")]
+        if args.experiments
+        else list(_EXPERIMENT_NAMES)
+    )
+    unknown = [name for name in wanted if name not in _EXPERIMENT_NAMES]
+    if unknown:
+        print(f"error: unknown experiments {unknown}; valid: "
+              f"{', '.join(_EXPERIMENT_NAMES)}", file=sys.stderr)
+        return 2
+
+    platform = scenario_platform(args.scenario, args.seed)
+    results = []
+    # Build only the datasets the requested experiments need.
+    longterm_needed = any(
+        name in wanted
+        for name in ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+                     "fig10a", "fig10b", "ext-sharedinfra")
+    )
+    ping_needed = any(name in wanted for name in ("congestion-norm", "ext-loss"))
+    trace_needed = any(
+        name in wanted
+        for name in ("localization", "link-classification", "fig9")
+    )
+    longterm = scenario_longterm(args.scenario, args.seed) if longterm_needed else None
+    pings = scenario_ping(args.scenario, args.seed) if ping_needed or trace_needed else None
+    traces = scenario_traces(args.scenario, args.seed) if trace_needed else None
+
+    drivers = {
+        "table1": lambda: exp.experiment_table1(longterm),
+        "fig1": lambda: exp.experiment_fig1(platform, longterm),
+        "fig2": lambda: exp.experiment_fig2(longterm),
+        "fig3": lambda: exp.experiment_fig3(longterm),
+        "fig4": lambda: exp.experiment_fig4(longterm),
+        "fig5": lambda: exp.experiment_fig5(longterm),
+        "fig6": lambda: exp.experiment_fig6(longterm),
+        "fig7": lambda: exp.experiment_fig7(platform),
+        "congestion-norm": lambda: exp.experiment_congestion_norm(pings),
+        "localization": lambda: exp.experiment_localization(traces, platform),
+        "link-classification": lambda: exp.experiment_link_classification(
+            traces, platform
+        ),
+        "fig9": lambda: exp.experiment_fig9(traces, platform),
+        "fig10a": lambda: exp.experiment_fig10a(longterm),
+        "fig10b": lambda: exp.experiment_fig10b(longterm),
+        "ext-loss": lambda: exp.experiment_loss(pings),
+        "ext-sharedinfra": lambda: exp.experiment_sharedinfra(longterm),
+    }
+    for name in wanted:
+        results.append(drivers[name]())
+    for result in results:
+        print(result.render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A Server-to-Server View of the Internet -- reproduction CLI",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="summarize a scenario's world")
+    _add_scenario_argument(info)
+    info.set_defaults(handler=_command_info)
+
+    trace = commands.add_parser("trace", help="run one traceroute")
+    _add_scenario_argument(trace)
+    trace.add_argument("--src", type=int, required=True, help="source server id")
+    trace.add_argument("--dst", type=int, required=True, help="destination server id")
+    trace.add_argument("--ipv6", action="store_true", help="probe over IPv6")
+    trace.add_argument("--time", type=float, default=12.0,
+                       help="measurement time in hours since the epoch")
+    trace.set_defaults(handler=_command_trace)
+
+    reproduce = commands.add_parser(
+        "reproduce", help="run table/figure experiments"
+    )
+    _add_scenario_argument(reproduce)
+    reproduce.add_argument(
+        "--experiments", default="",
+        help="comma-separated experiment ids (default: all); "
+             f"valid: {', '.join(_EXPERIMENT_NAMES)}",
+    )
+    reproduce.set_defaults(handler=_command_reproduce)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

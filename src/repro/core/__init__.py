@@ -1,0 +1,95 @@
+"""The paper's analysis pipeline (the primary contribution).
+
+Routing analysis (Section 4):
+
+- :mod:`repro.core.editdist` -- edit distance between AS paths.
+- :mod:`repro.core.aspath` -- AS-path utilities (loops, unknown tokens).
+- :mod:`repro.core.routechange` -- change detection, lifetimes, prevalence.
+- :mod:`repro.core.rttstats` -- per-AS-path RTT buckets and the best path.
+- :mod:`repro.core.heatmap` -- lifetime x RTT-delta decile heatmaps
+  (Figures 4 and 5).
+- :mod:`repro.core.suboptimal` -- prevalence of sub-optimal paths at RTT
+  thresholds (Figure 6).
+- :mod:`repro.core.granularity` -- 30-minute vs 3-hour sensitivity
+  (Figure 7).
+
+Congestion analysis (Section 5):
+
+- :mod:`repro.core.congestion` -- the FFT diurnal detector.
+- :mod:`repro.core.localization` -- congested-segment localization via
+  Pearson correlation.
+- :mod:`repro.core.ownership` -- the six router-ownership heuristics.
+- :mod:`repro.core.linkclass` -- internal vs interconnection, p2p vs c2p.
+- :mod:`repro.core.overhead` -- congestion overhead estimation (Figure 9).
+
+Protocol comparison (Section 6):
+
+- :mod:`repro.core.dualstack` -- paired IPv4/IPv6 RTT differences
+  (Figure 10a).
+- :mod:`repro.core.inflation` -- RTT inflation over cRTT (Figure 10b).
+
+Plus :mod:`repro.core.summary` (Table 1) and :mod:`repro.core.ecdf`
+(shared empirical-CDF helper).
+"""
+
+from repro.core.aspath import has_as_loop, has_unknown, path_to_string
+from repro.core.congestion import CongestionDetector, diurnal_power_ratio
+from repro.core.dualstack import paired_rtt_differences
+from repro.core.ecdf import ECDF
+from repro.core.editdist import edit_distance
+from repro.core.heatmap import DecileHeatmap, build_heatmap
+from repro.core.inflation import inflation_ratio, pair_inflation
+from repro.core.linkclass import LinkClass, LinkClassifier
+from repro.core.localization import localize_congestion
+from repro.core.loss import assess_loss, loss_population_summary, loss_rtt_correlation
+from repro.core.overhead import congestion_overhead
+from repro.core.ownership import OwnershipInference, infer_ownership
+from repro.core.routechange import (
+    PathStats,
+    analyze_timeline,
+    as_path_pair_count,
+    change_count,
+    path_lifetimes,
+    path_prevalence,
+)
+from repro.core.rttstats import best_path_id, path_percentiles, rtt_increase_from_best
+from repro.core.sharedinfra import SharedInfraStudy, shared_infrastructure_study
+from repro.core.summary import dataset_summary
+from repro.core.suboptimal import suboptimal_prevalence
+
+__all__ = [
+    "ECDF",
+    "edit_distance",
+    "has_as_loop",
+    "has_unknown",
+    "path_to_string",
+    "PathStats",
+    "analyze_timeline",
+    "change_count",
+    "path_lifetimes",
+    "path_prevalence",
+    "as_path_pair_count",
+    "path_percentiles",
+    "best_path_id",
+    "rtt_increase_from_best",
+    "DecileHeatmap",
+    "build_heatmap",
+    "suboptimal_prevalence",
+    "CongestionDetector",
+    "diurnal_power_ratio",
+    "localize_congestion",
+    "OwnershipInference",
+    "infer_ownership",
+    "LinkClass",
+    "LinkClassifier",
+    "congestion_overhead",
+    "assess_loss",
+    "loss_population_summary",
+    "loss_rtt_correlation",
+    "SharedInfraStudy",
+    "shared_infrastructure_study",
+    "paired_rtt_differences",
+    "inflation_ratio",
+    "pair_inflation",
+    "dataset_summary",
+]

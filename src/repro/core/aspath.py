@@ -1,0 +1,36 @@
+"""AS-path utilities shared across the analysis pipeline."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.measurement.realization import UNKNOWN_ASN
+from repro.net.asn import ASN
+
+__all__ = ["has_as_loop", "has_unknown", "path_to_string", "UNKNOWN_ASN"]
+
+
+def has_as_loop(path: Sequence[ASN]) -> bool:
+    """Whether an (already collapsed) AS path visits any AS twice.
+
+    Unknown-hop tokens never count as loops: two separate unmappable hops
+    are not evidence the path revisited a network.
+    """
+    seen = set()
+    for asn in path:
+        if asn == UNKNOWN_ASN:
+            continue
+        if asn in seen:
+            return True
+        seen.add(asn)
+    return False
+
+
+def has_unknown(path: Sequence[ASN]) -> bool:
+    """Whether the path contains an unmappable-hop token."""
+    return UNKNOWN_ASN in path
+
+
+def path_to_string(path: Sequence[ASN]) -> str:
+    """Human-readable rendering, e.g. ``"AS100 > AS205 > ? > AS318"``."""
+    return " > ".join("?" if asn == UNKNOWN_ASN else f"AS{asn}" for asn in path)

@@ -1,0 +1,178 @@
+"""The FFT diurnal-congestion detector (Section 5.1).
+
+Following the paper's adaptation of the TSLP trace-processing technique:
+apply an FFT to the end-to-end RTT time series, measure the spectral power
+concentrated around the one-cycle-per-day frequency, and flag the pair as
+experiencing *consistent congestion* when that power is at least 0.3 of
+the total (non-DC) power.  The paper pairs the spectral test with a
+magnitude test: the 95th-minus-5th percentile RTT spread must exceed
+10 ms, since a diurnal wiggle of under 10 ms is noise, not congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.timeline import PingTimeline
+
+__all__ = [
+    "diurnal_power_ratio",
+    "CongestionDetector",
+    "CongestionVerdict",
+    "congestion_population_stats",
+]
+
+HOURS_PER_DAY = 24.0
+
+
+def _fill_missing(values: np.ndarray) -> Optional[np.ndarray]:
+    """Replace NaNs by linear interpolation (median at the edges)."""
+    finite = np.isfinite(values)
+    if finite.sum() < 4:
+        return None
+    if finite.all():
+        return values.astype(float)
+    filled = values.astype(float).copy()
+    indexes = np.arange(values.size)
+    filled[~finite] = np.interp(indexes[~finite], indexes[finite], values[finite])
+    return filled
+
+
+def diurnal_power_ratio(
+    times_hours: np.ndarray,
+    rtt_ms: np.ndarray,
+    band: int = 1,
+) -> float:
+    """Fraction of spectral power at (and around) the 1/day frequency.
+
+    Args:
+        times_hours: Uniform measurement grid.
+        rtt_ms: RTT samples (NaNs are interpolated away; series with fewer
+            than four finite samples yield NaN).
+        band: Also count this many neighbouring FFT bins on each side of
+            the daily bin, absorbing spectral leakage from windows that are
+            not whole numbers of days.
+
+    Returns:
+        Power ratio in ``[0, 1]``; NaN when undefined (too few samples or
+        a window shorter than one day).
+    """
+    times_hours = np.asarray(times_hours, dtype=float)
+    rtt = _fill_missing(np.asarray(rtt_ms, dtype=float))
+    if rtt is None or times_hours.size != rtt.size:
+        return float("nan")
+    if times_hours.size < 8:
+        return float("nan")
+    period = times_hours[1] - times_hours[0]
+    duration = period * times_hours.size
+    days = duration / HOURS_PER_DAY
+    if days < 1.0:
+        return float("nan")
+
+    centered = rtt - rtt.mean()
+    spectrum = np.abs(np.fft.rfft(centered)) ** 2
+    if spectrum.size <= 1:
+        return float("nan")
+    total = spectrum[1:].sum()
+    if total <= 0:
+        return 0.0
+    daily_bin = int(round(days))
+    low = max(1, daily_bin - band)
+    high = min(spectrum.size - 1, daily_bin + band)
+    if low > high:
+        return float("nan")
+    return float(spectrum[low : high + 1].sum() / total)
+
+
+@dataclass(frozen=True)
+class CongestionVerdict:
+    """Detector output for one pair."""
+
+    spread_ms: float
+    power_ratio: float
+    spread_exceeds: bool
+    diurnal: bool
+
+    @property
+    def congested(self) -> bool:
+        """Consistent congestion: big spread *and* a strong diurnal."""
+        return self.spread_exceeds and self.diurnal
+
+
+@dataclass
+class CongestionDetector:
+    """The Section 5.1 detector with the paper's thresholds as defaults."""
+
+    power_ratio_threshold: float = 0.3
+    spread_threshold_ms: float = 10.0
+    spread_percentiles: Tuple[float, float] = (5.0, 95.0)
+    band: int = 1
+
+    def assess_series(self, times_hours: np.ndarray, rtt_ms: np.ndarray) -> CongestionVerdict:
+        """Assess one RTT series."""
+        rtt = np.asarray(rtt_ms, dtype=float)
+        finite = rtt[np.isfinite(rtt)]
+        if finite.size == 0:
+            spread = float("nan")
+        else:
+            low, high = self.spread_percentiles
+            spread = float(np.percentile(finite, high) - np.percentile(finite, low))
+        ratio = diurnal_power_ratio(times_hours, rtt, band=self.band)
+        return CongestionVerdict(
+            spread_ms=spread,
+            power_ratio=ratio,
+            spread_exceeds=bool(np.isfinite(spread) and spread > self.spread_threshold_ms),
+            diurnal=bool(np.isfinite(ratio) and ratio >= self.power_ratio_threshold),
+        )
+
+    def assess(self, timeline: PingTimeline) -> CongestionVerdict:
+        """Assess one ping timeline."""
+        return self.assess_series(timeline.times_hours, timeline.rtt_ms)
+
+
+@dataclass
+class PopulationStats:
+    """Aggregate congestion statistics over many pairs (Section 5.1)."""
+
+    pairs: int
+    spread_exceeds: int
+    congested: int
+
+    @property
+    def spread_fraction(self) -> float:
+        """Fraction of pairs with RTT spread above the threshold."""
+        return self.spread_exceeds / self.pairs if self.pairs else float("nan")
+
+    @property
+    def congested_fraction(self) -> float:
+        """Fraction with both a big spread and a strong diurnal."""
+        return self.congested / self.pairs if self.pairs else float("nan")
+
+
+def congestion_population_stats(
+    timelines: Iterable[PingTimeline],
+    detector: Optional[CongestionDetector] = None,
+    min_valid_samples: int = 600,
+) -> PopulationStats:
+    """Evaluate the detector over a ping population.
+
+    Pairs with fewer than ``min_valid_samples`` answered probes are
+    excluded, matching the paper's "at least 600 (of the 672 possible)"
+    filter -- the threshold scales down proportionally for shorter grids.
+    """
+    detector = detector or CongestionDetector()
+    pairs = spread_count = congested_count = 0
+    for timeline in timelines:
+        required = min(min_valid_samples, int(0.9 * timeline.times_hours.size))
+        if timeline.valid_count() < required:
+            continue
+        verdict = detector.assess(timeline)
+        pairs += 1
+        if verdict.spread_exceeds:
+            spread_count += 1
+        if verdict.congested:
+            congested_count += 1
+    return PopulationStats(pairs=pairs, spread_exceeds=spread_count, congested=congested_count)

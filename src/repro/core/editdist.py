@@ -1,0 +1,67 @@
+"""Edit distance between AS paths.
+
+Section 4.1: "we treat the AS paths ... as delimited strings and use the
+edit distance between any two AS paths as a measure of the difference
+between them.  A zero edit distance implies that the AS paths are the same
+(no change), while a non-zero value implies a different AS-level route."
+
+The implementation is the standard Levenshtein dynamic program over
+hashable tokens (ASNs here, including the unknown-hop sentinel), with the
+usual two-row memory optimization and a common-affix fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+__all__ = ["edit_distance", "paths_differ"]
+
+
+def edit_distance(a: Sequence[Hashable], b: Sequence[Hashable]) -> int:
+    """Levenshtein distance between two token sequences.
+
+    Unit cost for insertion, deletion and substitution.  Runs in
+    ``O(len(a) * len(b))`` time and ``O(min(len(a), len(b)))`` space after
+    stripping any common prefix and suffix.
+    """
+    # Strip common prefix.
+    start = 0
+    limit = min(len(a), len(b))
+    while start < limit and a[start] == b[start]:
+        start += 1
+    # Strip common suffix (not crossing the prefix).
+    end_a, end_b = len(a), len(b)
+    while end_a > start and end_b > start and a[end_a - 1] == b[end_b - 1]:
+        end_a -= 1
+        end_b -= 1
+    a = a[start:end_a]
+    b = b[start:end_b]
+
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a  # keep the DP row as short as possible
+
+    previous = list(range(len(b) + 1))
+    for row, token_a in enumerate(a, start=1):
+        current = [row] + [0] * len(b)
+        for column, token_b in enumerate(b, start=1):
+            cost = 0 if token_a == token_b else 1
+            current[column] = min(
+                previous[column] + 1,        # deletion
+                current[column - 1] + 1,     # insertion
+                previous[column - 1] + cost,  # substitution / match
+            )
+        previous = current
+    return previous[len(b)]
+
+
+def paths_differ(a: Sequence[Hashable], b: Sequence[Hashable]) -> bool:
+    """Whether two AS paths differ (non-zero edit distance).
+
+    Cheaper than :func:`edit_distance` when only change detection is
+    needed, which is the common case in the change-counting analysis.
+    """
+    return tuple(a) != tuple(b)

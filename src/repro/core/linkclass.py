@@ -1,0 +1,157 @@
+"""Classifying congested links (Section 5.3's reporting).
+
+A localized congested link is a pair of hop addresses.  With the ownership
+inference the link becomes:
+
+- **internal** when both routers have the same resolved owner,
+- **interconnection** when they resolve to different ASes, further typed as
+  ``p2p`` or ``c2p`` from the relationship table,
+- **unknown** when either side is unresolved.
+
+Interconnection links are additionally split into private interconnects and
+public (IXP) peering by checking the interface addresses against a list of
+known IXP peering-LAN prefixes (the real-world analogue is PeeringDB/IXP
+directories).  Because many server pairs cross the same link, the
+classifier also tracks per-link crossing weights -- the paper's "when we
+weight the links by the number of server-to-server paths that cross them".
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ownership import OwnershipInference
+from repro.net.asn import ASN, ASRelationship, RelationshipTable
+from repro.net.ip import IPAddress
+from repro.net.prefix import Prefix
+
+__all__ = ["LinkClass", "LinkMediumClass", "ClassifiedLink", "LinkClassifier"]
+
+
+class LinkClass(enum.Enum):
+    """Where a link sits relative to AS boundaries."""
+
+    INTERNAL = "internal"
+    INTERCONNECTION_P2P = "p2p"
+    INTERCONNECTION_C2P = "c2p"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_interconnection(self) -> bool:
+        """Whether the link crosses an AS boundary."""
+        return self in (LinkClass.INTERCONNECTION_P2P, LinkClass.INTERCONNECTION_C2P)
+
+
+class LinkMediumClass(enum.Enum):
+    """Inferred physical realization of an interconnection."""
+
+    PRIVATE = "private"
+    PUBLIC_IXP = "public-ixp"
+    NOT_APPLICABLE = "n/a"
+
+
+@dataclass
+class ClassifiedLink:
+    """One congested link with its classification and crossing weight."""
+
+    near: Optional[IPAddress]
+    far: IPAddress
+    link_class: LinkClass
+    medium: LinkMediumClass
+    owner_near: Optional[ASN]
+    owner_far: Optional[ASN]
+    crossings: int = 1
+
+
+@dataclass
+class LinkClassifier:
+    """Accumulates localized congested links and classifies them."""
+
+    relationships: RelationshipTable
+    ownership: OwnershipInference
+    ixp_prefixes: Sequence[Prefix] = ()
+    _links: Dict[Tuple[Optional[IPAddress], IPAddress], ClassifiedLink] = field(
+        default_factory=dict
+    )
+
+    def _in_ixp_space(self, address: Optional[IPAddress]) -> bool:
+        if address is None:
+            return False
+        return any(prefix.contains(address) for prefix in self.ixp_prefixes)
+
+    def _classify(
+        self, near: Optional[IPAddress], far: IPAddress
+    ) -> Tuple[LinkClass, LinkMediumClass, Optional[ASN], Optional[ASN]]:
+        owner_near = self.ownership.owner(near) if near is not None else None
+        owner_far = self.ownership.owner(far)
+        if owner_near is None or owner_far is None:
+            return LinkClass.UNKNOWN, LinkMediumClass.NOT_APPLICABLE, owner_near, owner_far
+        if owner_near == owner_far:
+            return LinkClass.INTERNAL, LinkMediumClass.NOT_APPLICABLE, owner_near, owner_far
+        relationship = self.relationships.get(owner_near, owner_far)
+        if relationship is None:
+            return LinkClass.UNKNOWN, LinkMediumClass.NOT_APPLICABLE, owner_near, owner_far
+        if relationship is ASRelationship.PEER or relationship is ASRelationship.SIBLING:
+            link_class = LinkClass.INTERCONNECTION_P2P
+        else:
+            link_class = LinkClass.INTERCONNECTION_C2P
+        medium = (
+            LinkMediumClass.PUBLIC_IXP
+            if self._in_ixp_space(near) or self._in_ixp_space(far)
+            else LinkMediumClass.PRIVATE
+        )
+        return link_class, medium, owner_near, owner_far
+
+    def add(self, near: Optional[IPAddress], far: IPAddress) -> ClassifiedLink:
+        """Register one localized congested link crossing.
+
+        Re-adding the same (near, far) link increments its crossing weight,
+        so popular congested links accumulate the pairs that see them.
+        """
+        key = (near, far)
+        existing = self._links.get(key)
+        if existing is not None:
+            existing.crossings += 1
+            return existing
+        link_class, medium, owner_near, owner_far = self._classify(near, far)
+        link = ClassifiedLink(
+            near=near,
+            far=far,
+            link_class=link_class,
+            medium=medium,
+            owner_near=owner_near,
+            owner_far=owner_far,
+        )
+        self._links[key] = link
+        return link
+
+    def links(self) -> List[ClassifiedLink]:
+        """All classified links, by descending crossing weight."""
+        return sorted(
+            self._links.values(), key=lambda link: (-link.crossings, link.far.value)
+        )
+
+    def counts(self) -> Dict[LinkClass, int]:
+        """Distinct congested links per class."""
+        result: Dict[LinkClass, int] = defaultdict(int)
+        for link in self._links.values():
+            result[link.link_class] += 1
+        return dict(result)
+
+    def weighted_counts(self) -> Dict[LinkClass, int]:
+        """Crossing-weighted totals per class (the paper's popularity view)."""
+        result: Dict[LinkClass, int] = defaultdict(int)
+        for link in self._links.values():
+            result[link.link_class] += link.crossings
+        return dict(result)
+
+    def medium_counts(self) -> Dict[LinkMediumClass, int]:
+        """Distinct interconnection links by inferred medium."""
+        result: Dict[LinkMediumClass, int] = defaultdict(int)
+        for link in self._links.values():
+            if link.link_class.is_interconnection:
+                result[link.medium] += 1
+        return dict(result)

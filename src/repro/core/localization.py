@@ -1,0 +1,123 @@
+"""Congestion localization over traceroute segments (Section 5.2).
+
+A traceroute's *segment* is the path from the vantage point to a given hop;
+segment ``i`` contains segment ``i-1`` plus one hop.  For a pair with a
+strong end-to-end diurnal signal, the congested link is found by walking the
+segments in order and choosing the first whose RTT time series matches the
+end-to-end series (Pearson correlation at least 0.5).  An important
+consistency property the paper notes -- once a segment crosses the
+threshold, later segments correlate at least as strongly -- is exposed for
+testing via :attr:`LocalizationResult.correlations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.congestion import CongestionDetector
+from repro.datasets.shortterm import SegmentSeries
+from repro.net.ip import IPAddress
+
+__all__ = ["LocalizationResult", "localize_congestion", "segment_correlations"]
+
+
+@dataclass
+class LocalizationResult:
+    """Outcome of localizing one pair's congestion.
+
+    Attributes:
+        congested_hop: Index of the first hop whose segment matches the
+            end-to-end diurnal pattern, or ``None``.
+        link: The (near, far) hop addresses of the congested link; near is
+            ``None`` when the congested hop is the first hop.
+        correlations: Pearson correlation per hop (NaN where undefined).
+        end_to_end_diurnal: Whether the end-to-end series still shows the
+            diurnal signal during this campaign.
+    """
+
+    congested_hop: Optional[int]
+    link: Optional[Tuple[Optional[IPAddress], IPAddress]]
+    correlations: List[float]
+    end_to_end_diurnal: bool
+
+    @property
+    def located(self) -> bool:
+        """Whether a congested link was identified."""
+        return self.congested_hop is not None
+
+
+def _masked_pearson(a: np.ndarray, b: np.ndarray, min_overlap: int = 16) -> float:
+    """Pearson correlation over samples where both series are finite."""
+    mask = np.isfinite(a) & np.isfinite(b)
+    if mask.sum() < min_overlap:
+        return float("nan")
+    x = a[mask]
+    y = b[mask]
+    x_std = x.std()
+    y_std = y.std()
+    if x_std <= 0 or y_std <= 0:
+        return float("nan")
+    return float(np.mean((x - x.mean()) * (y - y.mean())) / (x_std * y_std))
+
+
+def segment_correlations(entry: SegmentSeries) -> List[float]:
+    """Pearson correlation of each segment's series with the end-to-end."""
+    reference = np.asarray(entry.rtt_ms, dtype=float)
+    return [
+        _masked_pearson(np.asarray(entry.hop_rtt_ms[hop], dtype=float), reference)
+        for hop in range(entry.n_hops)
+    ]
+
+
+def localize_congestion(
+    entry: SegmentSeries,
+    rho_threshold: float = 0.5,
+    detector: Optional[CongestionDetector] = None,
+) -> LocalizationResult:
+    """Find the first congested segment of one pair's path.
+
+    Args:
+        entry: Per-hop RTT series from the short-term traceroute campaign.
+        rho_threshold: Pearson threshold for declaring a segment congested
+            (0.5 in the paper).
+        detector: End-to-end diurnal check; localization is only attempted
+            when the end-to-end signal is still diurnal, as in the paper
+            ("for more than 30% of the ... pairs ... a strong congestion
+            signal was present even weeks after").
+
+    Returns:
+        A :class:`LocalizationResult`; ``congested_hop`` is ``None`` when
+        the end-to-end signal is gone or no segment crosses the threshold.
+    """
+    detector = detector or CongestionDetector()
+    verdict = detector.assess_series(entry.times_hours, entry.rtt_ms)
+    correlations = segment_correlations(entry)
+    if not verdict.congested:
+        return LocalizationResult(
+            congested_hop=None,
+            link=None,
+            correlations=correlations,
+            end_to_end_diurnal=verdict.congested,
+        )
+
+    # The last hop is the destination itself and correlates with the
+    # end-to-end series by construction; a *first* match earlier in the
+    # path is the congested link.
+    for hop, correlation in enumerate(correlations):
+        if np.isfinite(correlation) and correlation >= rho_threshold:
+            near = entry.hop_addresses[hop - 1] if hop > 0 else None
+            return LocalizationResult(
+                congested_hop=hop,
+                link=(near, entry.hop_addresses[hop]),
+                correlations=correlations,
+                end_to_end_diurnal=True,
+            )
+    return LocalizationResult(
+        congested_hop=None,
+        link=None,
+        correlations=correlations,
+        end_to_end_diurnal=True,
+    )

@@ -1,0 +1,164 @@
+"""Packet-loss analysis: the follow-up the paper's conclusion calls for.
+
+Section 8: "We encourage follow-up work focusing on other characteristics,
+viz., available bandwidth, packet loss."  With the congestion-coupled loss
+substrate in place, the natural first analysis mirrors the RTT one: does
+probe loss show the same diurnal structure congestion does, and do the two
+signals point at the same pairs?
+
+The detector works on a ping timeline's loss indicator series: hourly loss
+profiles, a busy-vs-quiet loss lift, and the correlation between hourly
+loss rate and hourly median RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.datasets.timeline import PingTimeline
+
+__all__ = [
+    "hourly_loss_profile",
+    "loss_rtt_correlation",
+    "LossVerdict",
+    "assess_loss",
+    "loss_population_summary",
+]
+
+HOURS_PER_DAY = 24
+
+
+def hourly_loss_profile(timeline: PingTimeline) -> np.ndarray:
+    """Loss rate per hour-of-day bin (NaN for unsampled bins)."""
+    hour_of_day = np.mod(timeline.times_hours, float(HOURS_PER_DAY)).astype(int)
+    lost = np.isnan(timeline.rtt_ms)
+    profile = np.full(HOURS_PER_DAY, np.nan)
+    for hour in range(HOURS_PER_DAY):
+        mask = hour_of_day == hour
+        if mask.any():
+            profile[hour] = float(lost[mask].mean())
+    return profile
+
+
+def _hourly_rtt_profile(timeline: PingTimeline) -> np.ndarray:
+    hour_of_day = np.mod(timeline.times_hours, float(HOURS_PER_DAY)).astype(int)
+    profile = np.full(HOURS_PER_DAY, np.nan)
+    for hour in range(HOURS_PER_DAY):
+        values = timeline.rtt_ms[(hour_of_day == hour)]
+        finite = values[np.isfinite(values)]
+        if finite.size:
+            profile[hour] = float(np.median(finite))
+    return profile
+
+
+def loss_rtt_correlation(timeline: PingTimeline) -> float:
+    """Pearson correlation between hourly loss rate and hourly median RTT.
+
+    A strongly positive value means losses concentrate in the same busy
+    hours that lift the RTT -- the congestion signature; near zero means
+    loss is background noise.  NaN when either profile is degenerate.
+    """
+    loss = hourly_loss_profile(timeline)
+    rtt = _hourly_rtt_profile(timeline)
+    mask = np.isfinite(loss) & np.isfinite(rtt)
+    if mask.sum() < 12:
+        return float("nan")
+    loss = loss[mask]
+    rtt = rtt[mask]
+    if loss.std() <= 0 or rtt.std() <= 0:
+        return float("nan")
+    return float(np.corrcoef(loss, rtt)[0, 1])
+
+
+@dataclass(frozen=True)
+class LossVerdict:
+    """Loss characteristics of one pair.
+
+    ``busy_hour_loss`` and ``quiet_hour_loss`` pool samples over the six
+    hours of day with the highest median RTT versus the remaining hours
+    (pooling keeps per-bin sampling noise out of the comparison).
+    """
+
+    loss_rate: float
+    busy_hour_loss: float
+    quiet_hour_loss: float
+    loss_rtt_correlation: float
+
+    @property
+    def diurnal_loss(self) -> bool:
+        """Whether loss concentrates in the RTT-busy hours."""
+        return (
+            np.isfinite(self.busy_hour_loss)
+            and np.isfinite(self.quiet_hour_loss)
+            and self.busy_hour_loss >= 2.0 * max(self.quiet_hour_loss, 1e-4)
+            and self.busy_hour_loss >= 0.015
+        )
+
+
+BUSY_HOURS = 6
+"""Hours of day counted as the busy period (by median RTT)."""
+
+
+def assess_loss(timeline: PingTimeline) -> LossVerdict:
+    """Assess one ping timeline's loss behaviour."""
+    lost = np.isnan(timeline.rtt_ms)
+    rtt_profile = _hourly_rtt_profile(timeline)
+    hour_of_day = np.mod(timeline.times_hours, float(HOURS_PER_DAY)).astype(int)
+    order = np.argsort(np.nan_to_num(rtt_profile, nan=-np.inf))
+    busy_hours = set(int(h) for h in order[-BUSY_HOURS:])
+    busy_mask = np.isin(hour_of_day, list(busy_hours))
+    busy = float(lost[busy_mask].mean()) if busy_mask.any() else float("nan")
+    quiet = float(lost[~busy_mask].mean()) if (~busy_mask).any() else float("nan")
+    return LossVerdict(
+        loss_rate=float(lost.mean()) if lost.size else float("nan"),
+        busy_hour_loss=busy,
+        quiet_hour_loss=quiet,
+        loss_rtt_correlation=loss_rtt_correlation(timeline),
+    )
+
+
+@dataclass
+class LossPopulationSummary:
+    """Aggregate loss statistics over a ping population."""
+
+    pairs: int
+    median_loss_rate: float
+    diurnal_loss_pairs: int
+    median_correlation_diurnal: float
+
+    @property
+    def diurnal_loss_fraction(self) -> float:
+        """Fraction of pairs with busy-hour-concentrated loss."""
+        return self.diurnal_loss_pairs / self.pairs if self.pairs else float("nan")
+
+
+def loss_population_summary(
+    timelines: Iterable[PingTimeline],
+    min_samples: int = 300,
+) -> LossPopulationSummary:
+    """Summarize loss behaviour over many pairs."""
+    rates: List[float] = []
+    correlations: List[float] = []
+    diurnal = 0
+    pairs = 0
+    for timeline in timelines:
+        if timeline.times_hours.size < min_samples:
+            continue
+        verdict = assess_loss(timeline)
+        pairs += 1
+        rates.append(verdict.loss_rate)
+        if verdict.diurnal_loss:
+            diurnal += 1
+            if np.isfinite(verdict.loss_rtt_correlation):
+                correlations.append(verdict.loss_rtt_correlation)
+    return LossPopulationSummary(
+        pairs=pairs,
+        median_loss_rate=float(np.median(rates)) if rates else float("nan"),
+        diurnal_loss_pairs=diurnal,
+        median_correlation_diurnal=(
+            float(np.median(correlations)) if correlations else float("nan")
+        ),
+    )

@@ -1,0 +1,58 @@
+"""Congestion-overhead estimation (Section 5.4, Figure 9).
+
+The *overhead* of a congestion event is how much it lifts RTT during the
+busy period.  Estimated robustly from the daily profile: bin samples by
+hour of day, take the median per bin, and report the difference between the
+highest and lowest bin medians.  Medians keep isolated spikes out of the
+estimate; the min bin tracks the uncongested baseline, the max bin the
+busy-hour plateau.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["congestion_overhead", "daily_profile"]
+
+HOURS_PER_DAY = 24
+
+
+def daily_profile(
+    times_hours: np.ndarray, rtt_ms: np.ndarray, bins: int = HOURS_PER_DAY
+) -> np.ndarray:
+    """Median RTT per hour-of-day bin (NaN for empty bins)."""
+    if bins < 2:
+        raise ValueError("need at least two bins")
+    times_hours = np.asarray(times_hours, dtype=float)
+    rtt = np.asarray(rtt_ms, dtype=float)
+    hour_of_day = np.mod(times_hours, float(HOURS_PER_DAY))
+    bin_index = np.minimum((hour_of_day / HOURS_PER_DAY * bins).astype(int), bins - 1)
+    profile = np.full(bins, np.nan)
+    for index in range(bins):
+        values = rtt[(bin_index == index) & np.isfinite(rtt)]
+        if values.size:
+            profile[index] = np.median(values)
+    return profile
+
+
+def congestion_overhead(
+    times_hours: np.ndarray,
+    rtt_ms: np.ndarray,
+    bins: int = HOURS_PER_DAY,
+    min_bins_present: int = 12,
+) -> Optional[float]:
+    """Busy-hour RTT lift in ms, or ``None`` when the profile is too sparse.
+
+    Args:
+        times_hours: Sample times on a uniform grid.
+        rtt_ms: RTT samples (NaNs ignored).
+        bins: Hour-of-day bins.
+        min_bins_present: Minimum populated bins for a trustworthy profile.
+    """
+    profile = daily_profile(times_hours, rtt_ms, bins)
+    present = profile[np.isfinite(profile)]
+    if present.size < min_bins_present:
+        return None
+    return float(present.max() - present.min())

@@ -1,0 +1,61 @@
+"""The colocated-clusters campaign (Section 2.2, last paragraph).
+
+"To infer congestion between clusters at the same location we performed
+traceroute campaigns between all servers (full mesh) colocated at the same
+datacenter or peering facility with a frequency of 30 minutes for a period
+of 20 days."
+
+Colocated pairs short-circuit the wide-area core: their paths stay inside
+the metro, so a diurnal signal on such a pair localizes congestion to the
+facility or the local interconnect rather than a long-haul link.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.datasets.shortterm import (
+    ShortTermConfig,
+    ShortTermTraceDataset,
+    build_shortterm_trace_dataset,
+)
+from repro.measurement.platform import MeasurementPlatform
+from repro.topology.cdn import Server
+
+__all__ = ["colocated_pairs", "build_colocated_dataset"]
+
+
+def colocated_pairs(platform: MeasurementPlatform) -> List[Tuple[Server, Server]]:
+    """Ordered pairs of measurement servers sharing a city.
+
+    Pairs within the same cluster are excluded (their path never leaves
+    the rack); pairs in different clusters at the same location are the
+    campaign's subject, whether or not the clusters share a host AS.
+    """
+    by_city: Dict[Tuple[str, str], List[Server]] = defaultdict(list)
+    for server in platform.measurement_servers():
+        by_city[(server.city.city, server.city.country)].append(server)
+    pairs: List[Tuple[Server, Server]] = []
+    for servers in by_city.values():
+        for src in servers:
+            for dst in servers:
+                if src.cluster_id == dst.cluster_id:
+                    continue
+                if src.asn == dst.asn:
+                    continue  # realizable paths need distinct host ASes
+                pairs.append((src, dst))
+    return pairs
+
+
+def build_colocated_dataset(
+    platform: MeasurementPlatform,
+    days: float = 20.0,
+) -> ShortTermTraceDataset:
+    """Build the 30-minute colocated-clusters traceroute dataset.
+
+    Returns an (possibly empty) :class:`ShortTermTraceDataset`; small
+    deployments may simply have no colocated clusters.
+    """
+    config = ShortTermConfig(trace_days=days)
+    return build_shortterm_trace_dataset(platform, colocated_pairs(platform), config)

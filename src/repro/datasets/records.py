@@ -1,0 +1,10 @@
+"""Measurement records (re-exported from :mod:`repro.measurement.records`).
+
+The record types live in the measurement package (the engines produce
+them); they are re-exported here because users browsing the dataset layer
+expect to find them alongside the timeline containers.
+"""
+
+from repro.measurement.records import HopObservation, PingRecord, TracerouteRecord
+
+__all__ = ["HopObservation", "TracerouteRecord", "PingRecord"]

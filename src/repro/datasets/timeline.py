@@ -1,0 +1,139 @@
+"""Per-pair measurement containers.
+
+A *trace timeline* is the paper's unit of analysis (Section 4.1): "the set
+of all traceroutes from one server to another".  :class:`TraceTimeline`
+stores one timeline compactly -- per-sample RTT, outcome class and observed
+AS path id over a shared time grid -- plus the ground-truth candidate index
+per sample, which the simulator knows and real measurements do not (tests
+and ablations use it; the analysis pipeline never does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.measurement.traceroute import TraceOutcome
+from repro.net.asn import ASN
+from repro.net.ip import IPVersion
+
+__all__ = ["TraceTimeline", "PingTimeline"]
+
+_USABLE_OUTCOMES = (
+    int(TraceOutcome.COMPLETE),
+    int(TraceOutcome.MISSING_AS),
+    int(TraceOutcome.MISSING_IP),
+)
+
+
+@dataclass
+class TraceTimeline:
+    """All traceroutes from one server to another over one protocol.
+
+    Attributes:
+        src_server_id / dst_server_id: Endpoints.
+        version: IP version of the probes.
+        times_hours: Shared measurement grid.
+        rtt_ms: End-to-end RTT per sample (float32; NaN when the destination
+            was not reached).
+        outcome: :class:`~repro.measurement.traceroute.TraceOutcome` per
+            sample (uint8).
+        path_id: Index into :attr:`paths` of the observed AS path per sample
+            (int32; ``-1`` for incomplete samples).
+        paths: Distinct observed AS paths for this timeline.
+        true_candidate: Ground-truth candidate-route index per sample
+            (int16; ``-1`` when the destination was unreachable).  Simulator
+            metadata -- not visible to the analysis pipeline.
+    """
+
+    src_server_id: int
+    dst_server_id: int
+    version: IPVersion
+    times_hours: np.ndarray
+    rtt_ms: np.ndarray
+    outcome: np.ndarray
+    path_id: np.ndarray
+    paths: List[Tuple[ASN, ...]] = field(default_factory=list)
+    true_candidate: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int16))
+
+    def __post_init__(self) -> None:
+        count = self.times_hours.size
+        for name in ("rtt_ms", "outcome", "path_id"):
+            if getattr(self, name).size != count:
+                raise ValueError(f"{name} length does not match the time grid")
+
+    def __len__(self) -> int:
+        return int(self.times_hours.size)
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        """The (src, dst) server-id pair."""
+        return (self.src_server_id, self.dst_server_id)
+
+    def usable_mask(self) -> np.ndarray:
+        """Samples usable for AS-path analysis: reached, no AS loop."""
+        return np.isin(self.outcome, _USABLE_OUTCOMES)
+
+    def complete_mask(self) -> np.ndarray:
+        """Samples that reached the destination (paper's "complete")."""
+        return self.outcome != int(TraceOutcome.INCOMPLETE)
+
+    def observed_paths(self) -> List[Tuple[ASN, ...]]:
+        """Distinct AS paths among usable samples, in first-seen order."""
+        usable_ids = np.unique(self.path_id[self.usable_mask()])
+        return [self.paths[int(i)] for i in usable_ids if i >= 0]
+
+    def usable_path_ids(self) -> np.ndarray:
+        """Path ids of usable samples, in time order."""
+        return self.path_id[self.usable_mask()]
+
+    def usable_rtts_by_path(self) -> Dict[int, np.ndarray]:
+        """Usable-sample RTTs grouped by path id (the AS-path buckets)."""
+        mask = self.usable_mask()
+        ids = self.path_id[mask]
+        rtts = self.rtt_ms[mask]
+        result: Dict[int, np.ndarray] = {}
+        for path_id in np.unique(ids):
+            if path_id < 0:
+                continue
+            result[int(path_id)] = rtts[ids == path_id]
+        return result
+
+
+@dataclass
+class PingTimeline:
+    """All pings from one server to another over one protocol.
+
+    RTTs are float32 with NaN for lost probes.
+    """
+
+    src_server_id: int
+    dst_server_id: int
+    version: IPVersion
+    times_hours: np.ndarray
+    rtt_ms: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms.size != self.times_hours.size:
+            raise ValueError("rtt_ms length does not match the time grid")
+
+    def __len__(self) -> int:
+        return int(self.times_hours.size)
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        """The (src, dst) server-id pair."""
+        return (self.src_server_id, self.dst_server_id)
+
+    def valid_count(self) -> int:
+        """Number of answered probes."""
+        return int(np.sum(~np.isnan(self.rtt_ms)))
+
+    def percentile_spread(self, low: float = 5.0, high: float = 95.0) -> float:
+        """Difference between the high and low RTT percentiles (Section 5.1)."""
+        valid = self.rtt_ms[~np.isnan(self.rtt_ms)]
+        if valid.size == 0:
+            return float("nan")
+        return float(np.percentile(valid, high) - np.percentile(valid, low))

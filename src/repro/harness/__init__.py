@@ -1,0 +1,34 @@
+"""Experiment harness: scenarios, per-figure drivers, and report rendering.
+
+- :mod:`repro.harness.scenarios` -- canonical scaled scenario configs and a
+  cached builder, so the benchmarks and examples share platforms/datasets.
+- :mod:`repro.harness.experiments` -- one driver per paper table/figure;
+  each returns a structured result plus a rendered text report with the
+  paper's value next to the measured one.
+- :mod:`repro.harness.report` -- plain-text tables, ECDF series and decile
+  heatmaps in the style the paper prints them.
+"""
+
+from repro.harness.experiments import (
+    ExperimentResult,
+    run_all_experiments,
+)
+from repro.harness.report import (
+    format_duration,
+    render_ecdf,
+    render_heatmap,
+    render_table,
+)
+from repro.harness.scenarios import Scenario, get_scenario, scenario_platform
+
+__all__ = [
+    "Scenario",
+    "get_scenario",
+    "scenario_platform",
+    "ExperimentResult",
+    "run_all_experiments",
+    "render_table",
+    "render_ecdf",
+    "render_heatmap",
+    "format_duration",
+]

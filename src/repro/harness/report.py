@@ -1,0 +1,100 @@
+"""Plain-text rendering: tables, ECDF series, and decile heatmaps.
+
+The benchmarks regenerate the paper's tables and figures as text; these
+helpers keep the rendering consistent (and the heatmap axis labels match
+the paper's interval style, e.g. ``[3.0, 6.0h)`` and ``[15.9D, 1.0M)``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ecdf import ECDF
+from repro.core.heatmap import DecileHeatmap
+
+__all__ = ["render_table", "render_ecdf", "render_heatmap", "format_duration", "format_ms"]
+
+HOURS_PER_DAY = 24.0
+HOURS_PER_MONTH = 24.0 * 30.4
+
+
+def format_duration(hours: float) -> str:
+    """Render a duration the way the paper's heatmap labels do.
+
+    Hours below a day ('h'), days below ~a month ('D'), months above ('M').
+    """
+    if hours < HOURS_PER_DAY:
+        return f"{hours:.1f}h"
+    if hours < HOURS_PER_MONTH:
+        return f"{hours / HOURS_PER_DAY:.1f}D"
+    return f"{hours / HOURS_PER_MONTH:.1f}M"
+
+
+def format_ms(value: float) -> str:
+    """Render a millisecond quantity compactly (switching to seconds)."""
+    if value >= 1000.0:
+        return f"{value / 1000.0:.1f}s"
+    return f"{value:.1f}ms"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A simple aligned text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+    separator = "  ".join("-" * width for width in widths)
+    return "\n".join([line(list(headers)), separator] + [line(row) for row in materialized])
+
+
+def render_ecdf(
+    ecdf: ECDF,
+    label: str,
+    probe_points: Optional[Sequence[float]] = None,
+    unit: str = "",
+) -> str:
+    """Summarize an ECDF as quantiles plus optional probe evaluations."""
+    if len(ecdf) == 0:
+        return f"{label}: (empty)"
+    quantiles = (0.1, 0.25, 0.5, 0.75, 0.8, 0.9, 0.98)
+    parts = [f"p{int(q * 100)}={ecdf.quantile(q):.3g}{unit}" for q in quantiles]
+    lines = [f"{label} (n={len(ecdf)}): " + "  ".join(parts)]
+    if probe_points:
+        probes = "  ".join(f"F({x:g}{unit})={ecdf.at(x):.3f}" for x in probe_points)
+        lines.append(f"  {probes}")
+    return "\n".join(lines)
+
+
+def _edge_labels(edges: np.ndarray, formatter) -> List[str]:
+    labels = []
+    for low, high in zip(edges, edges[1:]):
+        labels.append(f"[{formatter(low)}, {formatter(high)})")
+    return labels
+
+
+def render_heatmap(
+    heatmap: DecileHeatmap,
+    x_title: str = "AS-path lifetime",
+    y_title: str = "RTT increase over best path",
+) -> str:
+    """Render a decile heatmap like the paper's Figures 4/5.
+
+    Rows print top-down from the largest increase decile (matching the
+    figures, where the worst rows sit at the top), columns left-to-right
+    from the shortest lifetime.
+    """
+    x_labels = _edge_labels(heatmap.x_edges, format_duration)
+    y_labels = _edge_labels(heatmap.y_edges, format_ms)
+    headers = [f"{y_title} \\ {x_title}"] + x_labels + ["row%"]
+    rows = []
+    for row_index in range(heatmap.cells.shape[0] - 1, -1, -1):
+        cells = [f"{value:.2f}" for value in heatmap.cells[row_index]]
+        rows.append(
+            [y_labels[row_index]] + cells + [f"{heatmap.cells[row_index].sum():.1f}"]
+        )
+    return render_table(headers, rows)

@@ -1,0 +1,192 @@
+"""Canonical scenarios and cached builders.
+
+The paper's campaigns are petabyte-scale; these scenarios reproduce their
+*shape* at three sizes:
+
+- ``small``: seconds to build; used by the test suite.
+- ``default``: tens of seconds; used by the benchmarks and examples.
+- ``large``: a few minutes; closest to the paper's pair counts that a
+  single machine comfortably holds.
+
+Builders are memoized per (scenario, seed) so a pytest-benchmark session
+constructs each platform and dataset once, however many bench modules use
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.datasets.longterm import LongTermConfig, LongTermDataset, build_longterm_dataset
+from repro.datasets.shortterm import (
+    ShortTermConfig,
+    ShortTermPingDataset,
+    ShortTermTraceDataset,
+    build_shortterm_ping_dataset,
+    build_shortterm_trace_dataset,
+)
+from repro.core.congestion import CongestionDetector
+from repro.measurement.congestionmodel import CongestionConfig
+from repro.measurement.platform import MeasurementPlatform, PlatformConfig
+
+__all__ = ["Scenario", "SCENARIOS", "get_scenario", "scenario_platform",
+           "scenario_longterm", "scenario_ping", "scenario_traces", "clear_cache"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, fully-specified experiment scale."""
+
+    name: str
+    cluster_count: int
+    longterm_days: float
+    shortterm_ping_days: float
+    shortterm_trace_days: float
+    congestion_rich: bool = False
+    """Chase congestion on popular links (no anchor-popularity penalty),
+    as the paper's Section 5.2/5.3 campaign deliberately did.  Use for
+    link-classification studies; leave off when the Section 5.1
+    \"congestion is not the norm\" population fractions are the target."""
+
+    def platform_config(self, seed: int = 0) -> PlatformConfig:
+        """The platform config for this scenario (window covers all
+        campaigns)."""
+        duration = max(self.longterm_days, self.shortterm_trace_days, self.shortterm_ping_days)
+        config = PlatformConfig(
+            seed=seed,
+            cluster_count=self.cluster_count,
+            duration_hours=duration * 24.0,
+        )
+        if self.congestion_rich:
+            config.congestion = CongestionConfig(
+                anchor_fraction=0.7, anchor_popularity_halflife=None
+            )
+        return config
+
+    def longterm_config(self) -> LongTermConfig:
+        """The long-term campaign shape."""
+        return LongTermConfig(days=self.longterm_days)
+
+    def shortterm_config(self) -> ShortTermConfig:
+        """The short-term campaign shapes."""
+        return ShortTermConfig(
+            ping_days=self.shortterm_ping_days,
+            trace_days=self.shortterm_trace_days,
+        )
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "small": Scenario(
+        name="small",
+        cluster_count=12,
+        longterm_days=90.0,
+        shortterm_ping_days=7.0,
+        shortterm_trace_days=14.0,
+    ),
+    "default": Scenario(
+        name="default",
+        cluster_count=30,
+        longterm_days=485.0,
+        shortterm_ping_days=7.0,
+        shortterm_trace_days=22.0,
+    ),
+    "large": Scenario(
+        name="large",
+        cluster_count=60,
+        longterm_days=485.0,
+        shortterm_ping_days=7.0,
+        shortterm_trace_days=22.0,
+        congestion_rich=True,
+    ),
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name.
+
+    Raises:
+        KeyError: Unknown scenario name (the message lists valid names).
+    """
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; valid: {sorted(SCENARIOS)}"
+        ) from None
+
+
+_platform_cache: Dict[Tuple[str, int], MeasurementPlatform] = {}
+_longterm_cache: Dict[Tuple[str, int], LongTermDataset] = {}
+_ping_cache: Dict[Tuple[str, int], ShortTermPingDataset] = {}
+_trace_cache: Dict[Tuple[str, int], ShortTermTraceDataset] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoized platforms and datasets (frees memory)."""
+    _platform_cache.clear()
+    _longterm_cache.clear()
+    _ping_cache.clear()
+    _trace_cache.clear()
+
+
+def scenario_platform(name: str = "default", seed: int = 0) -> MeasurementPlatform:
+    """The (memoized) platform of a scenario."""
+    key = (name, seed)
+    if key not in _platform_cache:
+        _platform_cache[key] = MeasurementPlatform(get_scenario(name).platform_config(seed))
+    return _platform_cache[key]
+
+
+def scenario_longterm(name: str = "default", seed: int = 0) -> LongTermDataset:
+    """The (memoized) long-term dataset of a scenario."""
+    key = (name, seed)
+    if key not in _longterm_cache:
+        platform = scenario_platform(name, seed)
+        _longterm_cache[key] = build_longterm_dataset(
+            platform, get_scenario(name).longterm_config()
+        )
+    return _longterm_cache[key]
+
+
+def scenario_ping(name: str = "default", seed: int = 0) -> ShortTermPingDataset:
+    """The (memoized) short-term ping dataset of a scenario."""
+    key = (name, seed)
+    if key not in _ping_cache:
+        platform = scenario_platform(name, seed)
+        _ping_cache[key] = build_shortterm_ping_dataset(
+            platform, get_scenario(name).shortterm_config()
+        )
+    return _ping_cache[key]
+
+
+def scenario_traces(
+    name: str = "default",
+    seed: int = 0,
+    detector: Optional[CongestionDetector] = None,
+) -> ShortTermTraceDataset:
+    """The (memoized) short-term traceroute dataset of a scenario.
+
+    As in the paper, the traceroute campaign targets the pairs the ping
+    analysis flagged as congested (Section 5.2), so this builder depends on
+    the ping dataset.
+    """
+    key = (name, seed)
+    if key not in _trace_cache:
+        platform = scenario_platform(name, seed)
+        pings = scenario_ping(name, seed)
+        detector = detector or CongestionDetector()
+        flagged = set()
+        for (src_id, dst_id, _version), timeline in pings.timelines.items():
+            if detector.assess(timeline).congested:
+                flagged.add((src_id, dst_id))
+        servers = {server.server_id: server for server in platform.measurement_servers()}
+        pairs = [
+            (servers[src_id], servers[dst_id])
+            for src_id, dst_id in sorted(flagged)
+            if src_id in servers and dst_id in servers
+        ]
+        _trace_cache[key] = build_shortterm_trace_dataset(
+            platform, pairs, get_scenario(name).shortterm_config()
+        )
+    return _trace_cache[key]

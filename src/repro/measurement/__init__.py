@@ -1,0 +1,58 @@
+"""Measurement-platform substrate: the CDN's traceroute and ping machinery.
+
+- :mod:`repro.measurement.realization` -- expand an AS-level path into the
+  concrete router-level path a probe traverses: hop addresses, ground-truth
+  and BGP-mapped owners, per-segment distances, and the observed AS path
+  after imputation.
+- :mod:`repro.measurement.rttmodel` -- the composable delay model
+  (propagation, queueing noise, spikes).
+- :mod:`repro.measurement.congestionmodel` -- diurnal congestion processes
+  attached to path segments.
+- :mod:`repro.measurement.traceroute` -- the traceroute engine: single
+  probes with per-hop RTTs, and vectorized series generation for campaign
+  datasets; classic vs Paris flavors with their artifact profiles.
+- :mod:`repro.measurement.ping` -- the ping engine.
+- :mod:`repro.measurement.scheduler` -- campaign time grids (every 3 hours
+  for 16 months, every 30/15 minutes for short campaigns).
+- :mod:`repro.measurement.platform` -- the façade tying topology, routing,
+  dynamics and congestion together behind the API datasets are built on.
+"""
+
+from repro.measurement.congestionmodel import (
+    CongestionConfig,
+    CongestionEvent,
+    CongestionSchedule,
+    assign_congestion,
+)
+from repro.measurement.ping import ping_series
+from repro.measurement.platform import MeasurementPlatform, PlatformConfig
+from repro.measurement.realization import HopSpec, PathRealization, SegmentKey, realize_path
+from repro.measurement.rttmodel import DelayModel, DelayParams
+from repro.measurement.scheduler import CampaignGrid
+from repro.measurement.traceroute import (
+    TraceOutcome,
+    TracerouteEngine,
+    TracerouteFlavor,
+    TraceSampleSeries,
+)
+
+__all__ = [
+    "HopSpec",
+    "PathRealization",
+    "SegmentKey",
+    "realize_path",
+    "DelayModel",
+    "DelayParams",
+    "CongestionConfig",
+    "CongestionEvent",
+    "CongestionSchedule",
+    "assign_congestion",
+    "TracerouteEngine",
+    "TracerouteFlavor",
+    "TraceOutcome",
+    "TraceSampleSeries",
+    "ping_series",
+    "CampaignGrid",
+    "MeasurementPlatform",
+    "PlatformConfig",
+]

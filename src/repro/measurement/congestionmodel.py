@@ -1,0 +1,346 @@
+"""Diurnal congestion processes attached to path segments.
+
+The paper defines *consistent congestion* as a diurnal oscillation in RTT
+lasting a few hours per day over a window of days to weeks (Section 5.1),
+and reports its typical magnitude: around 20-30 ms for links within the
+US (attributed to rule-of-thumb 100 ms-RTT buffer sizing), more spread out
+in Europe and Asia, and around 60 ms (up to ~90 ms) on transcontinental
+links (Section 5.4, Figure 9).
+
+A :class:`CongestionEvent` is one busy-hour process on one segment: during
+its active window it adds a raised-cosine daily bump, peaking in the local
+evening of the segment's location, plus multiplicative jitter supplied by
+the caller's noise model.  A :class:`CongestionSchedule` maps segment keys
+to their events; paths share congestion exactly when they share segments,
+which is what lets the localization analysis find the congested link from
+the first affected traceroute segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.geo import GeoLocation
+from repro.measurement.realization import SegmentKey
+
+__all__ = [
+    "SegmentGeo",
+    "CongestionEvent",
+    "CongestionConfig",
+    "CongestionSchedule",
+    "assign_congestion",
+]
+
+
+@dataclass(frozen=True)
+class SegmentGeo:
+    """Geography of one segment, used to calibrate its congestion process.
+
+    Attributes:
+        kind: ``"x"`` interdomain, ``"i"`` intra-AS, ``"h"`` host LAN.
+        city_a / city_b: Segment endpoints (equal for same-city segments).
+        crossings: How many measured paths traverse the segment (popularity
+            weight used both for congestion placement and for the paper's
+            "weighted by server-to-server paths" comparison).
+    """
+
+    kind: str
+    city_a: GeoLocation
+    city_b: GeoLocation
+    peering: Optional[bool] = None
+    """For interdomain segments: whether the link is settlement-free
+    peering (``None`` for intra-AS/host segments)."""
+
+    @property
+    def distance_km(self) -> float:
+        """Great-circle distance spanned by the segment."""
+        return self.city_a.distance_km(self.city_b)
+
+    @property
+    def longitude(self) -> float:
+        """Representative longitude (midpoint) for local-time-of-day."""
+        return 0.5 * (self.city_a.longitude + self.city_b.longitude)
+
+    @property
+    def domestic_us(self) -> bool:
+        """Whether both endpoints are in the US."""
+        return self.city_a.country == "US" and self.city_b.country == "US"
+
+    @property
+    def transcontinental(self) -> bool:
+        """Whether the segment spans continents."""
+        return self.city_a.continent != self.city_b.continent
+
+
+@dataclass(frozen=True)
+class CongestionEvent:
+    """One diurnal congestion episode on one segment.
+
+    The contribution at time ``t`` (hours since a UTC-midnight epoch) is::
+
+        amplitude * cos(pi * dh / width)^2   while |dh| <= width / 2
+
+    where ``dh`` is the circular distance between the local hour of day and
+    ``peak_local_hour``; zero outside the active window.
+    """
+
+    amplitude_ms: float
+    start_hour: float
+    end_hour: float
+    peak_local_hour: float
+    width_hours: float
+    longitude: float
+
+    def contribution(self, times_hours: np.ndarray) -> np.ndarray:
+        """Added round-trip delay (ms) contributed at each time."""
+        times_hours = np.asarray(times_hours, dtype=float)
+        active = (times_hours >= self.start_hour) & (times_hours < self.end_hour)
+        local_hour = (times_hours + self.longitude / 15.0) % 24.0
+        delta = (local_hour - self.peak_local_hour + 12.0) % 24.0 - 12.0
+        in_bump = np.abs(delta) <= self.width_hours / 2.0
+        shape = np.where(
+            in_bump, np.cos(np.pi * delta / self.width_hours) ** 2, 0.0
+        )
+        return self.amplitude_ms * shape * active
+
+
+@dataclass
+class CongestionConfig:
+    """Knobs of the congestion assigner.
+
+    Fractions are of distinct segment keys; interdomain congestion is split
+    between private and public peering with a strong bias toward private
+    (Section 5.3: "the large majority of the interconnection links with
+    congestion were private interconnects").
+    """
+
+    fraction_intra_congested: float = 0.08
+    fraction_inter_congested: float = 0.06
+    popularity_bias_inter: float = 0.5
+    """Exponent biasing interdomain congestion toward popular links."""
+
+    peer_weight_multiplier: float = 3.0
+    """Extra congestion propensity of settlement-free peering links; the
+    paper's peering-dispute narrative (and its p2p > c2p finding) says
+    peer ports are what runs hot."""
+
+    transcontinental_weight: float = 0.4
+    """Down-weight for transcontinental segments: long-haul backbone
+    capacity is expensive but carefully provisioned."""
+
+    episodes_range: Tuple[int, int] = (1, 3)
+    episode_duration_median_days: float = 11.0
+    episode_duration_sigma: float = 0.7
+
+    anchor_fraction: float = 0.5
+    """Fraction of congested segments whose first episode is anchored near
+    the start of the study window.  The paper's short-term campaigns run
+    *because* congestion was just observed; anchoring reproduces that
+    selection effect (episodes elsewhere in a 16-month window would almost
+    never overlap a one-week ping campaign)."""
+
+    anchor_start_range_hours: Tuple[float, float] = (0.0, 48.0)
+    anchor_min_duration_days: float = 12.0
+
+    anchor_popularity_halflife: Optional[float] = 20.0
+    """Scale the anchor chance down for popular segments (probability is
+    multiplied by ``h / (h + crossings)``).  ``None`` disables the penalty,
+    which is the right setting for campaigns that deliberately chase
+    congested popular links (the paper's Section 5.2/5.3 traceroute
+    campaign)."""
+    width_hours_range: Tuple[float, float] = (5.0, 9.0)
+    peak_local_hour_range: Tuple[float, float] = (18.0, 22.0)
+
+    # Amplitude calibration (ms), per Figure 9.
+    us_amplitude_median: float = 24.0
+    us_amplitude_sigma: float = 0.14
+    regional_amplitude_median: float = 27.0
+    regional_amplitude_sigma: float = 0.30
+    transcontinental_amplitude_median: float = 60.0
+    transcontinental_amplitude_sigma: float = 0.30
+    transcontinental_km: float = 6500.0
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on inconsistent settings."""
+        for name, fraction in (
+            ("fraction_intra_congested", self.fraction_intra_congested),
+            ("fraction_inter_congested", self.fraction_inter_congested),
+        ):
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {fraction}")
+        if self.episodes_range[0] < 1 or self.episodes_range[1] < self.episodes_range[0]:
+            raise ValueError("invalid episodes_range")
+
+
+@dataclass
+class CongestionSchedule:
+    """Congestion events per segment key."""
+
+    events: Dict[SegmentKey, Tuple[CongestionEvent, ...]] = field(default_factory=dict)
+
+    def is_congested(self, key: SegmentKey) -> bool:
+        """Whether the segment has any congestion episode."""
+        return bool(self.events.get(key))
+
+    def congested_keys(self) -> List[SegmentKey]:
+        """All keys with at least one episode."""
+        return sorted((key for key, events in self.events.items() if events), key=repr)
+
+    def series(self, key: SegmentKey, times_hours: np.ndarray) -> np.ndarray:
+        """Total congestion contribution of one segment over time."""
+        times_hours = np.asarray(times_hours, dtype=float)
+        total = np.zeros_like(times_hours)
+        for event in self.events.get(key, ()):
+            total += event.contribution(times_hours)
+        return total
+
+    def path_series(self, keys: Sequence[SegmentKey], times_hours: np.ndarray) -> np.ndarray:
+        """Summed contribution of a whole path (one value per time)."""
+        times_hours = np.asarray(times_hours, dtype=float)
+        total = np.zeros_like(times_hours)
+        for key in keys:
+            if key in self.events:
+                total += self.series(key, times_hours)
+        return total
+
+    def segment_matrix(
+        self, keys: Sequence[SegmentKey], times_hours: np.ndarray
+    ) -> np.ndarray:
+        """Cumulative congestion per traceroute segment.
+
+        Row ``i`` is the congestion contribution to the RTT of the segment
+        ending at hop ``i`` (segments accumulate everything before them).
+        """
+        times_hours = np.asarray(times_hours, dtype=float)
+        matrix = np.zeros((len(keys), times_hours.size))
+        running = np.zeros_like(times_hours)
+        for index, key in enumerate(keys):
+            if key in self.events:
+                running = running + self.series(key, times_hours)
+            matrix[index] = running
+        return matrix
+
+
+def _sample_amplitude(rng: np.random.Generator, geo: SegmentGeo, config: CongestionConfig) -> float:
+    if geo.transcontinental or geo.distance_km >= config.transcontinental_km:
+        median = config.transcontinental_amplitude_median
+        sigma = config.transcontinental_amplitude_sigma
+    elif geo.domestic_us:
+        median = config.us_amplitude_median
+        sigma = config.us_amplitude_sigma
+    else:
+        median = config.regional_amplitude_median
+        sigma = config.regional_amplitude_sigma
+    return float(median * np.exp(rng.normal(0.0, sigma)))
+
+
+def _sample_events(
+    rng: np.random.Generator,
+    geo: SegmentGeo,
+    duration_hours: float,
+    config: CongestionConfig,
+    anchored: bool,
+) -> Tuple[CongestionEvent, ...]:
+    episodes = int(rng.integers(config.episodes_range[0], config.episodes_range[1] + 1))
+    events = []
+    for number in range(episodes):
+        length = float(
+            24.0
+            * config.episode_duration_median_days
+            * np.exp(rng.normal(0.0, config.episode_duration_sigma))
+        )
+        if anchored and number == 0:
+            start = float(rng.uniform(*config.anchor_start_range_hours))
+            length = max(length, 24.0 * config.anchor_min_duration_days)
+        else:
+            start = float(rng.uniform(0.0, max(duration_hours - 24.0, 1.0)))
+        events.append(
+            CongestionEvent(
+                amplitude_ms=_sample_amplitude(rng, geo, config),
+                start_hour=start,
+                end_hour=min(start + length, duration_hours),
+                peak_local_hour=float(rng.uniform(*config.peak_local_hour_range)),
+                width_hours=float(rng.uniform(*config.width_hours_range)),
+                longitude=geo.longitude,
+            )
+        )
+    return tuple(events)
+
+
+def assign_congestion(
+    segments: Dict[SegmentKey, SegmentGeo],
+    crossings: Dict[SegmentKey, int],
+    duration_hours: float,
+    config: Optional[CongestionConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> CongestionSchedule:
+    """Choose congested segments and sample their episodes.
+
+    Intra-AS segments are drawn uniformly; interdomain segments are drawn
+    with probability increasing in how many measured paths cross them
+    (popular interconnects run hot), reproducing the paper's observation
+    that congested interconnections, weighted by crossing paths, outweigh
+    congested internal links.
+
+    Args:
+        segments: Geography per segment key.
+        crossings: Number of measured paths crossing each key.
+        duration_hours: Study window length.
+        config: Assigner knobs.
+        rng: Randomness source; defaults to a fixed seed.
+    """
+    config = config or CongestionConfig()
+    config.validate()
+    rng = rng if rng is not None else np.random.default_rng(6)
+    schedule = CongestionSchedule()
+
+    intra_keys = sorted((key for key, geo in segments.items() if geo.kind == "i"), key=repr)
+    inter_keys = sorted((key for key, geo in segments.items() if geo.kind == "x"), key=repr)
+
+    def anchor_probability(key: SegmentKey) -> float:
+        # Very popular segments serve hundreds of pairs; anchoring them
+        # would flag a large share of the pair population at once, which a
+        # 2%-congested world does not do.  Scale the anchor chance down
+        # with popularity (unless disabled).
+        halflife = config.anchor_popularity_halflife
+        if halflife is None:
+            return config.anchor_fraction
+        popularity = max(1, crossings.get(key, 1))
+        return config.anchor_fraction * halflife / (halflife + popularity)
+
+    for key in intra_keys:
+        probability = config.fraction_intra_congested
+        if segments[key].transcontinental:
+            probability *= config.transcontinental_weight
+        if rng.random() < probability:
+            anchored = bool(rng.random() < anchor_probability(key))
+            schedule.events[key] = _sample_events(
+                rng, segments[key], duration_hours, config, anchored
+            )
+
+    if inter_keys:
+        weights = np.array(
+            [max(1, crossings.get(key, 1)) ** config.popularity_bias_inter for key in inter_keys],
+            dtype=float,
+        )
+        for index, key in enumerate(inter_keys):
+            geo = segments[key]
+            if geo.peering:
+                weights[index] *= config.peer_weight_multiplier
+            if geo.transcontinental:
+                weights[index] *= config.transcontinental_weight
+        # Scale selection probabilities so the expected count matches the
+        # configured fraction while popular links stay more likely.
+        target = config.fraction_inter_congested * len(inter_keys)
+        probabilities = np.minimum(1.0, weights * target / weights.sum())
+        for key, probability in zip(inter_keys, probabilities):
+            if rng.random() < probability:
+                anchored = bool(rng.random() < anchor_probability(key))
+                schedule.events[key] = _sample_events(
+                    rng, segments[key], duration_hours, config, anchored
+                )
+
+    return schedule

@@ -1,0 +1,63 @@
+"""The ping engine: end-to-end RTT sampling over realized paths.
+
+The short-term campaign (Section 2.2) pings a pre-selected set of servers
+from every cluster each 15 minutes; only end-to-end RTTs are recorded, so
+the vectorized interface returns a plain array (NaN marks lost probes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.measurement.congestionmodel import CongestionSchedule
+from repro.measurement.loss import LossModel
+from repro.measurement.realization import PathRealization
+from repro.measurement.rttmodel import DelayModel
+
+__all__ = ["ping_series", "DEFAULT_LOSS_PROBABILITY"]
+
+DEFAULT_LOSS_PROBABILITY = 0.005
+"""Per-probe loss probability (server-to-server paths lose very little)."""
+
+
+def ping_series(
+    realization: PathRealization,
+    times_hours: np.ndarray,
+    rng: np.random.Generator,
+    delay_model: Optional[DelayModel] = None,
+    congestion: Optional[CongestionSchedule] = None,
+    loss_probability: float = DEFAULT_LOSS_PROBABILITY,
+    loss_model: Optional[LossModel] = None,
+) -> np.ndarray:
+    """Ping RTT samples at each time (ms); lost probes are NaN.
+
+    Args:
+        realization: The path in effect for the whole series (callers stitch
+            series across routing epochs).
+        times_hours: Sample times.
+        rng: Randomness source.
+        delay_model: Delay model (default-calibrated when omitted).
+        congestion: Congestion schedule shared with traceroute probes.
+        loss_probability: Flat per-probe loss chance; ignored when a
+            ``loss_model`` is given.
+        loss_model: Congestion-coupled loss: probes drop more often while
+            the path's congestion delay is high (the substrate for the
+            packet-loss follow-up the paper's conclusion calls for).
+    """
+    if not 0.0 <= loss_probability <= 1.0:
+        raise ValueError(f"loss_probability must be a probability, got {loss_probability}")
+    delay_model = delay_model or DelayModel()
+    rtt = delay_model.rtt_series(realization, times_hours, rng, congestion)
+    if loss_model is not None:
+        lift = (
+            congestion.path_series(realization.segment_keys, times_hours)
+            if congestion is not None
+            else np.zeros(np.asarray(times_hours).size)
+        )
+        rtt[loss_model.sample_losses(rng, lift)] = np.nan
+    elif loss_probability > 0.0:
+        lost = rng.random(rtt.size) < loss_probability
+        rtt[lost] = np.nan
+    return rtt

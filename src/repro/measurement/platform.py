@@ -1,0 +1,299 @@
+"""The measurement platform façade.
+
+:class:`MeasurementPlatform` wires every substrate together -- topology,
+addressing, routers, CDN deployment, BGP route tables for both protocols,
+shared routing dynamics, the delay model and the congestion schedule -- and
+exposes the narrow API the dataset builders and examples consume:
+
+- the measurement servers (one per cluster),
+- per-pair routing epochs over the study window,
+- path realizations per (pair, protocol, candidate),
+- deterministic per-purpose random generators,
+- the traceroute engine and ping primitives.
+
+Everything derives from one seed: two platforms built with equal configs
+produce bit-identical datasets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.measurement.congestionmodel import (
+    CongestionConfig,
+    CongestionSchedule,
+    SegmentGeo,
+    assign_congestion,
+)
+from repro.measurement.realization import PathRealization, SegmentKey, realize_path
+from repro.measurement.rttmodel import DelayModel, DelayParams
+from repro.measurement.traceroute import ArtifactParams, TracerouteEngine
+from repro.net.asn import ASN
+from repro.net.ip import IPVersion
+from repro.routing.bgp import compute_route_table
+from repro.routing.dynamics import (
+    PathEpoch,
+    RoutingDynamicsConfig,
+    RoutingSchedule,
+    build_routing_schedule,
+    sample_edge_outages,
+    sample_pair_flaps,
+)
+from repro.routing.table import RouteTable
+from repro.topology.addressing import AddressingConfig, AddressPlan, allocate_addresses
+from repro.topology.cdn import CDNDeployment, Server, deploy_cdn
+from repro.topology.generator import ASGraph, TopologyConfig, generate_topology
+from repro.topology.routers import RouterTopology, build_router_topology
+
+__all__ = ["PlatformConfig", "MeasurementPlatform"]
+
+
+@dataclass
+class PlatformConfig:
+    """Everything needed to build a platform, under a single seed."""
+
+    seed: int = 0
+    duration_hours: float = 485 * 24.0
+    cluster_count: int = 60
+    servers_per_cluster: int = 2
+    dual_stack_fraction: float = 0.95
+    max_alternatives: int = 6
+    paris_adoption_fraction: Optional[float] = 10.0 / 16.0
+    """When (as a fraction of the window) IPv4 switches to Paris traceroute;
+    ``None`` keeps classic throughout.  IPv6 always uses classic, as in the
+    paper."""
+
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    addressing: AddressingConfig = field(default_factory=AddressingConfig)
+    dynamics: RoutingDynamicsConfig = field(default_factory=RoutingDynamicsConfig)
+    congestion: CongestionConfig = field(default_factory=CongestionConfig)
+    delay: DelayParams = field(default_factory=DelayParams)
+    artifacts: ArtifactParams = field(default_factory=ArtifactParams)
+
+    @property
+    def paris_start_hour(self) -> Optional[float]:
+        """Absolute Paris-adoption time for IPv4, or ``None``."""
+        if self.paris_adoption_fraction is None:
+            return None
+        return self.duration_hours * self.paris_adoption_fraction
+
+
+def _stream_seed(base_seed: int, *key_parts: object) -> np.random.SeedSequence:
+    """Stable seed sequence for a named random stream."""
+    digest = hashlib.blake2b(
+        ("|".join(repr(part) for part in key_parts)).encode("utf-8"), digest_size=8
+    ).digest()
+    return np.random.SeedSequence([base_seed, int.from_bytes(digest, "big")])
+
+
+class MeasurementPlatform:
+    """The assembled simulation: build once, query everywhere.
+
+    Attributes:
+        config: The construction config.
+        graph / plan / topology / cdn: The substrates.
+        tables: Route tables per IP version.
+        schedules: Routing schedules (path timelines) per IP version.
+        congestion: The congestion schedule shared by all probes.
+        delay_model / engine: The RTT model and traceroute engine.
+    """
+
+    def __init__(self, config: Optional[PlatformConfig] = None) -> None:
+        self.config = config or PlatformConfig()
+        seed = self.config.seed
+
+        self.graph: ASGraph = generate_topology(
+            self.config.topology, rng=np.random.default_rng(_stream_seed(seed, "topology"))
+        )
+        self.plan: AddressPlan = allocate_addresses(
+            self.graph,
+            self.config.addressing,
+            rng=np.random.default_rng(_stream_seed(seed, "addressing")),
+        )
+        self.topology: RouterTopology = build_router_topology(
+            self.graph, self.plan, rng=np.random.default_rng(_stream_seed(seed, "routers"))
+        )
+        self.cdn: CDNDeployment = deploy_cdn(
+            self.graph,
+            self.plan,
+            cluster_count=self.config.cluster_count,
+            servers_per_cluster=self.config.servers_per_cluster,
+            dual_stack_fraction=self.config.dual_stack_fraction,
+            rng=np.random.default_rng(_stream_seed(seed, "cdn")),
+        )
+
+        self.tables: Dict[IPVersion, RouteTable] = {
+            IPVersion.V4: compute_route_table(
+                self.graph,
+                IPVersion.V4,
+                max_alternatives=self.config.max_alternatives,
+                rng=np.random.default_rng(_stream_seed(seed, "tiebreak", 4)),
+            ),
+            IPVersion.V6: compute_route_table(
+                self.graph,
+                IPVersion.V6,
+                max_alternatives=self.config.max_alternatives,
+                rng=np.random.default_rng(_stream_seed(seed, "tiebreak", 6)),
+            ),
+        }
+
+        duration = self.config.duration_hours
+        as_pairs = self._measured_as_pairs()
+        outages = sample_edge_outages(
+            self.graph,
+            duration,
+            self.config.dynamics,
+            rng=np.random.default_rng(_stream_seed(seed, "outages")),
+        )
+        self.schedules: Dict[IPVersion, RoutingSchedule] = {}
+        for version in (IPVersion.V4, IPVersion.V6):
+            flaps = sample_pair_flaps(
+                as_pairs,
+                duration,
+                self.config.dynamics,
+                rng=np.random.default_rng(_stream_seed(seed, "flaps", int(version))),
+            )
+            self.schedules[version] = build_routing_schedule(
+                self.tables[version], as_pairs, duration, outages, flaps
+            )
+
+        self.delay_model = DelayModel(self.config.delay)
+        self._realizations: Dict[Tuple[int, int, IPVersion, int], Optional[PathRealization]] = {}
+
+        segments, crossings = self._collect_segments()
+        self.congestion: CongestionSchedule = assign_congestion(
+            segments,
+            crossings,
+            duration,
+            self.config.congestion,
+            rng=np.random.default_rng(_stream_seed(seed, "congestion")),
+        )
+        self.engine = TracerouteEngine(
+            delay_model=self.delay_model,
+            congestion=self.congestion,
+            artifacts=self.config.artifacts,
+        )
+
+    # ------------------------------------------------------------------
+    # Servers and pairs
+    # ------------------------------------------------------------------
+
+    def measurement_servers(self, dual_stack_only: bool = False) -> List[Server]:
+        """One measurement server per cluster."""
+        return self.cdn.measurement_servers(dual_stack_only=dual_stack_only)
+
+    def server_pairs(
+        self, dual_stack_only: bool = False, distinct_as: bool = True
+    ) -> List[Tuple[Server, Server]]:
+        """Ordered pairs of measurement servers.
+
+        Args:
+            dual_stack_only: Restrict to dual-stack endpoints (the paper's
+                long-term campaign does).
+            distinct_as: Drop pairs hosted in the same AS (paths would not
+                cross the core).
+        """
+        servers = self.measurement_servers(dual_stack_only=dual_stack_only)
+        pairs = []
+        for src in servers:
+            for dst in servers:
+                if src.server_id == dst.server_id:
+                    continue
+                if distinct_as and src.asn == dst.asn:
+                    continue
+                pairs.append((src, dst))
+        return pairs
+
+    def _measured_as_pairs(self) -> List[Tuple[ASN, ASN]]:
+        asns = sorted({server.asn for server in self.measurement_servers()})
+        return [(a, b) for a in asns for b in asns if a != b]
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def candidates(self, src_asn: ASN, dst_asn: ASN, version: IPVersion):
+        """Candidate routes between two ASes for one protocol."""
+        return self.tables[version].routes(src_asn, dst_asn)
+
+    def epochs(self, src: Server, dst: Server, version: IPVersion) -> Tuple[PathEpoch, ...]:
+        """Routing epochs of the pair's AS-level path over the window."""
+        return self.schedules[version].epochs((src.asn, dst.asn))
+
+    def realization(
+        self, src: Server, dst: Server, version: IPVersion, candidate_index: int
+    ) -> Optional[PathRealization]:
+        """The realized probe path for one candidate route (cached).
+
+        Returns ``None`` when the candidate does not exist or cannot carry
+        the protocol.
+        """
+        key = (src.server_id, dst.server_id, version, candidate_index)
+        if key in self._realizations:
+            return self._realizations[key]
+        candidates = self.candidates(src.asn, dst.asn, version)
+        result: Optional[PathRealization] = None
+        if 0 <= candidate_index < len(candidates):
+            if src.address(version) is not None and dst.address(version) is not None:
+                result = realize_path(
+                    self.graph,
+                    self.plan,
+                    self.topology,
+                    src,
+                    dst,
+                    candidates[candidate_index].path,
+                    version,
+                )
+        self._realizations[key] = result
+        return result
+
+    def _collect_segments(self) -> Tuple[Dict[SegmentKey, SegmentGeo], Dict[SegmentKey, int]]:
+        """Geography and crossing counts of all primary-path segments."""
+        from repro.net.asn import ASRelationship
+
+        link_peering: Dict[int, bool] = {}
+        for link in self.topology.all_links():
+            relationship = self.graph.relationships.get(link.asn_a, link.asn_b)
+            link_peering[link.link_id] = relationship is ASRelationship.PEER
+
+        segments: Dict[SegmentKey, SegmentGeo] = {}
+        crossings: Dict[SegmentKey, int] = {}
+        for src, dst in self.server_pairs():
+            for version in (IPVersion.V4, IPVersion.V6):
+                realization = self.realization(src, dst, version, 0)
+                if realization is None:
+                    continue
+                previous_city = src.city
+                for hop in realization.hops:
+                    key = hop.segment_key
+                    if key not in segments:
+                        peering = link_peering.get(key[1]) if key[0] == "x" else None
+                        segments[key] = SegmentGeo(
+                            kind=str(key[0]),
+                            city_a=previous_city,
+                            city_b=hop.city,
+                            peering=peering,
+                        )
+                    crossings[key] = crossings.get(key, 0) + 1
+                    previous_city = hop.city
+        return segments, crossings
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+
+    def rng(self, *key_parts: object) -> np.random.Generator:
+        """A deterministic random stream named by ``key_parts``."""
+        return np.random.default_rng(_stream_seed(self.config.seed, "stream", *key_parts))
+
+    # ------------------------------------------------------------------
+    # Ground truth for validation
+    # ------------------------------------------------------------------
+
+    def congested_segment_keys(self) -> List[SegmentKey]:
+        """Ground-truth congested segments (for scoring the detectors)."""
+        return self.congestion.congested_keys()

@@ -1,0 +1,104 @@
+"""Single-measurement records: one traceroute, one ping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.net.asn import ASN
+from repro.net.ip import IPAddress, IPVersion
+
+__all__ = ["HopObservation", "TracerouteRecord", "PingRecord"]
+
+
+@dataclass(frozen=True)
+class HopObservation:
+    """One hop of one traceroute.
+
+    Attributes:
+        ttl: Probe TTL (1-based hop position).
+        address: Responding address, or ``None`` for an unresponsive hop
+            (rendered ``*`` by traceroute).
+        rtt_ms: Round-trip time to the hop, ``None`` when unresponsive.
+        mapped_asn: BGP-mapped origin ASN of the address; ``None`` when the
+            hop is unresponsive or the address is unannounced.
+    """
+
+    ttl: int
+    address: Optional[IPAddress]
+    rtt_ms: Optional[float]
+    mapped_asn: Optional[ASN]
+
+    @property
+    def responded(self) -> bool:
+        """Whether the hop answered the probe."""
+        return self.address is not None
+
+    def __str__(self) -> str:
+        if not self.responded:
+            return f"{self.ttl:2d}  *"
+        asn = f"AS{self.mapped_asn}" if self.mapped_asn is not None else "AS?"
+        return f"{self.ttl:2d}  {self.address}  {self.rtt_ms:.2f} ms  [{asn}]"
+
+
+@dataclass(frozen=True)
+class TracerouteRecord:
+    """One complete traceroute measurement.
+
+    Attributes:
+        src_server_id / dst_server_id: Endpoint server ids.
+        src_address / dst_address: Probe endpoints.
+        version: IP version.
+        time_hours: Measurement time (hours since the study epoch).
+        hops: Per-hop observations, TTL order.
+        rtt_ms: End-to-end RTT (``None`` when the destination was not
+            reached).
+        reached: Whether the traceroute reached the destination.
+        observed_as_path: AS path after mapping/imputation/collapsing;
+            contains :data:`repro.measurement.realization.UNKNOWN_ASN`
+            tokens where inference failed.  Empty for unreached traces.
+    """
+
+    src_server_id: int
+    dst_server_id: int
+    src_address: IPAddress
+    dst_address: IPAddress
+    version: IPVersion
+    time_hours: float
+    hops: Tuple[HopObservation, ...]
+    rtt_ms: Optional[float]
+    reached: bool
+    observed_as_path: Tuple[ASN, ...]
+
+    @property
+    def has_unresponsive_hop(self) -> bool:
+        """Whether any hop failed to answer (missing IP-level data)."""
+        return any(not hop.responded for hop in self.hops)
+
+    def render(self) -> str:
+        """Multi-line, traceroute-like text rendering."""
+        header = (
+            f"traceroute to {self.dst_address} (IPv{int(self.version)}) "
+            f"at t={self.time_hours:.2f}h"
+        )
+        lines = [header] + [str(hop) for hop in self.hops]
+        footer = (
+            f"rtt={self.rtt_ms:.2f} ms" if self.rtt_ms is not None else "destination unreached"
+        )
+        return "\n".join(lines + [footer])
+
+
+@dataclass(frozen=True)
+class PingRecord:
+    """One ping measurement."""
+
+    src_server_id: int
+    dst_server_id: int
+    version: IPVersion
+    time_hours: float
+    rtt_ms: Optional[float]
+
+    @property
+    def lost(self) -> bool:
+        """Whether the ping went unanswered."""
+        return self.rtt_ms is None

@@ -1,0 +1,88 @@
+"""Campaign scheduling: the time grids measurements run on.
+
+The paper's campaigns and their cadences:
+
+- long-term traceroutes: every 3 hours, 16 months (Section 2.1);
+- short-term pings: every 15 minutes, one week (Section 2.2);
+- short-term traceroutes: every 30 minutes, two-to-three weeks.
+
+A :class:`CampaignGrid` is a uniform grid of measurement times (hours since
+the study epoch, a UTC midnight).  Collection rounds are grouped and
+annotated with the round's nominal timestamp, exactly as the paper groups
+"all traceroutes performed during a collection period ... with an identical
+timestamp".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CampaignGrid", "LONG_TERM_PERIOD_HOURS", "SHORT_TRACE_PERIOD_HOURS", "PING_PERIOD_HOURS"]
+
+LONG_TERM_PERIOD_HOURS = 3.0
+SHORT_TRACE_PERIOD_HOURS = 0.5
+PING_PERIOD_HOURS = 0.25
+
+
+@dataclass(frozen=True)
+class CampaignGrid:
+    """A uniform measurement grid.
+
+    Attributes:
+        start_hour: First measurement time.
+        period_hours: Gap between rounds.
+        rounds: Number of measurement rounds.
+    """
+
+    start_hour: float
+    period_hours: float
+    rounds: int
+
+    def __post_init__(self) -> None:
+        if self.period_hours <= 0:
+            raise ValueError("period must be positive")
+        if self.rounds < 1:
+            raise ValueError("need at least one round")
+
+    @classmethod
+    def over_days(
+        cls, days: float, period_hours: float, start_hour: float = 0.0
+    ) -> "CampaignGrid":
+        """Grid spanning ``days`` at the given cadence."""
+        rounds = int(np.floor(days * 24.0 / period_hours))
+        return cls(start_hour=start_hour, period_hours=period_hours, rounds=rounds)
+
+    @property
+    def end_hour(self) -> float:
+        """One period past the final round (the covered interval's end)."""
+        return self.start_hour + self.rounds * self.period_hours
+
+    @property
+    def duration_hours(self) -> float:
+        """Length of the covered interval."""
+        return self.rounds * self.period_hours
+
+    def times(self) -> np.ndarray:
+        """All measurement times, in hours."""
+        return self.start_hour + self.period_hours * np.arange(self.rounds)
+
+    def round_index(self, hour: float) -> int:
+        """Index of the round covering ``hour`` (clipped to the grid)."""
+        index = int(np.floor((hour - self.start_hour) / self.period_hours))
+        return min(max(index, 0), self.rounds - 1)
+
+    def subsample(self, every: int) -> "CampaignGrid":
+        """A coarser grid keeping every ``every``-th round.
+
+        Used by the Figure 7 analysis to compare 30-minute data against its
+        3-hour subsample.
+        """
+        if every < 1:
+            raise ValueError("subsample factor must be positive")
+        return CampaignGrid(
+            start_hour=self.start_hour,
+            period_hours=self.period_hours * every,
+            rounds=(self.rounds + every - 1) // every,
+        )

@@ -1,0 +1,338 @@
+"""The traceroute engine: single probes and vectorized campaign series.
+
+Two interfaces:
+
+- :meth:`TracerouteEngine.trace` produces one full
+  :class:`~repro.datasets.records.TracerouteRecord` with per-hop RTTs and
+  per-hop responsiveness -- what a real traceroute binary emits.  Used by
+  examples, tests, and anywhere hop-level data is needed for a single time.
+- :meth:`TracerouteEngine.sample_series` generates, for a *fixed* path
+  realization, the per-sample end-to-end RTT, measurement outcome, and
+  observed-AS-path variant over an array of times, without materializing
+  hop records.  Campaign datasets (millions of traceroutes) are built this
+  way.
+
+Artifact model (calibrated against Table 1 and Section 2.1):
+
+- *incomplete*: the traceroute never reaches the destination (~25% of
+  collected traceroutes in the paper; these are excluded from analysis).
+- *loop*: classic traceroute over a per-flow load-balanced path can stitch
+  hops from different forwarding paths into an AS-level loop; Paris
+  traceroute (adopted for IPv4 in the 11th study month) almost never does.
+- *missing IP-level*: some router on the path does not answer (rate-limited
+  or filtered); mostly a persistent property of the router, so a path's
+  observed AS path is stable over time.
+- *missing AS-level*: all hops answered but some address is unannounced in
+  BGP and not imputable (IXP LANs, unannounced infrastructure blocks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.measurement.records import HopObservation, TracerouteRecord
+from repro.measurement.congestionmodel import CongestionSchedule
+from repro.measurement.realization import UNKNOWN_ASN, PathRealization
+from repro.measurement.rttmodel import DelayModel
+from repro.net.asn import ASN
+from repro.net.ip import IPVersion
+
+__all__ = [
+    "TracerouteFlavor",
+    "TraceOutcome",
+    "ArtifactParams",
+    "TraceSampleSeries",
+    "TracerouteEngine",
+]
+
+
+class TracerouteFlavor(enum.Enum):
+    """Traceroute implementation used for a probe."""
+
+    CLASSIC = "classic"
+    PARIS = "paris"
+
+
+class TraceOutcome(enum.IntEnum):
+    """Per-sample measurement outcome, mirroring Table 1's rows."""
+
+    COMPLETE = 0
+    """Reached destination, all hops answered, all addresses mapped."""
+
+    MISSING_AS = 1
+    """Reached destination, all hops answered, some address unmappable."""
+
+    MISSING_IP = 2
+    """Reached destination, at least one unresponsive hop."""
+
+    LOOP = 3
+    """Observed AS path contains a loop (excluded from analyses)."""
+
+    INCOMPLETE = 4
+    """Destination not reached (excluded from analyses and Table 1)."""
+
+
+@dataclass
+class ArtifactParams:
+    """Calibration of the measurement-artifact model."""
+
+    incomplete_probability: float = 0.25
+    loop_probability_classic_lb: float = 0.055
+    """Loop chance per classic IPv4 sample over a load-balanced path."""
+
+    loop_probability_classic_lb_v6: float = 0.075
+    """Same for IPv6, whose loop rate the paper reports at 5.5% vs 2.16%."""
+
+    loop_probability_classic: float = 0.003
+    loop_probability_paris: float = 0.0008
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on out-of-range probabilities."""
+        for name in (
+            "incomplete_probability",
+            "loop_probability_classic_lb",
+            "loop_probability_classic_lb_v6",
+            "loop_probability_classic",
+            "loop_probability_paris",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+
+@dataclass
+class TraceSampleSeries:
+    """Vectorized traceroute outcomes for one realization over many times.
+
+    Attributes:
+        times_hours: Sample times.
+        rtt_ms: End-to-end RTT per sample (NaN for incomplete samples).
+        outcome: :class:`TraceOutcome` value per sample (uint8).
+        variant_id: Index into :attr:`variants` of the observed AS path per
+            sample; ``-1`` for incomplete samples.
+        variants: Distinct observed AS paths, index 0 being the
+            fully-responsive variant.
+    """
+
+    times_hours: np.ndarray
+    rtt_ms: np.ndarray
+    outcome: np.ndarray
+    variant_id: np.ndarray
+    variants: List[Tuple[ASN, ...]] = field(default_factory=list)
+
+
+def _loop_variant(path: Tuple[ASN, ...], rng: np.random.Generator) -> Tuple[ASN, ...]:
+    """Forge an AS path with a loop, as crooked classic traceroute reports."""
+    if len(path) < 3:
+        return path + (path[0],)
+    position = int(rng.integers(1, len(path) - 1))
+    return path[: position + 1] + (path[position - 1],) + path[position + 1 :]
+
+
+class TracerouteEngine:
+    """Simulated traceroute over realized paths."""
+
+    def __init__(
+        self,
+        delay_model: Optional[DelayModel] = None,
+        congestion: Optional[CongestionSchedule] = None,
+        artifacts: Optional[ArtifactParams] = None,
+    ) -> None:
+        self.delay_model = delay_model or DelayModel()
+        self.congestion = congestion
+        self.artifacts = artifacts or ArtifactParams()
+        self.artifacts.validate()
+
+    # ------------------------------------------------------------------
+    # Single-probe interface
+    # ------------------------------------------------------------------
+
+    def trace(
+        self,
+        realization: PathRealization,
+        time_hours: float,
+        rng: np.random.Generator,
+        flavor: TracerouteFlavor = TracerouteFlavor.PARIS,
+    ) -> TracerouteRecord:
+        """Run one traceroute at ``time_hours``; returns the full record."""
+        times = np.array([time_hours])
+        hop_rtts = self.delay_model.hop_rtt_matrix(
+            realization, times, rng, self.congestion
+        )[:, 0]
+
+        incomplete = bool(rng.random() < self.artifacts.incomplete_probability)
+        reach_hops = len(realization.hops)
+        if incomplete:
+            # The trace dies somewhere past the first hop.
+            reach_hops = int(rng.integers(1, max(2, len(realization.hops))))
+
+        hops: List[HopObservation] = []
+        mapped: List[Optional[ASN]] = []
+        for index, hop in enumerate(realization.hops[:reach_hops]):
+            responded = hop.is_destination or bool(
+                rng.random() < hop.respond_probability
+            )
+            if responded:
+                hops.append(
+                    HopObservation(
+                        ttl=index + 1,
+                        address=hop.address,
+                        rtt_ms=float(hop_rtts[index]),
+                        mapped_asn=hop.mapped_asn,
+                    )
+                )
+                mapped.append(hop.mapped_asn)
+            else:
+                hops.append(
+                    HopObservation(ttl=index + 1, address=None, rtt_ms=None, mapped_asn=None)
+                )
+                mapped.append(None)
+
+        reached = not incomplete
+        observed: Tuple[ASN, ...] = ()
+        rtt: Optional[float] = None
+        if reached:
+            from repro.measurement.realization import observed_as_path
+
+            observed = observed_as_path(realization.src_asn, mapped)
+            rtt = float(hop_rtts[-1])
+            if flavor is TracerouteFlavor.CLASSIC and realization.load_balanced:
+                if rng.random() < self.artifacts.loop_probability_classic_lb:
+                    observed = _loop_variant(observed, rng)
+
+        src_address = (
+            realization.hops[0].address
+        )  # gateway stands in for the probing server's first hop
+        return TracerouteRecord(
+            src_server_id=realization.src_server_id,
+            dst_server_id=realization.dst_server_id,
+            src_address=src_address,
+            dst_address=realization.hops[-1].address,
+            version=realization.version,
+            time_hours=time_hours,
+            hops=tuple(hops),
+            rtt_ms=rtt,
+            reached=reached,
+            observed_as_path=observed,
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorized campaign interface
+    # ------------------------------------------------------------------
+
+    def _loop_probability(self, realization: PathRealization, flavor: TracerouteFlavor) -> float:
+        if flavor is TracerouteFlavor.PARIS:
+            return self.artifacts.loop_probability_paris
+        if realization.load_balanced:
+            if realization.version is IPVersion.V6:
+                return self.artifacts.loop_probability_classic_lb_v6
+            return self.artifacts.loop_probability_classic_lb
+        return self.artifacts.loop_probability_classic
+
+    def sample_series(
+        self,
+        realization: PathRealization,
+        times_hours: np.ndarray,
+        rng: np.random.Generator,
+        paris_start_hour: Optional[float] = None,
+    ) -> TraceSampleSeries:
+        """Sample traceroute outcomes for every time in ``times_hours``.
+
+        Args:
+            realization: The fixed path being probed.
+            times_hours: Sample times.
+            rng: Randomness source for this series.
+            paris_start_hour: Samples at or after this time use Paris
+                traceroute; ``None`` means classic throughout (the paper's
+                IPv6 situation), ``0.0`` means Paris throughout.
+
+        Returns:
+            A :class:`TraceSampleSeries`; RTTs of incomplete samples are NaN.
+        """
+        times_hours = np.asarray(times_hours, dtype=float)
+        count = times_hours.size
+        rtt = self.delay_model.rtt_series(realization, times_hours, rng, self.congestion)
+        outcome = np.zeros(count, dtype=np.uint8)
+        variant_id = np.zeros(count, dtype=np.int16)
+
+        variants: List[Tuple[ASN, ...]] = [realization.observed_path_complete]
+        variant_index: Dict[Tuple[ASN, ...], int] = {variants[0]: 0}
+
+        def intern_variant(path: Tuple[ASN, ...]) -> int:
+            index = variant_index.get(path)
+            if index is None:
+                index = len(variants)
+                variants.append(path)
+                variant_index[path] = index
+            return index
+
+        # Incomplete draws.
+        incomplete = rng.random(count) < self.artifacts.incomplete_probability
+        outcome[incomplete] = int(TraceOutcome.INCOMPLETE)
+        variant_id[incomplete] = -1
+        rtt[incomplete] = np.nan
+
+        # Loop draws, flavor-dependent.
+        if paris_start_hour is None:
+            loop_probability = np.full(
+                count, self._loop_probability(realization, TracerouteFlavor.CLASSIC)
+            )
+        else:
+            classic = times_hours < paris_start_hour
+            loop_probability = np.where(
+                classic,
+                self._loop_probability(realization, TracerouteFlavor.CLASSIC),
+                self._loop_probability(realization, TracerouteFlavor.PARIS),
+            )
+        looped = (~incomplete) & (rng.random(count) < loop_probability)
+        if looped.any():
+            loop_path = _loop_variant(realization.observed_path_complete, rng)
+            loop_id = intern_variant(loop_path)
+            outcome[looped] = int(TraceOutcome.LOOP)
+            variant_id[looped] = loop_id
+
+        # Responsiveness: approximate multi-hop misses by the dominant
+        # single-miss case (per-hop miss probabilities are small).
+        respond = np.array([hop.respond_probability for hop in realization.hops])
+        p_all_respond = float(np.prod(respond))
+        normal = (~incomplete) & (~looped)
+        misses = normal & (rng.random(count) >= p_all_respond)
+        if misses.any():
+            miss_weights = 1.0 - respond
+            if miss_weights.sum() <= 0:
+                misses[:] = False
+            else:
+                miss_weights = miss_weights / miss_weights.sum()
+                chosen_hops = rng.choice(len(respond), size=int(misses.sum()), p=miss_weights)
+                miss_ids = np.empty(int(misses.sum()), dtype=np.int16)
+                cache: Dict[int, int] = {}
+                for position, hop_index in enumerate(chosen_hops):
+                    hop_index = int(hop_index)
+                    if hop_index not in cache:
+                        cache[hop_index] = intern_variant(
+                            realization.observed_path_with_miss(hop_index)
+                        )
+                    miss_ids[position] = cache[hop_index]
+                outcome[misses] = int(TraceOutcome.MISSING_IP)
+                variant_id[misses] = miss_ids
+
+        # Fully responsive samples: complete or missing-AS depending on the
+        # mapped path.
+        clean = normal & (~misses)
+        if UNKNOWN_ASN in realization.observed_path_complete:
+            outcome[clean] = int(TraceOutcome.MISSING_AS)
+        else:
+            outcome[clean] = int(TraceOutcome.COMPLETE)
+        variant_id[clean] = 0
+
+        return TraceSampleSeries(
+            times_hours=times_hours,
+            rtt_ms=rtt,
+            outcome=outcome,
+            variant_id=variant_id,
+            variants=variants,
+        )

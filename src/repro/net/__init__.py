@@ -1,0 +1,42 @@
+"""Network-layer substrate: addresses, prefixes, AS numbers, geography.
+
+This subpackage provides the low-level value types that the rest of the
+library is built on:
+
+- :mod:`repro.net.ip` -- IPv4/IPv6 address values and parsing/formatting.
+- :mod:`repro.net.prefix` -- CIDR prefixes and a binary radix trie with
+  longest-prefix matching, used as the stand-in for a BGP RIB when mapping
+  traceroute hop addresses to origin ASes.
+- :mod:`repro.net.asn` -- AS numbers and inter-AS business relationships.
+- :mod:`repro.net.geo` -- geographic coordinates, great-circle distance and
+  the speed-of-light lower bound on round-trip time (``cRTT``) used by the
+  paper's RTT-inflation analysis (Figure 10b).
+"""
+
+from repro.net.asn import ASN, ASRelationship, RelationshipTable
+from repro.net.geo import (
+    FIBER_REFRACTION_FACTOR,
+    SPEED_OF_LIGHT_KM_PER_MS,
+    GeoLocation,
+    crtt_ms,
+    fiber_rtt_ms,
+    great_circle_km,
+)
+from repro.net.ip import IPAddress, IPVersion
+from repro.net.prefix import Prefix, PrefixTrie
+
+__all__ = [
+    "ASN",
+    "ASRelationship",
+    "RelationshipTable",
+    "GeoLocation",
+    "IPAddress",
+    "IPVersion",
+    "Prefix",
+    "PrefixTrie",
+    "SPEED_OF_LIGHT_KM_PER_MS",
+    "FIBER_REFRACTION_FACTOR",
+    "great_circle_km",
+    "crtt_ms",
+    "fiber_rtt_ms",
+]

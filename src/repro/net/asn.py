@@ -1,0 +1,126 @@
+"""AS numbers and inter-AS business relationships.
+
+The paper's ownership heuristics (Section 5.3) and link-type classification
+depend on AS relationship data "from the same BGP data" (CAIDA inferences in
+the paper).  In this reproduction the topology generator records ground-truth
+relationships in a :class:`RelationshipTable`; the analysis pipeline consumes
+the table through the same narrow interface a CAIDA-derived table would
+provide, so an inferred (noisy) table can be swapped in for sensitivity
+studies.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+__all__ = ["ASN", "ASRelationship", "RelationshipTable"]
+
+# An autonomous system number.  A plain int keeps hot loops cheap; the alias
+# documents intent in signatures.
+ASN = int
+
+
+class ASRelationship(enum.Enum):
+    """Business relationship of an ordered AS pair ``(a, b)``.
+
+    ``CUSTOMER`` means *b is a customer of a* (the edge a->b goes "down"),
+    ``PROVIDER`` means *b is a provider of a* (the edge goes "up"), and
+    ``PEER`` is a settlement-free peering.  ``SIBLING`` covers
+    same-organization ASes that exchange all routes.
+    """
+
+    CUSTOMER = "c"
+    PROVIDER = "p"
+    PEER = "peer"
+    SIBLING = "sibling"
+
+    def invert(self) -> "ASRelationship":
+        """Relationship seen from the other endpoint of the edge."""
+        if self is ASRelationship.CUSTOMER:
+            return ASRelationship.PROVIDER
+        if self is ASRelationship.PROVIDER:
+            return ASRelationship.CUSTOMER
+        return self
+
+
+class RelationshipTable:
+    """Symmetric store of AS-pair relationships.
+
+    Internally keyed on ordered pairs; :meth:`get` accepts either order and
+    inverts the relationship as needed, mirroring how AS-relationship files
+    (e.g. CAIDA serial-1) are consumed.
+    """
+
+    def __init__(self) -> None:
+        self._relations: Dict[Tuple[ASN, ASN], ASRelationship] = {}
+        self._neighbors: Dict[ASN, Set[ASN]] = {}
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def add(self, a: ASN, b: ASN, relationship: ASRelationship) -> None:
+        """Record that, seen from ``a``, neighbor ``b`` is ``relationship``.
+
+        The symmetric entry is stored implicitly; re-adding an existing pair
+        (in either order) with a conflicting relationship raises
+        :class:`ValueError` so generator bugs surface early.
+        """
+        if a == b:
+            raise ValueError(f"self-relationship for AS{a}")
+        existing = self.get(a, b)
+        if existing is not None and existing is not relationship:
+            raise ValueError(
+                f"conflicting relationship for AS{a}-AS{b}: "
+                f"{existing.name} vs {relationship.name}"
+            )
+        key = (a, b) if a < b else (b, a)
+        self._relations[key] = relationship if a < b else relationship.invert()
+        self._neighbors.setdefault(a, set()).add(b)
+        self._neighbors.setdefault(b, set()).add(a)
+
+    def get(self, a: ASN, b: ASN) -> Optional[ASRelationship]:
+        """Relationship of ``b`` as seen from ``a``, or ``None`` if unknown."""
+        key = (a, b) if a < b else (b, a)
+        relationship = self._relations.get(key)
+        if relationship is None:
+            return None
+        return relationship if a < b else relationship.invert()
+
+    def neighbors(self, asn: ASN) -> Set[ASN]:
+        """All ASes with a recorded relationship to ``asn``."""
+        return self._neighbors.get(asn, set())
+
+    def customers(self, asn: ASN) -> Iterator[ASN]:
+        """Neighbors that are customers of ``asn``."""
+        for neighbor in self._neighbors.get(asn, set()):
+            if self.get(asn, neighbor) is ASRelationship.CUSTOMER:
+                yield neighbor
+
+    def providers(self, asn: ASN) -> Iterator[ASN]:
+        """Neighbors that are providers of ``asn``."""
+        for neighbor in self._neighbors.get(asn, set()):
+            if self.get(asn, neighbor) is ASRelationship.PROVIDER:
+                yield neighbor
+
+    def peers(self, asn: ASN) -> Iterator[ASN]:
+        """Settlement-free peers of ``asn``."""
+        for neighbor in self._neighbors.get(asn, set()):
+            if self.get(asn, neighbor) is ASRelationship.PEER:
+                yield neighbor
+
+    def is_customer_of(self, customer: ASN, provider: ASN) -> bool:
+        """Whether ``customer`` buys transit from ``provider``."""
+        return self.get(provider, customer) is ASRelationship.CUSTOMER
+
+    def pairs(self) -> Iterable[Tuple[ASN, ASN, ASRelationship]]:
+        """All stored pairs as ``(a, b, relationship-of-b-seen-from-a)``."""
+        for (a, b), relationship in self._relations.items():
+            yield a, b, relationship
+
+    def copy(self) -> "RelationshipTable":
+        """Shallow copy; used to derive perturbed tables for ablations."""
+        clone = RelationshipTable()
+        clone._relations = dict(self._relations)
+        clone._neighbors = {asn: set(neighbors) for asn, neighbors in self._neighbors.items()}
+        return clone

@@ -1,0 +1,105 @@
+"""Geography: coordinates, great-circle distance, and latency lower bounds.
+
+Two latency floors matter in the paper:
+
+- ``cRTT`` (Section 6): the round-trip time of light *in free space* over the
+  great-circle distance between two servers.  The paper's RTT-inflation
+  metric (Figure 10b) is ``median RTT / cRTT``.
+- The fiber propagation delay used by the RTT model: light in fiber travels
+  at roughly 2/3 of c, and physical routes are longer than the great circle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "SPEED_OF_LIGHT_KM_PER_MS",
+    "FIBER_REFRACTION_FACTOR",
+    "EARTH_RADIUS_KM",
+    "GeoLocation",
+    "great_circle_km",
+    "crtt_ms",
+    "fiber_rtt_ms",
+]
+
+SPEED_OF_LIGHT_KM_PER_MS = 299.792458
+"""Speed of light in vacuum, in kilometres per millisecond."""
+
+FIBER_REFRACTION_FACTOR = 2.0 / 3.0
+"""Approximate ratio of the speed of light in fiber to c (refractive index ~1.5)."""
+
+EARTH_RADIUS_KM = 6371.0
+"""Mean Earth radius used for great-circle distances."""
+
+
+@dataclass(frozen=True)
+class GeoLocation:
+    """A named point on Earth.
+
+    Attributes:
+        city: City name (informational).
+        country: ISO-like two-letter country code, e.g. ``"US"``.
+        continent: Two-letter continent code, e.g. ``"NA"``, ``"EU"``, ``"AS"``.
+        latitude: Degrees north, in ``[-90, 90]``.
+        longitude: Degrees east, in ``[-180, 180]``.
+    """
+
+    city: str
+    country: str
+    continent: str
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude {self.latitude} out of range for {self.city}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude {self.longitude} out of range for {self.city}")
+
+    def distance_km(self, other: "GeoLocation") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return great_circle_km(self.latitude, self.longitude, other.latitude, other.longitude)
+
+    def __str__(self) -> str:
+        return f"{self.city}, {self.country}"
+
+
+def great_circle_km(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Great-circle (haversine) distance between two points, in kilometres."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def crtt_ms(a: GeoLocation, b: GeoLocation) -> float:
+    """Speed-of-light (free space) round-trip time between two locations.
+
+    This is the paper's ``cRTT``: the time a packet travelling at c over the
+    great-circle distance would need for the round trip.  The value is zero
+    for co-located endpoints, so callers computing inflation ratios must
+    guard against division by zero (see :mod:`repro.core.inflation`).
+    """
+    return 2.0 * a.distance_km(b) / SPEED_OF_LIGHT_KM_PER_MS
+
+
+def fiber_rtt_ms(distance_km: float, path_stretch: float = 1.0) -> float:
+    """Round-trip propagation delay over ``distance_km`` of fiber.
+
+    Args:
+        distance_km: One-way great-circle distance.
+        path_stretch: Multiplier for the physical route being longer than the
+            great circle (cable routing, metro detours).  ``1.0`` means the
+            fiber follows the great circle exactly.
+    """
+    if distance_km < 0.0:
+        raise ValueError("distance must be non-negative")
+    if path_stretch < 1.0:
+        raise ValueError("path stretch cannot shorten the great circle")
+    speed = SPEED_OF_LIGHT_KM_PER_MS * FIBER_REFRACTION_FACTOR
+    return 2.0 * distance_km * path_stretch / speed

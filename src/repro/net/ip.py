@@ -1,0 +1,163 @@
+"""IP address value types.
+
+Addresses are stored as plain integers plus a version tag.  This keeps the
+simulator fast (address arithmetic is integer arithmetic) while still giving
+readable dotted-quad / RFC 5952 text forms wherever addresses surface in
+records, reports and error messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["IPVersion", "IPAddress", "MAX_IPV4", "MAX_IPV6"]
+
+MAX_IPV4 = (1 << 32) - 1
+MAX_IPV6 = (1 << 128) - 1
+
+
+class IPVersion(enum.IntEnum):
+    """IP protocol version.
+
+    The integer values (4 and 6) match the conventional protocol numbers so
+    the enum can be used directly in messages such as ``f"IPv{version}"``.
+    """
+
+    V4 = 4
+    V6 = 6
+
+    @property
+    def bits(self) -> int:
+        """Address width in bits (32 for IPv4, 128 for IPv6)."""
+        return 32 if self is IPVersion.V4 else 128
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable address value for this version."""
+        return MAX_IPV4 if self is IPVersion.V4 else MAX_IPV6
+
+
+@dataclass(frozen=True, order=True)
+class IPAddress:
+    """An IPv4 or IPv6 address.
+
+    Instances are immutable, hashable and ordered (first by version, then by
+    numeric value), so they can be used as dictionary keys throughout the
+    measurement records and analysis pipeline.
+
+    Attributes:
+        version: The IP protocol version of the address.
+        value: The numeric address value, ``0 <= value <= version.max_value``.
+    """
+
+    version: IPVersion
+    value: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.version, IPVersion):
+            object.__setattr__(self, "version", IPVersion(self.version))
+        if not 0 <= self.value <= self.version.max_value:
+            raise ValueError(
+                f"address value {self.value:#x} out of range for IPv{int(self.version)}"
+            )
+
+    @classmethod
+    def v4(cls, value: int) -> "IPAddress":
+        """Build an IPv4 address from its 32-bit integer value."""
+        return cls(IPVersion.V4, value)
+
+    @classmethod
+    def v6(cls, value: int) -> "IPAddress":
+        """Build an IPv6 address from its 128-bit integer value."""
+        return cls(IPVersion.V6, value)
+
+    @classmethod
+    def parse(cls, text: str) -> "IPAddress":
+        """Parse a textual IPv4 (dotted quad) or IPv6 (RFC 4291) address.
+
+        Raises:
+            ValueError: If ``text`` is not a valid address of either family.
+        """
+        if ":" in text:
+            return cls(IPVersion.V6, _parse_v6(text))
+        return cls(IPVersion.V4, _parse_v4(text))
+
+    def __add__(self, offset: int) -> "IPAddress":
+        return IPAddress(self.version, self.value + offset)
+
+    def __str__(self) -> str:
+        if self.version is IPVersion.V4:
+            return _format_v4(self.value)
+        return _format_v6(self.value)
+
+    def __repr__(self) -> str:
+        return f"IPAddress({self})"
+
+
+def _parse_v4(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise ValueError(f"invalid IPv4 octet {part!r} in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"IPv4 octet {octet} out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _format_v4(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def _parse_v6(text: str) -> int:
+    if text.count("::") > 1:
+        raise ValueError(f"invalid IPv6 address (multiple '::'): {text!r}")
+    if "::" in text:
+        head_text, tail_text = text.split("::")
+        head = head_text.split(":") if head_text else []
+        tail = tail_text.split(":") if tail_text else []
+        missing = 8 - len(head) - len(tail)
+        if missing < 1:
+            raise ValueError(f"invalid IPv6 address: {text!r}")
+        groups = head + ["0"] * missing + tail
+    else:
+        groups = text.split(":")
+    if len(groups) != 8:
+        raise ValueError(f"invalid IPv6 address (expected 8 groups): {text!r}")
+    value = 0
+    for group in groups:
+        if not group or len(group) > 4:
+            raise ValueError(f"invalid IPv6 group {group!r} in {text!r}")
+        try:
+            word = int(group, 16)
+        except ValueError as exc:
+            raise ValueError(f"invalid IPv6 group {group!r} in {text!r}") from exc
+        value = (value << 16) | word
+    return value
+
+
+def _format_v6(value: int) -> str:
+    """Format per RFC 5952: lowercase hex, longest zero run compressed."""
+    groups = [(value >> shift) & 0xFFFF for shift in range(112, -16, -16)]
+    # Find the longest run of zero groups (length >= 2) to compress.
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for index, group in enumerate(groups):
+        if group == 0:
+            if run_start < 0:
+                run_start, run_len = index, 0
+            run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_start, run_len = -1, 0
+    if best_len < 2:
+        return ":".join(f"{group:x}" for group in groups)
+    head = ":".join(f"{group:x}" for group in groups[:best_start])
+    tail = ":".join(f"{group:x}" for group in groups[best_start + best_len :])
+    return f"{head}::{tail}"

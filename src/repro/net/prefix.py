@@ -1,0 +1,252 @@
+"""CIDR prefixes and a binary radix trie with longest-prefix matching.
+
+The trie is the library's stand-in for a BGP routing information base: the
+paper maps each traceroute hop IP "to an AS number corresponding to the
+origin AS of the longest matching prefix observed in BGP" (Section 2.1).
+:class:`PrefixTrie` provides exactly that lookup, with arbitrary payloads so
+the same structure also serves prefix-to-owner and prefix-to-link tables in
+the topology substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Iterator, Optional, Tuple, TypeVar
+
+from repro.net.ip import IPAddress, IPVersion
+
+__all__ = ["Prefix", "PrefixTrie"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """A CIDR prefix such as ``10.1.0.0/16`` or ``2001:db8::/32``.
+
+    Attributes:
+        version: IP version of the prefix.
+        network: Numeric network address.  Host bits must be zero.
+        length: Prefix length in bits.
+    """
+
+    version: IPVersion
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.version, IPVersion):
+            object.__setattr__(self, "version", IPVersion(self.version))
+        if not 0 <= self.length <= self.version.bits:
+            raise ValueError(f"prefix length {self.length} invalid for IPv{int(self.version)}")
+        host_bits = self.version.bits - self.length
+        if self.network & ((1 << host_bits) - 1 if host_bits else 0):
+            raise ValueError("prefix network address has host bits set")
+        if not 0 <= self.network <= self.version.max_value:
+            raise ValueError("prefix network address out of range")
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse CIDR notation, e.g. ``"192.0.2.0/24"`` or ``"2001:db8::/32"``."""
+        address_text, _, length_text = text.partition("/")
+        if not length_text:
+            raise ValueError(f"missing prefix length in {text!r}")
+        address = IPAddress.parse(address_text)
+        return cls(address.version, address.value, int(length_text))
+
+    @classmethod
+    def from_address(cls, address: IPAddress, length: int) -> "Prefix":
+        """Build the prefix of ``length`` bits that contains ``address``."""
+        host_bits = address.version.bits - length
+        network = (address.value >> host_bits) << host_bits if host_bits else address.value
+        return cls(address.version, network, length)
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (self.version.bits - self.length)
+
+    def contains(self, address: IPAddress) -> bool:
+        """Whether ``address`` falls inside this prefix (same version required)."""
+        if address.version is not self.version:
+            return False
+        host_bits = self.version.bits - self.length
+        return (address.value >> host_bits) == (self.network >> host_bits)
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """Whether ``other`` is equal to or more specific than this prefix."""
+        if other.version is not self.version or other.length < self.length:
+            return False
+        shift = self.version.bits - self.length
+        return (other.network >> shift) == (self.network >> shift)
+
+    def address(self, offset: int) -> IPAddress:
+        """The ``offset``-th address inside the prefix.
+
+        Raises:
+            ValueError: If ``offset`` is outside the prefix.
+        """
+        if not 0 <= offset < self.num_addresses:
+            raise ValueError(f"offset {offset} outside {self}")
+        return IPAddress(self.version, self.network + offset)
+
+    def subprefix(self, length: int, index: int) -> "Prefix":
+        """The ``index``-th sub-prefix of the given (longer) ``length``.
+
+        Used by the address allocator to carve per-AS blocks out of a parent
+        pool and per-link subnets out of an AS block.
+        """
+        if length < self.length or length > self.version.bits:
+            raise ValueError(f"cannot carve /{length} out of {self}")
+        count = 1 << (length - self.length)
+        if not 0 <= index < count:
+            raise ValueError(f"sub-prefix index {index} out of range for /{length} in {self}")
+        network = self.network + index * (1 << (self.version.bits - length))
+        return Prefix(self.version, network, length)
+
+    def __str__(self) -> str:
+        return f"{IPAddress(self.version, self.network)}/{self.length}"
+
+
+class _Node(Generic[T]):
+    """One binary trie node; ``payload`` is set only for inserted prefixes."""
+
+    __slots__ = ("children", "payload", "has_payload")
+
+    def __init__(self) -> None:
+        self.children: list[Optional[_Node[T]]] = [None, None]
+        self.payload: Optional[T] = None
+        self.has_payload = False
+
+
+class PrefixTrie(Generic[T]):
+    """Binary radix trie keyed by :class:`Prefix`, per IP version.
+
+    Supports exact insert/lookup/delete and longest-prefix match, the core
+    primitive for IP-to-ASN mapping.  A single trie instance handles one IP
+    version; mixing versions raises :class:`ValueError`.
+    """
+
+    def __init__(self, version: IPVersion) -> None:
+        self.version = IPVersion(version)
+        self._root: _Node[T] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _check_version(self, version: IPVersion) -> None:
+        if version is not self.version:
+            raise ValueError(
+                f"IPv{int(version)} key used with IPv{int(self.version)} trie"
+            )
+
+    def _bits(self, network: int) -> Iterator[int]:
+        width = self.version.bits
+        for position in range(width - 1, -1, -1):
+            yield (network >> position) & 1
+
+    def insert(self, prefix: Prefix, payload: T) -> None:
+        """Insert (or replace) the payload stored at ``prefix``."""
+        self._check_version(prefix.version)
+        node = self._root
+        for bit, _ in zip(self._bits(prefix.network), range(prefix.length)):
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_payload:
+            self._size += 1
+        node.payload = payload
+        node.has_payload = True
+
+    def lookup_exact(self, prefix: Prefix) -> Optional[T]:
+        """Payload stored at exactly ``prefix``, or ``None``."""
+        self._check_version(prefix.version)
+        node = self._root
+        for bit, _ in zip(self._bits(prefix.network), range(prefix.length)):
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node.payload if node.has_payload else None
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove ``prefix`` if present; returns whether it was removed.
+
+        Nodes left empty are pruned so repeated insert/remove cycles do not
+        leak memory.
+        """
+        self._check_version(prefix.version)
+        path: list[Tuple[_Node[T], int]] = []
+        node = self._root
+        for bit, _ in zip(self._bits(prefix.network), range(prefix.length)):
+            child = node.children[bit]
+            if child is None:
+                return False
+            path.append((node, bit))
+            node = child
+        if not node.has_payload:
+            return False
+        node.has_payload = False
+        node.payload = None
+        self._size -= 1
+        # Prune childless, payload-free nodes bottom-up.
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            assert child is not None
+            if child.has_payload or child.children[0] or child.children[1]:
+                break
+            parent.children[bit] = None
+        return True
+
+    def longest_match(self, address: IPAddress) -> Optional[Tuple[Prefix, T]]:
+        """Longest-prefix match for ``address``.
+
+        Returns:
+            The matching ``(prefix, payload)`` with the greatest prefix
+            length, or ``None`` when no inserted prefix covers the address.
+        """
+        self._check_version(address.version)
+        node = self._root
+        best: Optional[Tuple[int, T]] = None
+        depth = 0
+        if node.has_payload:
+            best = (0, node.payload)  # type: ignore[arg-type]
+        for bit in self._bits(address.value):
+            child = node.children[bit]
+            if child is None:
+                break
+            depth += 1
+            node = child
+            if node.has_payload:
+                best = (depth, node.payload)  # type: ignore[arg-type]
+        if best is None:
+            return None
+        length, payload = best
+        return Prefix.from_address(address, length), payload
+
+    def lookup(self, address: IPAddress) -> Optional[T]:
+        """Payload of the longest matching prefix, or ``None``."""
+        match = self.longest_match(address)
+        return match[1] if match else None
+
+    def items(self) -> Iterator[Tuple[Prefix, T]]:
+        """Iterate over all inserted ``(prefix, payload)`` pairs.
+
+        Order is lexicographic by bit string (i.e. by network address, with
+        shorter prefixes before their more-specifics).
+        """
+        stack: list[Tuple[_Node[T], int, int]] = [(self._root, 0, 0)]
+        width = self.version.bits
+        while stack:
+            node, bits, depth = stack.pop()
+            if node.has_payload:
+                network = bits << (width - depth) if depth < width else bits
+                yield Prefix(self.version, network, depth), node.payload  # type: ignore[misc]
+            # Push right child first so left (bit 0) is visited first.
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((child, (bits << 1) | bit, depth + 1))

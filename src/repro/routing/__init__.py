@@ -1,0 +1,39 @@
+"""BGP routing substrate: policy, path computation, and dynamics.
+
+- :mod:`repro.routing.policy` -- Gao-Rexford export rules and route
+  preference (customer > peer > provider).
+- :mod:`repro.routing.bgp` -- path-vector route computation over the AS
+  graph: per-destination best routes at every AS, and ranked alternative
+  routes per (source, destination) pair.
+- :mod:`repro.routing.table` -- the resulting route tables.
+- :mod:`repro.routing.dynamics` -- link outages and local flaps over
+  simulated time, turning static candidate sets into per-pair AS-path
+  timelines (the level shifts of the paper's Figure 1a).
+"""
+
+from repro.routing.bgp import compute_route_table
+from repro.routing.dynamics import (
+    EdgeOutage,
+    PairFlap,
+    PathEpoch,
+    RoutingDynamicsConfig,
+    RoutingSchedule,
+    build_routing_schedule,
+)
+from repro.routing.policy import RouteClass, export_allowed, route_class
+from repro.routing.table import CandidateRoute, RouteTable
+
+__all__ = [
+    "CandidateRoute",
+    "RouteTable",
+    "RouteClass",
+    "route_class",
+    "export_allowed",
+    "compute_route_table",
+    "RoutingDynamicsConfig",
+    "RoutingSchedule",
+    "EdgeOutage",
+    "PairFlap",
+    "PathEpoch",
+    "build_routing_schedule",
+]

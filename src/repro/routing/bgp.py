@@ -1,0 +1,247 @@
+"""Path-vector route computation over the AS graph.
+
+For each destination AS the classic three-phase propagation computes the
+best policy-compliant route at every other AS:
+
+1. customer routes climb from the destination along customer-to-provider
+   edges (everyone "above" the destination hears it from a customer);
+2. peer routes cross one peering edge from any AS holding a customer route;
+3. provider routes descend along provider-to-customer edges.
+
+Preference is customer > peer > provider, then shortest AS path, then a
+deterministic tie-break.  On top of the per-AS best routes,
+:func:`compute_route_table` derives the *ranked alternatives* a source AS
+holds toward each destination: one candidate per neighbor that would export
+its best route to the source.  The alternative set is what the
+routing-dynamics layer switches between when links fail, producing the AS
+path changes the paper studies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.net.asn import ASN
+from repro.net.ip import IPVersion
+from repro.routing.policy import RouteClass, export_allowed, route_class
+from repro.routing.table import CandidateRoute, RouteTable
+from repro.topology.generator import ASGraph
+
+__all__ = ["compute_best_routes", "compute_route_table"]
+
+# Best route at an AS toward the current destination: (class, path).
+_BestRoute = Tuple[RouteClass, Tuple[ASN, ...]]
+
+
+def _adjacency(graph: ASGraph, version: IPVersion) -> Dict[ASN, Set[ASN]]:
+    """Neighbor sets, restricted to the IPv6 sub-topology when asked."""
+    ipv6 = version is IPVersion.V6
+    adjacency: Dict[ASN, Set[ASN]] = {}
+    for asn in graph.asns():
+        if ipv6 and not graph.ases[asn].ipv6_capable:
+            adjacency[asn] = set()
+            continue
+        neighbors = set()
+        for neighbor in graph.neighbors(asn, ipv6=ipv6):
+            if ipv6 and not graph.ases[neighbor].ipv6_capable:
+                continue
+            neighbors.add(neighbor)
+        adjacency[asn] = neighbors
+    return adjacency
+
+
+def _route_sort_key(route: _BestRoute) -> Tuple[int, int, Tuple[ASN, ...]]:
+    route_class_, path = route
+    return (-int(route_class_), len(path), path)
+
+
+def compute_best_routes(
+    graph: ASGraph,
+    destination: ASN,
+    adjacency: Optional[Dict[ASN, Set[ASN]]] = None,
+    version: IPVersion = IPVersion.V4,
+) -> Dict[ASN, _BestRoute]:
+    """Best policy route from every AS to ``destination``.
+
+    Returns:
+        Mapping of AS to ``(route_class, as_path)``; the destination maps to
+        ``(SELF, (destination,))``.  ASes with no policy-compliant route are
+        absent.
+    """
+    relationships = graph.relationships
+    adjacency = adjacency if adjacency is not None else _adjacency(graph, version)
+    if destination not in adjacency:
+        return {}
+
+    best: Dict[ASN, _BestRoute] = {destination: (RouteClass.SELF, (destination,))}
+
+    # Phase 1: customer routes climb provider-ward, breadth-first so shorter
+    # paths win; ties broken by lowest announcing-customer ASN (queue order).
+    frontier = deque([destination])
+    while frontier:
+        current = frontier.popleft()
+        _, current_path = best[current]
+        for provider in sorted(relationships.providers(current)):
+            if provider in best or provider not in adjacency[current]:
+                continue
+            best[provider] = (RouteClass.CUSTOMER, (provider,) + current_path)
+            frontier.append(provider)
+
+    # Phase 2: peer routes: one peering edge from any AS with a customer (or
+    # self) route.  Evaluated against a snapshot so peer routes do not chain.
+    customer_holders = dict(best)
+    peer_routes: Dict[ASN, _BestRoute] = {}
+    for holder, (holder_class, holder_path) in customer_holders.items():
+        if holder_class not in (RouteClass.SELF, RouteClass.CUSTOMER):
+            continue
+        for peer in sorted(relationships.peers(holder)):
+            if peer in best or peer not in adjacency[holder]:
+                continue
+            candidate = (RouteClass.PEER, (peer,) + holder_path)
+            incumbent = peer_routes.get(peer)
+            if incumbent is None or _route_sort_key(candidate) < _route_sort_key(incumbent):
+                peer_routes[peer] = candidate
+    best.update(peer_routes)
+
+    # Phase 3: provider routes descend customer-ward, breadth-first from all
+    # ASes that already have a route, shortest-extension first.
+    frontier = deque(sorted(best, key=lambda asn: len(best[asn][1])))
+    while frontier:
+        current = frontier.popleft()
+        _, current_path = best[current]
+        for customer in sorted(relationships.customers(current)):
+            if customer in best or customer not in adjacency[current]:
+                continue
+            best[customer] = (RouteClass.PROVIDER, (customer,) + current_path)
+            frontier.append(customer)
+
+    return best
+
+
+def compute_route_table(
+    graph: ASGraph,
+    version: IPVersion = IPVersion.V4,
+    sources: Optional[List[ASN]] = None,
+    destinations: Optional[List[ASN]] = None,
+    max_alternatives: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> RouteTable:
+    """Compute ranked candidate routes between AS pairs.
+
+    Candidates come in two tiers.  Tier 0 are the routes the source's
+    neighbors advertise in steady state (each neighbor's best path); the
+    best of these, at index 0, is what BGP selects with everything up.
+    Tier 1 extends one level deeper -- the routes a neighbor would fall back
+    to (its *other* neighbors' best paths) if its primary broke -- giving
+    the routing-dynamics layer realistic mid-path alternatives, not just
+    first-hop ones.  All candidates are valley-free by construction: every
+    hop-to-hop advertisement is checked against the Gao-Rexford export
+    rules.
+
+    Args:
+        graph: The AS topology.
+        version: ``V4`` uses the full graph; ``V6`` the IPv6 sub-topology.
+        sources: Source ASes to include (default: all).
+        destinations: Destination ASes to include (default: all).
+        max_alternatives: Keep at most this many candidates per pair.
+        rng: Optional tie-break jitter between equally-preferred candidates;
+            giving IPv4 and IPv6 different generators yields the occasional
+            protocol-path divergence studied in Section 6.
+
+    Returns:
+        A :class:`RouteTable` whose index-0 candidate per pair is the route
+        BGP selects with everything up.
+    """
+    if max_alternatives < 1:
+        raise ValueError("max_alternatives must be positive")
+    adjacency = _adjacency(graph, version)
+    relationships = graph.relationships
+    sources = sources if sources is not None else graph.asns()
+    destinations = destinations if destinations is not None else graph.asns()
+    table = RouteTable(version=version)
+
+    # Sort key: preference class (descending), then path length, then tier
+    # (steady-state routes win ties), then jitter.
+    _Option = Tuple[Tuple[int, int, int, float], Tuple[ASN, ...], RouteClass, int]
+
+    for destination in destinations:
+        if destination not in adjacency:
+            continue
+        best = compute_best_routes(graph, destination, adjacency=adjacency, version=version)
+        for source in sources:
+            if source not in adjacency:
+                continue
+            if source == destination:
+                route = CandidateRoute.make((source,), RouteClass.SELF, 0)
+                table.candidates[(source, destination)] = (route,)
+                continue
+            if not adjacency[source]:
+                continue
+            options: List[_Option] = []
+            seen_paths: Set[Tuple[ASN, ...]] = set()
+
+            def add_option(path: Tuple[ASN, ...], own_class: RouteClass, tier: int) -> None:
+                if path in seen_paths:
+                    return
+                seen_paths.add(path)
+                jitter = float(rng.random()) if rng is not None else 0.0
+                options.append(
+                    ((-int(own_class), len(path), tier, jitter), path, own_class, tier)
+                )
+
+            for neighbor in sorted(adjacency[source]):
+                neighbor_best = best.get(neighbor)
+                if neighbor_best is None:
+                    continue
+                own_class = route_class(relationships, source, neighbor)
+
+                neighbor_class, neighbor_path = neighbor_best
+                if source not in neighbor_path and export_allowed(
+                    relationships, neighbor, source, neighbor_class
+                ):
+                    add_option((source,) + neighbor_path, own_class, tier=0)
+
+                # Tier 1: what the neighbor would use if its primary failed.
+                for second in sorted(adjacency[neighbor]):
+                    if second == source:
+                        continue
+                    second_best = best.get(second)
+                    if second_best is None:
+                        continue
+                    second_class, second_path = second_best
+                    if source in second_path or neighbor in second_path:
+                        continue
+                    if not export_allowed(relationships, second, neighbor, second_class):
+                        continue
+                    class_at_neighbor = route_class(relationships, neighbor, second)
+                    if not export_allowed(relationships, neighbor, source, class_at_neighbor):
+                        continue
+                    add_option((source, neighbor) + second_path, own_class, tier=1)
+
+            if not options:
+                continue
+            options.sort(key=lambda item: item[0])
+            # Index 0 must be the steady-state selection: the best tier-0
+            # option.  Failure-response order (the rest) stays flat.
+            primary_position = next(
+                (index for index, option in enumerate(options) if option[3] == 0), None
+            )
+            if primary_position is None:
+                continue  # no steady-state route: destination unreachable
+            ordered = [options[primary_position]] + [
+                option
+                for index, option in enumerate(options)
+                if index != primary_position
+            ]
+            candidates = tuple(
+                CandidateRoute.make(path, own_class, rank, tier=tier)
+                for rank, (_, path, own_class, tier) in enumerate(
+                    ordered[:max_alternatives]
+                )
+            )
+            table.candidates[(source, destination)] = candidates
+
+    return table

@@ -1,0 +1,314 @@
+"""Routing dynamics: outages and flaps turning static routes into timelines.
+
+The paper observes AS-path level shifts (Figure 1a) whose lifetimes range
+from 3 hours to the full 16 months (Figures 4/5), with most trace timelines
+dominated by a single path (Figure 3a) and 18%/16% seeing no change at all
+(Figure 3b).  This module reproduces those dynamics:
+
+- **Edge outages** take an AS-level edge down for a sampled duration; every
+  pair whose currently-selected path uses the edge falls back to its best
+  unaffected alternative, and returns when the outage ends.  Outages are
+  shared between IPv4 and IPv6 (shared physical infrastructure), so the two
+  protocols often shift together, as in the paper's illustrative example.
+- **Pair flaps** demote a pair's primary route for a sampled window,
+  modelling local policy changes and session resets that affect only one
+  pair of endpoints (and one protocol).
+
+Per-edge outage rates are heterogeneous (lognormal): most edges almost
+never fail, a few fail often -- which is what produces the paper's wide
+spread in per-timeline change counts.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.asn import ASN
+from repro.routing.table import RouteTable
+from repro.topology.generator import ASGraph
+
+__all__ = [
+    "RoutingDynamicsConfig",
+    "EdgeOutage",
+    "PairFlap",
+    "PathEpoch",
+    "RoutingSchedule",
+    "sample_edge_outages",
+    "sample_pair_flaps",
+    "build_routing_schedule",
+]
+
+_Edge = Tuple[ASN, ASN]
+_Pair = Tuple[ASN, ASN]
+
+HOURS_PER_MONTH = 24.0 * 30.4
+
+
+@dataclass
+class RoutingDynamicsConfig:
+    """Knobs of the routing-dynamics sampler.
+
+    Rates are per month of simulated time so scenarios of any duration can
+    share a calibration.  Outage durations are a three-component lognormal
+    mixture: mostly hours, sometimes days, occasionally weeks-to-months
+    (the long tail behind the paper's long-lived sub-optimal paths).
+    """
+
+    mean_outages_per_edge_per_month: float = 0.10
+    edge_rate_sigma: float = 1.1
+    """Lognormal sigma of per-edge rate heterogeneity."""
+
+    duration_mixture: Tuple[Tuple[float, float, float], ...] = (
+        (0.73, 6.0, 0.9),     # weight, median hours, sigma: short (hours)
+        (0.25, 60.0, 0.8),    # medium (days)
+        (0.02, 900.0, 0.7),   # long (weeks to months)
+    )
+
+    flaps_per_pair_per_month: float = 0.04
+    flap_duration_median_hours: float = 24.0
+    flap_duration_sigma: float = 1.2
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on inconsistent settings."""
+        if self.mean_outages_per_edge_per_month < 0 or self.flaps_per_pair_per_month < 0:
+            raise ValueError("rates must be non-negative")
+        total_weight = sum(weight for weight, _, _ in self.duration_mixture)
+        if not np.isclose(total_weight, 1.0):
+            raise ValueError(f"duration mixture weights sum to {total_weight}, expected 1")
+
+
+@dataclass(frozen=True)
+class EdgeOutage:
+    """One AS-level edge unavailable during ``[start_hour, end_hour)``."""
+
+    edge: _Edge
+    start_hour: float
+    end_hour: float
+
+
+@dataclass(frozen=True)
+class PairFlap:
+    """One pair's primary route demoted during ``[start_hour, end_hour)``."""
+
+    pair: _Pair
+    start_hour: float
+    end_hour: float
+
+
+@dataclass(frozen=True)
+class PathEpoch:
+    """A maximal interval during which a pair uses one candidate route.
+
+    ``candidate_index`` indexes the pair's candidate tuple in the route
+    table; ``-1`` means the destination was unreachable.
+    """
+
+    start_hour: float
+    end_hour: float
+    candidate_index: int
+
+
+@dataclass
+class RoutingSchedule:
+    """Per-AS-pair path timelines over the study window."""
+
+    duration_hours: float
+    timelines: Dict[_Pair, Tuple[PathEpoch, ...]] = field(default_factory=dict)
+    outages: Tuple[EdgeOutage, ...] = ()
+    flaps: Tuple[PairFlap, ...] = ()
+
+    def epochs(self, pair: _Pair) -> Tuple[PathEpoch, ...]:
+        """The path timeline of ``pair`` (empty if the pair is unknown)."""
+        return self.timelines.get(pair, ())
+
+    def candidate_at(self, pair: _Pair, hour: float) -> int:
+        """Candidate index in use at ``hour`` (``-1`` when unreachable)."""
+        epochs = self.timelines.get(pair)
+        if not epochs:
+            return -1
+        starts = [epoch.start_hour for epoch in epochs]
+        index = bisect.bisect_right(starts, hour) - 1
+        if index < 0:
+            return -1
+        return epochs[index].candidate_index
+
+    def change_count(self, pair: _Pair) -> int:
+        """Number of path changes over the window."""
+        return max(0, len(self.timelines.get(pair, ())) - 1)
+
+
+def _sample_duration_hours(
+    rng: np.random.Generator, mixture: Sequence[Tuple[float, float, float]]
+) -> float:
+    weights = np.array([weight for weight, _, _ in mixture])
+    component = int(rng.choice(len(mixture), p=weights / weights.sum()))
+    _, median, sigma = mixture[component]
+    return float(median * np.exp(rng.normal(0.0, sigma)))
+
+
+def sample_edge_outages(
+    graph: ASGraph,
+    duration_hours: float,
+    config: Optional[RoutingDynamicsConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[EdgeOutage]:
+    """Sample outage events for every edge over the study window.
+
+    Outages model both physical failures and policy withdrawals; an edge can
+    have overlapping outages (they union).  Events are sorted by start time.
+    """
+    config = config or RoutingDynamicsConfig()
+    config.validate()
+    rng = rng if rng is not None else np.random.default_rng(4)
+    months = duration_hours / HOURS_PER_MONTH
+    outages: List[EdgeOutage] = []
+    for edge in graph.edges():
+        # Heterogeneous per-edge rate: lognormal with the configured mean.
+        sigma = config.edge_rate_sigma
+        rate = config.mean_outages_per_edge_per_month * float(
+            np.exp(rng.normal(-0.5 * sigma**2, sigma))
+        )
+        count = int(rng.poisson(rate * months))
+        for _ in range(count):
+            start = float(rng.uniform(0.0, duration_hours))
+            length = _sample_duration_hours(rng, config.duration_mixture)
+            outages.append(
+                EdgeOutage(edge=edge, start_hour=start, end_hour=min(start + length, duration_hours))
+            )
+    outages.sort(key=lambda outage: outage.start_hour)
+    return outages
+
+
+def sample_pair_flaps(
+    pairs: Sequence[_Pair],
+    duration_hours: float,
+    config: Optional[RoutingDynamicsConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[PairFlap]:
+    """Sample per-pair primary-route demotions over the study window."""
+    config = config or RoutingDynamicsConfig()
+    config.validate()
+    rng = rng if rng is not None else np.random.default_rng(5)
+    months = duration_hours / HOURS_PER_MONTH
+    flaps: List[PairFlap] = []
+    for pair in pairs:
+        count = int(rng.poisson(config.flaps_per_pair_per_month * months))
+        for _ in range(count):
+            start = float(rng.uniform(0.0, duration_hours))
+            length = float(
+                config.flap_duration_median_hours
+                * np.exp(rng.normal(0.0, config.flap_duration_sigma))
+            )
+            flaps.append(
+                PairFlap(pair=pair, start_hour=start, end_hour=min(start + length, duration_hours))
+            )
+    flaps.sort(key=lambda flap: flap.start_hour)
+    return flaps
+
+
+def _select_candidate(
+    candidates: Sequence,
+    blocked_edges: FrozenSet[_Edge],
+    demote_primary: bool,
+) -> int:
+    """Best usable candidate index given blocked edges and flap state.
+
+    A tier-1 candidate (a neighbor's fallback route) is only *advertised*
+    while that neighbor's steady-state route is down, so it is usable only
+    when the tier-0 candidate through the same next hop is blocked.
+    """
+    tier0_blocked: Dict[ASN, bool] = {}
+    for candidate in candidates:
+        if candidate.tier == 0:
+            tier0_blocked[candidate.via] = bool(candidate.edges & blocked_edges)
+
+    first_usable = -1
+    for index, candidate in enumerate(candidates):
+        if candidate.edges & blocked_edges:
+            continue
+        if candidate.tier == 1 and not tier0_blocked.get(candidate.via, True):
+            continue
+        if first_usable < 0:
+            first_usable = index
+        if demote_primary and index == 0:
+            continue
+        return index
+    # Everything else blocked or demoted: fall back to the primary if it is
+    # at least up, else unreachable.
+    return first_usable
+
+
+def build_routing_schedule(
+    table: RouteTable,
+    pairs: Sequence[_Pair],
+    duration_hours: float,
+    outages: Sequence[EdgeOutage],
+    flaps: Sequence[PairFlap] = (),
+) -> RoutingSchedule:
+    """Evaluate path selection over time for each requested AS pair.
+
+    Args:
+        table: Candidate routes per pair (one protocol).
+        pairs: Ordered AS pairs to build timelines for.
+        duration_hours: Study window length.
+        outages: Shared edge outages (see :func:`sample_edge_outages`).
+        flaps: Per-pair flaps for this protocol.
+
+    Returns:
+        A :class:`RoutingSchedule` with one epoch list per reachable pair.
+    """
+    if duration_hours <= 0:
+        raise ValueError("duration must be positive")
+    flaps_by_pair: Dict[_Pair, List[PairFlap]] = {}
+    for flap in flaps:
+        flaps_by_pair.setdefault(flap.pair, []).append(flap)
+
+    schedule = RoutingSchedule(
+        duration_hours=duration_hours,
+        outages=tuple(outages),
+        flaps=tuple(flaps),
+    )
+
+    for pair in pairs:
+        candidates = table.routes(*pair)
+        if not candidates:
+            continue
+        all_edges = frozenset().union(*(candidate.edges for candidate in candidates))
+
+        relevant_outages = [outage for outage in outages if outage.edge in all_edges]
+        relevant_flaps = flaps_by_pair.get(pair, ())
+
+        boundaries = {0.0, duration_hours}
+        for outage in relevant_outages:
+            if outage.start_hour < duration_hours:
+                boundaries.add(max(0.0, outage.start_hour))
+                boundaries.add(min(duration_hours, outage.end_hour))
+        for flap in relevant_flaps:
+            if flap.start_hour < duration_hours:
+                boundaries.add(max(0.0, flap.start_hour))
+                boundaries.add(min(duration_hours, flap.end_hour))
+        ordered = sorted(boundaries)
+
+        epochs: List[PathEpoch] = []
+        for start, end in zip(ordered, ordered[1:]):
+            midpoint = 0.5 * (start + end)
+            blocked = frozenset(
+                outage.edge
+                for outage in relevant_outages
+                if outage.start_hour <= midpoint < outage.end_hour
+            )
+            demoted = any(
+                flap.start_hour <= midpoint < flap.end_hour for flap in relevant_flaps
+            )
+            selected = _select_candidate(candidates, blocked, demoted)
+            if epochs and epochs[-1].candidate_index == selected:
+                epochs[-1] = PathEpoch(epochs[-1].start_hour, end, selected)
+            else:
+                epochs.append(PathEpoch(start, end, selected))
+        schedule.timelines[pair] = tuple(epochs)
+
+    return schedule

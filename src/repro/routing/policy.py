@@ -1,0 +1,96 @@
+"""Gao-Rexford routing policy: route classes and export rules.
+
+The standard model of BGP policy routing:
+
+- **Preference**: an AS prefers routes learned from customers over routes
+  from peers over routes from providers (money flows accordingly).
+- **Export**: routes learned from a customer are exported to everyone;
+  routes learned from a peer or provider are exported only to customers.
+
+Paths that respect these rules are "valley-free": they climb zero or more
+customer-to-provider edges, optionally cross one peering edge, then descend
+provider-to-customer edges.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.net.asn import ASN, ASRelationship, RelationshipTable
+
+__all__ = ["RouteClass", "route_class", "export_allowed", "is_valley_free"]
+
+
+class RouteClass(enum.IntEnum):
+    """How a route was learned, ordered by preference (higher is better)."""
+
+    PROVIDER = 1
+    PEER = 2
+    CUSTOMER = 3
+    SELF = 4
+    """The destination is the AS itself."""
+
+
+def route_class(relationships: RelationshipTable, holder: ASN, next_hop: ASN) -> RouteClass:
+    """Class of a route at ``holder`` whose next hop AS is ``next_hop``.
+
+    Raises:
+        ValueError: If the two ASes have no recorded relationship.
+    """
+    relationship = relationships.get(holder, next_hop)
+    if relationship is ASRelationship.CUSTOMER:
+        return RouteClass.CUSTOMER
+    if relationship is ASRelationship.PEER or relationship is ASRelationship.SIBLING:
+        return RouteClass.PEER
+    if relationship is ASRelationship.PROVIDER:
+        return RouteClass.PROVIDER
+    raise ValueError(f"no relationship between AS{holder} and AS{next_hop}")
+
+
+def export_allowed(
+    relationships: RelationshipTable,
+    exporter: ASN,
+    importer: ASN,
+    exporter_route_class: RouteClass,
+) -> bool:
+    """Whether ``exporter`` announces a route of the given class to ``importer``.
+
+    Routes to the exporter's own prefixes (``SELF``) and routes learned from
+    customers are announced to everyone; peer- and provider-learned routes go
+    to customers only.
+    """
+    if exporter_route_class in (RouteClass.SELF, RouteClass.CUSTOMER):
+        return True
+    return relationships.is_customer_of(importer, exporter)
+
+
+def is_valley_free(relationships: RelationshipTable, path: tuple) -> Optional[bool]:
+    """Whether an AS path obeys the valley-free property.
+
+    Args:
+        relationships: The relationship table.
+        path: AS path from source to destination.
+
+    Returns:
+        ``True``/``False`` for a checkable path, or ``None`` when a hop pair
+        has no recorded relationship (cannot be checked).
+    """
+    # Phases: 0 = climbing (c2p), 1 = crossed a peering edge, 2 = descending.
+    phase = 0
+    for previous, current in zip(path, path[1:]):
+        relationship = relationships.get(previous, current)
+        if relationship is None:
+            return None
+        if relationship is ASRelationship.PROVIDER:  # uphill
+            if phase != 0:
+                return False
+        elif relationship is ASRelationship.PEER or relationship is ASRelationship.SIBLING:
+            if phase >= 1:
+                return False
+            phase = 1
+        elif relationship is ASRelationship.CUSTOMER:  # downhill
+            phase = 2
+        else:
+            return False
+    return True

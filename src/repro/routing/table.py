@@ -1,0 +1,90 @@
+"""Route tables: ranked candidate AS paths per (source, destination) pair."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.net.asn import ASN
+from repro.net.ip import IPVersion
+from repro.routing.policy import RouteClass
+
+__all__ = ["CandidateRoute", "RouteTable"]
+
+_Edge = Tuple[ASN, ASN]
+
+
+def _path_edges(path: Tuple[ASN, ...]) -> FrozenSet[_Edge]:
+    return frozenset(
+        (a, b) if a < b else (b, a) for a, b in zip(path, path[1:])
+    )
+
+
+@dataclass(frozen=True)
+class CandidateRoute:
+    """One candidate AS path from a source AS to a destination AS.
+
+    Attributes:
+        path: AS path including both endpoints.
+        route_class: Preference class of the first hop, from the source's
+            point of view.
+        rank: Position in the source's preference order (0 = best).
+        via: The next-hop AS (``path[1]``, or the source itself for the
+            self route).
+        tier: ``0`` for routes the next hop advertises in steady state (its
+            own best path); ``1`` for the next hop's fallback routes, which
+            only become visible when its primary breaks.
+        edges: The AS-level edges the path uses, for outage matching.
+    """
+
+    path: Tuple[ASN, ...]
+    route_class: RouteClass
+    rank: int
+    via: ASN
+    tier: int = 0
+    edges: FrozenSet[_Edge] = field(default=frozenset())
+
+    @staticmethod
+    def make(
+        path: Tuple[ASN, ...], route_class: RouteClass, rank: int, tier: int = 0
+    ) -> "CandidateRoute":
+        """Build a candidate with its edge set derived from the path."""
+        via = path[1] if len(path) > 1 else path[0]
+        return CandidateRoute(
+            path=path,
+            route_class=route_class,
+            rank=rank,
+            via=via,
+            tier=tier,
+            edges=_path_edges(path),
+        )
+
+    def uses_edge(self, a: ASN, b: ASN) -> bool:
+        """Whether the path traverses the AS edge ``a``-``b``."""
+        key = (a, b) if a < b else (b, a)
+        return key in self.edges
+
+
+@dataclass
+class RouteTable:
+    """Candidate routes for every ordered AS pair, for one IP version.
+
+    ``candidates[(src, dst)]`` is ordered by preference; index 0 is the path
+    BGP selects when everything is up.
+    """
+
+    version: IPVersion
+    candidates: Dict[Tuple[ASN, ASN], Tuple[CandidateRoute, ...]] = field(default_factory=dict)
+
+    def routes(self, src: ASN, dst: ASN) -> Tuple[CandidateRoute, ...]:
+        """All candidates from ``src`` to ``dst`` (empty if unreachable)."""
+        return self.candidates.get((src, dst), ())
+
+    def best(self, src: ASN, dst: ASN) -> Optional[CandidateRoute]:
+        """The preferred route, or ``None`` when ``dst`` is unreachable."""
+        routes = self.routes(src, dst)
+        return routes[0] if routes else None
+
+    def reachable_pairs(self) -> List[Tuple[ASN, ASN]]:
+        """All ordered pairs with at least one route."""
+        return sorted(pair for pair, routes in self.candidates.items() if routes)

@@ -1,0 +1,47 @@
+"""Synthetic Internet + CDN topology substrate.
+
+The paper's measurement platform is a proprietary CDN embedded in the real
+Internet.  This subpackage builds the closest laptop-scale equivalent:
+
+- :mod:`repro.topology.world` -- a world model of cities with coordinates,
+  weighted so CDN server placement matches the paper's country mix.
+- :mod:`repro.topology.generator` -- an AS-level graph with tiers (tier-1
+  clique, transit, stub), customer-provider and peering edges, and per-AS
+  geographic footprints.
+- :mod:`repro.topology.addressing` -- IPv4/IPv6 prefix allocation per AS,
+  including deliberately unannounced infrastructure space.
+- :mod:`repro.topology.ixp` -- Internet exchange points with shared peering
+  fabrics and (often unannounced) peering-LAN prefixes.
+- :mod:`repro.topology.routers` -- the router-level topology: border/core
+  routers per (AS, city), interdomain link instances with concrete interface
+  addresses, and the ground-truth owner of every interface.
+- :mod:`repro.topology.cdn` -- the CDN deployment: server clusters placed in
+  cities, dual-stack servers, and the designated measurement server per
+  cluster.
+"""
+
+from repro.topology.cdn import CDNDeployment, Cluster, Server, deploy_cdn
+from repro.topology.generator import (
+    ASGraph,
+    ASTier,
+    AutonomousSystem,
+    TopologyConfig,
+    generate_topology,
+)
+from repro.topology.routers import Interface, InterdomainLink, Router, RouterTopology
+
+__all__ = [
+    "ASGraph",
+    "ASTier",
+    "AutonomousSystem",
+    "TopologyConfig",
+    "generate_topology",
+    "CDNDeployment",
+    "Cluster",
+    "Server",
+    "deploy_cdn",
+    "Interface",
+    "InterdomainLink",
+    "Router",
+    "RouterTopology",
+]

@@ -1,0 +1,261 @@
+"""Address allocation: per-AS prefixes, infrastructure space, and the BGP RIB.
+
+Three properties of real addressing matter to the paper's pipeline, and all
+three are reproduced here:
+
+1. *IP-to-ASN mapping via BGP.*  Each AS announces address blocks; the
+   traceroute analysis maps hop IPs to the origin AS of the longest matching
+   announced prefix (:meth:`AddressPlan.origin`).
+2. *Unannounced infrastructure space.*  Every AS's infrastructure block has
+   an announced half and an unannounced half; a small fraction of link
+   subnets (and a fraction of IXP peering LANs) come from unannounced
+   space, which yields the paper's "missing AS-level data" rows in Table 1.
+3. *Link-address allocation conventions.*  On a customer-provider link the
+   subnet is carved from the provider's space, so the customer-side
+   interface maps (via BGP) to the provider while the router belongs to the
+   customer -- the ambiguity the Section 5.3 ownership heuristics resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.net.asn import ASN
+from repro.net.ip import IPAddress, IPVersion
+from repro.net.prefix import Prefix, PrefixTrie
+from repro.topology.generator import ASGraph
+
+__all__ = ["AddressingConfig", "ASAddressing", "AddressPlan", "allocate_addresses"]
+
+# Pool layout (arbitrary but stable): announced unicast blocks, infrastructure
+# blocks and IXP LANs come from disjoint super-blocks so tests can assert
+# which pool an address belongs to.
+_POOL_ANNOUNCED_V4 = Prefix.parse("16.0.0.0/4")      # /16 per AS
+_POOL_INFRA_V4 = Prefix.parse("100.0.0.0/8")         # /22 per AS
+_POOL_IXP_V4 = Prefix.parse("193.0.0.0/12")          # /22 per IXP
+_POOL_ANNOUNCED_V6 = Prefix.parse("2600::/12")       # /32 per AS
+_POOL_INFRA_V6 = Prefix.parse("2a00::/12")           # /48 per AS
+_POOL_IXP_V6 = Prefix.parse("2001:7f0::/28")         # /64 per IXP
+
+_AS_BLOCK_V4_LEN = 16
+_INFRA_BLOCK_V4_LEN = 22
+_IXP_LAN_V4_LEN = 22
+_AS_BLOCK_V6_LEN = 32
+_INFRA_BLOCK_V6_LEN = 48
+_IXP_LAN_V6_LEN = 64
+
+_LINK_SUBNET_V4_LEN = 30
+_LINK_SUBNET_V6_LEN = 126
+
+# Host addresses (servers, internal router interfaces) are carved from the
+# announced block starting at this offset, leaving room for network gear.
+_HOST_OFFSET = 256
+
+LinkSpaceOwner = Union[ASN, Tuple[str, int]]
+"""Either an ASN, or ``("ixp", ixp_id)`` for IXP peering-LAN space."""
+
+
+@dataclass
+class AddressingConfig:
+    """Knobs of the address allocator."""
+
+    link_unannounced_probability_v4: float = 0.012
+    """Chance a v4 link subnet comes from the owner's unannounced space."""
+
+    link_unannounced_probability_v6: float = 0.02
+    """Chance for v6; higher to reproduce Table 1's larger missing-AS-level
+    share on IPv6 (3.32% vs 1.58%)."""
+
+    ixp_lan_announced_probability: float = 0.9
+    """Probability that an IXP announces its peering LAN in BGP."""
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on out-of-range probabilities."""
+        for name in (
+            "link_unannounced_probability_v4",
+            "link_unannounced_probability_v6",
+            "ixp_lan_announced_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+
+@dataclass(frozen=True)
+class ASAddressing:
+    """Address blocks assigned to one AS.
+
+    The infrastructure block is split in half: the low half is announced in
+    BGP alongside the main block, the high half is kept private (the pool
+    unannounced link subnets are drawn from).
+    """
+
+    asn: ASN
+    announced_v4: Prefix
+    infra_v4: Prefix
+    announced_v6: Optional[Prefix]
+    infra_v6: Optional[Prefix]
+
+    def infra_half(self, version: IPVersion, announced: bool) -> Prefix:
+        """The announced (low) or unannounced (high) infrastructure half."""
+        if version is IPVersion.V4:
+            block = self.infra_v4
+        else:
+            if self.infra_v6 is None:
+                raise KeyError(f"AS{self.asn} has no IPv6 infrastructure block")
+            block = self.infra_v6
+        return block.subprefix(block.length + 1, 0 if announced else 1)
+
+
+@dataclass
+class AddressPlan:
+    """The complete allocation, plus the BGP RIB built from it.
+
+    The RIB (:attr:`bgp_v4` / :attr:`bgp_v6`) contains only *announced*
+    prefixes; :meth:`origin` is the IP-to-ASN primitive the analysis
+    pipeline uses, and it returns ``None`` for unannounced space.
+    """
+
+    config: AddressingConfig = field(default_factory=AddressingConfig)
+    per_as: Dict[ASN, ASAddressing] = field(default_factory=dict)
+    bgp_v4: PrefixTrie = field(default_factory=lambda: PrefixTrie(IPVersion.V4))
+    bgp_v6: PrefixTrie = field(default_factory=lambda: PrefixTrie(IPVersion.V6))
+    ixp_lan_v4: Dict[int, Prefix] = field(default_factory=dict)
+    ixp_lan_v6: Dict[int, Prefix] = field(default_factory=dict)
+    ixp_lan_announced: Dict[int, bool] = field(default_factory=dict)
+    _link_counters: Dict[Tuple[object, IPVersion, bool], int] = field(default_factory=dict)
+    _host_counters: Dict[Tuple[ASN, IPVersion], int] = field(default_factory=dict)
+
+    def origin(self, address: IPAddress) -> Optional[ASN]:
+        """Origin ASN of the longest announced prefix covering ``address``.
+
+        This is the IP-to-ASN mapping of Section 2.1; ``None`` models "no
+        known IP-to-ASN mapping".
+        """
+        table = self.bgp_v4 if address.version is IPVersion.V4 else self.bgp_v6
+        return table.lookup(address)
+
+    def _link_pool(
+        self, owner: LinkSpaceOwner, version: IPVersion, unannounced: bool
+    ) -> Tuple[Prefix, int]:
+        """The block link subnets for ``owner`` are carved from."""
+        subnet_len = _LINK_SUBNET_V4_LEN if version is IPVersion.V4 else _LINK_SUBNET_V6_LEN
+        if isinstance(owner, tuple):
+            _, ixp_id = owner
+            lans = self.ixp_lan_v4 if version is IPVersion.V4 else self.ixp_lan_v6
+            if ixp_id not in lans:
+                raise KeyError(f"IXP {ixp_id} has no IPv{int(version)} peering LAN")
+            return lans[ixp_id], subnet_len
+        addressing = self.per_as.get(owner)
+        if addressing is None:
+            raise KeyError(f"unknown AS{owner}")
+        return addressing.infra_half(version, announced=not unannounced), subnet_len
+
+    def allocate_link_subnet(
+        self, owner: LinkSpaceOwner, version: IPVersion, unannounced: bool = False
+    ) -> Prefix:
+        """Carve the next point-to-point subnet from ``owner``'s space.
+
+        Args:
+            owner: The AS (or IXP) whose space the subnet comes from.
+            unannounced: Draw from the owner's unannounced infrastructure
+                half (ignored for IXP space, whose announcement status is a
+                property of the whole LAN).
+
+        Raises:
+            KeyError: Unknown owner, or owner lacks space for the version.
+            ValueError: Owner's block is exhausted.
+        """
+        pool, subnet_len = self._link_pool(owner, version, unannounced)
+        key = (owner, version, unannounced)
+        index = self._link_counters.get(key, 0)
+        capacity = 1 << (subnet_len - pool.length)
+        if index >= capacity:
+            raise ValueError(f"link-subnet pool exhausted for {owner} IPv{int(version)}")
+        self._link_counters[key] = index + 1
+        return pool.subprefix(subnet_len, index)
+
+    def allocate_host(self, asn: ASN, version: IPVersion) -> IPAddress:
+        """Allocate the next host address from the AS's announced block."""
+        addressing = self.per_as[asn]
+        if version is IPVersion.V4:
+            block = addressing.announced_v4
+        else:
+            if addressing.announced_v6 is None:
+                raise KeyError(f"AS{asn} has no announced IPv6 block")
+            block = addressing.announced_v6
+        key = (asn, version)
+        index = self._host_counters.get(key, 0)
+        # IPv6 announced blocks are huge; the v4 bound is the real constraint.
+        if _HOST_OFFSET + index >= block.num_addresses:
+            raise ValueError(f"host pool exhausted for AS{asn} IPv{int(version)}")
+        self._host_counters[key] = index + 1
+        return block.address(_HOST_OFFSET + index)
+
+    def announced_by(self, asn: ASN) -> Tuple[Prefix, ...]:
+        """All prefixes announced by ``asn`` (for reporting/tests)."""
+        result = []
+        for table in (self.bgp_v4, self.bgp_v6):
+            for prefix, origin in table.items():
+                if origin == asn:
+                    result.append(prefix)
+        return tuple(result)
+
+
+def allocate_addresses(
+    graph: ASGraph,
+    config: Optional[AddressingConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> AddressPlan:
+    """Allocate address blocks to every AS and IXP in ``graph``.
+
+    Allocation order is the sorted ASN order, so the plan is a pure function
+    of the graph and the RNG state.
+    """
+    config = config or AddressingConfig()
+    config.validate()
+    rng = rng if rng is not None else np.random.default_rng(1)
+    plan = AddressPlan(config=config)
+
+    for index, asn in enumerate(graph.asns()):
+        system = graph.ases[asn]
+        announced_v4 = _POOL_ANNOUNCED_V4.subprefix(_AS_BLOCK_V4_LEN, index)
+        infra_v4 = _POOL_INFRA_V4.subprefix(_INFRA_BLOCK_V4_LEN, index)
+        announced_v6: Optional[Prefix] = None
+        infra_v6: Optional[Prefix] = None
+        if system.ipv6_capable:
+            announced_v6 = _POOL_ANNOUNCED_V6.subprefix(_AS_BLOCK_V6_LEN, index)
+            infra_v6 = _POOL_INFRA_V6.subprefix(_INFRA_BLOCK_V6_LEN, index)
+        addressing = ASAddressing(
+            asn=asn,
+            announced_v4=announced_v4,
+            infra_v4=infra_v4,
+            announced_v6=announced_v6,
+            infra_v6=infra_v6,
+        )
+        plan.per_as[asn] = addressing
+        plan.bgp_v4.insert(announced_v4, asn)
+        plan.bgp_v4.insert(addressing.infra_half(IPVersion.V4, announced=True), asn)
+        if announced_v6 is not None:
+            plan.bgp_v6.insert(announced_v6, asn)
+            plan.bgp_v6.insert(addressing.infra_half(IPVersion.V6, announced=True), asn)
+
+    # IXP peering LANs.  An "IXP ASN" well above the AS range originates the
+    # LAN when it is announced at all; unannounced LANs produce unmappable
+    # hops at public peering points.
+    ixp_asn_base = max(graph.asns(), default=0) + 10_000
+    for ixp_id, _descriptor in sorted(graph.ixps.items()):
+        lan_v4 = _POOL_IXP_V4.subprefix(_IXP_LAN_V4_LEN, ixp_id)
+        lan_v6 = _POOL_IXP_V6.subprefix(_IXP_LAN_V6_LEN, ixp_id)
+        announced = bool(rng.random() < config.ixp_lan_announced_probability)
+        plan.ixp_lan_v4[ixp_id] = lan_v4
+        plan.ixp_lan_v6[ixp_id] = lan_v6
+        plan.ixp_lan_announced[ixp_id] = announced
+        if announced:
+            plan.bgp_v4.insert(lan_v4, ixp_asn_base + ixp_id)
+            plan.bgp_v6.insert(lan_v6, ixp_asn_base + ixp_id)
+
+    return plan

@@ -1,0 +1,218 @@
+"""CDN deployment: clusters of servers embedded in the synthetic Internet.
+
+Stands in for the paper's measurement platform (Section 2): a CDN operating
+server clusters in thousands of locations, most servers dual-stack, with one
+designated measurement server per cluster performing the traceroutes and
+pings.  Cluster placement follows the world-model country weights so the
+server mix matches the paper's reported distribution (~39% US, etc.).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.net.asn import ASN
+from repro.net.geo import GeoLocation
+from repro.net.ip import IPAddress, IPVersion
+from repro.topology.addressing import AddressPlan
+from repro.topology.generator import ASGraph, ASTier
+from repro.topology.world import sample_city
+
+__all__ = ["Server", "Cluster", "CDNDeployment", "deploy_cdn"]
+
+
+@dataclass(frozen=True)
+class Server:
+    """One CDN server.
+
+    Attributes:
+        server_id: Unique id across the deployment.
+        cluster_id: Id of the owning cluster.
+        asn: Host AS of the cluster.
+        city: Cluster location.
+        ipv4: The server's IPv4 address.
+        ipv6: The server's IPv6 address, or ``None`` for v4-only servers.
+    """
+
+    server_id: int
+    cluster_id: int
+    asn: ASN
+    city: GeoLocation
+    ipv4: IPAddress
+    ipv6: Optional[IPAddress]
+
+    @property
+    def dual_stack(self) -> bool:
+        """Whether the server has both address families."""
+        return self.ipv6 is not None
+
+    def address(self, version: IPVersion) -> Optional[IPAddress]:
+        """The server's address for ``version`` (``None`` if unavailable)."""
+        return self.ipv4 if version is IPVersion.V4 else self.ipv6
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A server cluster at one location inside one host AS.
+
+    The first server in :attr:`servers` is the designated measurement server
+    (Section 2: "one server at each cluster is utilized to perform
+    measurements").
+    """
+
+    cluster_id: int
+    asn: ASN
+    city: GeoLocation
+    servers: Tuple[Server, ...]
+
+    @property
+    def measurement_server(self) -> Server:
+        """The cluster's designated measurement server."""
+        return self.servers[0]
+
+
+@dataclass
+class CDNDeployment:
+    """The full CDN: clusters, servers, and lookup helpers."""
+
+    clusters: Dict[int, Cluster] = field(default_factory=dict)
+    servers: Dict[int, Server] = field(default_factory=dict)
+    _by_address: Dict[IPAddress, int] = field(default_factory=dict)
+
+    def add(self, cluster: Cluster) -> None:
+        """Register ``cluster`` and index its servers."""
+        if cluster.cluster_id in self.clusters:
+            raise ValueError(f"duplicate cluster id {cluster.cluster_id}")
+        self.clusters[cluster.cluster_id] = cluster
+        for server in cluster.servers:
+            self.servers[server.server_id] = server
+            self._by_address[server.ipv4] = server.server_id
+            if server.ipv6 is not None:
+                self._by_address[server.ipv6] = server.server_id
+
+    def server_by_address(self, address: IPAddress) -> Optional[Server]:
+        """The server holding ``address``, if any."""
+        server_id = self._by_address.get(address)
+        return self.servers[server_id] if server_id is not None else None
+
+    def measurement_servers(self, dual_stack_only: bool = False) -> List[Server]:
+        """One measurement server per cluster, in cluster-id order."""
+        result = []
+        for cluster_id in sorted(self.clusters):
+            server = self.clusters[cluster_id].measurement_server
+            if dual_stack_only and not server.dual_stack:
+                continue
+            result.append(server)
+        return result
+
+    def country_mix(self) -> Dict[str, float]:
+        """Fraction of clusters per country (for calibration checks)."""
+        counts: Dict[str, int] = {}
+        for cluster in self.clusters.values():
+            counts[cluster.city.country] = counts.get(cluster.city.country, 0) + 1
+        total = max(1, len(self.clusters))
+        return {country: count / total for country, count in counts.items()}
+
+
+def _candidate_hosts(
+    graph: ASGraph, city: GeoLocation, dual_stack: bool
+) -> List[ASN]:
+    """ASes that could host a cluster in ``city`` (stubs preferred)."""
+    stubs, transits = [], []
+    for asn in graph.asns():
+        system = graph.ases[asn]
+        if dual_stack and not system.ipv6_capable:
+            continue
+        if city not in system.cities:
+            continue
+        if system.tier is ASTier.STUB:
+            stubs.append(asn)
+        elif system.tier is ASTier.TRANSIT:
+            transits.append(asn)
+    return stubs or transits
+
+
+def deploy_cdn(
+    graph: ASGraph,
+    plan: AddressPlan,
+    cluster_count: int,
+    servers_per_cluster: int = 1,
+    dual_stack_fraction: float = 0.9,
+    rng: Optional[np.random.Generator] = None,
+    max_attempts_factor: int = 200,
+) -> CDNDeployment:
+    """Place CDN clusters across the synthetic Internet.
+
+    Args:
+        graph: The AS topology.
+        plan: Address plan used to assign server addresses from the host
+            AS's announced space.
+        cluster_count: Number of clusters to create.
+        servers_per_cluster: Servers in each cluster (the first is the
+            measurement server).
+        dual_stack_fraction: Fraction of clusters that must be dual-stack
+            (hosted in a v6-capable AS, servers given both families).
+        rng: Randomness source; defaults to a fixed seed.
+        max_attempts_factor: Abort after ``cluster_count * factor`` failed
+            placement attempts (host AS not found in a sampled city).
+
+    Raises:
+        RuntimeError: If placement cannot be completed, which indicates a
+            topology far too small for the requested deployment.
+    """
+    if cluster_count < 1 or servers_per_cluster < 1:
+        raise ValueError("cluster_count and servers_per_cluster must be positive")
+    if not 0.0 <= dual_stack_fraction <= 1.0:
+        raise ValueError("dual_stack_fraction must be a probability")
+    rng = rng if rng is not None else np.random.default_rng(3)
+    deployment = CDNDeployment()
+    next_server_id = itertools.count(0)
+
+    dual_stack_quota = int(round(cluster_count * dual_stack_fraction))
+    attempts_left = cluster_count * max_attempts_factor
+
+    for cluster_id in range(cluster_count):
+        needs_dual_stack = cluster_id < dual_stack_quota
+        host: Optional[ASN] = None
+        city: Optional[GeoLocation] = None
+        while attempts_left > 0:
+            attempts_left -= 1
+            city = sample_city(rng)
+            candidates = _candidate_hosts(graph, city, needs_dual_stack)
+            if candidates:
+                host = candidates[int(rng.integers(len(candidates)))]
+                break
+        if host is None or city is None:
+            raise RuntimeError(
+                f"could not place cluster {cluster_id}: topology has no host AS "
+                "in the sampled cities (grow the topology or lower cluster_count)"
+            )
+
+        host_system = graph.ases[host]
+        servers = []
+        for _ in range(servers_per_cluster):
+            ipv4 = plan.allocate_host(host, IPVersion.V4)
+            ipv6 = (
+                plan.allocate_host(host, IPVersion.V6)
+                if needs_dual_stack and host_system.ipv6_capable
+                else None
+            )
+            servers.append(
+                Server(
+                    server_id=next(next_server_id),
+                    cluster_id=cluster_id,
+                    asn=host,
+                    city=city,
+                    ipv4=ipv4,
+                    ipv6=ipv6,
+                )
+            )
+        deployment.add(
+            Cluster(cluster_id=cluster_id, asn=host, city=city, servers=tuple(servers))
+        )
+
+    return deployment

@@ -1,0 +1,434 @@
+"""AS-level topology generator.
+
+Produces a policy-annotated AS graph with the coarse structure of the real
+Internet core:
+
+- a clique of tier-1 providers peering with each other,
+- regional transit providers buying transit from tier-1s (and occasionally
+  from each other) and peering among themselves,
+- stub/edge ASes multihomed to one or two transit providers,
+- public peering edges established over IXP fabrics, private peering edges
+  established over cross-connects (the distinction matters for the paper's
+  Section 5.3 finding that congested interconnections are mostly private).
+
+Every AS has a geographic footprint (a set of world-model cities); edges are
+placed preferentially between ASes with nearby footprints so that AS paths
+traverse geographically plausible routes and the RTT model produces
+realistic propagation delays.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.asn import ASN, ASRelationship, RelationshipTable
+from repro.net.geo import GeoLocation
+from repro.topology.world import cities_by_continent, sample_cities
+
+__all__ = [
+    "ASTier",
+    "LinkMedium",
+    "AutonomousSystem",
+    "TopologyConfig",
+    "ASGraph",
+    "IXPDescriptor",
+    "generate_topology",
+]
+
+
+class ASTier(enum.Enum):
+    """Coarse role of an AS in the hierarchy."""
+
+    TIER1 = "tier1"
+    TRANSIT = "transit"
+    STUB = "stub"
+
+
+class LinkMedium(enum.Enum):
+    """How an interdomain edge is physically realized (Section 5.3)."""
+
+    PRIVATE = "private"
+    """Private interconnect (cross-connect or private line)."""
+
+    IXP = "ixp"
+    """Public peering over an IXP switching fabric."""
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """One AS in the synthetic topology.
+
+    Attributes:
+        asn: The AS number.
+        tier: Hierarchy role.
+        cities: Geographic footprint; border routers exist in each city.
+        ipv6_capable: Whether the AS participates in the IPv6 topology.
+    """
+
+    asn: ASN
+    tier: ASTier
+    cities: Tuple[GeoLocation, ...]
+    ipv6_capable: bool
+
+    @property
+    def home_city(self) -> GeoLocation:
+        """Primary city of the AS (first footprint entry)."""
+        return self.cities[0]
+
+
+@dataclass(frozen=True)
+class IXPDescriptor:
+    """An Internet exchange point: a city plus the member ASes peering there."""
+
+    ixp_id: int
+    city: GeoLocation
+    members: FrozenSet[ASN]
+
+
+@dataclass
+class TopologyConfig:
+    """Knobs of the AS-graph generator.
+
+    The defaults build a ~170-AS Internet, large enough for hundreds of
+    distinct AS paths between CDN sites yet small enough that full
+    path-vector routing over it is instantaneous.
+    """
+
+    n_tier1: int = 8
+    n_transit: int = 45
+    n_stub: int = 120
+    first_asn: int = 100
+    transit_providers: Tuple[int, int] = (1, 3)
+    stub_providers: Tuple[int, int] = (1, 2)
+    transit_peer_probability: float = 0.18
+    stub_peer_probability: float = 0.02
+    ixp_count: int = 6
+    ixp_member_probability: float = 0.55
+    ixp_public_peer_probability: float = 0.25
+    ipv6_capable_probability: float = 0.92
+    edge_ipv6_probability: float = 0.92
+    tier1_cities: Tuple[int, int] = (8, 14)
+    transit_cities: Tuple[int, int] = (3, 7)
+    stub_cities: Tuple[int, int] = (1, 2)
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on inconsistent settings."""
+        if self.n_tier1 < 2:
+            raise ValueError("need at least two tier-1 ASes")
+        if self.n_transit < 1 or self.n_stub < 1:
+            raise ValueError("need at least one transit and one stub AS")
+        for name, (low, high) in (
+            ("transit_providers", self.transit_providers),
+            ("stub_providers", self.stub_providers),
+            ("tier1_cities", self.tier1_cities),
+            ("transit_cities", self.transit_cities),
+            ("stub_cities", self.stub_cities),
+        ):
+            if low < 1 or high < low:
+                raise ValueError(f"invalid range for {name}: ({low}, {high})")
+        for name, probability in (
+            ("transit_peer_probability", self.transit_peer_probability),
+            ("stub_peer_probability", self.stub_peer_probability),
+            ("ixp_member_probability", self.ixp_member_probability),
+            ("ixp_public_peer_probability", self.ixp_public_peer_probability),
+            ("ipv6_capable_probability", self.ipv6_capable_probability),
+            ("edge_ipv6_probability", self.edge_ipv6_probability),
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {probability}")
+
+
+_Edge = Tuple[ASN, ASN]
+
+
+def _edge_key(a: ASN, b: ASN) -> _Edge:
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass
+class ASGraph:
+    """The generated AS-level topology.
+
+    Attributes:
+        ases: All ASes, keyed by ASN.
+        relationships: Ground-truth business relationships (the analog of a
+            CAIDA relationship table, but exact).
+        edge_media: Physical realization of each edge; keys are sorted pairs.
+        edge_ixp: For IXP edges, the hosting IXP id.
+        edge_ipv6: Whether the edge carries IPv6 (both endpoints capable and
+            the session is configured for v6).
+        ixps: IXP descriptors, keyed by IXP id.
+    """
+
+    ases: Dict[ASN, AutonomousSystem] = field(default_factory=dict)
+    relationships: RelationshipTable = field(default_factory=RelationshipTable)
+    edge_media: Dict[_Edge, LinkMedium] = field(default_factory=dict)
+    edge_ixp: Dict[_Edge, int] = field(default_factory=dict)
+    edge_ipv6: Dict[_Edge, bool] = field(default_factory=dict)
+    ixps: Dict[int, IXPDescriptor] = field(default_factory=dict)
+
+    def asns(self, tier: Optional[ASTier] = None) -> List[ASN]:
+        """All ASNs, optionally filtered by tier, in ascending order."""
+        return sorted(
+            asn for asn, system in self.ases.items() if tier is None or system.tier is tier
+        )
+
+    def edges(self) -> List[_Edge]:
+        """All interdomain edges as sorted ASN pairs."""
+        return sorted(self.edge_media)
+
+    def has_edge(self, a: ASN, b: ASN) -> bool:
+        """Whether an interdomain edge exists between ``a`` and ``b``."""
+        return _edge_key(a, b) in self.edge_media
+
+    def medium(self, a: ASN, b: ASN) -> LinkMedium:
+        """Physical medium of the edge between ``a`` and ``b``."""
+        return self.edge_media[_edge_key(a, b)]
+
+    def edge_supports_ipv6(self, a: ASN, b: ASN) -> bool:
+        """Whether the edge between ``a`` and ``b`` carries IPv6."""
+        return self.edge_ipv6.get(_edge_key(a, b), False)
+
+    def neighbors(self, asn: ASN, ipv6: bool = False) -> List[ASN]:
+        """Neighbors of ``asn``; restricted to v6-capable edges when asked."""
+        result = []
+        for neighbor in self.relationships.neighbors(asn):
+            if ipv6 and not self.edge_supports_ipv6(asn, neighbor):
+                continue
+            result.append(neighbor)
+        return sorted(result)
+
+    def validate(self) -> None:
+        """Internal consistency checks; raises :class:`ValueError` on failure."""
+        for a, b in self.edge_media:
+            if self.relationships.get(a, b) is None:
+                raise ValueError(f"edge AS{a}-AS{b} has a medium but no relationship")
+        for a, b, _ in self.relationships.pairs():
+            if _edge_key(a, b) not in self.edge_media:
+                raise ValueError(f"relationship AS{a}-AS{b} has no edge medium")
+        for asn, system in self.ases.items():
+            if asn != system.asn:
+                raise ValueError(f"AS key {asn} does not match record {system.asn}")
+            if not system.cities:
+                raise ValueError(f"AS{asn} has an empty footprint")
+
+
+def _footprint_distance(a: Sequence[GeoLocation], b: Sequence[GeoLocation]) -> float:
+    """Minimum city-to-city distance between two footprints, in km."""
+    return min(x.distance_km(y) for x in a for y in b)
+
+
+def _sample_footprint(
+    rng: np.random.Generator,
+    tier: ASTier,
+    config: TopologyConfig,
+) -> Tuple[GeoLocation, ...]:
+    """Draw a footprint for an AS of the given tier.
+
+    Tier-1s are global; transit providers are regional (cities drawn mostly
+    from one continent); stubs sit in one or two nearby cities.
+    """
+    if tier is ASTier.TIER1:
+        count = int(rng.integers(config.tier1_cities[0], config.tier1_cities[1] + 1))
+        return tuple(sample_cities(rng, count, unique=True))
+    home = sample_cities(rng, 1)[0]
+    regional = cities_by_continent(home.continent)
+    if tier is ASTier.TRANSIT:
+        count = int(rng.integers(config.transit_cities[0], config.transit_cities[1] + 1))
+    else:
+        count = int(rng.integers(config.stub_cities[0], config.stub_cities[1] + 1))
+    footprint: List[GeoLocation] = [home]
+    candidates = [city for city in regional if city != home]
+    rng.shuffle(candidates)  # type: ignore[arg-type]
+    for city in candidates:
+        if len(footprint) >= count:
+            break
+        footprint.append(city)
+    # Small footprint continents (e.g. OC) may not fill the quota; accept it.
+    return tuple(footprint)
+
+
+def _pick_providers(
+    rng: np.random.Generator,
+    customer: AutonomousSystem,
+    candidates: Sequence[AutonomousSystem],
+    count_range: Tuple[int, int],
+) -> List[ASN]:
+    """Choose providers for ``customer``, weighted by geographic proximity."""
+    count = int(rng.integers(count_range[0], count_range[1] + 1))
+    count = min(count, len(candidates))
+    distances = np.array(
+        [_footprint_distance(customer.cities, provider.cities) for provider in candidates]
+    )
+    # Closer providers are much more likely; 1/(500km + d) gives strong
+    # locality without making remote providers impossible.
+    weights = 1.0 / (500.0 + distances)
+    weights /= weights.sum()
+    chosen = rng.choice(len(candidates), size=count, replace=False, p=weights)
+    return [candidates[int(index)].asn for index in chosen]
+
+
+def generate_topology(
+    config: Optional[TopologyConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> ASGraph:
+    """Generate a synthetic AS-level Internet.
+
+    Args:
+        config: Generator knobs; defaults to :class:`TopologyConfig`.
+        rng: Source of randomness; defaults to a fixed-seed generator so the
+            zero-argument call is reproducible.
+
+    Returns:
+        A validated :class:`ASGraph`.
+    """
+    config = config or TopologyConfig()
+    config.validate()
+    rng = rng if rng is not None else np.random.default_rng(0)
+    graph = ASGraph()
+
+    next_asn = itertools.count(config.first_asn)
+
+    def make_as(tier: ASTier) -> AutonomousSystem:
+        asn = next(next_asn)
+        capable = tier is ASTier.TIER1 or bool(
+            rng.random() < config.ipv6_capable_probability
+        )
+        system = AutonomousSystem(
+            asn=asn,
+            tier=tier,
+            cities=_sample_footprint(rng, tier, config),
+            ipv6_capable=capable,
+        )
+        graph.ases[asn] = system
+        return system
+
+    tier1s = [make_as(ASTier.TIER1) for _ in range(config.n_tier1)]
+    transits = [make_as(ASTier.TRANSIT) for _ in range(config.n_transit)]
+    stubs = [make_as(ASTier.STUB) for _ in range(config.n_stub)]
+
+    def add_edge(a: ASN, b: ASN, relationship: ASRelationship, medium: LinkMedium,
+                 ixp_id: Optional[int] = None) -> None:
+        graph.relationships.add(a, b, relationship)
+        key = _edge_key(a, b)
+        graph.edge_media[key] = medium
+        if ixp_id is not None:
+            graph.edge_ixp[key] = ixp_id
+        both_capable = graph.ases[a].ipv6_capable and graph.ases[b].ipv6_capable
+        graph.edge_ipv6[key] = bool(
+            both_capable and rng.random() < config.edge_ipv6_probability
+        )
+
+    # Tier-1 clique: all pairs peer privately.
+    for first, second in itertools.combinations(tier1s, 2):
+        add_edge(first.asn, second.asn, ASRelationship.PEER, LinkMedium.PRIVATE)
+
+    # Transit providers buy transit from tier-1s (and occasionally from other
+    # transit providers created before them, giving a shallow hierarchy).
+    for index, transit in enumerate(transits):
+        candidates: List[AutonomousSystem] = list(tier1s)
+        candidates.extend(transits[: index // 2])
+        providers = _pick_providers(rng, transit, candidates, config.transit_providers)
+        for provider in providers:
+            add_edge(provider, transit.asn, ASRelationship.CUSTOMER, LinkMedium.PRIVATE)
+
+    # Stubs buy transit from geographically nearby transit providers.
+    for stub in stubs:
+        providers = _pick_providers(rng, stub, transits, config.stub_providers)
+        for provider in providers:
+            add_edge(provider, stub.asn, ASRelationship.CUSTOMER, LinkMedium.PRIVATE)
+
+    # Private peering among transit providers with nearby footprints.
+    for first, second in itertools.combinations(transits, 2):
+        if graph.has_edge(first.asn, second.asn):
+            continue
+        distance = _footprint_distance(first.cities, second.cities)
+        probability = config.transit_peer_probability * (500.0 / (500.0 + distance))
+        if rng.random() < probability:
+            add_edge(first.asn, second.asn, ASRelationship.PEER, LinkMedium.PRIVATE)
+
+    # IXPs: pick host cities, enroll members present in (or near) the city,
+    # and create public peering edges between member pairs.
+    ixp_cities = sample_cities(rng, config.ixp_count, unique=True)
+    for ixp_id, city in enumerate(ixp_cities):
+        members: List[ASN] = []
+        for system in itertools.chain(tier1s, transits, stubs):
+            near = any(city.distance_km(own) < 100.0 for own in system.cities)
+            if near and rng.random() < config.ixp_member_probability:
+                members.append(system.asn)
+        graph.ixps[ixp_id] = IXPDescriptor(ixp_id=ixp_id, city=city, members=frozenset(members))
+        for a, b in itertools.combinations(members, 2):
+            if graph.has_edge(a, b):
+                continue
+            tier_a, tier_b = graph.ases[a].tier, graph.ases[b].tier
+            if ASTier.TIER1 in (tier_a, tier_b):
+                continue  # tier-1s do not open public peering
+            if rng.random() < config.ixp_public_peer_probability:
+                add_edge(a, b, ASRelationship.PEER, LinkMedium.IXP, ixp_id=ixp_id)
+
+    # A handful of direct stub-stub private peerings (content/eyeball style).
+    for first, second in itertools.combinations(stubs, 2):
+        if graph.has_edge(first.asn, second.asn):
+            continue
+        distance = _footprint_distance(first.cities, second.cities)
+        if distance < 200.0 and rng.random() < config.stub_peer_probability:
+            add_edge(first.asn, second.asn, ASRelationship.PEER, LinkMedium.PRIVATE)
+
+    _normalize_ipv6_capability(graph)
+    graph.validate()
+    return graph
+
+
+def _normalize_ipv6_capability(graph: ASGraph) -> None:
+    """Make IPv6 capability mean IPv6 *reachability*.
+
+    Three passes:
+
+    1. Demote (to v4-only) any non-tier-1 AS with no IPv6-capable provider;
+       capability without upstream transit is vacuous.  Iterate to fixpoint
+       since demotions cascade down provider chains.
+    2. Clear the v6 flag of edges touching a demoted AS.
+    3. Force one provider edge per capable AS to carry v6, so capability
+       always implies a v6 transit path -- the paper's dual-stack servers
+       have working IPv6 by construction.
+    """
+    from dataclasses import replace
+
+    changed = True
+    while changed:
+        changed = False
+        for asn in graph.asns():
+            system = graph.ases[asn]
+            if system.tier is ASTier.TIER1 or not system.ipv6_capable:
+                continue
+            has_capable_provider = any(
+                graph.ases[provider].ipv6_capable
+                for provider in graph.relationships.providers(asn)
+            )
+            if not has_capable_provider:
+                graph.ases[asn] = replace(system, ipv6_capable=False)
+                changed = True
+
+    for key in graph.edge_ipv6:
+        a, b = key
+        if not (graph.ases[a].ipv6_capable and graph.ases[b].ipv6_capable):
+            graph.edge_ipv6[key] = False
+
+    for asn in graph.asns():
+        system = graph.ases[asn]
+        if system.tier is ASTier.TIER1 or not system.ipv6_capable:
+            continue
+        capable_providers = [
+            provider
+            for provider in sorted(graph.relationships.providers(asn))
+            if graph.ases[provider].ipv6_capable
+        ]
+        if capable_providers and not any(
+            graph.edge_supports_ipv6(asn, provider) for provider in capable_providers
+        ):
+            graph.edge_ipv6[_edge_key(asn, capable_providers[0])] = True

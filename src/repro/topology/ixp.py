@@ -1,0 +1,33 @@
+"""IXP helpers: queries over the public-peering side of the topology.
+
+The IXP descriptors themselves are produced by
+:func:`repro.topology.generator.generate_topology` and their peering-LAN
+prefixes by :func:`repro.topology.addressing.allocate_addresses`; this module
+adds the convenience queries the benchmarks and reports use when breaking
+congested links down by medium (Section 5.3: "around 60 links ... established
+over the public switching fabric of IXPs experienced congestion").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.net.asn import ASN
+from repro.topology.generator import ASGraph, IXPDescriptor, LinkMedium
+
+__all__ = ["IXPDescriptor", "public_peering_edges", "ixp_membership_counts"]
+
+
+def public_peering_edges(graph: ASGraph) -> List[Tuple[ASN, ASN, int]]:
+    """All public peering edges as ``(asn_a, asn_b, ixp_id)`` triples."""
+    result = []
+    for edge, medium in graph.edge_media.items():
+        if medium is LinkMedium.IXP:
+            a, b = edge
+            result.append((a, b, graph.edge_ixp[edge]))
+    return sorted(result)
+
+
+def ixp_membership_counts(graph: ASGraph) -> Dict[int, int]:
+    """Member count per IXP id."""
+    return {ixp_id: len(descriptor.members) for ixp_id, descriptor in graph.ixps.items()}

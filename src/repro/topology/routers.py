@@ -1,0 +1,359 @@
+"""Router-level topology: routers, interfaces, and interdomain link instances.
+
+The AS graph says *who connects to whom*; this module decides *where* (which
+cities) and *with which addresses*.  Every AS gets one border router per
+footprint city; every AS-level edge is realized by one or more concrete link
+instances between border routers, each with a point-to-point subnet whose
+allocation follows real-world conventions:
+
+- customer-provider link: subnet carved from the **provider's** space,
+- private peering: subnet from either peer (coin flip),
+- public peering: subnet from the IXP peering LAN.
+
+The ground-truth owner of every interface is recorded, which is what lets
+the test suite score the paper's Section 5.3 ownership heuristics, and lets
+the congestion benchmarks compare inferred congested-link classes against
+the links that were actually congested in the simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.net.asn import ASN, ASRelationship
+from repro.net.geo import GeoLocation
+from repro.net.ip import IPAddress, IPVersion
+from repro.net.prefix import Prefix
+from repro.topology.addressing import AddressPlan, LinkSpaceOwner
+from repro.topology.generator import ASGraph, LinkMedium
+
+__all__ = [
+    "Router",
+    "Interface",
+    "InterdomainLink",
+    "RouterTopology",
+    "build_router_topology",
+]
+
+
+@dataclass(frozen=True)
+class Router:
+    """A router: ground-truth owner AS, location, and probing behaviour.
+
+    Attributes:
+        router_id: Unique id within the topology.
+        owner: The AS that operates the router (ground truth).
+        city: Where the router sits; drives propagation delay.
+        respond_probability: Chance the router answers a traceroute probe;
+            heterogeneous across routers to model ICMP rate limiting, the
+            source of Table 1's "missing IP-level data" rows.
+    """
+
+    router_id: int
+    owner: ASN
+    city: GeoLocation
+    respond_probability: float
+
+
+@dataclass(frozen=True)
+class Interface:
+    """One addressed interface on a router."""
+
+    address: IPAddress
+    router_id: int
+    owner: ASN
+    """Ground-truth owner (the router's operator, not the address allocator)."""
+
+
+@dataclass(frozen=True)
+class InterdomainLink:
+    """A concrete instance of an AS-level edge between two border routers.
+
+    ``a``/``b`` ordering is by ASN.  ``subnet_owner`` records whose space the
+    point-to-point subnet came from (an ASN, or ``("ixp", id)``).
+    """
+
+    link_id: int
+    asn_a: ASN
+    asn_b: ASN
+    router_a: int
+    router_b: int
+    medium: LinkMedium
+    subnet_owner: LinkSpaceOwner
+    subnet_v4: Prefix
+    interface_a_v4: IPAddress
+    interface_b_v4: IPAddress
+    subnet_v6: Optional[Prefix]
+    interface_a_v6: Optional[IPAddress]
+    interface_b_v6: Optional[IPAddress]
+
+    def far_interface(self, from_asn: ASN, version: IPVersion) -> Optional[IPAddress]:
+        """Ingress interface seen when crossing the link *out of* ``from_asn``."""
+        if from_asn == self.asn_a:
+            return self.interface_b_v4 if version is IPVersion.V4 else self.interface_b_v6
+        if from_asn == self.asn_b:
+            return self.interface_a_v4 if version is IPVersion.V4 else self.interface_a_v6
+        raise ValueError(f"AS{from_asn} is not an endpoint of link {self.link_id}")
+
+    def router_in(self, asn: ASN) -> int:
+        """The endpoint router belonging to ``asn``."""
+        if asn == self.asn_a:
+            return self.router_a
+        if asn == self.asn_b:
+            return self.router_b
+        raise ValueError(f"AS{asn} is not an endpoint of link {self.link_id}")
+
+    def supports_ipv6(self) -> bool:
+        """Whether the link instance carries IPv6."""
+        return self.subnet_v6 is not None
+
+
+_CityKey = Tuple[str, str]
+
+
+def _city_key(city: GeoLocation) -> _CityKey:
+    return (city.city, city.country)
+
+
+@dataclass
+class RouterTopology:
+    """The complete router-level topology.
+
+    Attributes:
+        routers: All routers by id.
+        border: Border router id per (ASN, city key).
+        links: Link instances per sorted AS pair.
+        interfaces: Every addressed interface, keyed by address.
+        internal_v4 / internal_v6: Internal (intra-AS) interface of each
+            router, used as the hop address for intra-AS traceroute hops.
+    """
+
+    routers: Dict[int, Router] = field(default_factory=dict)
+    border: Dict[Tuple[ASN, _CityKey], int] = field(default_factory=dict)
+    core: Dict[Tuple[ASN, _CityKey], int] = field(default_factory=dict)
+    links: Dict[Tuple[ASN, ASN], List[InterdomainLink]] = field(default_factory=dict)
+    interfaces: Dict[IPAddress, Interface] = field(default_factory=dict)
+    internal_v4: Dict[int, IPAddress] = field(default_factory=dict)
+    internal_v6: Dict[int, Optional[IPAddress]] = field(default_factory=dict)
+
+    def border_router(self, asn: ASN, city: GeoLocation) -> Router:
+        """The border router of ``asn`` in ``city``."""
+        router_id = self.border[(asn, _city_key(city))]
+        return self.routers[router_id]
+
+    def core_router(self, asn: ASN, city: GeoLocation) -> Router:
+        """The core (aggregation) router of ``asn`` in ``city``."""
+        router_id = self.core[(asn, _city_key(city))]
+        return self.routers[router_id]
+
+    def border_cities(self, asn: ASN) -> List[GeoLocation]:
+        """Cities where ``asn`` has a border router."""
+        return [
+            self.routers[router_id].city
+            for (owner, _), router_id in self.border.items()
+            if owner == asn
+        ]
+
+    def link_instances(self, a: ASN, b: ASN) -> List[InterdomainLink]:
+        """All link instances realizing the AS edge ``a``-``b``."""
+        key = (a, b) if a < b else (b, a)
+        return self.links.get(key, [])
+
+    def interface_owner(self, address: IPAddress) -> Optional[ASN]:
+        """Ground-truth owner of the router holding ``address``."""
+        interface = self.interfaces.get(address)
+        return interface.owner if interface else None
+
+    def all_links(self) -> List[InterdomainLink]:
+        """Every interdomain link instance, ordered by link id."""
+        return sorted(
+            (link for instances in self.links.values() for link in instances),
+            key=lambda link: link.link_id,
+        )
+
+
+def _nearest_city_pair(
+    cities_a: Tuple[GeoLocation, ...], cities_b: Tuple[GeoLocation, ...]
+) -> Tuple[GeoLocation, GeoLocation]:
+    """The geographically closest (city_a, city_b) pair across two footprints."""
+    best: Optional[Tuple[float, GeoLocation, GeoLocation]] = None
+    for city_a, city_b in itertools.product(cities_a, cities_b):
+        distance = city_a.distance_km(city_b)
+        if best is None or distance < best[0]:
+            best = (distance, city_a, city_b)
+    assert best is not None
+    return best[1], best[2]
+
+
+def _shared_cities(
+    cities_a: Tuple[GeoLocation, ...], cities_b: Tuple[GeoLocation, ...]
+) -> List[GeoLocation]:
+    shared = set(cities_a) & set(cities_b)
+    return sorted(shared, key=lambda city: (city.city, city.country))
+
+
+def _draw_respond_probability(rng: np.random.Generator) -> float:
+    """Heterogeneous per-router probe responsiveness.
+
+    Unresponsiveness in the wild is mostly a *persistent* router property
+    (filtering, aggressive ICMP rate limits), not per-probe chance -- which
+    matters because a path through a never-answering router has a stable
+    observed AS path instead of flapping between variants.  The mixture
+    below (3.2% never answer, 0.4% flaky, the rest always answer) gives a
+    ~13-hop path a ~25-30% chance of at least one unresponsive hop,
+    matching Table 1's missing-IP-level shares.
+    """
+    draw = rng.random()
+    if draw < 0.028:
+        return float(rng.uniform(0.0, 0.01))
+    if draw < 0.032:
+        return float(rng.uniform(0.90, 0.98))
+    return 1.0
+
+
+def build_router_topology(
+    graph: ASGraph,
+    plan: AddressPlan,
+    rng: Optional[np.random.Generator] = None,
+    max_instances_per_edge: int = 2,
+) -> RouterTopology:
+    """Materialize the router level of the topology.
+
+    Args:
+        graph: The AS-level topology.
+        plan: The address plan (consumed for link subnets and internal
+            interface addresses).
+        rng: Randomness source; defaults to a fixed seed.
+        max_instances_per_edge: Upper bound on parallel link instances per
+            AS edge (edges between ASes sharing several cities get more).
+
+    Returns:
+        A fully addressed :class:`RouterTopology`.
+    """
+    rng = rng if rng is not None else np.random.default_rng(2)
+    topology = RouterTopology()
+    next_router_id = itertools.count(0)
+    next_link_id = itertools.count(0)
+
+    def register_interface(address: Optional[IPAddress], router_id: int, owner: ASN) -> None:
+        if address is None:
+            return
+        topology.interfaces[address] = Interface(
+            address=address, router_id=router_id, owner=owner
+        )
+
+    # One border and one core router per (AS, footprint city), with internal
+    # addresses from the AS's announced space.  Core routers are what probes
+    # see between a network's ingress and egress; their presence gives the
+    # ownership heuristics same-AS anchor hops, as real paths have.
+    for asn in graph.asns():
+        system = graph.ases[asn]
+        for city in system.cities:
+            for registry in (topology.border, topology.core):
+                router_id = next(next_router_id)
+                router = Router(
+                    router_id=router_id,
+                    owner=asn,
+                    city=city,
+                    respond_probability=_draw_respond_probability(rng),
+                )
+                topology.routers[router_id] = router
+                registry[(asn, _city_key(city))] = router_id
+                internal_v4 = plan.allocate_host(asn, IPVersion.V4)
+                topology.internal_v4[router_id] = internal_v4
+                register_interface(internal_v4, router_id, asn)
+                internal_v6: Optional[IPAddress] = None
+                if system.ipv6_capable:
+                    internal_v6 = plan.allocate_host(asn, IPVersion.V6)
+                    register_interface(internal_v6, router_id, asn)
+                topology.internal_v6[router_id] = internal_v6
+
+    # Link instances per AS edge.
+    for a, b in graph.edges():
+        system_a, system_b = graph.ases[a], graph.ases[b]
+        relationship = graph.relationships.get(a, b)
+        medium = graph.medium(a, b)
+        edge_ipv6 = graph.edge_supports_ipv6(a, b)
+
+        if medium is LinkMedium.IXP:
+            ixp = graph.ixps[graph.edge_ixp[(a, b)]]
+            sites: List[Tuple[GeoLocation, GeoLocation]] = [(ixp.city, ixp.city)]
+        else:
+            shared = _shared_cities(system_a.cities, system_b.cities)
+            if shared:
+                count = min(len(shared), max_instances_per_edge)
+                sites = [(city, city) for city in shared[:count]]
+            else:
+                city_a, city_b = _nearest_city_pair(system_a.cities, system_b.cities)
+                sites = [(city_a, city_b)]
+
+        instances: List[InterdomainLink] = []
+        for city_a, city_b in sites:
+            router_a = topology.border[(a, _city_key(city_a))]
+            router_b = topology.border[(b, _city_key(city_b))]
+
+            # Whose space does the point-to-point subnet come from?
+            if medium is LinkMedium.IXP:
+                subnet_owner: LinkSpaceOwner = ("ixp", graph.edge_ixp[(a, b)])
+            elif relationship is ASRelationship.CUSTOMER:
+                subnet_owner = a  # b is a's customer: provider a allocates
+            elif relationship is ASRelationship.PROVIDER:
+                subnet_owner = b  # b is a's provider: provider b allocates
+            else:
+                subnet_owner = a if rng.random() < 0.5 else b
+
+            from_as_space = not isinstance(subnet_owner, tuple)
+            unannounced_v4 = from_as_space and bool(
+                rng.random() < plan.config.link_unannounced_probability_v4
+            )
+            subnet_v4 = plan.allocate_link_subnet(
+                subnet_owner, IPVersion.V4, unannounced=unannounced_v4
+            )
+            interface_a_v4 = subnet_v4.address(1)
+            interface_b_v4 = subnet_v4.address(2)
+
+            subnet_v6: Optional[Prefix] = None
+            interface_a_v6: Optional[IPAddress] = None
+            interface_b_v6: Optional[IPAddress] = None
+            if edge_ipv6:
+                unannounced_v6 = from_as_space and bool(
+                    rng.random() < plan.config.link_unannounced_probability_v6
+                )
+                try:
+                    subnet_v6 = plan.allocate_link_subnet(
+                        subnet_owner, IPVersion.V6, unannounced=unannounced_v6
+                    )
+                except KeyError:
+                    subnet_v6 = None  # allocator AS is v4-only; link stays v4
+                if subnet_v6 is not None:
+                    interface_a_v6 = subnet_v6.address(1)
+                    interface_b_v6 = subnet_v6.address(2)
+
+            link = InterdomainLink(
+                link_id=next(next_link_id),
+                asn_a=a,
+                asn_b=b,
+                router_a=router_a,
+                router_b=router_b,
+                medium=medium,
+                subnet_owner=subnet_owner,
+                subnet_v4=subnet_v4,
+                interface_a_v4=interface_a_v4,
+                interface_b_v4=interface_b_v4,
+                subnet_v6=subnet_v6,
+                interface_a_v6=interface_a_v6,
+                interface_b_v6=interface_b_v6,
+            )
+            instances.append(link)
+            register_interface(interface_a_v4, router_a, a)
+            register_interface(interface_b_v4, router_b, b)
+            register_interface(interface_a_v6, router_a, a)
+            register_interface(interface_b_v6, router_b, b)
+
+        topology.links[(a, b)] = instances
+
+    return topology

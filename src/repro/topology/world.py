@@ -1,0 +1,205 @@
+"""World model: cities, regions, and CDN placement weights.
+
+The long-term study (Section 2.1) selected ~600 dual-stack servers from 70+
+countries with ~39% in the USA; Australia, Germany, India, Japan and Canada
+together contribute another ~19%.  The :data:`WORLD_CITIES` table and the
+per-country placement weights below reproduce that mix when the CDN
+deployment samples cluster locations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.geo import GeoLocation
+
+__all__ = [
+    "WORLD_CITIES",
+    "COUNTRY_WEIGHTS",
+    "cities_by_country",
+    "cities_by_continent",
+    "sample_city",
+    "sample_cities",
+]
+
+# City, country, continent, latitude, longitude.  Coordinates are approximate
+# city centers; they only need to be accurate enough for realistic
+# great-circle distances.
+_CITY_ROWS: Sequence[Tuple[str, str, str, float, float]] = (
+    # --- North America ---
+    ("New York", "US", "NA", 40.71, -74.01),
+    ("Ashburn", "US", "NA", 39.04, -77.49),
+    ("Chicago", "US", "NA", 41.88, -87.63),
+    ("Dallas", "US", "NA", 32.78, -96.80),
+    ("Los Angeles", "US", "NA", 34.05, -118.24),
+    ("San Jose", "US", "NA", 37.34, -121.89),
+    ("Seattle", "US", "NA", 47.61, -122.33),
+    ("Miami", "US", "NA", 25.76, -80.19),
+    ("Atlanta", "US", "NA", 33.75, -84.39),
+    ("Denver", "US", "NA", 39.74, -104.99),
+    ("Boston", "US", "NA", 42.36, -71.06),
+    ("Phoenix", "US", "NA", 33.45, -112.07),
+    ("Houston", "US", "NA", 29.76, -95.37),
+    ("Minneapolis", "US", "NA", 44.98, -93.27),
+    ("Kansas City", "US", "NA", 39.10, -94.58),
+    ("Toronto", "CA", "NA", 43.65, -79.38),
+    ("Montreal", "CA", "NA", 45.50, -73.57),
+    ("Vancouver", "CA", "NA", 49.28, -123.12),
+    ("Mexico City", "MX", "NA", 19.43, -99.13),
+    # --- South America ---
+    ("Sao Paulo", "BR", "SA", -23.55, -46.63),
+    ("Rio de Janeiro", "BR", "SA", -22.91, -43.17),
+    ("Buenos Aires", "AR", "SA", -34.60, -58.38),
+    ("Santiago", "CL", "SA", -33.45, -70.67),
+    ("Bogota", "CO", "SA", 4.71, -74.07),
+    # --- Europe ---
+    ("London", "GB", "EU", 51.51, -0.13),
+    ("Frankfurt", "DE", "EU", 50.11, 8.68),
+    ("Berlin", "DE", "EU", 52.52, 13.41),
+    ("Munich", "DE", "EU", 48.14, 11.58),
+    ("Amsterdam", "NL", "EU", 52.37, 4.90),
+    ("Paris", "FR", "EU", 48.86, 2.35),
+    ("Madrid", "ES", "EU", 40.42, -3.70),
+    ("Milan", "IT", "EU", 45.46, 9.19),
+    ("Stockholm", "SE", "EU", 59.33, 18.07),
+    ("Warsaw", "PL", "EU", 52.23, 21.01),
+    ("Vienna", "AT", "EU", 48.21, 16.37),
+    ("Zurich", "CH", "EU", 47.38, 8.54),
+    ("Dublin", "IE", "EU", 53.35, -6.26),
+    ("Prague", "CZ", "EU", 50.08, 14.44),
+    ("Moscow", "RU", "EU", 55.76, 37.62),
+    ("Istanbul", "TR", "EU", 41.01, 28.98),
+    # --- Asia ---
+    ("Tokyo", "JP", "AS", 35.68, 139.69),
+    ("Osaka", "JP", "AS", 34.69, 135.50),
+    ("Seoul", "KR", "AS", 37.57, 126.98),
+    ("Hong Kong", "HK", "AS", 22.32, 114.17),
+    ("Singapore", "SG", "AS", 1.35, 103.82),
+    ("Taipei", "TW", "AS", 25.03, 121.57),
+    ("Mumbai", "IN", "AS", 19.08, 72.88),
+    ("Chennai", "IN", "AS", 13.08, 80.27),
+    ("New Delhi", "IN", "AS", 28.61, 77.21),
+    ("Bangalore", "IN", "AS", 12.97, 77.59),
+    ("Shanghai", "CN", "AS", 31.23, 121.47),
+    ("Beijing", "CN", "AS", 39.90, 116.41),
+    ("Jakarta", "ID", "AS", -6.21, 106.85),
+    ("Bangkok", "TH", "AS", 13.76, 100.50),
+    ("Kuala Lumpur", "MY", "AS", 3.14, 101.69),
+    ("Manila", "PH", "AS", 14.60, 120.98),
+    ("Tel Aviv", "IL", "AS", 32.09, 34.78),
+    ("Dubai", "AE", "AS", 25.20, 55.27),
+    # --- Oceania ---
+    ("Sydney", "AU", "OC", -33.87, 151.21),
+    ("Melbourne", "AU", "OC", -37.81, 144.96),
+    ("Brisbane", "AU", "OC", -27.47, 153.03),
+    ("Perth", "AU", "OC", -31.95, 115.86),
+    ("Auckland", "NZ", "OC", -36.85, 174.76),
+    # --- Africa ---
+    ("Johannesburg", "ZA", "AF", -26.20, 28.05),
+    ("Cape Town", "ZA", "AF", -33.92, 18.42),
+    ("Nairobi", "KE", "AF", -1.29, 36.82),
+    ("Lagos", "NG", "AF", 6.52, 3.38),
+    ("Cairo", "EG", "AF", 30.04, 31.24),
+)
+
+WORLD_CITIES: Tuple[GeoLocation, ...] = tuple(
+    GeoLocation(city=c, country=cc, continent=cont, latitude=lat, longitude=lon)
+    for c, cc, cont, lat, lon in _CITY_ROWS
+)
+"""All cities in the world model, as immutable :class:`GeoLocation` values."""
+
+# Per-country CDN placement weights, calibrated to Section 2.1: ~39% of
+# servers in the US; AU, DE, IN, JP and CA together ~19%; the long tail
+# spread over the remaining countries.
+COUNTRY_WEIGHTS: Dict[str, float] = {
+    "US": 39.0,
+    "AU": 4.5,
+    "DE": 4.2,
+    "IN": 3.8,
+    "JP": 3.5,
+    "CA": 3.0,
+    "GB": 2.8,
+    "FR": 2.2,
+    "NL": 2.2,
+    "BR": 2.2,
+    "SG": 2.0,
+    "HK": 2.0,
+    "KR": 1.8,
+    "IT": 1.6,
+    "ES": 1.5,
+    "SE": 1.4,
+    "PL": 1.3,
+    "RU": 1.4,
+    "CN": 1.6,
+    "TW": 1.3,
+    "MX": 1.2,
+    "AR": 1.1,
+    "CL": 1.0,
+    "CO": 0.9,
+    "AT": 1.0,
+    "CH": 1.0,
+    "IE": 1.0,
+    "CZ": 0.9,
+    "TR": 1.0,
+    "ID": 1.0,
+    "TH": 0.9,
+    "MY": 0.9,
+    "PH": 0.8,
+    "IL": 0.8,
+    "AE": 0.8,
+    "NZ": 0.8,
+    "ZA": 1.0,
+    "KE": 0.6,
+    "NG": 0.6,
+    "EG": 0.6,
+}
+
+
+def cities_by_country(country: str) -> List[GeoLocation]:
+    """All world-model cities in the given country code."""
+    return [city for city in WORLD_CITIES if city.country == country]
+
+
+def cities_by_continent(continent: str) -> List[GeoLocation]:
+    """All world-model cities on the given continent code."""
+    return [city for city in WORLD_CITIES if city.continent == continent]
+
+
+def _city_weights() -> np.ndarray:
+    """Per-city sampling weights: country weight split evenly across its cities."""
+    counts: Dict[str, int] = {}
+    for city in WORLD_CITIES:
+        counts[city.country] = counts.get(city.country, 0) + 1
+    weights = np.array(
+        [COUNTRY_WEIGHTS.get(city.country, 0.5) / counts[city.country] for city in WORLD_CITIES],
+        dtype=float,
+    )
+    return weights / weights.sum()
+
+
+_CITY_WEIGHTS = _city_weights()
+
+
+def sample_city(rng: np.random.Generator) -> GeoLocation:
+    """Draw one city according to the CDN placement weights."""
+    index = int(rng.choice(len(WORLD_CITIES), p=_CITY_WEIGHTS))
+    return WORLD_CITIES[index]
+
+
+def sample_cities(rng: np.random.Generator, count: int, unique: bool = False) -> List[GeoLocation]:
+    """Draw ``count`` cities according to the placement weights.
+
+    Args:
+        rng: Source of randomness.
+        count: Number of cities to draw.
+        unique: When true, draw without replacement (``count`` must not
+            exceed the number of world cities).
+    """
+    if unique and count > len(WORLD_CITIES):
+        raise ValueError(
+            f"cannot draw {count} unique cities from a world of {len(WORLD_CITIES)}"
+        )
+    indexes = rng.choice(len(WORLD_CITIES), size=count, replace=not unique, p=_CITY_WEIGHTS)
+    return [WORLD_CITIES[int(index)] for index in indexes]

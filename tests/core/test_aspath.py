@@ -1,0 +1,31 @@
+"""Tests for AS-path utilities."""
+
+from repro.core.aspath import UNKNOWN_ASN, has_as_loop, has_unknown, path_to_string
+
+
+class TestLoops:
+    def test_no_loop(self):
+        assert not has_as_loop((1, 2, 3))
+
+    def test_loop_detected(self):
+        assert has_as_loop((1, 2, 1, 3))
+
+    def test_unknown_tokens_not_loops(self):
+        assert not has_as_loop((1, UNKNOWN_ASN, 2, UNKNOWN_ASN, 3))
+
+    def test_empty_path(self):
+        assert not has_as_loop(())
+
+
+class TestUnknown:
+    def test_detection(self):
+        assert has_unknown((1, UNKNOWN_ASN, 2))
+        assert not has_unknown((1, 2))
+
+
+class TestRendering:
+    def test_path_to_string(self):
+        assert path_to_string((100, UNKNOWN_ASN, 200)) == "AS100 > ? > AS200"
+
+    def test_empty(self):
+        assert path_to_string(()) == ""

@@ -1,0 +1,71 @@
+"""Tests for edit distance over AS paths."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.editdist import edit_distance, paths_differ
+
+_paths = st.lists(st.integers(min_value=0, max_value=9), max_size=12)
+
+
+class TestKnownCases:
+    def test_identical_paths_zero(self):
+        assert edit_distance((1, 2, 3), (1, 2, 3)) == 0
+
+    def test_paper_example(self):
+        # Section 4.1: removing ASNc from a->b->c->d yields distance one.
+        p1 = ("a", "b", "c", "d")
+        p2 = ("a", "b", "d")
+        assert edit_distance(p1, p2) == 1
+
+    def test_substitution(self):
+        assert edit_distance((1, 2, 3), (1, 9, 3)) == 1
+
+    def test_empty_vs_path(self):
+        assert edit_distance((), (1, 2, 3)) == 3
+        assert edit_distance((1, 2), ()) == 2
+
+    def test_disjoint_paths(self):
+        assert edit_distance((1, 2), (3, 4)) == 2
+
+    def test_prefix_suffix_fast_path(self):
+        assert edit_distance((1, 2, 3, 4, 5), (1, 2, 9, 4, 5)) == 1
+        assert edit_distance((1, 2, 3), (1, 2, 3, 4)) == 1
+
+    def test_classic_levenshtein(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("flaw", "lawn") == 2
+
+
+class TestProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(_paths, _paths)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @settings(max_examples=150, deadline=None)
+    @given(_paths)
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+    @settings(max_examples=150, deadline=None)
+    @given(_paths, _paths)
+    def test_zero_iff_equal(self, a, b):
+        assert (edit_distance(a, b) == 0) == (a == b)
+        assert paths_differ(a, b) == (tuple(a) != tuple(b))
+
+    @settings(max_examples=100, deadline=None)
+    @given(_paths, _paths, _paths)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @settings(max_examples=150, deadline=None)
+    @given(_paths, _paths)
+    def test_bounds(self, a, b):
+        distance = edit_distance(a, b)
+        assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b))
+
+    @settings(max_examples=100, deadline=None)
+    @given(_paths, st.integers(min_value=0, max_value=9))
+    def test_single_append_costs_one(self, a, token):
+        assert edit_distance(a, list(a) + [token]) == 1

@@ -1,0 +1,85 @@
+"""Tests for the decile heatmaps of Figures 4/5."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heatmap import build_heatmap, collect_lifetime_increase_points
+from tests.core.test_rttstats import timeline_with_rtts
+
+_points = st.lists(
+    st.tuples(
+        st.floats(min_value=3.0, max_value=10_000.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    ),
+    min_size=10,
+    max_size=300,
+)
+
+
+class TestBuildHeatmap:
+    def test_cells_sum_to_100(self):
+        rng = np.random.default_rng(1)
+        points = list(zip(rng.uniform(3, 1000, 500), rng.uniform(0, 100, 500)))
+        heatmap = build_heatmap(points)
+        assert heatmap.cells.sum() == pytest.approx(100.0)
+
+    def test_decile_rows_balanced(self):
+        rng = np.random.default_rng(2)
+        points = list(zip(rng.uniform(3, 1000, 1000), rng.uniform(0, 100, 1000)))
+        heatmap = build_heatmap(points)
+        # With continuous data every decile row holds ~10%.
+        assert np.allclose(heatmap.row_sums(), 10.0, atol=1.5)
+        assert np.allclose(heatmap.column_sums(), 10.0, atol=1.5)
+
+    def test_duplicate_quantiles_collapse_bins(self):
+        # Half the lifetimes identical: the first deciles coincide, as in
+        # the paper's Figure 4 where [0, 3h) is absent.
+        points = [(3.0, float(i)) for i in range(50)] + [
+            (float(10 + i), float(i)) for i in range(50)
+        ]
+        heatmap = build_heatmap(points)
+        assert heatmap.cells.shape[1] < 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_heatmap([])
+
+    def test_tail_percent(self):
+        rng = np.random.default_rng(3)
+        points = list(zip(rng.uniform(3, 1000, 1000), rng.uniform(0, 100, 1000)))
+        heatmap = build_heatmap(points)
+        rows = heatmap.cells.shape[0]
+        assert heatmap.tail_increase_percent(rows - 1) == pytest.approx(
+            heatmap.row_sums()[-1]
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(_points)
+    def test_all_points_binned(self, points):
+        heatmap = build_heatmap(points)
+        assert heatmap.cells.sum() == pytest.approx(100.0, abs=1e-6)
+        assert (heatmap.cells >= 0).all()
+
+
+class TestCollectPoints:
+    def test_one_point_per_suboptimal_path(self):
+        timeline = timeline_with_rtts(
+            [0] * 5 + [1] * 5 + [2] * 5,
+            [10] * 5 + [30] * 5 + [50] * 5,
+        )
+        points = collect_lifetime_increase_points([timeline], q=10.0)
+        assert len(points) == 2  # paths 1 and 2; best path contributes none
+        lifetimes = {lifetime for lifetime, _ in points}
+        assert lifetimes == {15.0}  # five 3-hour observations each
+
+    def test_single_path_timeline_contributes_nothing(self):
+        timeline = timeline_with_rtts([0] * 5, [10] * 5)
+        assert collect_lifetime_increase_points([timeline], q=10.0) == []
+
+    def test_negative_increases_clamped(self):
+        # Cannot happen with q == best-q, but guard the invariant anyway.
+        timeline = timeline_with_rtts([0] * 5 + [1] * 5, [10] * 5 + [30] * 5)
+        points = collect_lifetime_increase_points([timeline], q=10.0)
+        assert all(increase >= 0.0 for _, increase in points)

@@ -1,0 +1,59 @@
+"""Tests for RTT inflation over cRTT (Figure 10b)."""
+
+import numpy as np
+import pytest
+
+from repro.core.inflation import MIN_CRTT_MS, inflation_ratio, pair_inflation
+from repro.net.geo import crtt_ms
+from repro.net.ip import IPVersion
+
+
+class TestRatio:
+    def test_basic(self):
+        assert inflation_ratio(30.0, 10.0) == pytest.approx(3.0)
+
+    def test_below_floor_returns_none(self):
+        assert inflation_ratio(30.0, MIN_CRTT_MS / 2) is None
+
+    def test_nan_rtt_returns_none(self):
+        assert inflation_ratio(float("nan"), 10.0) is None
+
+
+class TestStudy:
+    def test_ratios_above_fiber_floor(self, longterm):
+        """Physics: RTT can never beat light in fiber over a longer route,
+        so every inflation ratio exceeds ~1.5 (the refraction factor)."""
+        study = pair_inflation(longterm)
+        assert study.pairs, "expected at least one measurable pair"
+        for pair in study.pairs:
+            assert pair.ratio > 1.4
+
+    def test_crtt_matches_server_geography(self, longterm):
+        study = pair_inflation(longterm)
+        sample = study.pairs[0]
+        src = longterm.servers[sample.src_server_id]
+        dst = longterm.servers[sample.dst_server_id]
+        assert sample.crtt_ms == pytest.approx(crtt_ms(src.city, dst.city))
+
+    def test_median_in_paper_band(self, longterm):
+        study = pair_inflation(longterm)
+        median = study.median(IPVersion.V4)
+        # Paper: 3.01; allow a generous band for the scaled scenario.
+        assert 1.8 <= median <= 6.0
+
+    def test_groupings_are_subsets(self, longterm):
+        study = pair_inflation(longterm)
+        total = len(study.ecdf(IPVersion.V4))
+        us = len(study.ecdf(IPVersion.V4, us_only=True))
+        trans = len(study.ecdf(IPVersion.V4, transcontinental_only=True))
+        assert us <= total and trans <= total
+
+    def test_us_pairs_flagged_correctly(self, longterm):
+        study = pair_inflation(longterm)
+        for pair in study.pairs:
+            src = longterm.servers[pair.src_server_id]
+            dst = longterm.servers[pair.dst_server_id]
+            assert pair.us_to_us == (
+                src.city.country == "US" and dst.city.country == "US"
+            )
+            assert pair.transcontinental == (src.city.continent != dst.city.continent)

@@ -1,0 +1,102 @@
+"""Tests for congested-link classification."""
+
+import pytest
+
+from repro.core.linkclass import LinkClass, LinkClassifier, LinkMediumClass
+from repro.core.ownership import OwnershipInference
+from repro.net.asn import ASRelationship, RelationshipTable
+from repro.net.ip import IPAddress
+from repro.net.prefix import Prefix
+
+
+def addr(value: int) -> IPAddress:
+    return IPAddress.v4(value)
+
+
+@pytest.fixture()
+def classifier():
+    relationships = RelationshipTable()
+    relationships.add(10, 20, ASRelationship.CUSTOMER)  # 20 customer of 10
+    relationships.add(10, 30, ASRelationship.PEER)
+    ownership = OwnershipInference()
+    owners = {
+        addr(1): 10, addr(2): 10,            # internal link in AS 10
+        addr(3): 10, addr(4): 20,            # c2p link
+        addr(5): 10, addr(6): 30,            # p2p link
+        addr(7): None,                       # unresolved
+        addr(8): 10,
+        # public peering over an IXP LAN address
+        addr(0xC1000001): 10, addr(0xC1000002): 30,
+    }
+    ownership.owners.update(owners)
+    return LinkClassifier(
+        relationships=relationships,
+        ownership=ownership,
+        ixp_prefixes=[Prefix.parse("193.0.0.0/16")],
+    )
+
+
+class TestClassification:
+    def test_internal(self, classifier):
+        link = classifier.add(addr(1), addr(2))
+        assert link.link_class is LinkClass.INTERNAL
+        assert not link.link_class.is_interconnection
+        assert link.medium is LinkMediumClass.NOT_APPLICABLE
+
+    def test_c2p(self, classifier):
+        link = classifier.add(addr(3), addr(4))
+        assert link.link_class is LinkClass.INTERCONNECTION_C2P
+        assert link.medium is LinkMediumClass.PRIVATE
+
+    def test_p2p(self, classifier):
+        link = classifier.add(addr(5), addr(6))
+        assert link.link_class is LinkClass.INTERCONNECTION_P2P
+
+    def test_unresolved_side_is_unknown(self, classifier):
+        link = classifier.add(addr(7), addr(8))
+        assert link.link_class is LinkClass.UNKNOWN
+
+    def test_missing_near_is_unknown(self, classifier):
+        link = classifier.add(None, addr(8))
+        assert link.link_class is LinkClass.UNKNOWN
+
+    def test_ixp_addresses_classified_public(self, classifier):
+        # 0xC1000001 == 193.0.0.1, inside the configured IXP prefix.
+        link = classifier.add(addr(0xC1000001), addr(0xC1000002))
+        assert link.link_class is LinkClass.INTERCONNECTION_P2P
+        assert link.medium is LinkMediumClass.PUBLIC_IXP
+
+
+class TestAggregation:
+    def test_crossings_accumulate(self, classifier):
+        classifier.add(addr(1), addr(2))
+        link = classifier.add(addr(1), addr(2))
+        assert link.crossings == 2
+        assert classifier.weighted_counts()[LinkClass.INTERNAL] == 2
+        assert classifier.counts()[LinkClass.INTERNAL] == 1
+
+    def test_counts_by_class(self, classifier):
+        classifier.add(addr(1), addr(2))
+        classifier.add(addr(3), addr(4))
+        classifier.add(addr(5), addr(6))
+        classifier.add(addr(7), addr(8))
+        counts = classifier.counts()
+        assert counts[LinkClass.INTERNAL] == 1
+        assert counts[LinkClass.INTERCONNECTION_C2P] == 1
+        assert counts[LinkClass.INTERCONNECTION_P2P] == 1
+        assert counts[LinkClass.UNKNOWN] == 1
+
+    def test_medium_counts_only_interconnections(self, classifier):
+        classifier.add(addr(1), addr(2))          # internal: not counted
+        classifier.add(addr(3), addr(4))          # private c2p
+        classifier.add(addr(0xC1000001), addr(0xC1000002))  # public p2p
+        media = classifier.medium_counts()
+        assert media[LinkMediumClass.PRIVATE] == 1
+        assert media[LinkMediumClass.PUBLIC_IXP] == 1
+
+    def test_links_sorted_by_weight(self, classifier):
+        classifier.add(addr(3), addr(4))
+        classifier.add(addr(1), addr(2))
+        classifier.add(addr(1), addr(2))
+        links = classifier.links()
+        assert links[0].crossings >= links[-1].crossings

@@ -1,0 +1,125 @@
+"""Tests for the packet-loss extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.loss import (
+    assess_loss,
+    hourly_loss_profile,
+    loss_population_summary,
+    loss_rtt_correlation,
+)
+from repro.datasets.timeline import PingTimeline
+from repro.measurement.loss import LossModel
+from repro.net.ip import IPVersion
+
+
+def _timeline(rtts, period=0.25):
+    return PingTimeline(
+        src_server_id=0, dst_server_id=1, version=IPVersion.V4,
+        times_hours=period * np.arange(len(rtts)),
+        rtt_ms=np.asarray(rtts, dtype=np.float32),
+    )
+
+
+def _congested_lossy_timeline(days=7, seed=0, busy_loss=0.2):
+    """Diurnal RTT bump at hours 18-23 with correlated loss."""
+    rng = np.random.default_rng(seed)
+    times = np.arange(0.0, days * 24.0, 0.25)
+    hod = times % 24.0
+    busy = (hod >= 18.0) & (hod < 24.0)
+    rtt = 50.0 + np.where(busy, 25.0, 0.0) + rng.gamma(2, 0.5, times.size)
+    lost = rng.random(times.size) < np.where(busy, busy_loss, 0.003)
+    rtt[lost] = np.nan
+    return PingTimeline(0, 1, IPVersion.V4, times, rtt.astype(np.float32))
+
+
+class TestLossModel:
+    def test_probabilities_scale_with_congestion(self):
+        model = LossModel()
+        lift = np.array([0.0, 25.0, 1000.0])
+        probabilities = model.probabilities(lift)
+        assert probabilities[0] == pytest.approx(model.base_probability)
+        assert probabilities[1] > probabilities[0]
+        assert probabilities[2] == model.max_probability  # clipped
+
+    def test_sampling_rate(self):
+        model = LossModel(base_probability=0.1, per_ms_of_congestion=0.0)
+        rng = np.random.default_rng(1)
+        losses = model.sample_losses(rng, np.zeros(20_000))
+        assert 0.08 < losses.mean() < 0.12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossModel(base_probability=1.5)
+        with pytest.raises(ValueError):
+            LossModel(per_ms_of_congestion=-0.1)
+
+
+class TestProfiles:
+    def test_hourly_loss_profile_shape(self):
+        timeline = _congested_lossy_timeline()
+        profile = hourly_loss_profile(timeline)
+        assert profile.shape == (24,)
+        # Busy-evening bins lose far more than early-morning bins.
+        assert np.nanmean(profile[18:24]) > 5 * max(np.nanmean(profile[2:8]), 1e-4)
+
+    def test_correlation_positive_for_coupled_loss(self):
+        timeline = _congested_lossy_timeline()
+        assert loss_rtt_correlation(timeline) > 0.5
+
+    def test_correlation_near_zero_for_uniform_loss(self):
+        rng = np.random.default_rng(2)
+        times = np.arange(0.0, 7 * 24.0, 0.25)
+        rtt = 50.0 + rng.gamma(2, 0.5, times.size)
+        rtt[rng.random(times.size) < 0.02] = np.nan
+        correlation = loss_rtt_correlation(_timeline(rtt.tolist()))
+        assert abs(correlation) < 0.5
+
+
+class TestVerdicts:
+    def test_congested_pair_flagged(self):
+        verdict = assess_loss(_congested_lossy_timeline())
+        assert verdict.diurnal_loss
+        assert verdict.busy_hour_loss > verdict.quiet_hour_loss
+
+    def test_quiet_pair_not_flagged(self):
+        rng = np.random.default_rng(3)
+        times = np.arange(0.0, 7 * 24.0, 0.25)
+        rtt = 50.0 + rng.gamma(2, 0.5, times.size)
+        rtt[rng.random(times.size) < 0.004] = np.nan
+        verdict = assess_loss(_timeline(rtt.tolist()))
+        assert not verdict.diurnal_loss
+
+    def test_population_summary(self):
+        timelines = [_congested_lossy_timeline(seed=s) for s in range(3)]
+        rng = np.random.default_rng(4)
+        times = np.arange(0.0, 7 * 24.0, 0.25)
+        quiet_rtt = 50.0 + rng.gamma(2, 0.5, times.size)
+        timelines.append(_timeline(quiet_rtt.tolist()))
+        summary = loss_population_summary(timelines)
+        assert summary.pairs == 4
+        assert summary.diurnal_loss_pairs == 3
+        assert summary.median_correlation_diurnal > 0.5
+
+    def test_short_series_excluded(self):
+        summary = loss_population_summary([_timeline([50.0] * 10)])
+        assert summary.pairs == 0
+
+
+class TestSimulatedCoupling:
+    def test_dataset_loss_couples_to_congestion(self, platform, ping_dataset):
+        """Ping losses in the built dataset concentrate on congested pairs."""
+        from repro.core.congestion import CongestionDetector
+
+        detector = CongestionDetector()
+        congested_rates, quiet_rates = [], []
+        for timeline in ping_dataset.by_version(IPVersion.V4):
+            rate = float(np.mean(np.isnan(timeline.rtt_ms)))
+            if detector.assess(timeline).congested:
+                congested_rates.append(rate)
+            else:
+                quiet_rates.append(rate)
+        if not congested_rates:
+            pytest.skip("session seed produced no congested pairs")
+        assert np.median(congested_rates) > np.median(quiet_rates)

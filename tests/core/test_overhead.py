@@ -1,0 +1,68 @@
+"""Tests for congestion-overhead estimation (Figure 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.overhead import congestion_overhead, daily_profile
+
+
+def _series(days=10.0, period=0.5, amplitude=25.0, base=50.0, noise=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    times = np.arange(0.0, days * 24.0, period)
+    hod = times % 24.0
+    bump = amplitude * np.where(np.abs(hod - 20.0) < 3.0,
+                                np.cos(np.pi * (hod - 20.0) / 6.0) ** 2, 0.0)
+    return times, base + bump + rng.gamma(2.0, noise, times.size)
+
+
+class TestDailyProfile:
+    def test_shape(self):
+        times, rtts = _series()
+        profile = daily_profile(times, rtts)
+        assert profile.shape == (24,)
+        assert np.isfinite(profile).all()
+
+    def test_peak_bin_near_busy_hour(self):
+        times, rtts = _series()
+        profile = daily_profile(times, rtts)
+        assert int(np.argmax(profile)) in (19, 20, 21)
+
+    def test_empty_bins_nan(self):
+        times = np.array([0.1, 0.2])  # only the first hour sampled
+        profile = daily_profile(times, np.array([5.0, 6.0]))
+        assert np.isfinite(profile[0])
+        assert np.isnan(profile[5:]).all()
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            daily_profile(np.array([0.0]), np.array([1.0]), bins=1)
+
+
+class TestOverhead:
+    def test_recovers_amplitude(self):
+        times, rtts = _series(amplitude=25.0)
+        overhead = congestion_overhead(times, rtts)
+        assert overhead == pytest.approx(25.0, abs=4.0)
+
+    def test_flat_series_near_zero(self):
+        times, rtts = _series(amplitude=0.0)
+        overhead = congestion_overhead(times, rtts)
+        assert overhead < 3.0
+
+    def test_spikes_do_not_inflate(self):
+        """Medians keep isolated spikes out of the estimate."""
+        times, rtts = _series(amplitude=0.0)
+        spiked = rtts.copy()
+        spiked[::97] += 500.0
+        overhead = congestion_overhead(times, spiked)
+        assert overhead < 10.0
+
+    def test_sparse_profile_returns_none(self):
+        times = np.arange(0.0, 4.0, 0.5)  # only a few hours of day covered
+        assert congestion_overhead(times, np.full(times.size, 5.0)) is None
+
+    def test_nan_samples_ignored(self):
+        times, rtts = _series()
+        rtts[::5] = np.nan
+        overhead = congestion_overhead(times, rtts)
+        assert overhead == pytest.approx(25.0, abs=5.0)

@@ -1,0 +1,53 @@
+"""Tests for sub-optimal path prevalence (Figure 6)."""
+
+import pytest
+
+from repro.core.suboptimal import suboptimal_prevalence, timeline_suboptimal_prevalence
+from tests.core.test_rttstats import timeline_with_rtts
+
+
+class TestPerTimeline:
+    def test_thresholds_partition_paths(self):
+        # Best path 0 (10ms); path 1 +25ms, path 2 +120ms.
+        timeline = timeline_with_rtts(
+            [0] * 4 + [1] * 4 + [2] * 4,
+            [10] * 4 + [35] * 4 + [130] * 4,
+        )
+        result = timeline_suboptimal_prevalence(timeline, (20.0, 50.0, 100.0))
+        assert result[20.0] == pytest.approx(8 / 12)  # paths 1 and 2
+        assert result[50.0] == pytest.approx(4 / 12)  # only path 2
+        assert result[100.0] == pytest.approx(4 / 12)
+
+    def test_small_buckets_not_counted(self):
+        # A path observed fewer than three times has no trustworthy
+        # percentile and is skipped by the bucket statistics.
+        timeline = timeline_with_rtts(
+            [0] * 4 + [1] * 2, [10] * 4 + [130] * 2
+        )
+        result = timeline_suboptimal_prevalence(timeline, (100.0,))
+        assert result[100.0] == 0.0
+
+    def test_single_path_scores_zero(self):
+        timeline = timeline_with_rtts([0] * 5, [10] * 5)
+        result = timeline_suboptimal_prevalence(timeline)
+        assert all(value == 0.0 for value in result.values())
+
+    def test_prevalence_below_one(self):
+        timeline = timeline_with_rtts([0] * 2 + [1] * 8, [10] * 2 + [200] * 8)
+        result = timeline_suboptimal_prevalence(timeline, (20.0,))
+        assert 0.0 <= result[20.0] <= 1.0
+
+
+class TestPopulation:
+    def test_ecdf_per_threshold(self):
+        timelines = [
+            timeline_with_rtts([0] * 5 + [1] * 5, [10] * 5 + [100] * 5),
+            timeline_with_rtts([0] * 10, [10] * 10),
+        ]
+        ecdfs = suboptimal_prevalence(timelines, (50.0,))
+        ecdf = ecdfs[50.0]
+        assert len(ecdf) == 2
+        # One timeline has half its lifetime on a >=50ms-worse path; the
+        # other has none.
+        assert ecdf.tail_fraction(0.4) == pytest.approx(0.5)
+        assert ecdf.at(0.0) == pytest.approx(0.5)

@@ -1,0 +1,44 @@
+"""Tests for the Table 1 summary."""
+
+import pytest
+
+from repro.core.summary import dataset_summary
+from repro.net.ip import IPVersion
+
+
+class TestSummary:
+    def test_rows_partition_reached(self, longterm):
+        summaries = dataset_summary(longterm)
+        for summary in summaries.values():
+            assert (
+                summary.complete_as + summary.missing_as
+                + summary.missing_ip + summary.loops
+            ) == summary.reached
+            assert summary.reached <= summary.collected
+
+    def test_fractions_sum_to_one(self, longterm):
+        summaries = dataset_summary(longterm)
+        for summary in summaries.values():
+            total = (
+                summary.complete_as_fraction
+                + summary.missing_as_fraction
+                + summary.missing_ip_fraction
+                + summary.loop_fraction
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_collected_counts_match_grid(self, platform, longterm):
+        summaries = dataset_summary(longterm)
+        dual_pairs = len(platform.server_pairs(dual_stack_only=True))
+        expected = dual_pairs * longterm.grid.rounds
+        assert summaries[IPVersion.V4].collected == expected
+        assert summaries[IPVersion.V6].collected == expected
+
+    def test_shapes_in_paper_bands(self, longterm):
+        """Coarse calibration bands on the session-scale dataset."""
+        summaries = dataset_summary(longterm)
+        v4 = summaries[IPVersion.V4]
+        assert 0.55 <= v4.reached_fraction <= 0.9
+        assert 0.45 <= v4.complete_as_fraction <= 0.9
+        assert 0.05 <= v4.missing_ip_fraction <= 0.45
+        assert v4.loop_fraction <= 0.12

@@ -1,0 +1,111 @@
+"""Tests for trace/ping timeline containers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.timeline import PingTimeline, TraceTimeline
+from repro.measurement.traceroute import TraceOutcome
+from repro.net.ip import IPVersion
+
+
+def _timeline(outcomes, rtts=None, path_ids=None, paths=None):
+    count = len(outcomes)
+    times = 3.0 * np.arange(count)
+    return TraceTimeline(
+        src_server_id=0,
+        dst_server_id=1,
+        version=IPVersion.V4,
+        times_hours=times,
+        rtt_ms=np.asarray(rtts if rtts is not None else [10.0] * count, dtype=np.float32),
+        outcome=np.asarray(outcomes, dtype=np.uint8),
+        path_id=np.asarray(path_ids if path_ids is not None else [0] * count, dtype=np.int32),
+        paths=paths if paths is not None else [(1, 2, 3)],
+        true_candidate=np.zeros(count, dtype=np.int16),
+    )
+
+
+COMPLETE = int(TraceOutcome.COMPLETE)
+MISSING_AS = int(TraceOutcome.MISSING_AS)
+MISSING_IP = int(TraceOutcome.MISSING_IP)
+LOOP = int(TraceOutcome.LOOP)
+INCOMPLETE = int(TraceOutcome.INCOMPLETE)
+
+
+class TestTraceTimeline:
+    def test_usable_mask_excludes_loops_and_incomplete(self):
+        timeline = _timeline([COMPLETE, MISSING_AS, MISSING_IP, LOOP, INCOMPLETE])
+        assert timeline.usable_mask().tolist() == [True, True, True, False, False]
+
+    def test_complete_mask_excludes_only_incomplete(self):
+        timeline = _timeline([COMPLETE, LOOP, INCOMPLETE])
+        assert timeline.complete_mask().tolist() == [True, True, False]
+
+    def test_observed_paths_deduplicated(self):
+        timeline = _timeline(
+            [COMPLETE] * 4,
+            path_ids=[0, 1, 0, 1],
+            paths=[(1, 2), (1, 3)],
+        )
+        assert timeline.observed_paths() == [(1, 2), (1, 3)]
+
+    def test_observed_paths_skip_unusable(self):
+        timeline = _timeline(
+            [COMPLETE, LOOP],
+            path_ids=[0, 1],
+            paths=[(1, 2), (1, 3, 1)],
+        )
+        assert timeline.observed_paths() == [(1, 2)]
+
+    def test_rtts_by_path_buckets(self):
+        timeline = _timeline(
+            [COMPLETE] * 4,
+            rtts=[10.0, 20.0, 30.0, 40.0],
+            path_ids=[0, 0, 1, 1],
+            paths=[(1, 2), (1, 3)],
+        )
+        buckets = timeline.usable_rtts_by_path()
+        assert sorted(buckets) == [0, 1]
+        assert buckets[0].tolist() == [10.0, 20.0]
+        assert buckets[1].tolist() == [30.0, 40.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TraceTimeline(
+                src_server_id=0, dst_server_id=1, version=IPVersion.V4,
+                times_hours=np.arange(3.0),
+                rtt_ms=np.zeros(2, dtype=np.float32),
+                outcome=np.zeros(3, dtype=np.uint8),
+                path_id=np.zeros(3, dtype=np.int32),
+            )
+
+    def test_pair(self):
+        assert _timeline([COMPLETE]).pair == (0, 1)
+
+
+class TestPingTimeline:
+    def _ping(self, rtts):
+        return PingTimeline(
+            src_server_id=0, dst_server_id=1, version=IPVersion.V4,
+            times_hours=0.25 * np.arange(len(rtts)),
+            rtt_ms=np.asarray(rtts, dtype=np.float32),
+        )
+
+    def test_valid_count(self):
+        timeline = self._ping([1.0, np.nan, 3.0])
+        assert timeline.valid_count() == 2
+
+    def test_percentile_spread(self):
+        rtts = list(np.linspace(10, 30, 100))
+        timeline = self._ping(rtts)
+        assert timeline.percentile_spread() == pytest.approx(0.9 * 20.0, abs=0.5)
+
+    def test_spread_of_empty_is_nan(self):
+        timeline = self._ping([np.nan, np.nan])
+        assert np.isnan(timeline.percentile_spread())
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PingTimeline(
+                src_server_id=0, dst_server_id=1, version=IPVersion.V4,
+                times_hours=np.arange(3.0), rtt_ms=np.zeros(2, dtype=np.float32),
+            )

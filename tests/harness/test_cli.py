@@ -1,0 +1,54 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenario_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--scenario", "bogus"])
+
+    def test_trace_arguments(self):
+        args = build_parser().parse_args(
+            ["trace", "--src", "0", "--dst", "2", "--ipv6"]
+        )
+        assert args.src == 0 and args.dst == 2 and args.ipv6
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--scenario", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "ASes:" in out
+        assert "measurement servers" in out
+
+    def test_trace_happy_path(self, capsys):
+        from repro.harness.scenarios import scenario_platform
+
+        platform = scenario_platform("small", 0)
+        servers = platform.measurement_servers()
+        src, dst = servers[0].server_id, servers[1].server_id
+        assert main(["trace", "--src", str(src), "--dst", str(dst)]) == 0
+        out = capsys.readouterr().out
+        assert "traceroute to" in out
+
+    def test_trace_bad_server_id(self, capsys):
+        assert main(["trace", "--src", "1", "--dst", "99999"]) == 2
+        assert "server ids" in capsys.readouterr().err
+
+    def test_reproduce_unknown_experiment(self, capsys):
+        assert main(["reproduce", "--experiments", "nope"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_reproduce_single_experiment(self, capsys):
+        assert main(
+            ["reproduce", "--scenario", "small", "--experiments", "table1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Traceroute completeness summary" in out

@@ -1,0 +1,63 @@
+"""Tests for text-mode curve rendering."""
+
+import numpy as np
+
+from repro.core.ecdf import ECDF
+from repro.harness.curves import plot_ecdfs, plot_timeline
+from repro.net.ip import IPVersion
+from tests.core.test_rttstats import timeline_with_rtts
+
+
+class TestECDFPlot:
+    def test_renders_grid_and_legend(self):
+        text = plot_ecdfs(
+            [("v4", ECDF(range(100))), ("v6", ECDF(range(50, 150)))],
+            x_label="RTT (ms)",
+        )
+        lines = text.splitlines()
+        assert any("#" in line for line in lines)
+        assert any("*" in line for line in lines)
+        assert "v4" in text and "v6" in text
+        assert "RTT (ms)" in text
+
+    def test_log_scale(self):
+        text = plot_ecdfs(
+            [("paths", ECDF([1, 1, 2, 3, 50, 100]))], log_x=True, x_label="paths"
+        )
+        assert "(log scale)" in text
+
+    def test_empty_curves(self):
+        assert plot_ecdfs([("empty", ECDF([]))]) == "(no data)"
+
+    def test_monotone_rendering(self):
+        """Marks never go down as x increases (an ECDF cannot)."""
+        text = plot_ecdfs([("x", ECDF(np.linspace(0, 10, 200)))], height=10, width=40)
+        rows = [line[6:] for line in text.splitlines() if "|" in line[:6]]
+        last_row_of_column = {}
+        for row_index, row in enumerate(rows):
+            for column, char in enumerate(row):
+                if char == "#":
+                    last_row_of_column[column] = row_index
+        columns = sorted(last_row_of_column)
+        values = [last_row_of_column[c] for c in columns]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestTimelinePlot:
+    def test_marks_path_changes(self):
+        timeline = timeline_with_rtts(
+            [0] * 50 + [1] * 50, [50.0] * 50 + [120.0] * 50
+        )
+        text = plot_timeline(timeline, width=40, title="demo pair")
+        assert "demo pair" in text
+        assert "|" in text  # the change marker
+        assert "AS-path change" in text
+
+    def test_no_usable_samples(self):
+        timeline = timeline_with_rtts([0], [np.nan])
+        assert "no usable samples" in plot_timeline(timeline)
+
+    def test_flat_series(self):
+        timeline = timeline_with_rtts([0] * 30, [10.0] * 30)
+        text = plot_timeline(timeline)
+        assert "." in text

@@ -1,0 +1,95 @@
+"""Tests for the per-figure experiment drivers on the session platform."""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import (
+    experiment_congestion_norm,
+    experiment_fig1,
+    experiment_fig2,
+    experiment_fig3,
+    experiment_fig4,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_fig9,
+    experiment_fig10a,
+    experiment_fig10b,
+    experiment_link_classification,
+    experiment_localization,
+    experiment_table1,
+)
+
+
+class TestExperimentShape:
+    """Every driver returns metrics and a renderable report."""
+
+    @pytest.fixture(scope="class")
+    def results(self, platform, longterm, ping_dataset, trace_dataset):
+        return [
+            experiment_table1(longterm),
+            experiment_fig1(platform, longterm),
+            experiment_fig2(longterm),
+            experiment_fig3(longterm),
+            experiment_fig4(longterm),
+            experiment_fig5(longterm),
+            experiment_fig6(longterm),
+            experiment_congestion_norm(ping_dataset),
+            experiment_localization(trace_dataset, platform),
+            experiment_link_classification(trace_dataset, platform),
+            experiment_fig9(trace_dataset, platform),
+            experiment_fig10a(longterm),
+            experiment_fig10b(longterm),
+        ]
+
+    def test_all_render(self, results):
+        for result in results:
+            text = result.render()
+            assert result.experiment_id in text
+            assert "paper" in text and "measured" in text
+
+    def test_metric_lookup(self, results):
+        table1 = results[0]
+        metric = table1.metric("complete AS-level v4")
+        assert metric.paper == pytest.approx(70.30)
+        with pytest.raises(KeyError):
+            table1.metric("nonexistent")
+
+    def test_unique_ids(self, results):
+        ids = [result.experiment_id for result in results]
+        assert len(ids) == len(set(ids))
+
+
+class TestSubstance:
+    def test_table1_fractions_finite(self, longterm):
+        result = experiment_table1(longterm)
+        for metric in result.metrics:
+            assert np.isfinite(metric.measured)
+
+    def test_fig2_counts_positive(self, longterm):
+        result = experiment_fig2(longterm)
+        assert result.metric("paths/timeline p80 v4").measured >= 1
+
+    def test_fig3_dominance(self, longterm):
+        result = experiment_fig3(longterm)
+        dominant = result.metric(
+            "timelines with dominant path (prev>=50%) v4"
+        ).measured
+        assert 50.0 <= dominant <= 100.0
+
+    def test_fig4_has_heatmap(self, longterm):
+        result = experiment_fig4(longterm)
+        assert "RTT increase over best path" in result.report
+
+    def test_fig10a_band_sensible(self, longterm):
+        result = experiment_fig10a(longterm)
+        band = result.metric("traceroutes with |RTTv4-RTTv6| <= 10ms").measured
+        assert 10.0 <= band <= 100.0
+
+    def test_fig10b_inflation_physical(self, longterm):
+        result = experiment_fig10b(longterm)
+        assert result.metric("median inflation v4").measured > 1.4
+
+    def test_congestion_not_the_norm(self, ping_dataset):
+        result = experiment_congestion_norm(ping_dataset)
+        congested = result.metric("pairs with strong diurnal + spread v4").measured
+        assert congested < 30.0  # a small minority, as the paper concludes

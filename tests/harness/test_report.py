@@ -1,0 +1,54 @@
+"""Tests for report rendering."""
+
+import numpy as np
+
+from repro.core.ecdf import ECDF
+from repro.core.heatmap import build_heatmap
+from repro.harness.report import format_duration, format_ms, render_ecdf, render_heatmap, render_table
+
+
+class TestFormatters:
+    def test_duration_units(self):
+        assert format_duration(3.0) == "3.0h"
+        assert format_duration(48.0) == "2.0D"
+        assert format_duration(24.0 * 60) == "2.0M"
+
+    def test_ms_switches_to_seconds(self):
+        assert format_ms(12.3) == "12.3ms"
+        assert format_ms(2500.0) == "2.5s"
+
+
+class TestTable:
+    def test_alignment_and_content(self):
+        text = render_table(("name", "value"), [("alpha", 1), ("b", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in text and "22" in text
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_empty_rows(self):
+        text = render_table(("a",), [])
+        assert "a" in text
+
+
+class TestECDFRendering:
+    def test_quantiles_present(self):
+        text = render_ecdf(ECDF(range(100)), "demo", probe_points=(50,))
+        assert "demo" in text
+        assert "p50=" in text
+        assert "F(50)" in text
+
+    def test_empty(self):
+        assert "(empty)" in render_ecdf(ECDF([]), "demo")
+
+
+class TestHeatmapRendering:
+    def test_axis_labels_and_rows(self):
+        rng = np.random.default_rng(1)
+        points = list(zip(rng.uniform(3, 2000, 300), rng.uniform(0, 100, 300)))
+        heatmap = build_heatmap(points)
+        text = render_heatmap(heatmap)
+        assert "AS-path lifetime" in text
+        assert "[" in text and ")" in text
+        # One row per increase decile plus header and separator.
+        assert len(text.splitlines()) == heatmap.cells.shape[0] + 2

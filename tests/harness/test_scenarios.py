@@ -1,0 +1,37 @@
+"""Tests for scenario definitions and caching."""
+
+import pytest
+
+from repro.harness.scenarios import SCENARIOS, Scenario, get_scenario
+
+
+class TestScenarios:
+    def test_known_names(self):
+        assert {"small", "default", "large"} <= set(SCENARIOS)
+
+    def test_unknown_name_lists_valid(self):
+        with pytest.raises(KeyError, match="small"):
+            get_scenario("nope")
+
+    def test_platform_config_window_covers_campaigns(self):
+        for scenario in SCENARIOS.values():
+            config = scenario.platform_config()
+            assert config.duration_hours >= scenario.longterm_days * 24.0
+            assert config.duration_hours >= scenario.shortterm_trace_days * 24.0
+
+    def test_congestion_rich_flag(self):
+        assert SCENARIOS["large"].congestion_rich
+        config = SCENARIOS["large"].platform_config()
+        assert config.congestion.anchor_popularity_halflife is None
+
+    def test_seed_parameterizes_config(self):
+        scenario = get_scenario("small")
+        assert scenario.platform_config(seed=5).seed == 5
+
+    def test_grids(self):
+        scenario = Scenario(
+            name="x", cluster_count=4, longterm_days=30.0,
+            shortterm_ping_days=7.0, shortterm_trace_days=10.0,
+        )
+        assert scenario.longterm_config().days == 30.0
+        assert scenario.shortterm_config().ping_grid().rounds == 672

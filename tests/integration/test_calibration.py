@@ -1,0 +1,61 @@
+"""Calibration bands: the session-scale dataset keeps the paper's shapes.
+
+The bands here are deliberately loose (the session platform is tiny and a
+single seed is lumpy); the benchmarks check the same quantities at the
+default/large scales with tighter expectations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dualstack import paired_rtt_differences
+from repro.core.routechange import analyze_timeline
+from repro.core.summary import dataset_summary
+from repro.net.ip import IPVersion
+
+
+class TestTable1Bands:
+    def test_v4(self, longterm):
+        summary = dataset_summary(longterm)[IPVersion.V4]
+        assert 0.6 <= summary.reached_fraction <= 0.9       # paper: 0.75
+        assert 0.45 <= summary.complete_as_fraction <= 0.9  # paper: 0.703
+        assert summary.missing_ip_fraction <= 0.5           # paper: 0.281
+        assert summary.loop_fraction <= 0.12                # paper: 0.0216
+
+    def test_v6_loops_exceed_v4(self, longterm):
+        summaries = dataset_summary(longterm)
+        # IPv6 stays on classic traceroute, so its loop rate is at least
+        # comparable to IPv4's (which switches to Paris mid-study).
+        assert summaries[IPVersion.V6].loop_fraction >= (
+            0.5 * summaries[IPVersion.V4].loop_fraction
+        )
+
+
+class TestRoutingShapes:
+    def test_few_paths_per_timeline(self, longterm):
+        counts = [
+            analyze_timeline(timeline).unique_paths
+            for timeline in longterm.by_version(IPVersion.V4)
+        ]
+        assert np.percentile(counts, 80) <= 8  # paper: 5
+
+    def test_one_dominant_path(self, longterm):
+        prevalences = [
+            analyze_timeline(timeline).popular_prevalence
+            for timeline in longterm.by_version(IPVersion.V4)
+        ]
+        dominant = np.mean([p >= 0.5 for p in prevalences])
+        assert dominant >= 0.7  # paper: 0.8 of timelines
+
+
+class TestDualStackShapes:
+    def test_most_paired_diffs_small(self, longterm):
+        comparison = paired_rtt_differences(longterm)
+        if comparison.paired_samples == 0:
+            pytest.skip("no dual-stack pairs at this seed")
+        assert comparison.within_band_fraction(10.0) >= 0.4  # paper: ~0.5
+
+    def test_saving_fractions_minority(self, longterm):
+        comparison = paired_rtt_differences(longterm)
+        assert comparison.v6_saves_fraction(50.0) <= 0.25
+        assert comparison.v4_saves_fraction(50.0) <= 0.35

@@ -1,0 +1,77 @@
+"""Reproducibility: one seed, one dataset, bit for bit."""
+
+import numpy as np
+
+from repro.datasets.longterm import LongTermConfig, build_longterm_dataset
+from repro.datasets.shortterm import ShortTermConfig, build_shortterm_ping_dataset
+from repro.measurement.platform import MeasurementPlatform, PlatformConfig
+from repro.net.ip import IPVersion
+
+
+def _make_platform():
+    return MeasurementPlatform(
+        PlatformConfig(seed=33, cluster_count=6, duration_hours=24.0 * 40)
+    )
+
+
+class TestBitwiseReproducibility:
+    def test_longterm_datasets_identical(self):
+        first = build_longterm_dataset(_make_platform(), LongTermConfig(days=40))
+        second = build_longterm_dataset(_make_platform(), LongTermConfig(days=40))
+        assert set(first.timelines) == set(second.timelines)
+        for key, timeline in first.timelines.items():
+            other = second.timelines[key]
+            assert np.array_equal(timeline.rtt_ms, other.rtt_ms, equal_nan=True)
+            assert np.array_equal(timeline.outcome, other.outcome)
+            assert np.array_equal(timeline.path_id, other.path_id)
+            assert timeline.paths == other.paths
+
+    def test_ping_datasets_identical(self):
+        first = build_shortterm_ping_dataset(
+            _make_platform(), ShortTermConfig(ping_days=3.0)
+        )
+        second = build_shortterm_ping_dataset(
+            _make_platform(), ShortTermConfig(ping_days=3.0)
+        )
+        for key, timeline in first.timelines.items():
+            assert np.array_equal(
+                timeline.rtt_ms, second.timelines[key].rtt_ms, equal_nan=True
+            )
+
+    def test_congestion_schedule_identical(self):
+        first = _make_platform()
+        second = _make_platform()
+        assert first.congested_segment_keys() == second.congested_segment_keys()
+        for key in first.congested_segment_keys():
+            assert first.congestion.events[key] == second.congestion.events[key]
+
+    def test_analysis_results_identical(self):
+        from repro.core.routechange import analyze_timeline
+
+        first = build_longterm_dataset(_make_platform(), LongTermConfig(days=40))
+        second = build_longterm_dataset(_make_platform(), LongTermConfig(days=40))
+        for key in first.timelines:
+            stats_a = analyze_timeline(first.timelines[key])
+            stats_b = analyze_timeline(second.timelines[key])
+            assert stats_a.changes == stats_b.changes
+            assert stats_a.unique_paths == stats_b.unique_paths
+            assert stats_a.prevalence == stats_b.prevalence
+
+    def test_rng_streams_do_not_collide(self):
+        platform = _make_platform()
+        pairs = platform.server_pairs()[:3]
+        streams = [
+            platform.rng("longterm", src.server_id, dst.server_id, 4, 0).random(8)
+            for src, dst in pairs
+        ]
+        for index, first in enumerate(streams):
+            for second in streams[index + 1 :]:
+                assert not np.allclose(first, second)
+
+    def test_epochs_independent_of_query_order(self):
+        first = _make_platform()
+        second = _make_platform()
+        pairs = first.server_pairs()
+        forward = [first.epochs(s, d, IPVersion.V4) for s, d in pairs]
+        backward = [second.epochs(s, d, IPVersion.V4) for s, d in reversed(pairs)]
+        assert forward == list(reversed(backward))

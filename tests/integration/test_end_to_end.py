@@ -1,0 +1,138 @@
+"""End-to-end integration: the full pipeline on one platform.
+
+These tests chain the stages the way the paper's study does: platform ->
+campaigns -> analyses, and check cross-stage consistency properties that
+unit tests cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.congestion import CongestionDetector
+from repro.core.localization import localize_congestion
+from repro.core.routechange import analyze_timeline, change_events
+from repro.core.rttstats import best_path_id, path_percentiles
+from repro.net.ip import IPVersion
+
+
+class TestRoutingPipeline:
+    def test_observed_changes_reflect_schedule(self, platform, longterm):
+        """Timelines of pairs whose routing schedule has no changes should
+        themselves show few observed path changes (artifact noise only)."""
+        quiet = noisy = 0
+        for src, dst in platform.server_pairs(dual_stack_only=True):
+            epochs = platform.epochs(src, dst, IPVersion.V4)
+            if len(epochs) != 1:
+                continue
+            timeline = longterm.timeline(src.server_id, dst.server_id, IPVersion.V4)
+            stats = analyze_timeline(timeline)
+            if stats.changes <= 4:
+                quiet += 1
+            else:
+                noisy += 1
+        if quiet + noisy == 0:
+            pytest.skip("no single-epoch pairs at this seed")
+        assert quiet / (quiet + noisy) > 0.7
+
+    def test_best_path_is_usually_primary(self, platform, longterm):
+        """The RTT-best observed path usually corresponds to the
+        steady-state (candidate 0) route."""
+        agree = total = 0
+        for src, dst in platform.server_pairs(dual_stack_only=True):
+            timeline = longterm.timeline(src.server_id, dst.server_id, IPVersion.V4)
+            best = best_path_id(timeline)
+            if best is None or len(timeline.observed_paths()) < 2:
+                continue
+            mask = timeline.usable_mask() & (timeline.path_id == best)
+            if not mask.any():
+                continue
+            candidates = timeline.true_candidate[mask]
+            total += 1
+            if np.median(candidates) == 0:
+                agree += 1
+        if total == 0:
+            pytest.skip("no multi-path timelines at this seed")
+        assert agree / total > 0.6
+
+    def test_change_events_carry_real_paths(self, longterm):
+        for timeline in list(longterm.timelines.values())[:50]:
+            for event in change_events(timeline)[:5]:
+                assert event.old_path != event.new_path
+                assert event.distance >= 1
+
+
+class TestRTTConsistency:
+    def test_percentiles_ordered(self, longterm):
+        for timeline in list(longterm.timelines.values())[:100]:
+            p10 = path_percentiles(timeline, 10.0)
+            p90 = path_percentiles(timeline, 90.0)
+            for path_id in p10:
+                assert p10[path_id] <= p90[path_id] + 1e-6
+
+    def test_rtts_exceed_speed_of_light(self, platform, longterm):
+        """No measured RTT beats the free-space bound between endpoints."""
+        from repro.net.geo import crtt_ms
+
+        for src, dst in platform.server_pairs(dual_stack_only=True)[:20]:
+            timeline = longterm.timeline(src.server_id, dst.server_id, IPVersion.V4)
+            usable = timeline.usable_mask() & np.isfinite(timeline.rtt_ms)
+            if not usable.any():
+                continue
+            bound = crtt_ms(src.city, dst.city)
+            assert float(timeline.rtt_ms[usable].min()) >= bound * 0.99
+
+
+class TestCongestionPipeline:
+    def test_flagged_pairs_cross_congested_keys(self, platform, ping_dataset):
+        """Most ping-flagged pairs actually cross a congested segment
+        (the rest are routing-change artifacts the FFT gate lets through
+        rarely)."""
+        detector = CongestionDetector()
+        servers = {s.server_id: s for s in platform.measurement_servers()}
+        congested = set(platform.congestion.congested_keys())
+        flagged = correct = 0
+        for (src_id, dst_id, version), timeline in ping_dataset.timelines.items():
+            if not detector.assess(timeline).congested:
+                continue
+            flagged += 1
+            realization = platform.realization(
+                servers[src_id], servers[dst_id], version, 0
+            )
+            if realization and set(realization.segment_keys) & congested:
+                correct += 1
+        if flagged == 0:
+            pytest.skip("no congested pairs at this seed")
+        assert correct / flagged > 0.8
+
+    def test_localization_agrees_with_detector(self, trace_dataset):
+        """Localization only fires when the end-to-end diurnal persists."""
+        for entry in trace_dataset.entries.values():
+            if not entry.static_path:
+                continue
+            result = localize_congestion(entry)
+            if result.located:
+                assert result.end_to_end_diurnal
+
+
+class TestDualStackConsistency:
+    def test_shared_congestion_visible_on_both_protocols(self, platform):
+        """When v4 and v6 primary paths share a congested segment, both
+        protocols see the diurnal lift at the same hours."""
+        congested = set(platform.congestion.congested_keys())
+        for src, dst in platform.server_pairs(dual_stack_only=True):
+            v4 = platform.realization(src, dst, IPVersion.V4, 0)
+            v6 = platform.realization(src, dst, IPVersion.V6, 0)
+            if v4 is None or v6 is None:
+                continue
+            shared = set(v4.segment_keys) & set(v6.segment_keys) & congested
+            if not shared:
+                continue
+            times = np.arange(0.0, 48.0, 0.25)
+            lift_v4 = platform.congestion.path_series(v4.segment_keys, times)
+            lift_v6 = platform.congestion.path_series(v6.segment_keys, times)
+            if lift_v4.max() == 0:
+                continue
+            # The shared component peaks at the same time bins.
+            assert np.argmax(lift_v4) == np.argmax(lift_v6) or lift_v6.max() > 0
+            return
+        pytest.skip("no dual-stack pair shares a congested segment at this seed")

@@ -1,0 +1,189 @@
+"""Tests for congestion processes and assignment."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.congestionmodel import (
+    CongestionConfig,
+    CongestionEvent,
+    CongestionSchedule,
+    SegmentGeo,
+    assign_congestion,
+)
+from repro.net.geo import GeoLocation
+
+NYC = GeoLocation("New York", "US", "NA", 40.71, -74.01)
+LA = GeoLocation("Los Angeles", "US", "NA", 34.05, -118.24)
+TOKYO = GeoLocation("Tokyo", "JP", "AS", 35.68, 139.69)
+LONDON = GeoLocation("London", "GB", "EU", 51.51, -0.13)
+
+
+def _event(**overrides):
+    defaults = dict(
+        amplitude_ms=30.0, start_hour=0.0, end_hour=240.0,
+        peak_local_hour=20.0, width_hours=8.0, longitude=0.0,
+    )
+    defaults.update(overrides)
+    return CongestionEvent(**defaults)
+
+
+class TestEvent:
+    def test_zero_outside_active_window(self):
+        event = _event(start_hour=100.0, end_hour=120.0)
+        times = np.array([50.0, 130.0])
+        assert (event.contribution(times) == 0.0).all()
+
+    def test_peaks_at_local_peak_hour(self):
+        event = _event(longitude=0.0, peak_local_hour=20.0)
+        times = np.arange(0.0, 24.0, 0.1)
+        contributions = event.contribution(times)
+        peak_time = times[np.argmax(contributions)]
+        assert peak_time == pytest.approx(20.0, abs=0.2)
+        assert contributions.max() == pytest.approx(30.0, abs=0.1)
+
+    def test_timezone_shifts_peak(self):
+        # 90 degrees east: local time is UTC+6, so the UTC peak is 6h earlier.
+        event = _event(longitude=90.0, peak_local_hour=20.0)
+        times = np.arange(0.0, 24.0, 0.1)
+        peak_time = times[np.argmax(event.contribution(times))]
+        assert peak_time == pytest.approx(14.0, abs=0.2)
+
+    def test_bump_width(self):
+        event = _event(width_hours=6.0, peak_local_hour=12.0)
+        times = np.arange(0.0, 24.0, 0.05)
+        active = event.contribution(times) > 0.0
+        assert active.sum() * 0.05 == pytest.approx(6.0, abs=0.2)
+
+    def test_daily_repetition(self):
+        event = _event()
+        day_one = event.contribution(np.arange(0.0, 24.0, 0.5))
+        day_two = event.contribution(np.arange(24.0, 48.0, 0.5))
+        assert np.allclose(day_one, day_two)
+
+
+class TestSchedule:
+    def test_series_sums_events(self):
+        key = ("x", 1)
+        schedule = CongestionSchedule(events={key: (_event(), _event())})
+        times = np.array([20.0])
+        assert schedule.series(key, times)[0] == pytest.approx(60.0, abs=0.5)
+
+    def test_path_series_only_counts_present_keys(self):
+        schedule = CongestionSchedule(events={("x", 1): (_event(),)})
+        times = np.array([20.0])
+        on_path = schedule.path_series([("x", 1), ("x", 2)], times)
+        off_path = schedule.path_series([("x", 2)], times)
+        assert on_path[0] > 0.0
+        assert off_path[0] == 0.0
+
+    def test_segment_matrix_cumulative(self):
+        schedule = CongestionSchedule(events={("x", 2): (_event(),)})
+        keys = [("x", 1), ("x", 2), ("x", 3)]
+        matrix = schedule.segment_matrix(keys, np.array([20.0]))
+        assert matrix[0, 0] == 0.0
+        assert matrix[1, 0] > 0.0
+        assert matrix[2, 0] == matrix[1, 0]
+
+    def test_congested_keys(self):
+        schedule = CongestionSchedule(events={("x", 1): (_event(),), ("x", 2): ()})
+        assert schedule.congested_keys() == [("x", 1)]
+        assert schedule.is_congested(("x", 1))
+        assert not schedule.is_congested(("x", 2))
+
+
+class TestSegmentGeo:
+    def test_domestic_us(self):
+        assert SegmentGeo("i", NYC, LA).domestic_us
+        assert not SegmentGeo("i", NYC, TOKYO).domestic_us
+
+    def test_transcontinental(self):
+        assert SegmentGeo("x", NYC, TOKYO).transcontinental
+        assert not SegmentGeo("x", NYC, LA).transcontinental
+
+    def test_longitude_midpoint(self):
+        geo = SegmentGeo("x", NYC, LONDON)
+        assert geo.longitude == pytest.approx((NYC.longitude + LONDON.longitude) / 2)
+
+
+class TestAssignment:
+    def _segments(self, count=200):
+        segments = {}
+        crossings = {}
+        for index in range(count):
+            kind = "i" if index % 2 == 0 else "x"
+            key = (kind, index)
+            segments[key] = SegmentGeo(kind, NYC, LA, peering=(index % 4 == 1))
+            crossings[key] = 1 + index % 30
+        return segments, crossings
+
+    def test_fractions_roughly_honored(self):
+        segments, crossings = self._segments(2000)
+        config = CongestionConfig(
+            fraction_intra_congested=0.10, fraction_inter_congested=0.10
+        )
+        schedule = assign_congestion(
+            segments, crossings, 24.0 * 100, config, np.random.default_rng(1)
+        )
+        congested = len(schedule.congested_keys())
+        assert 120 <= congested <= 280  # ~10% of 2000, binomial slack
+
+    def test_zero_fraction_means_no_congestion(self):
+        segments, crossings = self._segments()
+        config = CongestionConfig(
+            fraction_intra_congested=0.0, fraction_inter_congested=0.0
+        )
+        schedule = assign_congestion(
+            segments, crossings, 24.0 * 100, config, np.random.default_rng(2)
+        )
+        assert schedule.congested_keys() == []
+
+    def test_us_amplitudes_near_calibration(self):
+        segments = {("i", 0): SegmentGeo("i", NYC, LA)}
+        config = CongestionConfig(fraction_intra_congested=1.0)
+        amplitudes = []
+        for seed in range(40):
+            schedule = assign_congestion(
+                segments, {("i", 0): 1}, 24.0 * 100, config, np.random.default_rng(seed)
+            )
+            amplitudes.extend(
+                event.amplitude_ms for event in schedule.events[("i", 0)]
+            )
+        median = float(np.median(amplitudes))
+        assert 20.0 <= median <= 30.0
+
+    def test_transcontinental_amplitudes_higher(self):
+        config = CongestionConfig(fraction_intra_congested=1.0)
+        us, trans = [], []
+        for seed in range(40):
+            rng = np.random.default_rng(seed)
+            schedule = assign_congestion(
+                {("i", 0): SegmentGeo("i", NYC, LA)}, {}, 2400.0, config, rng
+            )
+            us.extend(e.amplitude_ms for e in schedule.events[("i", 0)])
+            rng = np.random.default_rng(seed)
+            schedule = assign_congestion(
+                {("i", 0): SegmentGeo("i", NYC, TOKYO)}, {}, 2400.0, config, rng
+            )
+            # Transcontinental segments are down-weighted and may be skipped.
+            trans.extend(
+                e.amplitude_ms for e in schedule.events.get(("i", 0), ())
+            )
+        assert len(trans) >= 10
+        assert np.median(trans) > 1.5 * np.median(us)
+
+    def test_events_within_window(self):
+        segments, crossings = self._segments()
+        schedule = assign_congestion(
+            segments, crossings, 24.0 * 50,
+            CongestionConfig(fraction_intra_congested=0.5, fraction_inter_congested=0.5),
+            np.random.default_rng(3),
+        )
+        for events in schedule.events.values():
+            for event in events:
+                assert 0.0 <= event.start_hour < event.end_hour <= 24.0 * 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CongestionConfig(fraction_intra_congested=1.5).validate()
+        with pytest.raises(ValueError):
+            CongestionConfig(episodes_range=(2, 1)).validate()

@@ -1,0 +1,90 @@
+"""Tests for the ping engine."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.ping import ping_series
+from repro.measurement.rttmodel import DelayModel
+from repro.net.ip import IPVersion
+
+
+@pytest.fixture(scope="module")
+def realization(platform):
+    src, dst = platform.server_pairs()[1]
+    return platform.realization(src, dst, IPVersion.V4, 0)
+
+
+class TestPingSeries:
+    def test_shape_and_positivity(self, realization):
+        times = np.arange(0.0, 24.0 * 7, 0.25)
+        rtts = ping_series(realization, times, np.random.default_rng(1))
+        assert rtts.shape == times.shape
+        finite = rtts[np.isfinite(rtts)]
+        assert (finite > 0).all()
+
+    def test_loss_marks_nan(self, realization):
+        times = np.arange(0.0, 24.0 * 7, 0.25)
+        rtts = ping_series(
+            realization, times, np.random.default_rng(2), loss_probability=0.2
+        )
+        loss_rate = np.mean(np.isnan(rtts))
+        assert 0.1 < loss_rate < 0.3
+
+    def test_zero_loss(self, realization):
+        times = np.arange(0.0, 24.0, 0.25)
+        rtts = ping_series(
+            realization, times, np.random.default_rng(3), loss_probability=0.0
+        )
+        assert np.isfinite(rtts).all()
+
+    def test_invalid_loss_probability(self, realization):
+        with pytest.raises(ValueError):
+            ping_series(
+                realization, np.array([0.0]), np.random.default_rng(4),
+                loss_probability=2.0,
+            )
+
+    def test_baseline_consistent_with_traceroute(self, platform, realization):
+        """Pings and traceroutes share the delay model, so their medians
+        agree (the paper uses them interchangeably for end-to-end RTT)."""
+        times = np.arange(0.0, 24.0 * 3, 0.25)
+        pings = ping_series(
+            realization, times, platform.rng("ping-test"),
+            delay_model=platform.delay_model, congestion=platform.congestion,
+        )
+        base = platform.delay_model.base_rtt(realization)
+        median = np.nanmedian(pings)
+        assert median == pytest.approx(base, rel=0.25)
+
+    def test_congestion_visible_in_pings(self, platform):
+        """Pings over a congested path show a larger p95-p5 spread."""
+        model = DelayModel()
+        congested_keys = set(platform.congestion.congested_keys())
+        target = None
+        for src, dst in platform.server_pairs():
+            realization = platform.realization(src, dst, IPVersion.V4, 0)
+            if realization is None:
+                continue
+            active = [
+                key for key in realization.segment_keys
+                if key in congested_keys
+                and any(
+                    event.start_hour < 24.0 * 7
+                    for event in platform.congestion.events[key]
+                )
+            ]
+            if active:
+                target = realization
+                break
+        if target is None:
+            pytest.skip("no congested path active in the first week")
+        times = np.arange(0.0, 24.0 * 7, 0.25)
+        quiet = ping_series(target, times, np.random.default_rng(5), delay_model=model)
+        busy = ping_series(
+            target, times, np.random.default_rng(5), delay_model=model,
+            congestion=platform.congestion,
+        )
+        def spread(values):
+            finite = values[np.isfinite(values)]
+            return np.percentile(finite, 95) - np.percentile(finite, 5)
+        assert spread(busy) > spread(quiet)

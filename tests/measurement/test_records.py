@@ -1,0 +1,58 @@
+"""Tests for measurement records."""
+
+from repro.measurement.records import HopObservation, PingRecord, TracerouteRecord
+from repro.net.ip import IPAddress, IPVersion
+
+
+class TestHopObservation:
+    def test_responded(self):
+        hop = HopObservation(
+            ttl=1, address=IPAddress.parse("10.0.0.1"), rtt_ms=1.5, mapped_asn=100
+        )
+        assert hop.responded
+        assert "AS100" in str(hop)
+
+    def test_unresponsive_renders_star(self):
+        hop = HopObservation(ttl=3, address=None, rtt_ms=None, mapped_asn=None)
+        assert not hop.responded
+        assert "*" in str(hop)
+
+    def test_unmapped_renders_question(self):
+        hop = HopObservation(
+            ttl=2, address=IPAddress.parse("10.0.0.2"), rtt_ms=2.0, mapped_asn=None
+        )
+        assert "AS?" in str(hop)
+
+
+class TestTracerouteRecord:
+    def _record(self, hops):
+        return TracerouteRecord(
+            src_server_id=0,
+            dst_server_id=1,
+            src_address=IPAddress.parse("10.0.0.1"),
+            dst_address=IPAddress.parse("10.0.0.9"),
+            version=IPVersion.V4,
+            time_hours=1.0,
+            hops=tuple(hops),
+            rtt_ms=12.5,
+            reached=True,
+            observed_as_path=(100, 200),
+        )
+
+    def test_unresponsive_detection(self):
+        responsive = HopObservation(1, IPAddress.parse("10.0.0.2"), 1.0, 100)
+        silent = HopObservation(2, None, None, None)
+        assert not self._record([responsive]).has_unresponsive_hop
+        assert self._record([responsive, silent]).has_unresponsive_hop
+
+    def test_render(self):
+        record = self._record([HopObservation(1, IPAddress.parse("10.0.0.2"), 1.0, 100)])
+        text = record.render()
+        assert "rtt=12.50 ms" in text
+        assert "10.0.0.9" in text
+
+
+class TestPingRecord:
+    def test_loss(self):
+        assert PingRecord(0, 1, IPVersion.V4, 0.0, None).lost
+        assert not PingRecord(0, 1, IPVersion.V4, 0.0, 5.0).lost

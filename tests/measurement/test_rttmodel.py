@@ -1,0 +1,138 @@
+"""Tests for the delay model."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.congestionmodel import CongestionEvent, CongestionSchedule
+from repro.measurement.rttmodel import DelayModel, DelayParams
+from repro.net.ip import IPVersion
+
+
+@pytest.fixture(scope="module")
+def realization(platform):
+    src, dst = platform.server_pairs()[0]
+    return platform.realization(src, dst, IPVersion.V4, 0)
+
+
+class TestBaseline:
+    def test_base_rtt_positive_and_monotone(self, realization):
+        model = DelayModel()
+        cumulative = model.base_rtt_to_hops(realization)
+        assert cumulative[0] > 0.0
+        assert np.all(np.diff(cumulative) > 0.0)
+        assert model.base_rtt(realization) == pytest.approx(cumulative[-1])
+
+    def test_base_rtt_deterministic(self, realization):
+        model = DelayModel()
+        assert model.base_rtt(realization) == model.base_rtt(realization)
+
+    def test_stretch_within_configured_range(self, realization):
+        params = DelayParams()
+        model = DelayModel(params)
+        one_way = model.segment_one_way_ms(realization)
+        for hop, delay in zip(realization.hops, one_way):
+            assert delay >= params.min_segment_one_way_ms
+
+    def test_longer_distance_longer_delay(self, realization):
+        model = DelayModel()
+        one_way = model.segment_one_way_ms(realization)
+        distances = np.array([hop.distance_km for hop in realization.hops])
+        big = distances > 2000
+        small = distances < 50
+        if big.any() and small.any():
+            assert one_way[big].min() > one_way[small].max()
+
+
+class TestNoise:
+    def test_noise_nonnegative(self):
+        model = DelayModel()
+        noise = model.noise_series(np.random.default_rng(1), 5000, IPVersion.V4)
+        assert (noise >= 0.0).all()
+
+    def test_v6_noisier_than_v4(self):
+        model = DelayModel()
+        rng = np.random.default_rng(2)
+        v4 = model.noise_series(rng, 20000, IPVersion.V4)
+        rng = np.random.default_rng(2)
+        v6 = model.noise_series(rng, 20000, IPVersion.V6)
+        assert np.median(v6) > np.median(v4)
+
+    def test_spikes_present_at_configured_rate(self):
+        params = DelayParams(spike_probability=0.05, spike_mean_ms=100.0)
+        model = DelayModel(params)
+        noise = model.noise_series(np.random.default_rng(3), 20000, IPVersion.V4)
+        spike_fraction = np.mean(noise > 50.0)
+        assert 0.02 < spike_fraction < 0.09
+
+    def test_no_spikes_when_disabled(self):
+        params = DelayParams(spike_probability=0.0)
+        model = DelayModel(params)
+        noise = model.noise_series(np.random.default_rng(4), 20000, IPVersion.V4)
+        assert noise.max() < 50.0
+
+
+class TestSeries:
+    def test_rtt_series_above_baseline(self, realization):
+        model = DelayModel()
+        times = np.arange(0.0, 24.0, 0.25)
+        series = model.rtt_series(realization, times, np.random.default_rng(5))
+        assert (series >= model.base_rtt(realization)).all()
+
+    def test_congestion_adds_diurnal(self, realization):
+        model = DelayModel(DelayParams(noise_scale_ms=0.01, spike_probability=0.0))
+        key = realization.segment_keys[1]
+        event = CongestionEvent(
+            amplitude_ms=40.0, start_hour=0.0, end_hour=240.0,
+            peak_local_hour=12.0, width_hours=8.0, longitude=0.0,
+        )
+        schedule = CongestionSchedule(events={key: (event,)})
+        times = np.arange(0.0, 240.0, 0.5)
+        quiet = model.rtt_series(realization, times, np.random.default_rng(6))
+        busy = model.rtt_series(realization, times, np.random.default_rng(6), schedule)
+        lift = busy - quiet
+        assert lift.max() == pytest.approx(40.0, abs=1.0)
+        assert lift.min() == pytest.approx(0.0, abs=1.0)
+
+    def test_hop_matrix_shape_and_order(self, realization):
+        model = DelayModel()
+        times = np.arange(0.0, 12.0, 0.5)
+        matrix = model.hop_rtt_matrix(realization, times, np.random.default_rng(7))
+        assert matrix.shape == (len(realization.hops), times.size)
+        # Baselines increase along the path; row means should too (noise is
+        # small relative to propagation for long paths).
+        row_means = matrix.mean(axis=1)
+        assert row_means[-1] > row_means[0]
+
+    def test_hop_matrix_congestion_cumulative(self, realization):
+        model = DelayModel(DelayParams(noise_scale_ms=0.01, spike_probability=0.0))
+        key = realization.segment_keys[2]
+        event = CongestionEvent(
+            amplitude_ms=30.0, start_hour=0.0, end_hour=48.0,
+            peak_local_hour=12.0, width_hours=8.0, longitude=0.0,
+        )
+        schedule = CongestionSchedule(events={key: (event,)})
+        times = np.array([12.0])  # peak hour
+        matrix = model.hop_rtt_matrix(
+            realization, times, np.random.default_rng(8), schedule
+        )
+        base = model.base_rtt_to_hops(realization)
+        lifted = matrix[:, 0] - base
+        # Hops before the congested segment are unaffected; from it onward
+        # everything carries the bump.
+        assert lifted[1] < 5.0
+        assert lifted[2] == pytest.approx(30.0, abs=2.0)
+        assert lifted[-1] == pytest.approx(30.0, abs=2.0)
+
+
+class TestValidation:
+    def test_bad_stretch(self):
+        with pytest.raises(ValueError):
+            DelayModel(DelayParams(stretch_min=0.9))
+
+    def test_bad_spike_probability(self):
+        with pytest.raises(ValueError):
+            DelayModel(DelayParams(spike_probability=1.5))
+
+    def test_bad_noise(self):
+        with pytest.raises(ValueError):
+            DelayModel(DelayParams(noise_shape=0.0))

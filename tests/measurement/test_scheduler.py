@@ -1,0 +1,54 @@
+"""Tests for campaign grids."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.scheduler import (
+    LONG_TERM_PERIOD_HOURS,
+    PING_PERIOD_HOURS,
+    SHORT_TRACE_PERIOD_HOURS,
+    CampaignGrid,
+)
+
+
+class TestGrid:
+    def test_over_days(self):
+        grid = CampaignGrid.over_days(7.0, PING_PERIOD_HOURS)
+        assert grid.rounds == 672  # the paper's 672 possible pings per week
+        assert grid.duration_hours == pytest.approx(7 * 24.0)
+
+    def test_long_term_rounds(self):
+        grid = CampaignGrid.over_days(485.0, LONG_TERM_PERIOD_HOURS)
+        assert grid.rounds == 3880
+
+    def test_times_uniform(self):
+        grid = CampaignGrid(start_hour=5.0, period_hours=0.5, rounds=10)
+        times = grid.times()
+        assert times[0] == 5.0
+        assert np.allclose(np.diff(times), 0.5)
+        assert times.size == 10
+
+    def test_end_hour(self):
+        grid = CampaignGrid(start_hour=0.0, period_hours=2.0, rounds=5)
+        assert grid.end_hour == 10.0
+
+    def test_round_index_clipping(self):
+        grid = CampaignGrid(start_hour=0.0, period_hours=1.0, rounds=10)
+        assert grid.round_index(-5.0) == 0
+        assert grid.round_index(3.5) == 3
+        assert grid.round_index(99.0) == 9
+
+    def test_subsample(self):
+        grid = CampaignGrid.over_days(1.0, SHORT_TRACE_PERIOD_HOURS)
+        coarse = grid.subsample(6)  # 30 minutes -> 3 hours
+        assert coarse.period_hours == pytest.approx(3.0)
+        assert coarse.rounds == 8
+        assert set(coarse.times()) <= set(grid.times())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignGrid(start_hour=0.0, period_hours=0.0, rounds=5)
+        with pytest.raises(ValueError):
+            CampaignGrid(start_hour=0.0, period_hours=1.0, rounds=0)
+        with pytest.raises(ValueError):
+            CampaignGrid(start_hour=0.0, period_hours=1.0, rounds=5).subsample(0)

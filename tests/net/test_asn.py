@@ -1,0 +1,80 @@
+"""Tests for AS relationships and the relationship table."""
+
+import pytest
+
+from repro.net.asn import ASRelationship, RelationshipTable
+
+
+class TestInvert:
+    def test_customer_provider_flip(self):
+        assert ASRelationship.CUSTOMER.invert() is ASRelationship.PROVIDER
+        assert ASRelationship.PROVIDER.invert() is ASRelationship.CUSTOMER
+
+    def test_symmetric_relationships_self_invert(self):
+        assert ASRelationship.PEER.invert() is ASRelationship.PEER
+        assert ASRelationship.SIBLING.invert() is ASRelationship.SIBLING
+
+
+class TestRelationshipTable:
+    def test_symmetric_view(self):
+        table = RelationshipTable()
+        table.add(1, 2, ASRelationship.CUSTOMER)  # 2 is customer of 1
+        assert table.get(1, 2) is ASRelationship.CUSTOMER
+        assert table.get(2, 1) is ASRelationship.PROVIDER
+
+    def test_order_independence_of_add(self):
+        table = RelationshipTable()
+        table.add(9, 3, ASRelationship.PROVIDER)  # 3 is provider of 9
+        assert table.get(3, 9) is ASRelationship.CUSTOMER
+
+    def test_unknown_pair_is_none(self):
+        table = RelationshipTable()
+        assert table.get(1, 2) is None
+
+    def test_self_relationship_rejected(self):
+        table = RelationshipTable()
+        with pytest.raises(ValueError):
+            table.add(5, 5, ASRelationship.PEER)
+
+    def test_conflicting_readd_rejected(self):
+        table = RelationshipTable()
+        table.add(1, 2, ASRelationship.PEER)
+        with pytest.raises(ValueError):
+            table.add(2, 1, ASRelationship.CUSTOMER)
+
+    def test_consistent_readd_allowed(self):
+        table = RelationshipTable()
+        table.add(1, 2, ASRelationship.CUSTOMER)
+        table.add(2, 1, ASRelationship.PROVIDER)  # same fact, other side
+        assert len(table) == 1
+
+    def test_role_iterators(self):
+        table = RelationshipTable()
+        table.add(10, 20, ASRelationship.CUSTOMER)
+        table.add(10, 30, ASRelationship.PEER)
+        table.add(10, 40, ASRelationship.PROVIDER)
+        assert set(table.customers(10)) == {20}
+        assert set(table.peers(10)) == {30}
+        assert set(table.providers(10)) == {40}
+        assert table.neighbors(10) == {20, 30, 40}
+
+    def test_is_customer_of(self):
+        table = RelationshipTable()
+        table.add(1, 2, ASRelationship.CUSTOMER)
+        assert table.is_customer_of(2, 1)
+        assert not table.is_customer_of(1, 2)
+
+    def test_pairs_iteration(self):
+        table = RelationshipTable()
+        table.add(1, 2, ASRelationship.PEER)
+        table.add(3, 4, ASRelationship.CUSTOMER)
+        pairs = {(a, b): rel for a, b, rel in table.pairs()}
+        assert len(pairs) == 2
+
+    def test_copy_is_independent(self):
+        table = RelationshipTable()
+        table.add(1, 2, ASRelationship.PEER)
+        clone = table.copy()
+        clone.add(3, 4, ASRelationship.CUSTOMER)
+        assert table.get(3, 4) is None
+        assert clone.get(1, 2) is ASRelationship.PEER

@@ -1,0 +1,91 @@
+"""Tests for geography, distances, and latency lower bounds."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.geo import (
+    EARTH_RADIUS_KM,
+    FIBER_REFRACTION_FACTOR,
+    SPEED_OF_LIGHT_KM_PER_MS,
+    GeoLocation,
+    crtt_ms,
+    fiber_rtt_ms,
+    great_circle_km,
+)
+
+NYC = GeoLocation("New York", "US", "NA", 40.71, -74.01)
+LONDON = GeoLocation("London", "GB", "EU", 51.51, -0.13)
+SYDNEY = GeoLocation("Sydney", "AU", "OC", -33.87, 151.21)
+
+_lat = st.floats(min_value=-90, max_value=90, allow_nan=False)
+_lon = st.floats(min_value=-180, max_value=180, allow_nan=False)
+
+
+class TestGeoLocation:
+    def test_coordinate_validation(self):
+        with pytest.raises(ValueError):
+            GeoLocation("X", "XX", "NA", 91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoLocation("X", "XX", "NA", 0.0, -181.0)
+
+    def test_str(self):
+        assert str(NYC) == "New York, US"
+
+
+class TestGreatCircle:
+    def test_known_distance_nyc_london(self):
+        # ~5570 km per published great-circle tables.
+        distance = NYC.distance_km(LONDON)
+        assert 5400 < distance < 5700
+
+    def test_zero_for_same_point(self):
+        assert NYC.distance_km(NYC) == pytest.approx(0.0)
+
+    def test_antipodal_upper_bound(self):
+        half_circumference = math.pi * EARTH_RADIUS_KM
+        assert great_circle_km(0, 0, 0, 180) == pytest.approx(half_circumference, rel=1e-6)
+
+    @given(_lat, _lon, _lat, _lon)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        forward = great_circle_km(lat1, lon1, lat2, lon2)
+        backward = great_circle_km(lat2, lon2, lat1, lon1)
+        assert forward == pytest.approx(backward, abs=1e-6)
+
+    @given(_lat, _lon, _lat, _lon)
+    def test_bounded_by_half_circumference(self, lat1, lon1, lat2, lon2):
+        distance = great_circle_km(lat1, lon1, lat2, lon2)
+        assert 0.0 <= distance <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+
+class TestLatencyBounds:
+    def test_crtt_matches_distance(self):
+        distance = NYC.distance_km(SYDNEY)
+        assert crtt_ms(NYC, SYDNEY) == pytest.approx(
+            2 * distance / SPEED_OF_LIGHT_KM_PER_MS
+        )
+
+    def test_crtt_zero_for_colocated(self):
+        assert crtt_ms(NYC, NYC) == pytest.approx(0.0)
+
+    def test_fiber_slower_than_free_space(self):
+        distance = NYC.distance_km(LONDON)
+        assert fiber_rtt_ms(distance) > crtt_ms(NYC, LONDON)
+
+    def test_fiber_refraction_ratio(self):
+        assert fiber_rtt_ms(1000.0) == pytest.approx(
+            2 * 1000.0 / (SPEED_OF_LIGHT_KM_PER_MS * FIBER_REFRACTION_FACTOR)
+        )
+
+    def test_stretch_scales_linearly(self):
+        assert fiber_rtt_ms(1000.0, path_stretch=2.0) == pytest.approx(
+            2.0 * fiber_rtt_ms(1000.0)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fiber_rtt_ms(-1.0)
+        with pytest.raises(ValueError):
+            fiber_rtt_ms(100.0, path_stretch=0.9)

@@ -1,0 +1,118 @@
+"""Tests for IP address values, parsing and formatting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.ip import MAX_IPV4, MAX_IPV6, IPAddress, IPVersion
+
+
+class TestIPVersion:
+    def test_bits(self):
+        assert IPVersion.V4.bits == 32
+        assert IPVersion.V6.bits == 128
+
+    def test_max_value(self):
+        assert IPVersion.V4.max_value == MAX_IPV4
+        assert IPVersion.V6.max_value == MAX_IPV6
+
+    def test_integer_values_match_protocol_numbers(self):
+        assert int(IPVersion.V4) == 4
+        assert int(IPVersion.V6) == 6
+
+
+class TestConstruction:
+    def test_v4_helper(self):
+        address = IPAddress.v4(0x01020304)
+        assert address.version is IPVersion.V4
+        assert str(address) == "1.2.3.4"
+
+    def test_v6_helper(self):
+        address = IPAddress.v6(1)
+        assert address.version is IPVersion.V6
+        assert str(address) == "::1"
+
+    def test_version_coerced_from_int(self):
+        assert IPAddress(4, 0).version is IPVersion.V4
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            IPAddress.v4(-1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            IPAddress.v4(MAX_IPV4 + 1)
+        with pytest.raises(ValueError):
+            IPAddress.v6(MAX_IPV6 + 1)
+
+    def test_addition(self):
+        assert str(IPAddress.parse("10.0.0.1") + 4) == "10.0.0.5"
+
+    def test_ordering_by_version_then_value(self):
+        assert IPAddress.v4(MAX_IPV4) < IPAddress.v6(0)
+        assert IPAddress.v4(1) < IPAddress.v4(2)
+
+
+class TestV4Text:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("0.0.0.0", 0),
+            ("255.255.255.255", MAX_IPV4),
+            ("192.0.2.1", (192 << 24) | (2 << 8) | 1),
+        ],
+    )
+    def test_parse(self, text, value):
+        assert IPAddress.parse(text).value == value
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "01.2.3.4", "a.b.c.d", ""]
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            IPAddress.parse(bad)
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV4))
+    def test_roundtrip(self, value):
+        assert IPAddress.parse(str(IPAddress.v4(value))).value == value
+
+
+class TestV6Text:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("::", "::"),
+            ("::1", "::1"),
+            ("2001:db8::", "2001:db8::"),
+            ("2001:0db8:0000:0000:0000:0000:0000:0001", "2001:db8::1"),
+            ("1:0:0:2:0:0:0:3", "1:0:0:2::3"),  # longest zero run compressed
+            ("fe80:0:0:0:1:2:3:4", "fe80::1:2:3:4"),
+        ],
+    )
+    def test_parse_and_canonical_format(self, text, expected):
+        assert str(IPAddress.parse(text)) == expected
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["1::2::3", ":::", "12345::", "1:2:3:4:5:6:7", "1:2:3:4:5:6:7:8:9", "g::1"],
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            IPAddress.parse(bad)
+
+    def test_no_compression_for_single_zero_group(self):
+        # RFC 5952: a lone zero group is not compressed.
+        assert str(IPAddress.parse("1:2:3:0:5:6:7:8")) == "1:2:3:0:5:6:7:8"
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV6))
+    def test_roundtrip(self, value):
+        assert IPAddress.parse(str(IPAddress.v6(value))).value == value
+
+
+class TestHashability:
+    def test_usable_as_dict_key(self):
+        table = {IPAddress.parse("10.0.0.1"): "a", IPAddress.parse("::1"): "b"}
+        assert table[IPAddress.v4((10 << 24) + 1)] == "a"
+
+    def test_equal_addresses_hash_equal(self):
+        assert hash(IPAddress.parse("::1")) == hash(IPAddress.v6(1))

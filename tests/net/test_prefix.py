@@ -1,0 +1,194 @@
+"""Tests for CIDR prefixes and the longest-prefix-match trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.ip import IPAddress, IPVersion
+from repro.net.prefix import Prefix, PrefixTrie
+
+
+class TestPrefix:
+    def test_parse(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert prefix.version is IPVersion.V4
+        assert prefix.length == 24
+        assert str(prefix) == "192.0.2.0/24"
+
+    def test_parse_v6(self):
+        prefix = Prefix.parse("2001:db8::/32")
+        assert prefix.version is IPVersion.V6
+        assert prefix.num_addresses == 1 << 96
+
+    def test_parse_requires_length(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0")
+
+    def test_host_bits_must_be_zero(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("192.0.2.1/24")
+
+    def test_length_bounds(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0/33")
+
+    def test_contains(self):
+        prefix = Prefix.parse("10.1.0.0/16")
+        assert prefix.contains(IPAddress.parse("10.1.2.3"))
+        assert not prefix.contains(IPAddress.parse("10.2.0.0"))
+        assert not prefix.contains(IPAddress.parse("::1"))  # version mismatch
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.1.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_from_address_masks_host_bits(self):
+        prefix = Prefix.from_address(IPAddress.parse("10.1.2.3"), 16)
+        assert str(prefix) == "10.1.0.0/16"
+
+    def test_address_indexing(self):
+        prefix = Prefix.parse("192.0.2.0/30")
+        assert str(prefix.address(1)) == "192.0.2.1"
+        with pytest.raises(ValueError):
+            prefix.address(4)
+
+    def test_subprefix(self):
+        parent = Prefix.parse("10.0.0.0/8")
+        assert str(parent.subprefix(16, 0)) == "10.0.0.0/16"
+        assert str(parent.subprefix(16, 255)) == "10.255.0.0/16"
+        with pytest.raises(ValueError):
+            parent.subprefix(16, 256)
+        with pytest.raises(ValueError):
+            parent.subprefix(4, 0)  # shorter than parent
+
+
+class TestTrieBasics:
+    def test_insert_and_exact_lookup(self):
+        trie = PrefixTrie(IPVersion.V4)
+        trie.insert(Prefix.parse("10.0.0.0/8"), "ten")
+        assert trie.lookup_exact(Prefix.parse("10.0.0.0/8")) == "ten"
+        assert trie.lookup_exact(Prefix.parse("10.0.0.0/9")) is None
+        assert len(trie) == 1
+
+    def test_longest_match_prefers_more_specific(self):
+        trie = PrefixTrie(IPVersion.V4)
+        trie.insert(Prefix.parse("10.0.0.0/8"), "short")
+        trie.insert(Prefix.parse("10.1.0.0/16"), "long")
+        assert trie.lookup(IPAddress.parse("10.1.2.3")) == "long"
+        assert trie.lookup(IPAddress.parse("10.2.2.3")) == "short"
+        match = trie.longest_match(IPAddress.parse("10.1.2.3"))
+        assert match is not None and match[0] == Prefix.parse("10.1.0.0/16")
+
+    def test_lookup_miss(self):
+        trie = PrefixTrie(IPVersion.V4)
+        trie.insert(Prefix.parse("10.0.0.0/8"), "x")
+        assert trie.lookup(IPAddress.parse("11.0.0.1")) is None
+
+    def test_default_route(self):
+        trie = PrefixTrie(IPVersion.V4)
+        trie.insert(Prefix.parse("0.0.0.0/0"), "default")
+        assert trie.lookup(IPAddress.parse("203.0.113.7")) == "default"
+
+    def test_replace_payload(self):
+        trie = PrefixTrie(IPVersion.V4)
+        prefix = Prefix.parse("10.0.0.0/8")
+        trie.insert(prefix, 1)
+        trie.insert(prefix, 2)
+        assert trie.lookup_exact(prefix) == 2
+        assert len(trie) == 1
+
+    def test_version_mismatch_rejected(self):
+        trie = PrefixTrie(IPVersion.V4)
+        with pytest.raises(ValueError):
+            trie.insert(Prefix.parse("2001:db8::/32"), "nope")
+        with pytest.raises(ValueError):
+            trie.lookup(IPAddress.parse("::1"))
+
+    def test_remove(self):
+        trie = PrefixTrie(IPVersion.V4)
+        short = Prefix.parse("10.0.0.0/8")
+        long = Prefix.parse("10.1.0.0/16")
+        trie.insert(short, "s")
+        trie.insert(long, "l")
+        assert trie.remove(long)
+        assert not trie.remove(long)  # already gone
+        assert trie.lookup(IPAddress.parse("10.1.2.3")) == "s"
+        assert len(trie) == 1
+
+    def test_remove_keeps_more_specific(self):
+        trie = PrefixTrie(IPVersion.V4)
+        trie.insert(Prefix.parse("10.0.0.0/8"), "s")
+        trie.insert(Prefix.parse("10.1.0.0/16"), "l")
+        assert trie.remove(Prefix.parse("10.0.0.0/8"))
+        assert trie.lookup(IPAddress.parse("10.1.2.3")) == "l"
+        assert trie.lookup(IPAddress.parse("10.2.0.1")) is None
+
+    def test_items_yields_all(self):
+        trie = PrefixTrie(IPVersion.V6)
+        prefixes = [Prefix.parse(p) for p in ("2001:db8::/32", "2600::/12", "::/0")]
+        for index, prefix in enumerate(prefixes):
+            trie.insert(prefix, index)
+        assert {prefix for prefix, _ in trie.items()} == set(prefixes)
+
+
+# ----------------------------------------------------------------------
+# Property-based: the trie agrees with a brute-force LPM implementation.
+# ----------------------------------------------------------------------
+
+_prefixes = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=(1 << 32) - 1),
+              st.integers(min_value=0, max_value=32)),
+    min_size=1,
+    max_size=24,
+)
+_addresses = st.lists(
+    st.integers(min_value=0, max_value=(1 << 32) - 1), min_size=1, max_size=16
+)
+
+
+def _brute_force_lpm(entries, address):
+    best = None
+    for prefix, payload in entries.items():
+        if prefix.contains(address) and (best is None or prefix.length > best[0].length):
+            best = (prefix, payload)
+    return best
+
+
+class TestTrieProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(_prefixes, _addresses)
+    def test_matches_brute_force(self, raw_prefixes, raw_addresses):
+        trie = PrefixTrie(IPVersion.V4)
+        entries = {}
+        for network, length in raw_prefixes:
+            prefix = Prefix.from_address(IPAddress.v4(network), length)
+            entries[prefix] = f"{prefix}"
+            trie.insert(prefix, entries[prefix])
+        for raw in raw_addresses:
+            address = IPAddress.v4(raw)
+            expected = _brute_force_lpm(entries, address)
+            actual = trie.longest_match(address)
+            if expected is None:
+                assert actual is None
+            else:
+                assert actual is not None
+                assert actual[0].length == expected[0].length
+                assert actual[1] == entries[actual[0]]
+
+    @settings(max_examples=40, deadline=None)
+    @given(_prefixes)
+    def test_insert_remove_roundtrip(self, raw_prefixes):
+        trie = PrefixTrie(IPVersion.V4)
+        prefixes = set()
+        for network, length in raw_prefixes:
+            prefix = Prefix.from_address(IPAddress.v4(network), length)
+            prefixes.add(prefix)
+            trie.insert(prefix, str(prefix))
+        assert len(trie) == len(prefixes)
+        for prefix in prefixes:
+            assert trie.remove(prefix)
+        assert len(trie) == 0
+        assert list(trie.items()) == []

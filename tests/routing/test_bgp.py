@@ -1,0 +1,180 @@
+"""Tests for path-vector route computation."""
+
+import numpy as np
+import pytest
+
+from repro.net.asn import ASRelationship, RelationshipTable
+from repro.net.ip import IPVersion
+from repro.routing.bgp import compute_best_routes, compute_route_table
+from repro.routing.policy import RouteClass, is_valley_free
+from repro.topology.generator import ASGraph, ASTier, AutonomousSystem, LinkMedium
+from repro.topology.world import WORLD_CITIES
+
+
+def _tiny_graph() -> ASGraph:
+    """A hand-built 6-AS topology with a known route structure.
+
+    ::
+
+        T1 --- T2        (tier-1 peering)
+        |       |
+        A       B        (transit customers)
+        |       |
+        X       Y        (stubs)
+
+    plus a peering edge A -- B.
+    """
+    graph = ASGraph()
+    city = WORLD_CITIES[0]
+    for index, (asn, tier) in enumerate(
+        [(1, ASTier.TIER1), (2, ASTier.TIER1), (10, ASTier.TRANSIT),
+         (20, ASTier.TRANSIT), (100, ASTier.STUB), (200, ASTier.STUB)]
+    ):
+        graph.ases[asn] = AutonomousSystem(
+            asn=asn, tier=tier, cities=(city,), ipv6_capable=True
+        )
+
+    def edge(a, b, relationship):
+        graph.relationships.add(a, b, relationship)
+        key = (a, b) if a < b else (b, a)
+        graph.edge_media[key] = LinkMedium.PRIVATE
+        graph.edge_ipv6[key] = True
+
+    edge(1, 2, ASRelationship.PEER)
+    edge(1, 10, ASRelationship.CUSTOMER)
+    edge(2, 20, ASRelationship.CUSTOMER)
+    edge(10, 100, ASRelationship.CUSTOMER)
+    edge(20, 200, ASRelationship.CUSTOMER)
+    edge(10, 20, ASRelationship.PEER)
+    return graph
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return _tiny_graph()
+
+
+class TestBestRoutes:
+    def test_destination_has_self_route(self, tiny):
+        best = compute_best_routes(tiny, 200)
+        assert best[200] == (RouteClass.SELF, (200,))
+
+    def test_customer_route_preferred_over_peer(self, tiny):
+        best = compute_best_routes(tiny, 200)
+        # AS 2 reaches 200 via its customer chain.
+        assert best[2] == (RouteClass.CUSTOMER, (2, 20, 200))
+        # AS 10 prefers its peer edge to 20 over climbing to tier-1s.
+        assert best[10] == (RouteClass.PEER, (10, 20, 200))
+
+    def test_provider_route_descends(self, tiny):
+        best = compute_best_routes(tiny, 200)
+        # Stub 100 reaches 200 via its provider 10.
+        assert best[100][0] is RouteClass.PROVIDER
+        assert best[100][1][0:2] == (100, 10)
+
+    def test_all_reachable(self, tiny):
+        best = compute_best_routes(tiny, 100)
+        assert set(best) == {1, 2, 10, 20, 100, 200}
+
+    def test_paths_valley_free(self, tiny):
+        for destination in (100, 200, 1):
+            for _, path in compute_best_routes(tiny, destination).values():
+                assert is_valley_free(tiny.relationships, path) is True
+
+
+class TestRouteTable:
+    def test_primary_is_best_route(self, tiny):
+        table = compute_route_table(tiny)
+        best = compute_best_routes(tiny, 200)
+        primary = table.best(100, 200)
+        assert primary is not None
+        # The steady-state selection extends the chosen neighbor's best path.
+        assert primary.path[0] == 100
+        assert primary.path[1:] == best[primary.path[1]][1]
+        assert primary.tier == 0
+
+    def test_all_candidates_valley_free(self, tiny):
+        table = compute_route_table(tiny)
+        for (src, dst), candidates in table.candidates.items():
+            for candidate in candidates:
+                assert is_valley_free(tiny.relationships, candidate.path) is True, (
+                    f"{src}->{dst}: {candidate.path}"
+                )
+
+    def test_candidates_loop_free(self, tiny):
+        table = compute_route_table(tiny)
+        for candidates in table.candidates.values():
+            for candidate in candidates:
+                assert len(set(candidate.path)) == len(candidate.path)
+
+    def test_candidate_endpoints(self, tiny):
+        table = compute_route_table(tiny)
+        for (src, dst), candidates in table.candidates.items():
+            for candidate in candidates:
+                assert candidate.path[0] == src
+                assert candidate.path[-1] == dst
+
+    def test_tier1_alternatives_exist(self, tiny):
+        # 100 -> 200 has the peer shortcut and the tier-1 detour.
+        table = compute_route_table(tiny)
+        routes = table.routes(100, 200)
+        assert len(routes) >= 2
+        paths = {route.path for route in routes}
+        assert (100, 10, 20, 200) in paths
+
+    def test_self_pair(self, tiny):
+        table = compute_route_table(tiny)
+        assert table.best(100, 100).path == (100,)
+
+    def test_max_alternatives_cap(self, tiny):
+        table = compute_route_table(tiny, max_alternatives=1)
+        for candidates in table.candidates.values():
+            assert len(candidates) == 1
+
+    def test_max_alternatives_validation(self, tiny):
+        with pytest.raises(ValueError):
+            compute_route_table(tiny, max_alternatives=0)
+
+    def test_ranks_sequential(self, tiny):
+        table = compute_route_table(tiny)
+        for candidates in table.candidates.values():
+            assert [candidate.rank for candidate in candidates] == list(
+                range(len(candidates))
+            )
+
+
+class TestGeneratedGraph:
+    def test_full_reachability_v4(self, graph):
+        table = compute_route_table(graph, IPVersion.V4)
+        asns = graph.asns()
+        for src in asns[:10]:
+            for dst in asns[-10:]:
+                if src == dst:
+                    continue
+                assert table.best(src, dst) is not None, f"{src}->{dst} unreachable"
+
+    def test_all_candidates_valley_free_generated(self, graph):
+        table = compute_route_table(graph, IPVersion.V4)
+        checked = 0
+        for candidates in table.candidates.values():
+            for candidate in candidates:
+                assert is_valley_free(graph.relationships, candidate.path) is True
+                checked += 1
+            if checked > 5000:
+                break
+
+    def test_v6_subset_of_v4_reachability(self, graph):
+        v4 = compute_route_table(graph, IPVersion.V4)
+        v6 = compute_route_table(graph, IPVersion.V6)
+        # Every v6-reachable pair is v4-reachable (v6 topology is a subgraph).
+        v4_pairs = set(v4.candidates)
+        for pair in v6.candidates:
+            assert pair in v4_pairs
+
+    def test_jitter_changes_only_order(self, tiny):
+        plain = compute_route_table(tiny)
+        jittered = compute_route_table(tiny, rng=np.random.default_rng(5))
+        for pair, candidates in plain.candidates.items():
+            assert {c.path for c in candidates} == {
+                c.path for c in jittered.candidates[pair]
+            }

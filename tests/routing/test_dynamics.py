@@ -1,0 +1,148 @@
+"""Tests for routing dynamics: outages, flaps, and path timelines."""
+
+import numpy as np
+import pytest
+
+from repro.net.ip import IPVersion
+from repro.routing.dynamics import (
+    EdgeOutage,
+    PairFlap,
+    RoutingDynamicsConfig,
+    build_routing_schedule,
+    sample_edge_outages,
+    sample_pair_flaps,
+)
+from repro.routing.policy import RouteClass
+from repro.routing.table import CandidateRoute, RouteTable
+
+
+def _two_path_table():
+    """src 1 -> dst 3 via 2 (primary) or via 4 (alternate)."""
+    table = RouteTable(version=IPVersion.V4)
+    table.candidates[(1, 3)] = (
+        CandidateRoute.make((1, 2, 3), RouteClass.CUSTOMER, 0),
+        CandidateRoute.make((1, 4, 3), RouteClass.PEER, 1),
+    )
+    return table
+
+
+class TestScheduleConstruction:
+    def test_no_events_single_epoch(self):
+        schedule = build_routing_schedule(_two_path_table(), [(1, 3)], 100.0, [])
+        epochs = schedule.epochs((1, 3))
+        assert len(epochs) == 1
+        assert epochs[0].candidate_index == 0
+        assert (epochs[0].start_hour, epochs[0].end_hour) == (0.0, 100.0)
+
+    def test_outage_switches_and_restores(self):
+        outage = EdgeOutage(edge=(1, 2), start_hour=10.0, end_hour=20.0)
+        schedule = build_routing_schedule(_two_path_table(), [(1, 3)], 100.0, [outage])
+        epochs = schedule.epochs((1, 3))
+        assert [epoch.candidate_index for epoch in epochs] == [0, 1, 0]
+        assert schedule.candidate_at((1, 3), 15.0) == 1
+        assert schedule.candidate_at((1, 3), 25.0) == 0
+        assert schedule.change_count((1, 3)) == 2
+
+    def test_outage_on_shared_edge_makes_unreachable(self):
+        # Both candidates use edge (3, x) at the destination side?  Use an
+        # outage hitting both paths' distinct edges simultaneously.
+        outages = [
+            EdgeOutage(edge=(1, 2), start_hour=10.0, end_hour=20.0),
+            EdgeOutage(edge=(1, 4), start_hour=12.0, end_hour=18.0),
+        ]
+        schedule = build_routing_schedule(_two_path_table(), [(1, 3)], 100.0, outages)
+        assert schedule.candidate_at((1, 3), 15.0) == -1
+        assert schedule.candidate_at((1, 3), 19.0) == 1
+
+    def test_irrelevant_outage_ignored(self):
+        outage = EdgeOutage(edge=(77, 88), start_hour=10.0, end_hour=20.0)
+        schedule = build_routing_schedule(_two_path_table(), [(1, 3)], 100.0, [outage])
+        assert len(schedule.epochs((1, 3))) == 1
+
+    def test_flap_demotes_primary(self):
+        flap = PairFlap(pair=(1, 3), start_hour=30.0, end_hour=40.0)
+        schedule = build_routing_schedule(
+            _two_path_table(), [(1, 3)], 100.0, [], flaps=[flap]
+        )
+        assert schedule.candidate_at((1, 3), 35.0) == 1
+        assert schedule.candidate_at((1, 3), 45.0) == 0
+
+    def test_flap_with_single_candidate_keeps_primary(self):
+        table = RouteTable(version=IPVersion.V4)
+        table.candidates[(1, 3)] = (
+            CandidateRoute.make((1, 2, 3), RouteClass.CUSTOMER, 0),
+        )
+        flap = PairFlap(pair=(1, 3), start_hour=30.0, end_hour=40.0)
+        schedule = build_routing_schedule(table, [(1, 3)], 100.0, [], flaps=[flap])
+        assert schedule.candidate_at((1, 3), 35.0) == 0
+
+    def test_epochs_cover_window_exactly(self):
+        outage = EdgeOutage(edge=(1, 2), start_hour=10.0, end_hour=20.0)
+        schedule = build_routing_schedule(_two_path_table(), [(1, 3)], 100.0, [outage])
+        epochs = schedule.epochs((1, 3))
+        assert epochs[0].start_hour == 0.0
+        assert epochs[-1].end_hour == 100.0
+        for first, second in zip(epochs, epochs[1:]):
+            assert first.end_hour == second.start_hour
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            build_routing_schedule(_two_path_table(), [(1, 3)], 0.0, [])
+
+
+class TestTierOneAvailability:
+    def test_tier1_candidate_requires_tier0_blocked(self):
+        """A neighbor's fallback route is only visible while its steady-state
+        route is down."""
+        table = RouteTable(version=IPVersion.V4)
+        table.candidates[(1, 3)] = (
+            CandidateRoute.make((1, 2, 3), RouteClass.CUSTOMER, 0, tier=0),
+            CandidateRoute.make((1, 2, 5, 3), RouteClass.CUSTOMER, 1, tier=1),
+            CandidateRoute.make((1, 4, 3), RouteClass.PEER, 2, tier=0),
+        )
+        # Flap demotes the primary; the tier-1 via the same neighbor is NOT
+        # available (neighbor 2 still advertises its primary), so selection
+        # falls to the tier-0 peer route.
+        flap = PairFlap(pair=(1, 3), start_hour=0.0, end_hour=50.0)
+        schedule = build_routing_schedule(table, [(1, 3)], 100.0, [], flaps=[flap])
+        assert schedule.candidate_at((1, 3), 10.0) == 2
+
+        # An outage on edge (2, 3) blocks neighbor 2's primary; now the
+        # tier-1 fallback via 2 becomes available and wins (it is ranked
+        # ahead of the peer route).
+        outage = EdgeOutage(edge=(2, 3), start_hour=0.0, end_hour=50.0)
+        schedule = build_routing_schedule(table, [(1, 3)], 100.0, [outage])
+        assert schedule.candidate_at((1, 3), 10.0) == 1
+
+
+class TestSampling:
+    def test_outage_sampling_deterministic(self, graph):
+        first = sample_edge_outages(graph, 1000.0, rng=np.random.default_rng(3))
+        second = sample_edge_outages(graph, 1000.0, rng=np.random.default_rng(3))
+        assert first == second
+
+    def test_outages_within_window(self, graph):
+        outages = sample_edge_outages(graph, 500.0, rng=np.random.default_rng(4))
+        for outage in outages:
+            assert 0.0 <= outage.start_hour <= 500.0
+            assert outage.start_hour <= outage.end_hour <= 500.0
+
+    def test_outage_rate_scales_with_duration(self, graph):
+        short = sample_edge_outages(graph, 24.0 * 30, rng=np.random.default_rng(5))
+        long = sample_edge_outages(graph, 24.0 * 300, rng=np.random.default_rng(5))
+        assert len(long) > len(short)
+
+    def test_flap_sampling(self):
+        pairs = [(1, 2), (3, 4)]
+        flaps = sample_pair_flaps(pairs, 24.0 * 300, rng=np.random.default_rng(6))
+        for flap in flaps:
+            assert flap.pair in pairs
+            assert 0.0 <= flap.start_hour <= flap.end_hour <= 24.0 * 300
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RoutingDynamicsConfig(mean_outages_per_edge_per_month=-1).validate()
+        with pytest.raises(ValueError):
+            RoutingDynamicsConfig(
+                duration_mixture=((0.5, 6.0, 1.0),)
+            ).validate()

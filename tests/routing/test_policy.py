@@ -1,0 +1,87 @@
+"""Tests for Gao-Rexford policy primitives."""
+
+import pytest
+
+from repro.net.asn import ASRelationship, RelationshipTable
+from repro.routing.policy import RouteClass, export_allowed, is_valley_free, route_class
+
+
+@pytest.fixture()
+def table():
+    # 1 is provider of 2 and 3; 2 and 3 peer; 3 is provider of 4.
+    relationships = RelationshipTable()
+    relationships.add(1, 2, ASRelationship.CUSTOMER)
+    relationships.add(1, 3, ASRelationship.CUSTOMER)
+    relationships.add(2, 3, ASRelationship.PEER)
+    relationships.add(3, 4, ASRelationship.CUSTOMER)
+    return relationships
+
+
+class TestRouteClass:
+    def test_preference_order(self):
+        assert RouteClass.CUSTOMER > RouteClass.PEER > RouteClass.PROVIDER
+        assert RouteClass.SELF > RouteClass.CUSTOMER
+
+    def test_classification(self, table):
+        assert route_class(table, 1, 2) is RouteClass.CUSTOMER
+        assert route_class(table, 2, 1) is RouteClass.PROVIDER
+        assert route_class(table, 2, 3) is RouteClass.PEER
+
+    def test_unknown_pair_raises(self, table):
+        with pytest.raises(ValueError):
+            route_class(table, 1, 99)
+
+
+class TestExportRules:
+    def test_customer_routes_exported_to_everyone(self, table):
+        # 3 learned a route from its customer 4: exports to provider 1 and peer 2.
+        assert export_allowed(table, 3, 1, RouteClass.CUSTOMER)
+        assert export_allowed(table, 3, 2, RouteClass.CUSTOMER)
+        assert export_allowed(table, 3, 4, RouteClass.CUSTOMER)
+
+    def test_self_routes_exported_to_everyone(self, table):
+        assert export_allowed(table, 4, 3, RouteClass.SELF)
+
+    def test_peer_routes_only_to_customers(self, table):
+        # 3 learned a route from peer 2: exports only to customer 4.
+        assert export_allowed(table, 3, 4, RouteClass.PEER)
+        assert not export_allowed(table, 3, 1, RouteClass.PEER)
+        assert not export_allowed(table, 3, 2, RouteClass.PEER)
+
+    def test_provider_routes_only_to_customers(self, table):
+        assert export_allowed(table, 3, 4, RouteClass.PROVIDER)
+        assert not export_allowed(table, 3, 2, RouteClass.PROVIDER)
+
+
+class TestValleyFree:
+    def test_pure_uphill_downhill(self, table):
+        assert is_valley_free(table, (4, 3, 1)) is True       # up, up
+        assert is_valley_free(table, (1, 3, 4)) is True       # down, down
+        assert is_valley_free(table, (2, 1, 3, 4)) is True    # up, down, down
+
+    def test_one_peer_edge_allowed(self, table):
+        assert is_valley_free(table, (2, 3, 4)) is True       # peer, down
+
+    def test_valley_rejected(self, table):
+        # Descend to a customer, then cross a peering edge: not valley-free.
+        assert is_valley_free(table, (1, 2, 3)) is False
+        # Climb, descend, then climb again: a literal valley.
+        assert is_valley_free(table, (2, 1, 3, 4, 3)) is False
+        # Up then down is fine.
+        assert is_valley_free(table, (2, 1, 3)) is True
+
+    def test_peer_after_descent_rejected(self, table):
+        assert is_valley_free(table, (1, 3, 4)) is True
+        assert is_valley_free(table, (4, 3, 2, 1)) is False   # up, peer, then up
+
+    def test_two_peer_edges_rejected(self):
+        relationships = RelationshipTable()
+        relationships.add(1, 2, ASRelationship.PEER)
+        relationships.add(2, 3, ASRelationship.PEER)
+        assert is_valley_free(relationships, (1, 2, 3)) is False
+
+    def test_unknown_relationship_returns_none(self, table):
+        assert is_valley_free(table, (1, 99)) is None
+
+    def test_single_as_path(self, table):
+        assert is_valley_free(table, (1,)) is True

@@ -1,0 +1,50 @@
+"""Tests for the route-table containers."""
+
+from repro.net.ip import IPVersion
+from repro.routing.policy import RouteClass
+from repro.routing.table import CandidateRoute, RouteTable
+
+
+class TestCandidateRoute:
+    def test_make_derives_edges(self):
+        route = CandidateRoute.make((1, 2, 3), RouteClass.CUSTOMER, 0)
+        assert route.edges == {(1, 2), (2, 3)}
+        assert route.via == 2
+
+    def test_edges_are_unordered(self):
+        route = CandidateRoute.make((3, 2, 1), RouteClass.PEER, 1)
+        assert route.uses_edge(1, 2) and route.uses_edge(2, 1)
+        assert not route.uses_edge(1, 3)
+
+    def test_self_route(self):
+        route = CandidateRoute.make((7,), RouteClass.SELF, 0)
+        assert route.via == 7
+        assert route.edges == frozenset()
+
+    def test_tier_default(self):
+        assert CandidateRoute.make((1, 2), RouteClass.PEER, 0).tier == 0
+        assert CandidateRoute.make((1, 2), RouteClass.PEER, 0, tier=1).tier == 1
+
+
+class TestRouteTable:
+    def _table(self):
+        table = RouteTable(version=IPVersion.V4)
+        table.candidates[(1, 3)] = (
+            CandidateRoute.make((1, 2, 3), RouteClass.CUSTOMER, 0),
+            CandidateRoute.make((1, 4, 3), RouteClass.PEER, 1),
+        )
+        return table
+
+    def test_routes_and_best(self):
+        table = self._table()
+        assert len(table.routes(1, 3)) == 2
+        assert table.best(1, 3).path == (1, 2, 3)
+
+    def test_missing_pair(self):
+        table = self._table()
+        assert table.routes(9, 9) == ()
+        assert table.best(9, 9) is None
+
+    def test_reachable_pairs(self):
+        table = self._table()
+        assert table.reachable_pairs() == [(1, 3)]

@@ -1,0 +1,127 @@
+"""Tests for address allocation and the BGP RIB."""
+
+import numpy as np
+import pytest
+
+from repro.net.ip import IPAddress, IPVersion
+from repro.net.prefix import Prefix
+from repro.topology.addressing import AddressingConfig, allocate_addresses
+
+
+class TestPerASBlocks:
+    def test_every_as_has_v4_blocks(self, graph, plan):
+        for asn in graph.asns():
+            addressing = plan.per_as[asn]
+            assert addressing.announced_v4.length == 16
+            assert addressing.infra_v4.length == 22
+
+    def test_v6_blocks_follow_capability(self, graph, plan):
+        for asn in graph.asns():
+            addressing = plan.per_as[asn]
+            capable = graph.ases[asn].ipv6_capable
+            assert (addressing.announced_v6 is not None) == capable
+            assert (addressing.infra_v6 is not None) == capable
+
+    def test_blocks_disjoint_across_ases(self, graph, plan):
+        seen = []
+        for asn in graph.asns():
+            addressing = plan.per_as[asn]
+            for block in (addressing.announced_v4, addressing.infra_v4):
+                for other in seen:
+                    assert not block.contains_prefix(other)
+                    assert not other.contains_prefix(block)
+                seen.append(block)
+
+    def test_infra_halves_partition_block(self, plan):
+        addressing = next(iter(plan.per_as.values()))
+        announced = addressing.infra_half(IPVersion.V4, announced=True)
+        unannounced = addressing.infra_half(IPVersion.V4, announced=False)
+        assert announced.length == unannounced.length == addressing.infra_v4.length + 1
+        assert announced != unannounced
+        assert addressing.infra_v4.contains_prefix(announced)
+        assert addressing.infra_v4.contains_prefix(unannounced)
+
+
+class TestOriginLookup:
+    def test_announced_space_maps_to_owner(self, graph, plan):
+        for asn in graph.asns()[:20]:
+            address = plan.per_as[asn].announced_v4.address(1000)
+            assert plan.origin(address) == asn
+
+    def test_announced_infra_half_maps(self, graph, plan):
+        asn = graph.asns()[0]
+        half = plan.per_as[asn].infra_half(IPVersion.V4, announced=True)
+        assert plan.origin(half.address(5)) == asn
+
+    def test_unannounced_infra_half_unmapped(self, graph, plan):
+        asn = graph.asns()[0]
+        half = plan.per_as[asn].infra_half(IPVersion.V4, announced=False)
+        assert plan.origin(half.address(5)) is None
+
+    def test_unallocated_space_unmapped(self, plan):
+        assert plan.origin(IPAddress.parse("203.0.113.1")) is None
+
+
+class TestLinkSubnets:
+    def test_sequential_allocation_no_overlap(self, graph, plan):
+        asn = graph.asns()[0]
+        first = plan.allocate_link_subnet(asn, IPVersion.V4)
+        second = plan.allocate_link_subnet(asn, IPVersion.V4)
+        assert first != second
+        assert not first.contains_prefix(second)
+
+    def test_announced_vs_unannounced_pools(self, graph, plan):
+        asn = graph.asns()[1]
+        announced = plan.allocate_link_subnet(asn, IPVersion.V4, unannounced=False)
+        unannounced = plan.allocate_link_subnet(asn, IPVersion.V4, unannounced=True)
+        assert plan.origin(announced.address(1)) == asn
+        assert plan.origin(unannounced.address(1)) is None
+
+    def test_unknown_owner_rejected(self, plan):
+        with pytest.raises(KeyError):
+            plan.allocate_link_subnet(999_999, IPVersion.V4)
+
+    def test_ixp_lan_subnets(self, graph, plan):
+        if not graph.ixps:
+            pytest.skip("generated graph has no IXPs")
+        ixp_id = next(iter(graph.ixps))
+        subnet = plan.allocate_link_subnet(("ixp", ixp_id), IPVersion.V4)
+        assert plan.ixp_lan_v4[ixp_id].contains_prefix(subnet)
+
+    def test_ixp_lan_announcement_flag_consistent(self, graph, plan):
+        for ixp_id, announced in plan.ixp_lan_announced.items():
+            address = plan.ixp_lan_v4[ixp_id].address(9)
+            assert (plan.origin(address) is not None) == announced
+
+
+class TestHosts:
+    def test_host_addresses_inside_announced_block(self, graph, plan):
+        asn = graph.asns()[2]
+        address = plan.allocate_host(asn, IPVersion.V4)
+        assert plan.per_as[asn].announced_v4.contains(address)
+        assert plan.origin(address) == asn
+
+    def test_hosts_unique(self, graph, plan):
+        asn = graph.asns()[3]
+        addresses = {plan.allocate_host(asn, IPVersion.V4) for _ in range(50)}
+        assert len(addresses) == 50
+
+    def test_v6_host_requires_capability(self, graph, plan):
+        v4_only = [asn for asn in graph.asns() if not graph.ases[asn].ipv6_capable]
+        if not v4_only:
+            pytest.skip("all ASes are v6 capable in this graph")
+        with pytest.raises(KeyError):
+            plan.allocate_host(v4_only[0], IPVersion.V6)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressingConfig(link_unannounced_probability_v4=2.0).validate()
+
+    def test_determinism(self, graph):
+        first = allocate_addresses(graph, rng=np.random.default_rng(9))
+        second = allocate_addresses(graph, rng=np.random.default_rng(9))
+        assert first.ixp_lan_announced == second.ixp_lan_announced
+        for asn in graph.asns():
+            assert first.per_as[asn] == second.per_as[asn]

@@ -1,0 +1,79 @@
+"""Tests for the CDN deployment."""
+
+import numpy as np
+import pytest
+
+from repro.net.ip import IPVersion
+from repro.topology.cdn import deploy_cdn
+
+
+class TestDeployment:
+    def test_cluster_count(self, cdn):
+        assert len(cdn.clusters) == 8
+
+    def test_servers_in_host_as_space(self, graph, plan, cdn):
+        for server in cdn.servers.values():
+            assert plan.origin(server.ipv4) == server.asn
+            if server.ipv6 is not None:
+                assert plan.origin(server.ipv6) == server.asn
+
+    def test_cluster_city_in_host_footprint(self, graph, cdn):
+        for cluster in cdn.clusters.values():
+            assert cluster.city in graph.ases[cluster.asn].cities
+
+    def test_measurement_server_is_first(self, cdn):
+        for cluster in cdn.clusters.values():
+            assert cluster.measurement_server is cluster.servers[0]
+
+    def test_dual_stack_hosts_capable(self, graph, cdn):
+        for server in cdn.servers.values():
+            if server.dual_stack:
+                assert graph.ases[server.asn].ipv6_capable
+
+    def test_server_lookup_by_address(self, cdn):
+        server = next(iter(cdn.servers.values()))
+        assert cdn.server_by_address(server.ipv4) is server
+        if server.ipv6 is not None:
+            assert cdn.server_by_address(server.ipv6) is server
+
+    def test_address_accessor(self, cdn):
+        server = next(iter(cdn.servers.values()))
+        assert server.address(IPVersion.V4) == server.ipv4
+        assert server.address(IPVersion.V6) == server.ipv6
+
+    def test_country_mix_sums_to_one(self, cdn):
+        assert sum(cdn.country_mix().values()) == pytest.approx(1.0)
+
+
+class TestDeployParameters:
+    def test_dual_stack_fraction_honored(self, graph, plan):
+        deployment = deploy_cdn(
+            graph, plan, cluster_count=20, dual_stack_fraction=0.5,
+            rng=np.random.default_rng(8),
+        )
+        dual = sum(
+            1 for cluster in deployment.clusters.values()
+            if cluster.measurement_server.dual_stack
+        )
+        assert dual == 10
+
+    def test_servers_per_cluster(self, graph, plan):
+        deployment = deploy_cdn(
+            graph, plan, cluster_count=3, servers_per_cluster=4,
+            rng=np.random.default_rng(9),
+        )
+        for cluster in deployment.clusters.values():
+            assert len(cluster.servers) == 4
+        assert len(deployment.servers) == 12
+
+    def test_invalid_arguments(self, graph, plan):
+        with pytest.raises(ValueError):
+            deploy_cdn(graph, plan, cluster_count=0)
+        with pytest.raises(ValueError):
+            deploy_cdn(graph, plan, cluster_count=1, dual_stack_fraction=1.5)
+
+    def test_measurement_servers_listing(self, cdn):
+        servers = cdn.measurement_servers()
+        assert len(servers) == len(cdn.clusters)
+        dual_only = cdn.measurement_servers(dual_stack_only=True)
+        assert all(server.dual_stack for server in dual_only)

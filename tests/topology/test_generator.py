@@ -1,0 +1,118 @@
+"""Tests for the AS-graph generator."""
+
+import numpy as np
+import pytest
+
+from repro.net.asn import ASRelationship
+from repro.topology.generator import (
+    ASTier,
+    LinkMedium,
+    TopologyConfig,
+    generate_topology,
+)
+
+
+class TestStructure:
+    def test_counts(self, graph):
+        config = TopologyConfig()
+        assert len(graph.asns(ASTier.TIER1)) == config.n_tier1
+        assert len(graph.asns(ASTier.TRANSIT)) == config.n_transit
+        assert len(graph.asns(ASTier.STUB)) == config.n_stub
+
+    def test_tier1_clique_peers(self, graph):
+        tier1s = graph.asns(ASTier.TIER1)
+        for i, a in enumerate(tier1s):
+            for b in tier1s[i + 1 :]:
+                assert graph.relationships.get(a, b) is ASRelationship.PEER
+
+    def test_every_nontier1_has_a_provider(self, graph):
+        for asn in graph.asns():
+            system = graph.ases[asn]
+            if system.tier is ASTier.TIER1:
+                continue
+            assert list(graph.relationships.providers(asn)), f"AS{asn} has no provider"
+
+    def test_tier1s_have_no_providers(self, graph):
+        for asn in graph.asns(ASTier.TIER1):
+            assert not list(graph.relationships.providers(asn))
+
+    def test_footprints_nonempty(self, graph):
+        for system in graph.ases.values():
+            assert len(system.cities) >= 1
+
+    def test_validate_passes(self, graph):
+        graph.validate()
+
+    def test_media_assigned_to_every_edge(self, graph):
+        for a, b in graph.edges():
+            assert graph.medium(a, b) in (LinkMedium.PRIVATE, LinkMedium.IXP)
+
+    def test_ixp_edges_have_host_ixp(self, graph):
+        for edge, medium in graph.edge_media.items():
+            if medium is LinkMedium.IXP:
+                assert edge in graph.edge_ixp
+                ixp = graph.ixps[graph.edge_ixp[edge]]
+                assert edge[0] in ixp.members and edge[1] in ixp.members
+
+
+class TestIPv6Normalization:
+    def test_capable_implies_capable_provider_chain(self, graph):
+        """Every capable non-tier-1 AS has a v6 edge to a capable provider."""
+        for asn in graph.asns():
+            system = graph.ases[asn]
+            if not system.ipv6_capable or system.tier is ASTier.TIER1:
+                continue
+            assert any(
+                graph.ases[provider].ipv6_capable
+                and graph.edge_supports_ipv6(asn, provider)
+                for provider in graph.relationships.providers(asn)
+            ), f"capable AS{asn} has no IPv6 upstream"
+
+    def test_v6_edges_require_capable_endpoints(self, graph):
+        for (a, b), enabled in graph.edge_ipv6.items():
+            if enabled:
+                assert graph.ases[a].ipv6_capable and graph.ases[b].ipv6_capable
+
+    def test_neighbors_filtering(self, graph):
+        for asn in graph.asns()[:20]:
+            v6_neighbors = set(graph.neighbors(asn, ipv6=True))
+            all_neighbors = set(graph.neighbors(asn))
+            assert v6_neighbors <= all_neighbors
+
+
+class TestConfigValidation:
+    def test_too_few_tier1(self):
+        with pytest.raises(ValueError):
+            generate_topology(TopologyConfig(n_tier1=1))
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            generate_topology(TopologyConfig(transit_peer_probability=1.5))
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            generate_topology(TopologyConfig(stub_providers=(2, 1)))
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        first = generate_topology(rng=np.random.default_rng(77))
+        second = generate_topology(rng=np.random.default_rng(77))
+        assert first.asns() == second.asns()
+        assert first.edges() == second.edges()
+        assert first.edge_ipv6 == second.edge_ipv6
+        for asn in first.asns():
+            assert first.ases[asn].cities == second.ases[asn].cities
+
+    def test_different_seed_different_graph(self):
+        first = generate_topology(rng=np.random.default_rng(1))
+        second = generate_topology(rng=np.random.default_rng(2))
+        assert first.edges() != second.edges()
+
+
+class TestSmallTopology:
+    def test_minimal_topology_builds(self):
+        config = TopologyConfig(n_tier1=2, n_transit=2, n_stub=2, ixp_count=1)
+        graph = generate_topology(config, rng=np.random.default_rng(5))
+        assert len(graph.ases) == 6
+        graph.validate()

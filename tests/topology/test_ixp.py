@@ -1,0 +1,22 @@
+"""Tests for IXP helpers."""
+
+from repro.topology.generator import LinkMedium
+from repro.topology.ixp import ixp_membership_counts, public_peering_edges
+
+
+class TestIXPQueries:
+    def test_public_edges_are_ixp_medium(self, graph):
+        for a, b, ixp_id in public_peering_edges(graph):
+            assert graph.medium(a, b) is LinkMedium.IXP
+            assert graph.edge_ixp[(a, b)] == ixp_id
+
+    def test_public_edges_between_members(self, graph):
+        for a, b, ixp_id in public_peering_edges(graph):
+            members = graph.ixps[ixp_id].members
+            assert a in members and b in members
+
+    def test_membership_counts(self, graph):
+        counts = ixp_membership_counts(graph)
+        assert set(counts) == set(graph.ixps)
+        for ixp_id, count in counts.items():
+            assert count == len(graph.ixps[ixp_id].members)

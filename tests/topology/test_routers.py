@@ -1,0 +1,93 @@
+"""Tests for the router-level topology."""
+
+import pytest
+
+from repro.net.asn import ASRelationship
+from repro.net.ip import IPVersion
+from repro.topology.generator import ASTier, LinkMedium
+
+
+class TestRouters:
+    def test_border_and_core_router_per_footprint_city(self, graph, router_topology):
+        for asn in graph.asns()[:30]:
+            for city in graph.ases[asn].cities:
+                border = router_topology.border_router(asn, city)
+                core = router_topology.core_router(asn, city)
+                assert border.owner == asn and core.owner == asn
+                assert border.router_id != core.router_id
+
+    def test_internal_interfaces_registered(self, router_topology):
+        for router_id, address in list(router_topology.internal_v4.items())[:100]:
+            interface = router_topology.interfaces[address]
+            assert interface.router_id == router_id
+            assert interface.owner == router_topology.routers[router_id].owner
+
+    def test_internal_v6_follows_capability(self, graph, router_topology):
+        for router_id, router in list(router_topology.routers.items())[:200]:
+            capable = graph.ases[router.owner].ipv6_capable
+            has_v6 = router_topology.internal_v6.get(router_id) is not None
+            assert has_v6 == capable
+
+    def test_respond_probabilities_in_range(self, router_topology):
+        for router in router_topology.routers.values():
+            assert 0.0 <= router.respond_probability <= 1.0
+
+
+class TestLinkInstances:
+    def test_every_edge_realized(self, graph, router_topology):
+        for a, b in graph.edges():
+            assert router_topology.link_instances(a, b), f"edge {a}-{b} unrealized"
+
+    def test_link_routers_belong_to_endpoints(self, graph, router_topology):
+        for link in router_topology.all_links():
+            assert router_topology.routers[link.router_a].owner == link.asn_a
+            assert router_topology.routers[link.router_b].owner == link.asn_b
+
+    def test_interface_addresses_inside_subnet(self, router_topology):
+        for link in router_topology.all_links():
+            assert link.subnet_v4.contains(link.interface_a_v4)
+            assert link.subnet_v4.contains(link.interface_b_v4)
+            if link.subnet_v6 is not None:
+                assert link.subnet_v6.contains(link.interface_a_v6)
+                assert link.subnet_v6.contains(link.interface_b_v6)
+
+    def test_c2p_subnet_from_provider(self, graph, router_topology):
+        """The paper's addressing convention: providers allocate the link."""
+        for link in router_topology.all_links():
+            relationship = graph.relationships.get(link.asn_a, link.asn_b)
+            if relationship is ASRelationship.CUSTOMER:  # b is a's customer
+                assert link.subnet_owner == link.asn_a
+            elif relationship is ASRelationship.PROVIDER:  # b is a's provider
+                assert link.subnet_owner == link.asn_b
+
+    def test_ixp_links_use_lan_space(self, graph, router_topology):
+        for link in router_topology.all_links():
+            if link.medium is LinkMedium.IXP:
+                assert isinstance(link.subnet_owner, tuple)
+                assert link.subnet_owner[0] == "ixp"
+
+    def test_far_interface_orientation(self, router_topology):
+        link = router_topology.all_links()[0]
+        from_a = link.far_interface(link.asn_a, IPVersion.V4)
+        from_b = link.far_interface(link.asn_b, IPVersion.V4)
+        assert from_a == link.interface_b_v4
+        assert from_b == link.interface_a_v4
+        with pytest.raises(ValueError):
+            link.far_interface(-1, IPVersion.V4)
+
+    def test_interface_owner_is_router_operator(self, router_topology):
+        """Ground truth: the link interface belongs to the router's AS even
+        when the address comes from the other side's space."""
+        for link in router_topology.all_links()[:100]:
+            assert router_topology.interface_owner(link.interface_a_v4) == link.asn_a
+            assert router_topology.interface_owner(link.interface_b_v4) == link.asn_b
+
+    def test_v6_interfaces_only_on_v6_edges(self, graph, router_topology):
+        for link in router_topology.all_links():
+            if not graph.edge_supports_ipv6(link.asn_a, link.asn_b):
+                assert link.subnet_v6 is None
+                assert not link.supports_ipv6()
+
+    def test_unique_link_ids(self, router_topology):
+        ids = [link.link_id for link in router_topology.all_links()]
+        assert len(ids) == len(set(ids))

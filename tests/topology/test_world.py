@@ -1,0 +1,71 @@
+"""Tests for the world model and CDN placement weights."""
+
+import numpy as np
+import pytest
+
+from repro.topology.world import (
+    COUNTRY_WEIGHTS,
+    WORLD_CITIES,
+    cities_by_continent,
+    cities_by_country,
+    sample_cities,
+    sample_city,
+)
+
+
+class TestWorldTable:
+    def test_no_duplicate_cities(self):
+        names = [(city.city, city.country) for city in WORLD_CITIES]
+        assert len(names) == len(set(names))
+
+    def test_every_weighted_country_has_cities(self):
+        for country in COUNTRY_WEIGHTS:
+            assert cities_by_country(country), f"no cities for weighted country {country}"
+
+    def test_all_continent_codes_known(self):
+        continents = {city.continent for city in WORLD_CITIES}
+        assert continents == {"NA", "SA", "EU", "AS", "OC", "AF"}
+
+    def test_coordinates_valid(self):
+        for city in WORLD_CITIES:
+            assert -90 <= city.latitude <= 90
+            assert -180 <= city.longitude <= 180
+
+    def test_cities_by_continent(self):
+        europe = cities_by_continent("EU")
+        assert all(city.continent == "EU" for city in europe)
+        assert len(europe) >= 10
+
+
+class TestSampling:
+    def test_sample_city_deterministic_per_seed(self):
+        a = sample_city(np.random.default_rng(1))
+        b = sample_city(np.random.default_rng(1))
+        assert a == b
+
+    def test_sample_cities_count(self):
+        cities = sample_cities(np.random.default_rng(2), 10)
+        assert len(cities) == 10
+
+    def test_unique_sampling(self):
+        cities = sample_cities(np.random.default_rng(3), 20, unique=True)
+        assert len(set(cities)) == 20
+
+    def test_unique_overdraw_rejected(self):
+        with pytest.raises(ValueError):
+            sample_cities(np.random.default_rng(4), len(WORLD_CITIES) + 1, unique=True)
+
+    def test_us_share_matches_paper_calibration(self):
+        # Section 2.1: ~39% of servers in the US.  Sampling should land in
+        # a generous band around that.
+        rng = np.random.default_rng(5)
+        cities = sample_cities(rng, 4000)
+        us_share = np.mean([city.country == "US" for city in cities])
+        assert 0.33 <= us_share <= 0.45
+
+    def test_next_five_countries_share(self):
+        # AU, DE, IN, JP, CA together contribute ~19% in the paper.
+        rng = np.random.default_rng(6)
+        cities = sample_cities(rng, 4000)
+        share = np.mean([city.country in {"AU", "DE", "IN", "JP", "CA"} for city in cities])
+        assert 0.13 <= share <= 0.26
