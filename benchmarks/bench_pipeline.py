@@ -1,0 +1,162 @@
+"""End-to-end pipeline benchmark: serial vs parallel vs warm cache.
+
+Runs the full dataset-generation pipeline (platform, long-term dataset,
+short-term pings and traces, all experiments) three times:
+
+1. ``serial``    -- jobs=1, cold cache (populates it).
+2. ``parallel``  -- jobs=N, its own cold cache directory.
+3. ``warm``      -- jobs=1, reusing the serial phase's cache, so platform
+   and long-term construction are skipped entirely.
+
+Writes machine-readable per-stage timings to a JSON file (default
+``benchmarks/output/pipeline_timings.json``).  Parallel output is
+bit-identical to serial, so phases differ only in wall time.
+
+Standalone on purpose -- this measures the pipeline itself, not one
+experiment, so it does not use the pytest-benchmark harness the
+per-figure benches share::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --scenario small --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.engine import ArtifactCache, Timings, cached_longterm, cached_platform
+from repro.harness.experiments import run_all_experiments
+from repro.harness.scenarios import congested_pairs, get_scenario
+from repro.datasets.shortterm import (
+    build_shortterm_ping_dataset,
+    build_shortterm_trace_dataset,
+)
+
+
+def run_phase(
+    scenario_name: str,
+    seed: int,
+    jobs: int,
+    cache_dir: Path,
+) -> dict:
+    """One full pipeline pass; returns its timing record."""
+    scenario = get_scenario(scenario_name)
+    cache = ArtifactCache(cache_dir)
+    timings = Timings()
+    started = time.perf_counter()
+
+    platform_config = scenario.platform_config(seed)
+    platform, platform_hit = cached_platform(
+        platform_config, cache=cache, jobs=jobs, timings=timings
+    )
+    longterm, longterm_hit = cached_longterm(
+        platform_config,
+        scenario.longterm_config(),
+        platform=platform,
+        cache=cache,
+        jobs=jobs,
+        timings=timings,
+    )
+    with timings.stage("ping-build"):
+        pings = build_shortterm_ping_dataset(
+            platform, scenario.shortterm_config(), jobs=jobs
+        )
+    with timings.stage("shorttrace-build"):
+        traces = build_shortterm_trace_dataset(
+            platform,
+            congested_pairs(platform, pings),
+            scenario.shortterm_config(),
+            jobs=jobs,
+        )
+    results = run_all_experiments(
+        platform, longterm, pings, traces, include_fig7=False,
+        jobs=jobs, timings=timings,
+    )
+    wall = time.perf_counter() - started
+
+    return {
+        "jobs": jobs,
+        "cache_hit": {"platform": platform_hit, "longterm": longterm_hit},
+        "wall_seconds": wall,
+        "stage_seconds": timings.as_dict(),
+        "stages": timings.as_records(),
+        "experiments": len(results),
+        "longterm_timelines": len(longterm.timelines),
+        "ping_timelines": len(pings.timelines),
+        "trace_entries": len(traces.entries),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="small",
+                        help="scenario scale (default: small)")
+    parser.add_argument("--seed", type=int, default=0, help="world seed")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="workers for the parallel phase "
+                             "(0 = all cores; default: 0)")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent / "output" / "pipeline_timings.json"),
+        help="where to write the JSON timing report",
+    )
+    args = parser.parse_args(argv)
+
+    parallel_jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    report = {
+        "benchmark": "pipeline",
+        "scenario": args.scenario,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "phases": {},
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        serial_cache = Path(tmp) / "serial"
+        parallel_cache = Path(tmp) / "parallel"
+
+        print(f"[1/3] serial   (jobs=1, cold cache)", flush=True)
+        report["phases"]["serial"] = run_phase(
+            args.scenario, args.seed, jobs=1, cache_dir=serial_cache
+        )
+        print(f"      {report['phases']['serial']['wall_seconds']:.2f}s", flush=True)
+
+        print(f"[2/3] parallel (jobs={parallel_jobs}, cold cache)", flush=True)
+        report["phases"]["parallel"] = run_phase(
+            args.scenario, args.seed, jobs=parallel_jobs, cache_dir=parallel_cache
+        )
+        print(f"      {report['phases']['parallel']['wall_seconds']:.2f}s", flush=True)
+
+        print(f"[3/3] warm     (jobs=1, reusing serial cache)", flush=True)
+        report["phases"]["warm"] = run_phase(
+            args.scenario, args.seed, jobs=1, cache_dir=serial_cache
+        )
+        print(f"      {report['phases']['warm']['wall_seconds']:.2f}s", flush=True)
+
+    serial = report["phases"]["serial"]["wall_seconds"]
+    report["speedup"] = {
+        "parallel": serial / max(report["phases"]["parallel"]["wall_seconds"], 1e-9),
+        "warm": serial / max(report["phases"]["warm"]["wall_seconds"], 1e-9),
+    }
+    assert report["phases"]["warm"]["cache_hit"] == {
+        "platform": True, "longterm": True,
+    }, "warm phase should hit the cache for both artifacts"
+
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nspeedup: parallel x{report['speedup']['parallel']:.2f}, "
+          f"warm x{report['speedup']['warm']:.2f}")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -90,6 +90,7 @@ def _command_trace(args: argparse.Namespace) -> int:
 
 def _command_reproduce(args: argparse.Namespace) -> int:
     from repro.harness import experiments as exp
+    from repro.harness.engine import ArtifactCache, Timings
 
     wanted = (
         [name.strip() for name in args.experiments.split(",")]
@@ -102,7 +103,17 @@ def _command_reproduce(args: argparse.Namespace) -> int:
               f"{', '.join(_EXPERIMENT_NAMES)}", file=sys.stderr)
         return 2
 
-    platform = scenario_platform(args.scenario, args.seed)
+    timings = Timings() if args.timings else None
+    cache = None
+    if args.cache or args.cache_dir:
+        cache = ArtifactCache(args.cache_dir)
+        if args.refresh_cache:
+            cache.clear()
+    jobs = args.jobs
+
+    platform = scenario_platform(
+        args.scenario, args.seed, jobs=jobs, cache=cache, timings=timings
+    )
     results = []
     # Build only the datasets the requested experiments need.
     longterm_needed = any(
@@ -115,9 +126,19 @@ def _command_reproduce(args: argparse.Namespace) -> int:
         name in wanted
         for name in ("localization", "link-classification", "fig9")
     )
-    longterm = scenario_longterm(args.scenario, args.seed) if longterm_needed else None
-    pings = scenario_ping(args.scenario, args.seed) if ping_needed or trace_needed else None
-    traces = scenario_traces(args.scenario, args.seed) if trace_needed else None
+    longterm = (
+        scenario_longterm(args.scenario, args.seed, jobs=jobs, cache=cache,
+                          timings=timings)
+        if longterm_needed else None
+    )
+    pings = (
+        scenario_ping(args.scenario, args.seed, jobs=jobs, timings=timings)
+        if ping_needed or trace_needed else None
+    )
+    traces = (
+        scenario_traces(args.scenario, args.seed, jobs=jobs, timings=timings)
+        if trace_needed else None
+    )
 
     drivers = {
         "table1": lambda: exp.experiment_table1(longterm),
@@ -127,7 +148,7 @@ def _command_reproduce(args: argparse.Namespace) -> int:
         "fig4": lambda: exp.experiment_fig4(longterm),
         "fig5": lambda: exp.experiment_fig5(longterm),
         "fig6": lambda: exp.experiment_fig6(longterm),
-        "fig7": lambda: exp.experiment_fig7(platform),
+        "fig7": lambda: exp.experiment_fig7(platform, jobs=jobs),
         "congestion-norm": lambda: exp.experiment_congestion_norm(pings),
         "localization": lambda: exp.experiment_localization(traces, platform),
         "link-classification": lambda: exp.experiment_link_classification(
@@ -140,10 +161,17 @@ def _command_reproduce(args: argparse.Namespace) -> int:
         "ext-sharedinfra": lambda: exp.experiment_sharedinfra(longterm),
     }
     for name in wanted:
-        results.append(drivers[name]())
+        if timings is not None:
+            with timings.stage(f"experiment:{name}"):
+                results.append(drivers[name]())
+        else:
+            results.append(drivers[name]())
     for result in results:
         print(result.render())
         print()
+    if timings is not None:
+        print("== stage timings ==")
+        print(timings.render())
     return 0
 
 
@@ -176,6 +204,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments", default="",
         help="comma-separated experiment ids (default: all); "
              f"valid: {', '.join(_EXPERIMENT_NAMES)}",
+    )
+    reproduce.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for dataset/route building "
+             "(0 = all cores; default: 1)",
+    )
+    reproduce.add_argument(
+        "--timings", action="store_true",
+        help="print a per-stage wall-time table after the reports",
+    )
+    reproduce.add_argument(
+        "--cache", action="store_true",
+        help="cache built platforms/datasets on disk "
+             "(~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    reproduce.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (implies --cache)",
+    )
+    reproduce.add_argument(
+        "--refresh-cache", action="store_true",
+        help="with --cache: drop existing entries and rebuild",
     )
     reproduce.set_defaults(handler=_command_reproduce)
     return parser

@@ -10,6 +10,8 @@
 - :mod:`repro.datasets.shortterm` -- the short-term ping and traceroute
   campaign builders (Section 2.2).
 - :mod:`repro.datasets.io` -- persistence (JSONL + NPZ).
+- :mod:`repro.datasets.parallel` -- the fork-based worker pool the
+  builders use for ``jobs > 1``.
 """
 
 from repro.datasets.colocated import build_colocated_dataset, colocated_pairs
@@ -22,9 +24,12 @@ from repro.datasets.shortterm import (
     build_shortterm_ping_dataset,
     build_shortterm_trace_dataset,
 )
+from repro.datasets.parallel import fork_map, resolve_jobs
 from repro.datasets.timeline import PingTimeline, TraceTimeline
 
 __all__ = [
+    "fork_map",
+    "resolve_jobs",
     "HopObservation",
     "TracerouteRecord",
     "PingRecord",

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.datasets.parallel import fork_map
 from repro.datasets.timeline import TraceTimeline
 from repro.measurement.platform import MeasurementPlatform
 from repro.measurement.scheduler import LONG_TERM_PERIOD_HOURS, CampaignGrid
@@ -46,6 +47,25 @@ class LongTermDataset:
     grid: CampaignGrid
     timelines: Dict[Tuple[int, int, IPVersion], TraceTimeline] = field(default_factory=dict)
     servers: Dict[int, Server] = field(default_factory=dict)
+    _ordered_key_cache: Optional[Tuple[int, List[Tuple[int, int, IPVersion]]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _ordered_keys(self) -> List[Tuple[int, int, IPVersion]]:
+        """Timeline keys in pair order, cached until the dict grows.
+
+        ``by_version`` and ``pairs`` are called per experiment (16 of
+        them); re-sorting the full key set every time is quadratic noise
+        at scale.  The cache keys on ``len(timelines)`` so builder
+        insertions invalidate it.
+        """
+        if (
+            self._ordered_key_cache is None
+            or self._ordered_key_cache[0] != len(self.timelines)
+        ):
+            ordered = sorted(self.timelines, key=lambda k: (k[0], k[1], int(k[2])))
+            self._ordered_key_cache = (len(self.timelines), ordered)
+        return self._ordered_key_cache[1]
 
     def timeline(self, src_id: int, dst_id: int, version: IPVersion) -> TraceTimeline:
         """The timeline for one directed pair and protocol."""
@@ -53,14 +73,16 @@ class LongTermDataset:
 
     def pairs(self) -> List[Tuple[int, int]]:
         """Distinct directed server-id pairs present in the dataset."""
-        return sorted({(src, dst) for src, dst, _ in self.timelines})
+        pairs: List[Tuple[int, int]] = []
+        for src, dst, _ in self._ordered_keys():
+            if not pairs or pairs[-1] != (src, dst):
+                pairs.append((src, dst))
+        return pairs
 
     def by_version(self, version: IPVersion) -> List[TraceTimeline]:
         """All timelines of one protocol, in pair order."""
         return [
-            self.timelines[key]
-            for key in sorted(self.timelines, key=lambda k: (k[0], k[1]))
-            if key[2] is version
+            self.timelines[key] for key in self._ordered_keys() if key[2] is version
         ]
 
     def forward_reverse(
@@ -140,6 +162,7 @@ def build_longterm_dataset(
     platform: MeasurementPlatform,
     config: Optional[LongTermConfig] = None,
     pairs: Optional[Iterable[Tuple[Server, Server]]] = None,
+    jobs: int = 1,
 ) -> LongTermDataset:
     """Build the long-term full-mesh dataset.
 
@@ -149,6 +172,10 @@ def build_longterm_dataset(
         config: Campaign shape (defaults to the paper's 485 days at 3 h).
         pairs: Ordered server pairs to measure; defaults to the full mesh of
             dual-stack measurement servers in distinct ASes.
+        jobs: Worker processes for the per-pair timeline loop (``<= 1``
+            serial; ``0``/``None`` all cores).  Every timeline draws from
+            its own named RNG stream and interns paths locally, so the
+            parallel dataset is bit-identical to the serial one.
 
     Raises:
         ValueError: If the campaign extends past the platform's window.
@@ -162,15 +189,22 @@ def build_longterm_dataset(
         )
     if pairs is None:
         pairs = platform.server_pairs(dual_stack_only=config.dual_stack_only)
+    pairs = list(pairs)
 
     dataset = LongTermDataset(grid=grid)
+    tasks: List[Tuple[Server, Server, IPVersion]] = []
     for src, dst in pairs:
         dataset.servers[src.server_id] = src
         dataset.servers[dst.server_id] = dst
         for version in config.versions:
             if src.address(version) is None or dst.address(version) is None:
                 continue
-            dataset.timelines[(src.server_id, dst.server_id, version)] = _build_timeline(
-                platform, src, dst, version, grid
-            )
+            tasks.append((src, dst, version))
+
+    def run_task(task: Tuple[Server, Server, IPVersion]) -> TraceTimeline:
+        src, dst, version = task
+        return _build_timeline(platform, src, dst, version, grid)
+
+    for (src, dst, version), timeline in zip(tasks, fork_map(run_task, tasks, jobs)):
+        dataset.timelines[(src.server_id, dst.server_id, version)] = timeline
     return dataset

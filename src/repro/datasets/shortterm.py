@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.datasets.parallel import fork_map
 from repro.datasets.timeline import PingTimeline
 from repro.measurement.loss import LossModel
 from repro.measurement.ping import ping_series
@@ -64,19 +65,31 @@ class ShortTermConfig:
         return CampaignGrid(self.start_hour, grid.period_hours, grid.rounds)
 
 
+def _ordered_keys(
+    entries: Dict[Tuple[int, int, IPVersion], object],
+    cache: Optional[Tuple[int, List[Tuple[int, int, IPVersion]]]],
+) -> Tuple[Tuple[int, int, IPVersion], ...]:
+    """Sorted key order, recomputed only when the dict has grown."""
+    if cache is None or cache[0] != len(entries):
+        cache = (len(entries), sorted(entries, key=lambda k: (k[0], k[1], int(k[2]))))
+    return cache
+
+
 @dataclass
 class ShortTermPingDataset:
     """Ping timelines keyed by (src, dst, version)."""
 
     grid: CampaignGrid
     timelines: Dict[Tuple[int, int, IPVersion], PingTimeline] = field(default_factory=dict)
+    _key_cache: Optional[Tuple[int, List[Tuple[int, int, IPVersion]]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def by_version(self, version: IPVersion) -> List[PingTimeline]:
         """All timelines of one protocol, in pair order."""
+        self._key_cache = _ordered_keys(self.timelines, self._key_cache)
         return [
-            self.timelines[key]
-            for key in sorted(self.timelines, key=lambda k: (k[0], k[1]))
-            if key[2] is version
+            self.timelines[key] for key in self._key_cache[1] if key[2] is version
         ]
 
 
@@ -128,14 +141,14 @@ class ShortTermTraceDataset:
 
     grid: CampaignGrid
     entries: Dict[Tuple[int, int, IPVersion], SegmentSeries] = field(default_factory=dict)
+    _key_cache: Optional[Tuple[int, List[Tuple[int, int, IPVersion]]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def by_version(self, version: IPVersion) -> List[SegmentSeries]:
         """All entries of one protocol, in pair order."""
-        return [
-            self.entries[key]
-            for key in sorted(self.entries, key=lambda k: (k[0], k[1]))
-            if key[2] is version
-        ]
+        self._key_cache = _ordered_keys(self.entries, self._key_cache)
+        return [self.entries[key] for key in self._key_cache[1] if key[2] is version]
 
 
 def _check_window(platform: MeasurementPlatform, grid: CampaignGrid) -> None:
@@ -169,16 +182,57 @@ def _dominant_epoch(
     return best_candidate, static
 
 
+def _build_ping_timeline(
+    platform: MeasurementPlatform,
+    src: Server,
+    dst: Server,
+    version: IPVersion,
+    times: np.ndarray,
+    config: ShortTermConfig,
+) -> PingTimeline:
+    """Sample one pair's ping series across its routing epochs."""
+    rtt = np.full(times.size, np.nan, dtype=np.float32)
+    for epoch_number, epoch in enumerate(platform.epochs(src, dst, version)):
+        low = int(np.searchsorted(times, epoch.start_hour, side="left"))
+        high = int(np.searchsorted(times, epoch.end_hour, side="left"))
+        if high <= low or epoch.candidate_index < 0:
+            continue
+        realization = platform.realization(src, dst, version, epoch.candidate_index)
+        if realization is None:
+            continue
+        rng = platform.rng(
+            "ping", src.server_id, dst.server_id, int(version), epoch_number
+        )
+        rtt[low:high] = ping_series(
+            realization,
+            times[low:high],
+            rng,
+            delay_model=platform.delay_model,
+            congestion=platform.congestion,
+            loss_model=LossModel() if config.congestion_coupled_loss else None,
+        )
+    return PingTimeline(
+        src_server_id=src.server_id,
+        dst_server_id=dst.server_id,
+        version=version,
+        times_hours=times,
+        rtt_ms=rtt,
+    )
+
+
 def build_shortterm_ping_dataset(
     platform: MeasurementPlatform,
     config: Optional[ShortTermConfig] = None,
     pairs: Optional[Iterable[Tuple[Server, Server]]] = None,
+    jobs: int = 1,
 ) -> ShortTermPingDataset:
     """Build the one-week 15-minute ping dataset.
 
     Pairs default to the full mesh of measurement servers.  A pair's series
     uses the realization of each routing epoch in effect, so level shifts
     from routing changes appear in pings exactly as they would in reality.
+    Every series draws from its own named RNG stream, so sharding the
+    pair list across ``jobs`` workers is bit-identical to serial.
     """
     config = config or ShortTermConfig()
     grid = config.ping_grid()
@@ -188,37 +242,19 @@ def build_shortterm_ping_dataset(
 
     dataset = ShortTermPingDataset(grid=grid)
     times = grid.times()
-    for src, dst in pairs:
-        for version in config.versions:
-            if src.address(version) is None or dst.address(version) is None:
-                continue
-            rtt = np.full(times.size, np.nan, dtype=np.float32)
-            for epoch_number, epoch in enumerate(platform.epochs(src, dst, version)):
-                low = int(np.searchsorted(times, epoch.start_hour, side="left"))
-                high = int(np.searchsorted(times, epoch.end_hour, side="left"))
-                if high <= low or epoch.candidate_index < 0:
-                    continue
-                realization = platform.realization(src, dst, version, epoch.candidate_index)
-                if realization is None:
-                    continue
-                rng = platform.rng(
-                    "ping", src.server_id, dst.server_id, int(version), epoch_number
-                )
-                rtt[low:high] = ping_series(
-                    realization,
-                    times[low:high],
-                    rng,
-                    delay_model=platform.delay_model,
-                    congestion=platform.congestion,
-                    loss_model=LossModel() if config.congestion_coupled_loss else None,
-                )
-            dataset.timelines[(src.server_id, dst.server_id, version)] = PingTimeline(
-                src_server_id=src.server_id,
-                dst_server_id=dst.server_id,
-                version=version,
-                times_hours=times,
-                rtt_ms=rtt,
-            )
+    tasks = [
+        (src, dst, version)
+        for src, dst in pairs
+        for version in config.versions
+        if src.address(version) is not None and dst.address(version) is not None
+    ]
+
+    def run_task(task: Tuple[Server, Server, IPVersion]) -> PingTimeline:
+        src, dst, version = task
+        return _build_ping_timeline(platform, src, dst, version, times, config)
+
+    for (src, dst, version), timeline in zip(tasks, fork_map(run_task, tasks, jobs)):
+        dataset.timelines[(src.server_id, dst.server_id, version)] = timeline
     return dataset
 
 
@@ -263,10 +299,44 @@ def _segment_series(
     )
 
 
+def _build_trace_entry(
+    platform: MeasurementPlatform,
+    src: Server,
+    dst: Server,
+    version: IPVersion,
+    times: np.ndarray,
+    grid: CampaignGrid,
+) -> Optional[SegmentSeries]:
+    """One pair's per-hop series, or ``None`` when no epoch carries it."""
+    candidate, static = _dominant_epoch(platform, src, dst, version, grid)
+    if candidate is None:
+        return None
+    realization = platform.realization(src, dst, version, candidate)
+    if realization is None:
+        return None
+    if static:
+        fill_low, fill_high = 0, times.size
+    else:
+        # Fill only the samples inside the dominant epoch.
+        fill_low, fill_high = 0, 0
+        for epoch in platform.epochs(src, dst, version):
+            if epoch.candidate_index != candidate:
+                continue
+            low = int(np.searchsorted(times, epoch.start_hour, side="left"))
+            high = int(np.searchsorted(times, epoch.end_hour, side="left"))
+            if high - low > fill_high - fill_low:
+                fill_low, fill_high = low, high
+    rng = platform.rng("shorttrace", src.server_id, dst.server_id, int(version))
+    return _segment_series(
+        platform, realization, times, fill_low, fill_high, static, rng
+    )
+
+
 def build_shortterm_trace_dataset(
     platform: MeasurementPlatform,
     pairs: Iterable[Tuple[Server, Server]],
     config: Optional[ShortTermConfig] = None,
+    jobs: int = 1,
 ) -> ShortTermTraceDataset:
     """Build the 30-minute traceroute dataset with per-hop series.
 
@@ -275,37 +345,26 @@ def build_shortterm_trace_dataset(
         pairs: Ordered server pairs to probe (in the paper these are the
             pairs flagged as congested by the ping analysis).
         config: Campaign shape.
+        jobs: Worker processes for the per-pair loop; bit-identical to
+            serial at any count.
     """
     config = config or ShortTermConfig()
     grid = config.trace_grid()
     _check_window(platform, grid)
     dataset = ShortTermTraceDataset(grid=grid)
     times = grid.times()
+    tasks = [
+        (src, dst, version)
+        for src, dst in pairs
+        for version in config.versions
+        if src.address(version) is not None and dst.address(version) is not None
+    ]
 
-    for src, dst in pairs:
-        for version in config.versions:
-            if src.address(version) is None or dst.address(version) is None:
-                continue
-            candidate, static = _dominant_epoch(platform, src, dst, version, grid)
-            if candidate is None:
-                continue
-            realization = platform.realization(src, dst, version, candidate)
-            if realization is None:
-                continue
-            if static:
-                fill_low, fill_high = 0, times.size
-            else:
-                # Fill only the samples inside the dominant epoch.
-                fill_low, fill_high = 0, 0
-                for epoch in platform.epochs(src, dst, version):
-                    if epoch.candidate_index != candidate:
-                        continue
-                    low = int(np.searchsorted(times, epoch.start_hour, side="left"))
-                    high = int(np.searchsorted(times, epoch.end_hour, side="left"))
-                    if high - low > fill_high - fill_low:
-                        fill_low, fill_high = low, high
-            rng = platform.rng("shorttrace", src.server_id, dst.server_id, int(version))
-            dataset.entries[(src.server_id, dst.server_id, version)] = _segment_series(
-                platform, realization, times, fill_low, fill_high, static, rng
-            )
+    def run_task(task: Tuple[Server, Server, IPVersion]) -> Optional[SegmentSeries]:
+        src, dst, version = task
+        return _build_trace_entry(platform, src, dst, version, times, grid)
+
+    for (src, dst, version), entry in zip(tasks, fork_map(run_task, tasks, jobs)):
+        if entry is not None:
+            dataset.entries[(src.server_id, dst.server_id, version)] = entry
     return dataset

@@ -7,8 +7,18 @@
   paper's value next to the measured one.
 - :mod:`repro.harness.report` -- plain-text tables, ECDF series and decile
   heatmaps in the style the paper prints them.
+- :mod:`repro.harness.engine` -- the on-disk artifact cache and per-stage
+  wall-time recorder behind ``reproduce --cache`` / ``--timings``.
 """
 
+from repro.harness.engine import (
+    ArtifactCache,
+    Timings,
+    cached_longterm,
+    cached_platform,
+    config_fingerprint,
+    default_cache_dir,
+)
 from repro.harness.experiments import (
     ExperimentResult,
     run_all_experiments,
@@ -19,16 +29,28 @@ from repro.harness.report import (
     render_heatmap,
     render_table,
 )
-from repro.harness.scenarios import Scenario, get_scenario, scenario_platform
+from repro.harness.scenarios import (
+    Scenario,
+    congested_pairs,
+    get_scenario,
+    scenario_platform,
+)
 
 __all__ = [
     "Scenario",
     "get_scenario",
     "scenario_platform",
+    "congested_pairs",
     "ExperimentResult",
     "run_all_experiments",
     "render_table",
     "render_ecdf",
     "render_heatmap",
     "format_duration",
+    "Timings",
+    "ArtifactCache",
+    "config_fingerprint",
+    "default_cache_dir",
+    "cached_platform",
+    "cached_longterm",
 ]

@@ -1,0 +1,307 @@
+"""The dataset-generation engine: artifact cache + stage timing.
+
+Building the paper's campaigns from scratch means simulating a 485-day
+world; at the ``default`` scenario scale that takes tens of seconds, at
+``large`` scale minutes.  This module makes the pipeline *incremental* and
+*observable*:
+
+- :class:`Timings` records per-stage wall time across the whole pipeline
+  (topology, routing, congestion assignment, timeline build,
+  per-experiment) and renders/serializes it for ``reproduce --timings``
+  and the pipeline benchmark.
+- :class:`ArtifactCache` persists built platforms and long-term datasets
+  on disk, keyed by a stable fingerprint of their configs, so examples
+  and benchmarks stop re-simulating identical worlds.  Entries are
+  versioned -- a schema or package version bump invalidates them -- and
+  written atomically.
+- :func:`cached_platform` / :func:`cached_longterm` are the high-level
+  entry points: build on miss (optionally in parallel), load on hit.
+
+The cache directory defaults to ``~/.cache/repro`` and can be overridden
+per call or via the ``REPRO_CACHE_DIR`` environment variable.  Loaded
+artifacts are bit-identical to freshly built ones: construction is fully
+deterministic under one seed, and pickling preserves every array.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.datasets.longterm import LongTermConfig, LongTermDataset, build_longterm_dataset
+from repro.harness.report import render_table
+from repro.measurement.platform import MeasurementPlatform, PlatformConfig
+
+__all__ = [
+    "Timings",
+    "ArtifactCache",
+    "config_fingerprint",
+    "default_cache_dir",
+    "cached_platform",
+    "cached_longterm",
+    "CACHE_SCHEMA_VERSION",
+]
+
+CACHE_SCHEMA_VERSION = 1
+"""Bump when the pickled layout of platforms/datasets changes shape."""
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_PathLike = Union[str, Path]
+
+
+class Timings:
+    """A lightweight per-stage wall-time recorder.
+
+    Stages append in completion order and may repeat (e.g. one
+    ``experiment:`` stage per driver); :meth:`as_dict` aggregates repeats
+    by summing.
+    """
+
+    def __init__(self) -> None:
+        self.stages: List[Tuple[str, float]] = []
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block and record it under ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - started)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Record an externally-measured stage."""
+        self.stages.append((name, float(seconds)))
+
+    def total(self) -> float:
+        """Sum of all recorded stage times."""
+        return sum(seconds for _, seconds in self.stages)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Stage name -> total seconds (repeats summed), insertion order."""
+        merged: Dict[str, float] = {}
+        for name, seconds in self.stages:
+            merged[name] = merged.get(name, 0.0) + seconds
+        return merged
+
+    def as_records(self) -> List[Dict[str, float]]:
+        """The raw stage list as JSON-ready records, in completion order."""
+        return [
+            {"stage": name, "seconds": seconds} for name, seconds in self.stages
+        ]
+
+    def render(self) -> str:
+        """A text table of aggregated stage times."""
+        rows = [
+            (name, f"{seconds:.3f}s") for name, seconds in self.as_dict().items()
+        ]
+        rows.append(("total", f"{self.total():.3f}s"))
+        return render_table(("stage", "wall time"), rows)
+
+
+def _canonical(value: object) -> object:
+    """A stable, hashable projection of (possibly nested) config objects."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (spec.name, _canonical(getattr(value, spec.name)))
+                for spec in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(
+            sorted((repr(key), _canonical(item)) for key, item in value.items())
+        )
+    if isinstance(value, float):
+        return repr(value)
+    return value
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports the harness package, so a
+    # module-level "from repro import __version__" could run against a
+    # half-initialized package.
+    import repro
+
+    return getattr(repro, "__version__", "0")
+
+
+def config_fingerprint(*parts: object) -> str:
+    """A stable hex fingerprint of config objects (dataclasses welcome).
+
+    Equal configs always fingerprint equal; any field change -- at any
+    nesting depth -- changes it.  The package version and cache schema
+    version are mixed in, so upgrading either invalidates old artifacts.
+    """
+    blob = repr(
+        (CACHE_SCHEMA_VERSION, _package_version(),
+         tuple(_canonical(part) for part in parts))
+    ).encode("utf-8")
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+class ArtifactCache:
+    """On-disk pickle store for expensive build artifacts.
+
+    Entries live under ``<directory>/v<schema>/<kind>-<fingerprint>.pkl``.
+    Loads never raise on a bad entry -- a corrupt or unreadable pickle
+    reads as a miss and the caller rebuilds.  Stores write to a temp file
+    and rename, so concurrent readers never observe a partial entry.
+    """
+
+    def __init__(self, directory: Optional[_PathLike] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+
+    def path(self, kind: str, fingerprint: str) -> Path:
+        """Where an artifact of ``kind`` with ``fingerprint`` lives."""
+        return self.directory / f"v{CACHE_SCHEMA_VERSION}" / f"{kind}-{fingerprint}.pkl"
+
+    def load(self, kind: str, fingerprint: str) -> Optional[object]:
+        """The cached artifact, or ``None`` on miss/corruption."""
+        path = self.path(kind, fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Unreadable, truncated or stale-schema entry: pickle can raise
+            # nearly anything on garbage bytes (ValueError, KeyError, ...),
+            # so treat every failure as a miss, drop the entry and rebuild.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def store(self, kind: str, fingerprint: str, artifact: object) -> Path:
+        """Persist an artifact atomically; returns its path."""
+        path = self.path(kind, fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(scratch, "wb") as handle:
+                pickle.dump(artifact, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(scratch, path)
+        finally:
+            if scratch.exists():
+                try:
+                    scratch.unlink()
+                except OSError:
+                    pass
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry of the current schema; returns the count."""
+        root = self.directory / f"v{CACHE_SCHEMA_VERSION}"
+        removed = 0
+        if root.is_dir():
+            for entry in root.glob("*.pkl"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+def cached_platform(
+    config: Optional[PlatformConfig] = None,
+    cache: Optional[ArtifactCache] = None,
+    jobs: int = 1,
+    timings: Optional[Timings] = None,
+    refresh: bool = False,
+) -> Tuple[MeasurementPlatform, bool]:
+    """A measurement platform for ``config``, loaded from disk when possible.
+
+    Args:
+        config: Platform construction parameters.
+        cache: Artifact store (the default cache directory otherwise).
+        jobs: Workers for route computation on a miss.
+        timings: Optional stage recorder; a hit records ``platform-load``,
+            a miss the usual construction stages plus ``platform-store``.
+        refresh: Force a rebuild even when a cached entry exists.
+
+    Returns:
+        ``(platform, cache_hit)``.
+    """
+    config = config or PlatformConfig()
+    cache = cache or ArtifactCache()
+    fingerprint = config_fingerprint("platform", config)
+    if not refresh:
+        with _engine_stage(timings, "platform-load"):
+            artifact = cache.load("platform", fingerprint)
+        if artifact is not None:
+            return artifact, True
+    platform = MeasurementPlatform(config, timings=timings, jobs=jobs)
+    with _engine_stage(timings, "platform-store"):
+        cache.store("platform", fingerprint, platform)
+    return platform, False
+
+
+def cached_longterm(
+    platform_config: PlatformConfig,
+    longterm_config: Optional[LongTermConfig] = None,
+    platform: Optional[MeasurementPlatform] = None,
+    cache: Optional[ArtifactCache] = None,
+    jobs: int = 1,
+    timings: Optional[Timings] = None,
+    refresh: bool = False,
+) -> Tuple[LongTermDataset, bool]:
+    """The long-term dataset for a (platform, campaign) config pair.
+
+    On a miss the platform is taken from ``platform`` when given (to avoid
+    a duplicate build) or resolved through :func:`cached_platform`, then
+    the dataset is built -- with ``jobs`` workers -- and stored.  Any
+    ``jobs`` value yields the same bits, so it is *not* part of the key.
+
+    Returns:
+        ``(dataset, cache_hit)``.
+    """
+    longterm_config = longterm_config or LongTermConfig()
+    cache = cache or ArtifactCache()
+    fingerprint = config_fingerprint("longterm", platform_config, longterm_config)
+    if not refresh:
+        with _engine_stage(timings, "longterm-load"):
+            artifact = cache.load("longterm", fingerprint)
+        if artifact is not None:
+            return artifact, True
+    if platform is None:
+        platform, _ = cached_platform(
+            platform_config, cache=cache, jobs=jobs, timings=timings
+        )
+    with _engine_stage(timings, "longterm-build"):
+        dataset = build_longterm_dataset(platform, longterm_config, jobs=jobs)
+    with _engine_stage(timings, "longterm-store"):
+        cache.store("longterm", fingerprint, dataset)
+    return dataset, False
+
+
+@contextmanager
+def _engine_stage(timings: Optional[Timings], name: str) -> Iterator[None]:
+    if timings is None:
+        yield
+    else:
+        with timings.stage(name):
+            yield

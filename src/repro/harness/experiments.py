@@ -9,6 +9,7 @@ full reproduction and is what EXPERIMENTS.md is generated from.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -398,11 +399,11 @@ def experiment_fig6(dataset: LongTermDataset) -> ExperimentResult:
 
 
 def experiment_fig7(
-    platform: MeasurementPlatform, days: float = 22.0
+    platform: MeasurementPlatform, days: float = 22.0, jobs: int = 1
 ) -> ExperimentResult:
     """Figure 7: 30-minute vs 3-hour-subsampled increase ECDFs."""
     dataset = build_longterm_dataset(
-        platform, LongTermConfig(days=days, period_hours=0.5)
+        platform, LongTermConfig(days=days, period_hours=0.5), jobs=jobs
     )
     metrics: List[Metric] = []
     reports: List[str] = []
@@ -813,29 +814,49 @@ def run_all_experiments(
     pings: ShortTermPingDataset,
     traces: ShortTermTraceDataset,
     include_fig7: bool = True,
+    jobs: int = 1,
+    timings: Optional[object] = None,
 ) -> List[ExperimentResult]:
-    """Run every table/figure experiment and return their results."""
-    results = [
-        experiment_table1(longterm),
-        experiment_fig1(platform, longterm),
-        experiment_fig2(longterm),
-        experiment_fig3(longterm),
-        experiment_fig4(longterm),
-        experiment_fig5(longterm),
-        experiment_fig6(longterm),
+    """Run every table/figure experiment and return their results.
+
+    Args:
+        platform / longterm / pings / traces: The assembled inputs.
+        include_fig7: Whether to run the (dataset-building) granularity
+            experiment.
+        jobs: Worker processes for experiments that build datasets (fig7).
+        timings: Optional :class:`repro.harness.engine.Timings`; records
+            one ``experiment:<id>`` stage per driver.
+    """
+    drivers = [
+        lambda: experiment_table1(longterm),
+        lambda: experiment_fig1(platform, longterm),
+        lambda: experiment_fig2(longterm),
+        lambda: experiment_fig3(longterm),
+        lambda: experiment_fig4(longterm),
+        lambda: experiment_fig5(longterm),
+        lambda: experiment_fig6(longterm),
     ]
     if include_fig7:
-        results.append(experiment_fig7(platform))
-    results.extend(
+        drivers.append(lambda: experiment_fig7(platform, jobs=jobs))
+    drivers.extend(
         [
-            experiment_congestion_norm(pings),
-            experiment_localization(traces, platform),
-            experiment_link_classification(traces, platform),
-            experiment_fig9(traces, platform),
-            experiment_fig10a(longterm),
-            experiment_fig10b(longterm),
-            experiment_loss(pings),
-            experiment_sharedinfra(longterm),
+            lambda: experiment_congestion_norm(pings),
+            lambda: experiment_localization(traces, platform),
+            lambda: experiment_link_classification(traces, platform),
+            lambda: experiment_fig9(traces, platform),
+            lambda: experiment_fig10a(longterm),
+            lambda: experiment_fig10b(longterm),
+            lambda: experiment_loss(pings),
+            lambda: experiment_sharedinfra(longterm),
         ]
     )
+    results: List[ExperimentResult] = []
+    for driver in drivers:
+        started = time.perf_counter()
+        result = driver()
+        if timings is not None:
+            timings.record(
+                f"experiment:{result.experiment_id}", time.perf_counter() - started
+            )
+        results.append(result)
     return results

@@ -16,7 +16,7 @@ it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.datasets.longterm import LongTermConfig, LongTermDataset, build_longterm_dataset
 from repro.datasets.shortterm import (
@@ -29,9 +29,11 @@ from repro.datasets.shortterm import (
 from repro.core.congestion import CongestionDetector
 from repro.measurement.congestionmodel import CongestionConfig
 from repro.measurement.platform import MeasurementPlatform, PlatformConfig
+from repro.topology.cdn import Server
 
 __all__ = ["Scenario", "SCENARIOS", "get_scenario", "scenario_platform",
-           "scenario_longterm", "scenario_ping", "scenario_traces", "clear_cache"]
+           "scenario_longterm", "scenario_ping", "scenario_traces",
+           "congested_pairs", "clear_cache"]
 
 
 @dataclass(frozen=True)
@@ -130,40 +132,112 @@ def clear_cache() -> None:
     _trace_cache.clear()
 
 
-def scenario_platform(name: str = "default", seed: int = 0) -> MeasurementPlatform:
-    """The (memoized) platform of a scenario."""
+def scenario_platform(
+    name: str = "default",
+    seed: int = 0,
+    jobs: int = 1,
+    cache: Optional[object] = None,
+    timings: Optional[object] = None,
+) -> MeasurementPlatform:
+    """The (memoized) platform of a scenario.
+
+    Args:
+        name / seed: Scenario scale and world seed.
+        jobs: Worker processes for route computation on a build.
+        cache: Optional :class:`repro.harness.engine.ArtifactCache`; when
+            given, the platform is loaded from / stored to disk.
+        timings: Optional :class:`repro.harness.engine.Timings` recorder.
+    """
     key = (name, seed)
     if key not in _platform_cache:
-        _platform_cache[key] = MeasurementPlatform(get_scenario(name).platform_config(seed))
+        config = get_scenario(name).platform_config(seed)
+        if cache is not None:
+            from repro.harness.engine import cached_platform
+
+            platform, _ = cached_platform(
+                config, cache=cache, jobs=jobs, timings=timings
+            )
+        else:
+            platform = MeasurementPlatform(config, timings=timings, jobs=jobs)
+        _platform_cache[key] = platform
     return _platform_cache[key]
 
 
-def scenario_longterm(name: str = "default", seed: int = 0) -> LongTermDataset:
+def scenario_longterm(
+    name: str = "default",
+    seed: int = 0,
+    jobs: int = 1,
+    cache: Optional[object] = None,
+    timings: Optional[object] = None,
+) -> LongTermDataset:
     """The (memoized) long-term dataset of a scenario."""
     key = (name, seed)
     if key not in _longterm_cache:
-        platform = scenario_platform(name, seed)
-        _longterm_cache[key] = build_longterm_dataset(
-            platform, get_scenario(name).longterm_config()
-        )
+        scenario = get_scenario(name)
+        if cache is not None:
+            from repro.harness.engine import cached_longterm
+
+            dataset, _ = cached_longterm(
+                scenario.platform_config(seed),
+                scenario.longterm_config(),
+                platform=scenario_platform(name, seed, jobs=jobs, cache=cache,
+                                           timings=timings),
+                cache=cache,
+                jobs=jobs,
+                timings=timings,
+            )
+        else:
+            platform = scenario_platform(name, seed, jobs=jobs, timings=timings)
+            with _maybe_stage(timings, "longterm-build"):
+                dataset = build_longterm_dataset(
+                    platform, scenario.longterm_config(), jobs=jobs
+                )
+        _longterm_cache[key] = dataset
     return _longterm_cache[key]
 
 
-def scenario_ping(name: str = "default", seed: int = 0) -> ShortTermPingDataset:
+def scenario_ping(
+    name: str = "default",
+    seed: int = 0,
+    jobs: int = 1,
+    timings: Optional[object] = None,
+) -> ShortTermPingDataset:
     """The (memoized) short-term ping dataset of a scenario."""
     key = (name, seed)
     if key not in _ping_cache:
-        platform = scenario_platform(name, seed)
-        _ping_cache[key] = build_shortterm_ping_dataset(
-            platform, get_scenario(name).shortterm_config()
-        )
+        platform = scenario_platform(name, seed, jobs=jobs, timings=timings)
+        with _maybe_stage(timings, "ping-build"):
+            _ping_cache[key] = build_shortterm_ping_dataset(
+                platform, get_scenario(name).shortterm_config(), jobs=jobs
+            )
     return _ping_cache[key]
+
+
+def congested_pairs(
+    platform: MeasurementPlatform,
+    pings: ShortTermPingDataset,
+    detector: Optional[CongestionDetector] = None,
+) -> List[Tuple[Server, Server]]:
+    """Server pairs the ping analysis flags as congested (Section 5.2)."""
+    detector = detector or CongestionDetector()
+    flagged = set()
+    for (src_id, dst_id, _version), timeline in pings.timelines.items():
+        if detector.assess(timeline).congested:
+            flagged.add((src_id, dst_id))
+    servers = {server.server_id: server for server in platform.measurement_servers()}
+    return [
+        (servers[src_id], servers[dst_id])
+        for src_id, dst_id in sorted(flagged)
+        if src_id in servers and dst_id in servers
+    ]
 
 
 def scenario_traces(
     name: str = "default",
     seed: int = 0,
     detector: Optional[CongestionDetector] = None,
+    jobs: int = 1,
+    timings: Optional[object] = None,
 ) -> ShortTermTraceDataset:
     """The (memoized) short-term traceroute dataset of a scenario.
 
@@ -173,20 +247,20 @@ def scenario_traces(
     """
     key = (name, seed)
     if key not in _trace_cache:
-        platform = scenario_platform(name, seed)
-        pings = scenario_ping(name, seed)
-        detector = detector or CongestionDetector()
-        flagged = set()
-        for (src_id, dst_id, _version), timeline in pings.timelines.items():
-            if detector.assess(timeline).congested:
-                flagged.add((src_id, dst_id))
-        servers = {server.server_id: server for server in platform.measurement_servers()}
-        pairs = [
-            (servers[src_id], servers[dst_id])
-            for src_id, dst_id in sorted(flagged)
-            if src_id in servers and dst_id in servers
-        ]
-        _trace_cache[key] = build_shortterm_trace_dataset(
-            platform, pairs, get_scenario(name).shortterm_config()
-        )
+        platform = scenario_platform(name, seed, jobs=jobs, timings=timings)
+        pings = scenario_ping(name, seed, jobs=jobs, timings=timings)
+        pairs = congested_pairs(platform, pings, detector)
+        with _maybe_stage(timings, "shorttrace-build"):
+            _trace_cache[key] = build_shortterm_trace_dataset(
+                platform, pairs, get_scenario(name).shortterm_config(), jobs=jobs
+            )
     return _trace_cache[key]
+
+
+def _maybe_stage(timings: Optional[object], stage_name: str):
+    """A timing context when a recorder is given, else a no-op."""
+    import contextlib
+
+    if timings is None:
+        return contextlib.nullcontext()
+    return timings.stage(stage_name)

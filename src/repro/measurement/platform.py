@@ -17,6 +17,7 @@ produce bit-identical datasets.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -90,6 +91,18 @@ def _stream_seed(base_seed: int, *key_parts: object) -> np.random.SeedSequence:
     return np.random.SeedSequence([base_seed, int.from_bytes(digest, "big")])
 
 
+def _stage(timings: Optional[object], name: str):
+    """A timing context for one build stage.
+
+    ``timings`` is any object with a ``stage(name)`` context manager (see
+    :class:`repro.harness.engine.Timings`); ``None`` times nothing.  Duck
+    typing keeps the measurement layer free of a harness dependency.
+    """
+    if timings is None:
+        return contextlib.nullcontext()
+    return timings.stage(name)
+
+
 class MeasurementPlatform:
     """The assembled simulation: build once, query everywhere.
 
@@ -102,76 +115,106 @@ class MeasurementPlatform:
         delay_model / engine: The RTT model and traceroute engine.
     """
 
-    def __init__(self, config: Optional[PlatformConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[PlatformConfig] = None,
+        timings: Optional[object] = None,
+        jobs: int = 1,
+    ) -> None:
+        """Assemble every substrate under the config's seed.
+
+        Args:
+            config: Construction parameters (default config otherwise).
+            timings: Optional stage recorder -- any object with a
+                ``stage(name)`` context manager, e.g.
+                :class:`repro.harness.engine.Timings`.
+            jobs: Worker processes for route computation (``<= 1``
+                serial).  The result is identical at any job count.
+        """
         self.config = config or PlatformConfig()
         seed = self.config.seed
+        self._server_pairs_cache: Dict[Tuple[bool, bool], List[Tuple[Server, Server]]] = {}
+        self._measured_as_pairs_cache: Optional[List[Tuple[ASN, ASN]]] = None
 
-        self.graph: ASGraph = generate_topology(
-            self.config.topology, rng=np.random.default_rng(_stream_seed(seed, "topology"))
-        )
-        self.plan: AddressPlan = allocate_addresses(
-            self.graph,
-            self.config.addressing,
-            rng=np.random.default_rng(_stream_seed(seed, "addressing")),
-        )
-        self.topology: RouterTopology = build_router_topology(
-            self.graph, self.plan, rng=np.random.default_rng(_stream_seed(seed, "routers"))
-        )
-        self.cdn: CDNDeployment = deploy_cdn(
-            self.graph,
-            self.plan,
-            cluster_count=self.config.cluster_count,
-            servers_per_cluster=self.config.servers_per_cluster,
-            dual_stack_fraction=self.config.dual_stack_fraction,
-            rng=np.random.default_rng(_stream_seed(seed, "cdn")),
-        )
+        with _stage(timings, "topology"):
+            self.graph: ASGraph = generate_topology(
+                self.config.topology, rng=np.random.default_rng(_stream_seed(seed, "topology"))
+            )
+        with _stage(timings, "addressing"):
+            self.plan: AddressPlan = allocate_addresses(
+                self.graph,
+                self.config.addressing,
+                rng=np.random.default_rng(_stream_seed(seed, "addressing")),
+            )
+        with _stage(timings, "routers"):
+            self.topology: RouterTopology = build_router_topology(
+                self.graph, self.plan, rng=np.random.default_rng(_stream_seed(seed, "routers"))
+            )
+        with _stage(timings, "cdn"):
+            self.cdn: CDNDeployment = deploy_cdn(
+                self.graph,
+                self.plan,
+                cluster_count=self.config.cluster_count,
+                servers_per_cluster=self.config.servers_per_cluster,
+                dual_stack_fraction=self.config.dual_stack_fraction,
+                rng=np.random.default_rng(_stream_seed(seed, "cdn")),
+            )
 
-        self.tables: Dict[IPVersion, RouteTable] = {
-            IPVersion.V4: compute_route_table(
-                self.graph,
-                IPVersion.V4,
-                max_alternatives=self.config.max_alternatives,
-                rng=np.random.default_rng(_stream_seed(seed, "tiebreak", 4)),
-            ),
-            IPVersion.V6: compute_route_table(
-                self.graph,
-                IPVersion.V6,
-                max_alternatives=self.config.max_alternatives,
-                rng=np.random.default_rng(_stream_seed(seed, "tiebreak", 6)),
-            ),
-        }
+        # Routes are only ever queried between measurement-server ASes
+        # (realizations, schedules, segment collection all start from
+        # server pairs), so the table is scoped to them: |servers|^2
+        # propagations instead of |ASes|^2.  Scoping is exact -- the
+        # scoped table is the literal slice of the full one.
+        measured_asns = sorted({server.asn for server in self.measurement_servers()})
+        with _stage(timings, "routing"):
+            self.tables: Dict[IPVersion, RouteTable] = {
+                version: compute_route_table(
+                    self.graph,
+                    version,
+                    sources=measured_asns,
+                    destinations=measured_asns,
+                    max_alternatives=self.config.max_alternatives,
+                    rng=np.random.default_rng(
+                        _stream_seed(seed, "tiebreak", int(version))
+                    ),
+                    jobs=jobs,
+                )
+                for version in (IPVersion.V4, IPVersion.V6)
+            }
 
         duration = self.config.duration_hours
         as_pairs = self._measured_as_pairs()
-        outages = sample_edge_outages(
-            self.graph,
-            duration,
-            self.config.dynamics,
-            rng=np.random.default_rng(_stream_seed(seed, "outages")),
-        )
-        self.schedules: Dict[IPVersion, RoutingSchedule] = {}
-        for version in (IPVersion.V4, IPVersion.V6):
-            flaps = sample_pair_flaps(
-                as_pairs,
+        with _stage(timings, "dynamics"):
+            outages = sample_edge_outages(
+                self.graph,
                 duration,
                 self.config.dynamics,
-                rng=np.random.default_rng(_stream_seed(seed, "flaps", int(version))),
+                rng=np.random.default_rng(_stream_seed(seed, "outages")),
             )
-            self.schedules[version] = build_routing_schedule(
-                self.tables[version], as_pairs, duration, outages, flaps
-            )
+            self.schedules: Dict[IPVersion, RoutingSchedule] = {}
+            for version in (IPVersion.V4, IPVersion.V6):
+                flaps = sample_pair_flaps(
+                    as_pairs,
+                    duration,
+                    self.config.dynamics,
+                    rng=np.random.default_rng(_stream_seed(seed, "flaps", int(version))),
+                )
+                self.schedules[version] = build_routing_schedule(
+                    self.tables[version], as_pairs, duration, outages, flaps
+                )
 
         self.delay_model = DelayModel(self.config.delay)
         self._realizations: Dict[Tuple[int, int, IPVersion, int], Optional[PathRealization]] = {}
 
-        segments, crossings = self._collect_segments()
-        self.congestion: CongestionSchedule = assign_congestion(
-            segments,
-            crossings,
-            duration,
-            self.config.congestion,
-            rng=np.random.default_rng(_stream_seed(seed, "congestion")),
-        )
+        with _stage(timings, "congestion"):
+            segments, crossings = self._collect_segments()
+            self.congestion: CongestionSchedule = assign_congestion(
+                segments,
+                crossings,
+                duration,
+                self.config.congestion,
+                rng=np.random.default_rng(_stream_seed(seed, "congestion")),
+            )
         self.engine = TracerouteEngine(
             delay_model=self.delay_model,
             congestion=self.congestion,
@@ -196,21 +239,32 @@ class MeasurementPlatform:
                 long-term campaign does).
             distinct_as: Drop pairs hosted in the same AS (paths would not
                 cross the core).
+
+        The mesh is cached per argument combination -- segment collection,
+        the dataset builders and the examples all walk it repeatedly.
+        Callers receive a fresh list; the shared Server objects are frozen.
         """
-        servers = self.measurement_servers(dual_stack_only=dual_stack_only)
-        pairs = []
-        for src in servers:
-            for dst in servers:
-                if src.server_id == dst.server_id:
-                    continue
-                if distinct_as and src.asn == dst.asn:
-                    continue
-                pairs.append((src, dst))
-        return pairs
+        cache_key = (dual_stack_only, distinct_as)
+        cached = self._server_pairs_cache.get(cache_key)
+        if cached is None:
+            servers = self.measurement_servers(dual_stack_only=dual_stack_only)
+            cached = [
+                (src, dst)
+                for src in servers
+                for dst in servers
+                if src.server_id != dst.server_id
+                and not (distinct_as and src.asn == dst.asn)
+            ]
+            self._server_pairs_cache[cache_key] = cached
+        return list(cached)
 
     def _measured_as_pairs(self) -> List[Tuple[ASN, ASN]]:
-        asns = sorted({server.asn for server in self.measurement_servers()})
-        return [(a, b) for a in asns for b in asns if a != b]
+        if self._measured_as_pairs_cache is None:
+            asns = sorted({server.asn for server in self.measurement_servers()})
+            self._measured_as_pairs_cache = [
+                (a, b) for a in asns for b in asns if a != b
+            ]
+        return self._measured_as_pairs_cache
 
     # ------------------------------------------------------------------
     # Paths

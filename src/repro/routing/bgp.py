@@ -19,6 +19,7 @@ path changes the paper studies.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -56,6 +57,21 @@ def _adjacency(graph: ASGraph, version: IPVersion) -> Dict[ASN, Set[ASN]]:
 def _route_sort_key(route: _BestRoute) -> Tuple[int, int, Tuple[ASN, ...]]:
     route_class_, path = route
     return (-int(route_class_), len(path), path)
+
+
+def _pair_jitter(salt: int, path: Tuple[ASN, ...]) -> float:
+    """Deterministic tie-break jitter in ``[0, 1)`` for one candidate path.
+
+    A pure function of ``(salt, path)`` rather than a sequential RNG draw,
+    so the jitter a pair's candidates receive does not depend on which
+    other sources/destinations are in scope or on iteration order.  That
+    makes scoped tables exact slices of full tables and lets destinations
+    be computed in parallel without changing any result.
+    """
+    digest = hashlib.blake2b(
+        repr((salt, path)).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64)
 
 
 def compute_best_routes(
@@ -121,6 +137,104 @@ def compute_best_routes(
     return best
 
 
+# Sort key: preference class (descending), then path length, then tier
+# (steady-state routes win ties), then jitter.
+_Option = Tuple[Tuple[int, int, int, float], Tuple[ASN, ...], RouteClass, int]
+
+_Pair = Tuple[ASN, ASN]
+_Candidates = Tuple[CandidateRoute, ...]
+
+
+def _destination_candidates(
+    graph: ASGraph,
+    destination: ASN,
+    sources: List[ASN],
+    adjacency: Dict[ASN, Set[ASN]],
+    version: IPVersion,
+    max_alternatives: int,
+    jitter_salt: Optional[int],
+) -> List[Tuple[_Pair, _Candidates]]:
+    """Ranked candidates from every in-scope source toward one destination."""
+    relationships = graph.relationships
+    results: List[Tuple[_Pair, _Candidates]] = []
+    if destination not in adjacency:
+        return results
+    best = compute_best_routes(graph, destination, adjacency=adjacency, version=version)
+    for source in sources:
+        if source not in adjacency:
+            continue
+        if source == destination:
+            route = CandidateRoute.make((source,), RouteClass.SELF, 0)
+            results.append(((source, destination), (route,)))
+            continue
+        if not adjacency[source]:
+            continue
+        options: List[_Option] = []
+        seen_paths: Set[Tuple[ASN, ...]] = set()
+
+        def add_option(path: Tuple[ASN, ...], own_class: RouteClass, tier: int) -> None:
+            if path in seen_paths:
+                return
+            seen_paths.add(path)
+            jitter = _pair_jitter(jitter_salt, path) if jitter_salt is not None else 0.0
+            options.append(
+                ((-int(own_class), len(path), tier, jitter), path, own_class, tier)
+            )
+
+        for neighbor in sorted(adjacency[source]):
+            neighbor_best = best.get(neighbor)
+            if neighbor_best is None:
+                continue
+            own_class = route_class(relationships, source, neighbor)
+
+            neighbor_class, neighbor_path = neighbor_best
+            if source not in neighbor_path and export_allowed(
+                relationships, neighbor, source, neighbor_class
+            ):
+                add_option((source,) + neighbor_path, own_class, tier=0)
+
+            # Tier 1: what the neighbor would use if its primary failed.
+            for second in sorted(adjacency[neighbor]):
+                if second == source:
+                    continue
+                second_best = best.get(second)
+                if second_best is None:
+                    continue
+                second_class, second_path = second_best
+                if source in second_path or neighbor in second_path:
+                    continue
+                if not export_allowed(relationships, second, neighbor, second_class):
+                    continue
+                class_at_neighbor = route_class(relationships, neighbor, second)
+                if not export_allowed(relationships, neighbor, source, class_at_neighbor):
+                    continue
+                add_option((source, neighbor) + second_path, own_class, tier=1)
+
+        if not options:
+            continue
+        options.sort(key=lambda item: item[0])
+        # Index 0 must be the steady-state selection: the best tier-0
+        # option.  Failure-response order (the rest) stays flat.
+        primary_position = next(
+            (index for index, option in enumerate(options) if option[3] == 0), None
+        )
+        if primary_position is None:
+            continue  # no steady-state route: destination unreachable
+        ordered = [options[primary_position]] + [
+            option
+            for index, option in enumerate(options)
+            if index != primary_position
+        ]
+        candidates = tuple(
+            CandidateRoute.make(path, own_class, rank, tier=tier)
+            for rank, (_, path, own_class, tier) in enumerate(
+                ordered[:max_alternatives]
+            )
+        )
+        results.append(((source, destination), candidates))
+    return results
+
+
 def compute_route_table(
     graph: ASGraph,
     version: IPVersion = IPVersion.V4,
@@ -128,6 +242,7 @@ def compute_route_table(
     destinations: Optional[List[ASN]] = None,
     max_alternatives: int = 8,
     rng: Optional[np.random.Generator] = None,
+    jobs: int = 1,
 ) -> RouteTable:
     """Compute ranked candidate routes between AS pairs.
 
@@ -141,6 +256,12 @@ def compute_route_table(
     hop-to-hop advertisement is checked against the Gao-Rexford export
     rules.
 
+    Scoping and parallelism are both exact: the tie-break jitter is a pure
+    function of a single salt drawn from ``rng`` and the candidate path, so
+    a table computed over a subset of sources/destinations is the literal
+    slice of the full table, and sharding destinations across workers
+    cannot change any entry.
+
     Args:
         graph: The AS topology.
         version: ``V4`` uses the full graph; ``V6`` the IPv6 sub-topology.
@@ -149,99 +270,34 @@ def compute_route_table(
         max_alternatives: Keep at most this many candidates per pair.
         rng: Optional tie-break jitter between equally-preferred candidates;
             giving IPv4 and IPv6 different generators yields the occasional
-            protocol-path divergence studied in Section 6.
+            protocol-path divergence studied in Section 6.  Exactly one
+            draw is consumed, however large the scope.
+        jobs: Worker processes for the per-destination propagation loop
+            (``<= 1`` serial; ``0``/``None`` all cores).
 
     Returns:
         A :class:`RouteTable` whose index-0 candidate per pair is the route
         BGP selects with everything up.
     """
+    from repro.datasets.parallel import fork_map
+
     if max_alternatives < 1:
         raise ValueError("max_alternatives must be positive")
+    # The adjacency is built once and shared by every per-destination
+    # propagation (and, under fork, by every worker).
     adjacency = _adjacency(graph, version)
-    relationships = graph.relationships
-    sources = sources if sources is not None else graph.asns()
-    destinations = destinations if destinations is not None else graph.asns()
+    sources = list(sources) if sources is not None else graph.asns()
+    destinations = list(destinations) if destinations is not None else graph.asns()
+    jitter_salt = int(rng.integers(1 << 63)) if rng is not None else None
     table = RouteTable(version=version)
 
-    # Sort key: preference class (descending), then path length, then tier
-    # (steady-state routes win ties), then jitter.
-    _Option = Tuple[Tuple[int, int, int, float], Tuple[ASN, ...], RouteClass, int]
+    def run_destination(destination: ASN) -> List[Tuple[_Pair, _Candidates]]:
+        return _destination_candidates(
+            graph, destination, sources, adjacency, version, max_alternatives,
+            jitter_salt,
+        )
 
-    for destination in destinations:
-        if destination not in adjacency:
-            continue
-        best = compute_best_routes(graph, destination, adjacency=adjacency, version=version)
-        for source in sources:
-            if source not in adjacency:
-                continue
-            if source == destination:
-                route = CandidateRoute.make((source,), RouteClass.SELF, 0)
-                table.candidates[(source, destination)] = (route,)
-                continue
-            if not adjacency[source]:
-                continue
-            options: List[_Option] = []
-            seen_paths: Set[Tuple[ASN, ...]] = set()
-
-            def add_option(path: Tuple[ASN, ...], own_class: RouteClass, tier: int) -> None:
-                if path in seen_paths:
-                    return
-                seen_paths.add(path)
-                jitter = float(rng.random()) if rng is not None else 0.0
-                options.append(
-                    ((-int(own_class), len(path), tier, jitter), path, own_class, tier)
-                )
-
-            for neighbor in sorted(adjacency[source]):
-                neighbor_best = best.get(neighbor)
-                if neighbor_best is None:
-                    continue
-                own_class = route_class(relationships, source, neighbor)
-
-                neighbor_class, neighbor_path = neighbor_best
-                if source not in neighbor_path and export_allowed(
-                    relationships, neighbor, source, neighbor_class
-                ):
-                    add_option((source,) + neighbor_path, own_class, tier=0)
-
-                # Tier 1: what the neighbor would use if its primary failed.
-                for second in sorted(adjacency[neighbor]):
-                    if second == source:
-                        continue
-                    second_best = best.get(second)
-                    if second_best is None:
-                        continue
-                    second_class, second_path = second_best
-                    if source in second_path or neighbor in second_path:
-                        continue
-                    if not export_allowed(relationships, second, neighbor, second_class):
-                        continue
-                    class_at_neighbor = route_class(relationships, neighbor, second)
-                    if not export_allowed(relationships, neighbor, source, class_at_neighbor):
-                        continue
-                    add_option((source, neighbor) + second_path, own_class, tier=1)
-
-            if not options:
-                continue
-            options.sort(key=lambda item: item[0])
-            # Index 0 must be the steady-state selection: the best tier-0
-            # option.  Failure-response order (the rest) stays flat.
-            primary_position = next(
-                (index for index, option in enumerate(options) if option[3] == 0), None
-            )
-            if primary_position is None:
-                continue  # no steady-state route: destination unreachable
-            ordered = [options[primary_position]] + [
-                option
-                for index, option in enumerate(options)
-                if index != primary_position
-            ]
-            candidates = tuple(
-                CandidateRoute.make(path, own_class, rank, tier=tier)
-                for rank, (_, path, own_class, tier) in enumerate(
-                    ordered[:max_alternatives]
-                )
-            )
-            table.candidates[(source, destination)] = candidates
-
+    for shard in fork_map(run_destination, destinations, jobs):
+        for pair, candidates in shard:
+            table.candidates[pair] = candidates
     return table

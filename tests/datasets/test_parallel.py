@@ -1,0 +1,111 @@
+"""Parallel builders must be bit-identical to serial ones.
+
+The builders shard per-pair work across a fork pool; because every pair
+draws from its own named RNG stream, worker count and scheduling cannot
+affect the output.  These tests pin that guarantee -- every array, every
+interned path, every server list, compared exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.longterm import LongTermConfig, build_longterm_dataset
+from repro.datasets.parallel import fork_map, resolve_jobs
+from repro.datasets.shortterm import (
+    ShortTermConfig,
+    build_shortterm_ping_dataset,
+    build_shortterm_trace_dataset,
+)
+
+
+class TestForkMap:
+    def test_serial_matches_builtin_map(self):
+        items = list(range(17))
+        assert fork_map(lambda x: x * x, items, jobs=1) == [x * x for x in items]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(23))
+        assert fork_map(lambda x: x + 100, items, jobs=4) == [
+            x + 100 for x in items
+        ]
+
+    def test_empty_input(self):
+        assert fork_map(lambda x: x, [], jobs=4) == []
+
+    def test_closure_state_is_visible_to_workers(self):
+        # Fork shares parent memory copy-on-write: closures over large
+        # structures (the platform) must work without pickling.
+        table = {index: index * 3 for index in range(10)}
+        assert fork_map(lambda x: table[x], list(table), jobs=2) == [
+            index * 3 for index in range(10)
+        ]
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(5) == 5
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+
+def _assert_trace_timelines_identical(serial, parallel):
+    assert list(serial.timelines) == list(parallel.timelines)
+    for key, expected in serial.timelines.items():
+        actual = parallel.timelines[key]
+        assert np.array_equal(expected.times_hours, actual.times_hours)
+        assert np.array_equal(expected.rtt_ms, actual.rtt_ms, equal_nan=True)
+        assert np.array_equal(expected.outcome, actual.outcome)
+        assert np.array_equal(expected.path_id, actual.path_id)
+        assert np.array_equal(expected.true_candidate, actual.true_candidate)
+        assert expected.paths == actual.paths
+
+
+class TestLongTermParallelDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self, platform):
+        return build_longterm_dataset(platform, LongTermConfig(days=30), jobs=1)
+
+    def test_jobs4_bit_identical(self, platform, serial):
+        parallel = build_longterm_dataset(
+            platform, LongTermConfig(days=30), jobs=4
+        )
+        assert serial.servers == parallel.servers
+        _assert_trace_timelines_identical(serial, parallel)
+
+    def test_jobs0_all_cores_bit_identical(self, platform, serial):
+        parallel = build_longterm_dataset(
+            platform, LongTermConfig(days=30), jobs=0
+        )
+        _assert_trace_timelines_identical(serial, parallel)
+
+
+class TestShortTermParallelDeterminism:
+    def test_ping_jobs_bit_identical(self, platform):
+        config = ShortTermConfig(ping_days=3.0, trace_days=3.0)
+        serial = build_shortterm_ping_dataset(platform, config, jobs=1)
+        parallel = build_shortterm_ping_dataset(platform, config, jobs=4)
+        assert list(serial.timelines) == list(parallel.timelines)
+        for key, expected in serial.timelines.items():
+            actual = parallel.timelines[key]
+            assert np.array_equal(expected.times_hours, actual.times_hours)
+            assert np.array_equal(expected.rtt_ms, actual.rtt_ms, equal_nan=True)
+
+    def test_trace_jobs_bit_identical(self, platform):
+        config = ShortTermConfig(ping_days=3.0, trace_days=3.0)
+        servers = platform.measurement_servers()
+        pairs = [(servers[0], servers[1]), (servers[1], servers[2]),
+                 (servers[2], servers[0])]
+        serial = build_shortterm_trace_dataset(platform, pairs, config, jobs=1)
+        parallel = build_shortterm_trace_dataset(platform, pairs, config, jobs=4)
+        assert list(serial.entries) == list(parallel.entries)
+        for key, expected in serial.entries.items():
+            actual = parallel.entries[key]
+            assert np.array_equal(
+                expected.hop_rtt_ms, actual.hop_rtt_ms, equal_nan=True
+            )
+            assert np.array_equal(expected.rtt_ms, actual.rtt_ms, equal_nan=True)
+            assert expected.hop_addresses == actual.hop_addresses
+            assert expected.segment_keys == actual.segment_keys
+            assert expected.static_path is actual.static_path
+            assert expected.observed_as_path == actual.observed_as_path

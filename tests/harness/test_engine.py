@@ -1,0 +1,172 @@
+"""Tests for the artifact cache and stage-timing recorder."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.harness.engine import (
+    ArtifactCache,
+    Timings,
+    cached_longterm,
+    cached_platform,
+    config_fingerprint,
+    default_cache_dir,
+)
+from repro.datasets.longterm import LongTermConfig
+from repro.measurement.platform import PlatformConfig
+
+
+class TestTimings:
+    def test_stage_context_records(self):
+        timings = Timings()
+        with timings.stage("alpha"):
+            pass
+        assert len(timings.stages) == 1
+        assert timings.stages[0][0] == "alpha"
+        assert timings.stages[0][1] >= 0.0
+
+    def test_record_and_total(self):
+        timings = Timings()
+        timings.record("a", 1.5)
+        timings.record("b", 0.5)
+        assert timings.total() == pytest.approx(2.0)
+
+    def test_as_dict_sums_repeats(self):
+        timings = Timings()
+        timings.record("x", 1.0)
+        timings.record("y", 2.0)
+        timings.record("x", 3.0)
+        assert timings.as_dict() == {"x": 4.0, "y": 2.0}
+        # Insertion order of first appearance is preserved.
+        assert list(timings.as_dict()) == ["x", "y"]
+
+    def test_as_records_keeps_completion_order(self):
+        timings = Timings()
+        timings.record("x", 1.0)
+        timings.record("x", 2.0)
+        assert timings.as_records() == [
+            {"stage": "x", "seconds": 1.0},
+            {"stage": "x", "seconds": 2.0},
+        ]
+
+    def test_render_mentions_stages_and_total(self):
+        timings = Timings()
+        timings.record("topology", 0.25)
+        text = timings.render()
+        assert "topology" in text
+        assert "total" in text
+
+    def test_stage_records_on_exception(self):
+        timings = Timings()
+        with pytest.raises(RuntimeError):
+            with timings.stage("boom"):
+                raise RuntimeError("x")
+        assert [name for name, _ in timings.stages] == ["boom"]
+
+
+class TestFingerprint:
+    def test_equal_configs_equal_fingerprint(self):
+        a = PlatformConfig(seed=3, cluster_count=8)
+        b = PlatformConfig(seed=3, cluster_count=8)
+        assert config_fingerprint("platform", a) == config_fingerprint("platform", b)
+
+    def test_seed_changes_fingerprint(self):
+        a = PlatformConfig(seed=3)
+        b = PlatformConfig(seed=4)
+        assert config_fingerprint("platform", a) != config_fingerprint("platform", b)
+
+    def test_nested_field_changes_fingerprint(self):
+        a = PlatformConfig(seed=3)
+        b = PlatformConfig(seed=3)
+        b.congestion = dataclasses.replace(b.congestion, anchor_fraction=0.9)
+        assert config_fingerprint("platform", a) != config_fingerprint("platform", b)
+
+    def test_kind_separates_namespaces(self):
+        config = PlatformConfig(seed=3)
+        assert config_fingerprint("platform", config) != config_fingerprint(
+            "longterm", config
+        )
+
+
+class TestArtifactCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        payload = {"answer": 42, "array": np.arange(5)}
+        cache.store("demo", "abc123", payload)
+        loaded = cache.load("demo", "abc123")
+        assert loaded["answer"] == 42
+        assert np.array_equal(loaded["array"], payload["array"])
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ArtifactCache(tmp_path).load("demo", "missing") is None
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [b"this is not a pickle", b"garbage\n", b"", b"\x80\x05"],
+        ids=["text", "get-opcode", "empty", "truncated"],
+    )
+    def test_corrupt_entry_reads_as_miss_and_is_removed(self, tmp_path, garbage):
+        cache = ArtifactCache(tmp_path)
+        path = cache.path("demo", "bad")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(garbage)
+        assert cache.load("demo", "bad") is None
+        assert not path.exists()
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("demo", "one", 1)
+        cache.store("demo", "two", 2)
+        assert cache.clear() == 2
+        assert cache.load("demo", "one") is None
+
+    def test_default_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return PlatformConfig(seed=21, cluster_count=6, duration_hours=24.0)
+
+
+class TestCachedBuilders:
+    def test_platform_miss_then_hit(self, tmp_path, tiny_config):
+        cache = ArtifactCache(tmp_path)
+        timings = Timings()
+        built, hit = cached_platform(tiny_config, cache=cache, timings=timings)
+        assert hit is False
+        loaded, hit2 = cached_platform(tiny_config, cache=cache, timings=timings)
+        assert hit2 is True
+        assert [s.server_id for s in loaded.measurement_servers()] == [
+            s.server_id for s in built.measurement_servers()
+        ]
+        stages = timings.as_dict()
+        assert "platform-store" in stages
+        assert "topology" in stages
+
+    def test_longterm_miss_then_hit_bit_identical(self, tmp_path, tiny_config):
+        cache = ArtifactCache(tmp_path)
+        platform, _ = cached_platform(tiny_config, cache=cache)
+        config = LongTermConfig(days=1.0)
+        built, hit = cached_longterm(
+            tiny_config, config, platform=platform, cache=cache
+        )
+        assert hit is False
+        loaded, hit2 = cached_longterm(tiny_config, config, cache=cache)
+        assert hit2 is True
+        assert list(built.timelines) == list(loaded.timelines)
+        for key, expected in built.timelines.items():
+            actual = loaded.timelines[key]
+            assert np.array_equal(expected.rtt_ms, actual.rtt_ms, equal_nan=True)
+            assert np.array_equal(expected.path_id, actual.path_id)
+            assert expected.paths == actual.paths
+
+    def test_refresh_forces_rebuild(self, tmp_path, tiny_config):
+        cache = ArtifactCache(tmp_path)
+        cached_platform(tiny_config, cache=cache)
+        _, hit = cached_platform(tiny_config, cache=cache, refresh=True)
+        assert hit is False

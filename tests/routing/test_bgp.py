@@ -178,3 +178,41 @@ class TestGeneratedGraph:
             assert {c.path for c in candidates} == {
                 c.path for c in jittered.candidates[pair]
             }
+
+
+class TestScopedAndParallel:
+    def test_scoped_table_is_exact_slice_of_full(self, graph):
+        full = compute_route_table(graph, IPVersion.V4, rng=np.random.default_rng(7))
+        asns = graph.asns()
+        sources, destinations = asns[:6], asns[3:9]
+        scoped = compute_route_table(
+            graph, IPVersion.V4, sources=sources, destinations=destinations,
+            rng=np.random.default_rng(7),
+        )
+        expected = {
+            pair: candidates
+            for pair, candidates in full.candidates.items()
+            if pair[0] in sources and pair[1] in destinations
+        }
+        assert scoped.candidates == expected
+        assert expected  # the slice is non-trivial
+
+    def test_scoped_table_without_jitter(self, tiny):
+        full = compute_route_table(tiny)
+        scoped = compute_route_table(tiny, sources=[100], destinations=[200, 1])
+        assert set(scoped.candidates) == {(100, 200), (100, 1)}
+        for pair, candidates in scoped.candidates.items():
+            assert candidates == full.candidates[pair]
+
+    def test_parallel_table_matches_serial(self, graph):
+        serial = compute_route_table(
+            graph, IPVersion.V4, rng=np.random.default_rng(11), jobs=1
+        )
+        parallel = compute_route_table(
+            graph, IPVersion.V4, rng=np.random.default_rng(11), jobs=4
+        )
+        assert parallel.candidates == serial.candidates
+
+    def test_empty_scope_gives_empty_table(self, tiny):
+        table = compute_route_table(tiny, sources=[], destinations=[])
+        assert table.candidates == {}
