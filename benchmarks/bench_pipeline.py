@@ -9,8 +9,10 @@ short-term pings and traces, all experiments) three times:
    and long-term construction are skipped entirely.
 
 Writes machine-readable per-stage timings to a JSON file (default
-``benchmarks/output/pipeline_timings.json``).  Parallel output is
-bit-identical to serial, so phases differ only in wall time.
+``benchmarks/output/pipeline_timings.json``) plus a stable-schema
+summary at the repo root (``BENCH_pipeline.json``) that tracking tools
+can diff across commits.  Parallel output is bit-identical to serial,
+so phases differ only in wall time.
 
 Standalone on purpose -- this measures the pipeline itself, not one
 experiment, so it does not use the pytest-benchmark harness the
@@ -94,6 +96,35 @@ def run_phase(
     }
 
 
+def build_summary(report: dict, parallel_jobs: int) -> dict:
+    """The stable-schema repo-root summary (``BENCH_pipeline.json``).
+
+    Schema (version 1): top-level run parameters plus, per phase
+    (serial/parallel/warm), its wall time and a flat stage -> seconds
+    map.  Values are rounded so diffs stay readable.
+    """
+    phases = {}
+    for phase_name, phase in report["phases"].items():
+        phases[phase_name] = {
+            "wall_seconds": round(phase["wall_seconds"], 3),
+            "stage_seconds": {
+                stage: round(seconds, 3)
+                for stage, seconds in sorted(phase["stage_seconds"].items())
+            },
+        }
+    return {
+        "schema": 1,
+        "benchmark": "pipeline",
+        "scenario": report["scenario"],
+        "seed": report["seed"],
+        "parallel_jobs": parallel_jobs,
+        "cpu_count": report["cpu_count"],
+        "phases": phases,
+        "speedup": {name: round(value, 2)
+                    for name, value in report["speedup"].items()},
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scenario", default="small",
@@ -106,6 +137,12 @@ def main(argv=None) -> int:
         "--output",
         default=str(Path(__file__).resolve().parent / "output" / "pipeline_timings.json"),
         help="where to write the JSON timing report",
+    )
+    parser.add_argument(
+        "--summary",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"),
+        help="where to write the stable-schema summary "
+             "(empty string disables it)",
     )
     args = parser.parse_args(argv)
 
@@ -155,6 +192,14 @@ def main(argv=None) -> int:
     print(f"\nspeedup: parallel x{report['speedup']['parallel']:.2f}, "
           f"warm x{report['speedup']['warm']:.2f}")
     print(f"wrote {output}")
+
+    if args.summary:
+        summary_path = Path(args.summary)
+        summary_path.write_text(
+            json.dumps(build_summary(report, parallel_jobs), indent=2,
+                       sort_keys=True) + "\n"
+        )
+        print(f"wrote {summary_path}")
     return 0
 
 

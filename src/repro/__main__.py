@@ -11,11 +11,22 @@ Examples::
     python -m repro info --scenario small
     python -m repro trace --scenario small --src 0 --dst 3 --ipv6
     python -m repro reproduce --scenario default --experiments table1,fig3
+    python -m repro reproduce --scenario small --log-json \\
+        --trace-out trace.json --run-report run.json
+
+Observability: ``--log-level``/``--log-json`` (or ``REPRO_LOG_LEVEL`` /
+``REPRO_LOG_JSON``) control structured logging on stderr; ``--trace-out``
+writes a Chrome trace-event file of the run's span tree (open it in
+https://ui.perfetto.dev); ``--run-report`` writes the run manifest --
+config fingerprints, metric snapshot, span summary.  Reports stay on
+stdout either way.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -27,6 +38,12 @@ from repro.harness.scenarios import (
     scenario_traces,
 )
 from repro.net.ip import IPVersion
+from repro.obs import log as obs_log
+from repro.obs import runinfo as obs_runinfo
+from repro.obs.metrics import get_registry
+from repro.obs.trace import Tracer, use_tracer
+
+_LOG = obs_log.get_logger("repro.cli")
 
 _EXPERIMENT_NAMES = (
     "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
@@ -91,6 +108,7 @@ def _command_trace(args: argparse.Namespace) -> int:
 def _command_reproduce(args: argparse.Namespace) -> int:
     from repro.harness import experiments as exp
     from repro.harness.engine import ArtifactCache, Timings
+    from repro.harness.scenarios import get_scenario
 
     wanted = (
         [name.strip() for name in args.experiments.split(",")]
@@ -103,7 +121,20 @@ def _command_reproduce(args: argparse.Namespace) -> int:
               f"{', '.join(_EXPERIMENT_NAMES)}", file=sys.stderr)
         return 2
 
-    timings = Timings() if args.timings else None
+    # Any observability output needs the stage recorder wired through the
+    # pipeline -- stages become spans via the Timings shim.  The flat
+    # table itself prints only under --timings.
+    observing = bool(args.timings or args.trace_out or args.run_report)
+    registry = get_registry()
+    if observing:
+        registry.reset()
+    # Pre-register cache counters so manifests always report them, even on
+    # runs that never touch the artifact cache.
+    for name in ("cache.hit", "cache.miss", "cache.corrupt", "cache.store"):
+        registry.counter(name)
+
+    timings = Timings() if observing else None
+    tracer = Tracer()
     cache = None
     if args.cache or args.cache_dir:
         cache = ArtifactCache(args.cache_dir)
@@ -111,83 +142,131 @@ def _command_reproduce(args: argparse.Namespace) -> int:
             cache.clear()
     jobs = args.jobs
 
-    platform = scenario_platform(
-        args.scenario, args.seed, jobs=jobs, cache=cache, timings=timings
-    )
-    results = []
-    # Build only the datasets the requested experiments need.
-    longterm_needed = any(
-        name in wanted
-        for name in ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-                     "fig10a", "fig10b", "ext-sharedinfra")
-    )
-    ping_needed = any(name in wanted for name in ("congestion-norm", "ext-loss"))
-    trace_needed = any(
-        name in wanted
-        for name in ("localization", "link-classification", "fig9")
-    )
-    longterm = (
-        scenario_longterm(args.scenario, args.seed, jobs=jobs, cache=cache,
-                          timings=timings)
-        if longterm_needed else None
-    )
-    pings = (
-        scenario_ping(args.scenario, args.seed, jobs=jobs, timings=timings)
-        if ping_needed or trace_needed else None
-    )
-    traces = (
-        scenario_traces(args.scenario, args.seed, jobs=jobs, timings=timings)
-        if trace_needed else None
-    )
+    _LOG.info("reproduce.start", scenario=args.scenario, seed=args.seed,
+              jobs=jobs, experiments=",".join(wanted),
+              cache=cache is not None)
 
-    drivers = {
-        "table1": lambda: exp.experiment_table1(longterm),
-        "fig1": lambda: exp.experiment_fig1(platform, longterm),
-        "fig2": lambda: exp.experiment_fig2(longterm),
-        "fig3": lambda: exp.experiment_fig3(longterm),
-        "fig4": lambda: exp.experiment_fig4(longterm),
-        "fig5": lambda: exp.experiment_fig5(longterm),
-        "fig6": lambda: exp.experiment_fig6(longterm),
-        "fig7": lambda: exp.experiment_fig7(platform, jobs=jobs),
-        "congestion-norm": lambda: exp.experiment_congestion_norm(pings),
-        "localization": lambda: exp.experiment_localization(traces, platform),
-        "link-classification": lambda: exp.experiment_link_classification(
-            traces, platform
-        ),
-        "fig9": lambda: exp.experiment_fig9(traces, platform),
-        "fig10a": lambda: exp.experiment_fig10a(longterm),
-        "fig10b": lambda: exp.experiment_fig10b(longterm),
-        "ext-loss": lambda: exp.experiment_loss(pings),
-        "ext-sharedinfra": lambda: exp.experiment_sharedinfra(longterm),
-    }
-    for name in wanted:
-        if timings is not None:
-            with timings.stage(f"experiment:{name}"):
+    with use_tracer(tracer), tracer.span(
+        "reproduce", scenario=args.scenario, seed=args.seed, jobs=jobs
+    ):
+        platform = scenario_platform(
+            args.scenario, args.seed, jobs=jobs, cache=cache, timings=timings
+        )
+        results = []
+        # Build only the datasets the requested experiments need.
+        longterm_needed = any(
+            name in wanted
+            for name in ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+                         "fig10a", "fig10b", "ext-sharedinfra")
+        )
+        ping_needed = any(name in wanted for name in ("congestion-norm", "ext-loss"))
+        trace_needed = any(
+            name in wanted
+            for name in ("localization", "link-classification", "fig9")
+        )
+        longterm = (
+            scenario_longterm(args.scenario, args.seed, jobs=jobs, cache=cache,
+                              timings=timings)
+            if longterm_needed else None
+        )
+        pings = (
+            scenario_ping(args.scenario, args.seed, jobs=jobs, timings=timings)
+            if ping_needed or trace_needed else None
+        )
+        traces = (
+            scenario_traces(args.scenario, args.seed, jobs=jobs, timings=timings)
+            if trace_needed else None
+        )
+
+        drivers = {
+            "table1": lambda: exp.experiment_table1(longterm),
+            "fig1": lambda: exp.experiment_fig1(platform, longterm),
+            "fig2": lambda: exp.experiment_fig2(longterm),
+            "fig3": lambda: exp.experiment_fig3(longterm),
+            "fig4": lambda: exp.experiment_fig4(longterm),
+            "fig5": lambda: exp.experiment_fig5(longterm),
+            "fig6": lambda: exp.experiment_fig6(longterm),
+            "fig7": lambda: exp.experiment_fig7(platform, jobs=jobs),
+            "congestion-norm": lambda: exp.experiment_congestion_norm(pings),
+            "localization": lambda: exp.experiment_localization(traces, platform),
+            "link-classification": lambda: exp.experiment_link_classification(
+                traces, platform
+            ),
+            "fig9": lambda: exp.experiment_fig9(traces, platform),
+            "fig10a": lambda: exp.experiment_fig10a(longterm),
+            "fig10b": lambda: exp.experiment_fig10b(longterm),
+            "ext-loss": lambda: exp.experiment_loss(pings),
+            "ext-sharedinfra": lambda: exp.experiment_sharedinfra(longterm),
+        }
+        for name in wanted:
+            if timings is not None:
+                with timings.stage(f"experiment:{name}"):
+                    results.append(drivers[name]())
+            else:
                 results.append(drivers[name]())
-        else:
-            results.append(drivers[name]())
+
     for result in results:
         print(result.render())
         print()
-    if timings is not None:
+    if args.timings:
         print("== stage timings ==")
         print(timings.render())
+
+    if args.trace_out:
+        with open(args.trace_out, "w") as handle:
+            json.dump(tracer.to_chrome_trace(), handle, indent=2)
+            handle.write("\n")
+        _LOG.info("trace.written", path=args.trace_out,
+                  spans=len(tracer.spans))
+    if args.run_report:
+        scenario = get_scenario(args.scenario)
+        platform_config = scenario.platform_config(args.seed)
+        configs = {"platform": platform_config}
+        if longterm_needed:
+            configs["longterm"] = (platform_config, scenario.longterm_config())
+        manifest = obs_runinfo.build_manifest(
+            scenario=args.scenario,
+            seed=args.seed,
+            jobs=jobs,
+            experiments=wanted,
+            configs=configs,
+            registry=registry,
+            tracer=tracer,
+        )
+        obs_runinfo.write_run_report(args.run_report, manifest)
+        _LOG.info("run_report.written", path=args.run_report)
+    _LOG.info("reproduce.done", experiments=len(results))
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
+    logging_options = argparse.ArgumentParser(add_help=False)
+    logging_options.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="log verbosity on stderr (default: $REPRO_LOG_LEVEL or warning)",
+    )
+    logging_options.add_argument(
+        "--log-json", action="store_true",
+        help="emit JSON-lines logs instead of human-readable ones",
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="A Server-to-Server View of the Internet -- reproduction CLI",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    info = commands.add_parser("info", help="summarize a scenario's world")
+    info = commands.add_parser(
+        "info", parents=[logging_options], help="summarize a scenario's world"
+    )
     _add_scenario_argument(info)
     info.set_defaults(handler=_command_info)
 
-    trace = commands.add_parser("trace", help="run one traceroute")
+    trace = commands.add_parser(
+        "trace", parents=[logging_options], help="run one traceroute"
+    )
     _add_scenario_argument(trace)
     trace.add_argument("--src", type=int, required=True, help="source server id")
     trace.add_argument("--dst", type=int, required=True, help="destination server id")
@@ -197,7 +276,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace.set_defaults(handler=_command_trace)
 
     reproduce = commands.add_parser(
-        "reproduce", help="run table/figure experiments"
+        "reproduce", parents=[logging_options],
+        help="run table/figure experiments",
     )
     _add_scenario_argument(reproduce)
     reproduce.add_argument(
@@ -227,6 +307,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--refresh-cache", action="store_true",
         help="with --cache: drop existing entries and rebuild",
     )
+    reproduce.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the run's span tree as Chrome trace-event JSON "
+             "(view in https://ui.perfetto.dev)",
+    )
+    reproduce.add_argument(
+        "--run-report", default=None, metavar="FILE",
+        help="write a run manifest: config fingerprints, metric snapshot, "
+             "span summary",
+    )
     reproduce.set_defaults(handler=_command_reproduce)
     return parser
 
@@ -234,6 +324,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    level = args.log_level
+    if (
+        level is None
+        and args.log_json
+        and not os.environ.get(obs_log.LEVEL_ENV)
+    ):
+        # Asking for machine-readable logs without a level means "give me
+        # the run log", not "warnings only".
+        level = "info"
+    obs_log.configure(level=level, json_mode=True if args.log_json else None)
     return args.handler(args)
 
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.datasets.parallel import fork_map
 from repro.datasets.timeline import TraceTimeline
+from repro.obs import metrics as obs_metrics
 from repro.measurement.platform import MeasurementPlatform
 from repro.measurement.scheduler import LONG_TERM_PERIOD_HOURS, CampaignGrid
 from repro.measurement.traceroute import TraceOutcome
@@ -137,6 +138,9 @@ def _build_timeline(
         series = platform.engine.sample_series(
             realization, times[low:high], rng, paris_start_hour=paris_start
         )
+        # Counted here (inside workers under fork_map) and merged back to
+        # the parent registry as a snapshot delta.
+        obs_metrics.counter("traceroute.samples").inc(high - low)
         rtt[low:high] = series.rtt_ms
         outcome[low:high] = series.outcome
         true_candidate[low:high] = epoch.candidate_index
@@ -201,10 +205,15 @@ def build_longterm_dataset(
                 continue
             tasks.append((src, dst, version))
 
+    obs_metrics.counter("dataset.longterm.pairs").inc(len(pairs))
+    obs_metrics.counter("dataset.longterm.timelines").inc(len(tasks))
+
     def run_task(task: Tuple[Server, Server, IPVersion]) -> TraceTimeline:
         src, dst, version = task
         return _build_timeline(platform, src, dst, version, grid)
 
-    for (src, dst, version), timeline in zip(tasks, fork_map(run_task, tasks, jobs)):
+    for (src, dst, version), timeline in zip(
+        tasks, fork_map(run_task, tasks, jobs, label="longterm")
+    ):
         dataset.timelines[(src.server_id, dst.server_id, version)] = timeline
     return dataset

@@ -14,21 +14,37 @@ only the per-item results on the way out.  Path interning stays
 merge-safe because every timeline interns its paths locally; merged
 results carry their own path tables.
 
-Serial fallbacks: ``jobs <= 1``, a single item, or platforms without the
-``fork`` start method (Windows) all run a plain loop in-process, so
-callers never need to special-case.
+Serial fallbacks: an empty item list returns immediately, and
+``jobs <= 1``, a single item, or platforms without the ``fork`` start
+method (Windows) all run a plain loop in-process, so callers never need
+to special-case.
+
+Telemetry: every call opens a ``fork_map:<label>`` span (items, jobs,
+chunk size, total worker seconds in its attributes), counts items and
+chunk sizes in the metrics registry, and -- because worker processes hold
+only a forked *copy* of the registry -- ships each item's counter and
+histogram increments back to the parent as a snapshot delta, merged via
+:meth:`repro.obs.metrics.MetricsRegistry.merge`.  Long maps emit
+rate-limited progress log lines.  None of this changes any result.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import Progress, get_logger
+from repro.obs.trace import get_tracer
 
 __all__ = ["fork_map", "resolve_jobs"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+_LOG = get_logger("repro.datasets.parallel")
 
 # The callable currently being mapped.  Workers inherit this slot at fork
 # time, so closures over unpicklable state (a whole platform) work; a
@@ -37,7 +53,19 @@ _ACTIVE: List[Callable] = []
 
 
 def _invoke(item):
-    return _ACTIVE[-1](item)
+    """Worker-side wrapper: run one item and capture its telemetry.
+
+    Returns ``(result, metrics_delta, elapsed_seconds)``.  The delta is
+    computed against a registry snapshot taken just before the call, so
+    counters the mapped function increments inside the worker reach the
+    parent exactly once, however items are chunked.
+    """
+    registry = obs_metrics.get_registry()
+    baseline = registry.snapshot()
+    started = time.perf_counter()
+    result = _ACTIVE[-1](item)
+    elapsed = time.perf_counter() - started
+    return result, registry.delta_since(baseline), elapsed
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -52,6 +80,7 @@ def fork_map(
     items: Sequence[_T],
     jobs: Optional[int] = 1,
     chunks_per_job: int = 4,
+    label: Optional[str] = None,
 ) -> List[_R]:
     """``[function(item) for item in items]``, sharded across a fork pool.
 
@@ -64,19 +93,58 @@ def fork_map(
             ``None``/``0`` uses all cores).
         chunks_per_job: Shard granularity -- each worker receives about
             this many chunks, balancing scheduling overhead against skew.
+        label: Span/log name for this map (defaults to the function name).
 
     Returns:
         The mapped results, in input order, identical to the serial run.
     """
     items = list(items)
+    if not items:
+        # Explicit empty path: never resolve cores or consult the pool.
+        return []
     jobs = min(resolve_jobs(jobs), len(items))
-    if jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods():
-        return [function(item) for item in items]
-    context = multiprocessing.get_context("fork")
-    chunksize = max(1, len(items) // (jobs * max(1, chunks_per_job)))
-    _ACTIVE.append(function)
-    try:
-        with context.Pool(processes=jobs) as pool:
-            return pool.map(_invoke, items, chunksize=chunksize)
-    finally:
-        _ACTIVE.pop()
+    name = label or getattr(function, "__name__", "map")
+    registry = obs_metrics.get_registry()
+    registry.counter("fork_map.calls").inc()
+    registry.counter("fork_map.items").inc(len(items))
+    serial = jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods()
+
+    with get_tracer().span(
+        f"fork_map:{name}", items=len(items), jobs=1 if serial else jobs
+    ) as span:
+        progress = Progress(
+            _LOG, "fork_map.progress", total=len(items), label=name
+        )
+        if serial:
+            results = []
+            for item in items:
+                results.append(function(item))
+                progress.update()
+            progress.finish()
+            return results
+
+        chunksize = max(1, len(items) // (jobs * max(1, chunks_per_job)))
+        registry.gauge("fork_map.jobs").set(jobs)
+        registry.histogram("fork_map.chunk_size").observe(chunksize)
+        span.attrs["chunksize"] = chunksize
+        item_seconds = registry.histogram("fork_map.item_seconds")
+        worker_seconds = 0.0
+
+        context = multiprocessing.get_context("fork")
+        results = []
+        _ACTIVE.append(function)
+        try:
+            with context.Pool(processes=jobs) as pool:
+                for result, delta, elapsed in pool.imap(
+                    _invoke, items, chunksize=chunksize
+                ):
+                    results.append(result)
+                    registry.merge(delta)
+                    item_seconds.observe(elapsed)
+                    worker_seconds += elapsed
+                    progress.update()
+        finally:
+            _ACTIVE.pop()
+        progress.finish()
+        span.attrs["worker_seconds"] = round(worker_seconds, 6)
+        return results

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.datasets.parallel import fork_map
 from repro.datasets.timeline import PingTimeline
+from repro.obs import metrics as obs_metrics
 from repro.measurement.loss import LossModel
 from repro.measurement.ping import ping_series
 from repro.measurement.platform import MeasurementPlatform
@@ -211,6 +212,8 @@ def _build_ping_timeline(
             congestion=platform.congestion,
             loss_model=LossModel() if config.congestion_coupled_loss else None,
         )
+        # Counted in the worker; fork_map merges the delta to the parent.
+        obs_metrics.counter("rtt.samples").inc(high - low)
     return PingTimeline(
         src_server_id=src.server_id,
         dst_server_id=dst.server_id,
@@ -249,11 +252,15 @@ def build_shortterm_ping_dataset(
         if src.address(version) is not None and dst.address(version) is not None
     ]
 
+    obs_metrics.counter("dataset.ping.timelines").inc(len(tasks))
+
     def run_task(task: Tuple[Server, Server, IPVersion]) -> PingTimeline:
         src, dst, version = task
         return _build_ping_timeline(platform, src, dst, version, times, config)
 
-    for (src, dst, version), timeline in zip(tasks, fork_map(run_task, tasks, jobs)):
+    for (src, dst, version), timeline in zip(
+        tasks, fork_map(run_task, tasks, jobs, label="ping")
+    ):
         dataset.timelines[(src.server_id, dst.server_id, version)] = timeline
     return dataset
 
@@ -282,6 +289,7 @@ def _segment_series(
         matrix = np.where(answered, matrix, np.nan)
         hop_rtt[:, fill_low:fill_high] = matrix
         e2e[fill_low:fill_high] = matrix[-1]
+        obs_metrics.counter("rtt.samples").inc(n_hops * int(window.size))
 
     return SegmentSeries(
         src_server_id=realization.src_server_id,
@@ -364,7 +372,10 @@ def build_shortterm_trace_dataset(
         src, dst, version = task
         return _build_trace_entry(platform, src, dst, version, times, grid)
 
-    for (src, dst, version), entry in zip(tasks, fork_map(run_task, tasks, jobs)):
+    for (src, dst, version), entry in zip(
+        tasks, fork_map(run_task, tasks, jobs, label="shorttrace")
+    ):
         if entry is not None:
             dataset.entries[(src.server_id, dst.server_id, version)] = entry
+    obs_metrics.counter("dataset.shorttrace.entries").inc(len(dataset.entries))
     return dataset

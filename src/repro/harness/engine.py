@@ -38,6 +38,9 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 from repro.datasets.longterm import LongTermConfig, LongTermDataset, build_longterm_dataset
 from repro.harness.report import render_table
 from repro.measurement.platform import MeasurementPlatform, PlatformConfig
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+from repro.obs.trace import get_tracer
 
 __all__ = [
     "Timings",
@@ -56,6 +59,8 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 _PathLike = Union[str, Path]
 
+_LOG = get_logger("repro.harness.engine")
+
 
 class Timings:
     """A lightweight per-stage wall-time recorder.
@@ -63,6 +68,13 @@ class Timings:
     Stages append in completion order and may repeat (e.g. one
     ``experiment:`` stage per driver); :meth:`as_dict` aggregates repeats
     by summing.
+
+    Since the ``repro.obs`` layer landed this is a thin shim over tracing
+    spans: every :meth:`stage` block also opens a span of the same name on
+    the current :class:`repro.obs.trace.Tracer`, so ``--timings`` callers
+    keep their flat table while ``--trace-out`` sees the same stages as a
+    tree.  The recorded seconds are measured here, not taken from the
+    span, so the table's values are exactly what PR 1 produced.
     """
 
     def __init__(self) -> None:
@@ -73,7 +85,8 @@ class Timings:
         """Time a ``with`` block and record it under ``name``."""
         started = time.perf_counter()
         try:
-            yield
+            with get_tracer().span(name):
+                yield
         finally:
             self.record(name, time.perf_counter() - started)
 
@@ -168,6 +181,10 @@ class ArtifactCache:
     Loads never raise on a bad entry -- a corrupt or unreadable pickle
     reads as a miss and the caller rebuilds.  Stores write to a temp file
     and rename, so concurrent readers never observe a partial entry.
+
+    Every load/store outcome is counted in the metrics registry
+    (``cache.hit`` / ``cache.miss`` / ``cache.corrupt`` / ``cache.store``)
+    and logged, so run manifests account for exactly what the cache did.
     """
 
     def __init__(self, directory: Optional[_PathLike] = None) -> None:
@@ -182,8 +199,10 @@ class ArtifactCache:
         path = self.path(kind, fingerprint)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                artifact = pickle.load(handle)
         except FileNotFoundError:
+            obs_metrics.counter("cache.miss").inc()
+            _LOG.debug("cache.miss", kind=kind, fingerprint=fingerprint)
             return None
         except Exception:
             # Unreadable, truncated or stale-schema entry: pickle can raise
@@ -193,7 +212,13 @@ class ArtifactCache:
                 path.unlink()
             except OSError:
                 pass
+            obs_metrics.counter("cache.corrupt").inc()
+            _LOG.warning("cache.corrupt", kind=kind, fingerprint=fingerprint,
+                         path=str(path))
             return None
+        obs_metrics.counter("cache.hit").inc()
+        _LOG.info("cache.hit", kind=kind, fingerprint=fingerprint)
+        return artifact
 
     def store(self, kind: str, fingerprint: str, artifact: object) -> Path:
         """Persist an artifact atomically; returns its path."""
@@ -210,6 +235,9 @@ class ArtifactCache:
                     scratch.unlink()
                 except OSError:
                     pass
+        obs_metrics.counter("cache.store").inc()
+        _LOG.info("cache.store", kind=kind, fingerprint=fingerprint,
+                  bytes=path.stat().st_size)
         return path
 
     def clear(self) -> int:
@@ -254,6 +282,8 @@ def cached_platform(
             artifact = cache.load("platform", fingerprint)
         if artifact is not None:
             return artifact, True
+    _LOG.info("platform.build", fingerprint=fingerprint, jobs=jobs,
+              clusters=config.cluster_count, seed=config.seed)
     platform = MeasurementPlatform(config, timings=timings, jobs=jobs)
     with _engine_stage(timings, "platform-store"):
         cache.store("platform", fingerprint, platform)
@@ -291,6 +321,8 @@ def cached_longterm(
         platform, _ = cached_platform(
             platform_config, cache=cache, jobs=jobs, timings=timings
         )
+    _LOG.info("longterm.build", fingerprint=fingerprint, jobs=jobs,
+              days=longterm_config.days)
     with _engine_stage(timings, "longterm-build"):
         dataset = build_longterm_dataset(platform, longterm_config, jobs=jobs)
     with _engine_stage(timings, "longterm-store"):
@@ -300,8 +332,10 @@ def cached_longterm(
 
 @contextmanager
 def _engine_stage(timings: Optional[Timings], name: str) -> Iterator[None]:
+    # Span either way: via the Timings shim when recording, bare otherwise.
     if timings is None:
-        yield
+        with get_tracer().span(name):
+            yield
     else:
         with timings.stage(name):
             yield

@@ -35,6 +35,7 @@ from repro.datasets.shortterm import ShortTermPingDataset, ShortTermTraceDataset
 from repro.harness.report import render_ecdf, render_heatmap, render_table
 from repro.measurement.platform import MeasurementPlatform
 from repro.net.ip import IPVersion
+from repro.obs import trace as obs_trace
 
 __all__ = [
     "Metric",
@@ -825,35 +826,38 @@ def run_all_experiments(
             experiment.
         jobs: Worker processes for experiments that build datasets (fig7).
         timings: Optional :class:`repro.harness.engine.Timings`; records
-            one ``experiment:<id>`` stage per driver.
+            one ``experiment:<id>`` stage per driver.  A span of the same
+            name is opened on the current tracer either way.
     """
     drivers = [
-        lambda: experiment_table1(longterm),
-        lambda: experiment_fig1(platform, longterm),
-        lambda: experiment_fig2(longterm),
-        lambda: experiment_fig3(longterm),
-        lambda: experiment_fig4(longterm),
-        lambda: experiment_fig5(longterm),
-        lambda: experiment_fig6(longterm),
+        ("table1", lambda: experiment_table1(longterm)),
+        ("fig1", lambda: experiment_fig1(platform, longterm)),
+        ("fig2", lambda: experiment_fig2(longterm)),
+        ("fig3", lambda: experiment_fig3(longterm)),
+        ("fig4", lambda: experiment_fig4(longterm)),
+        ("fig5", lambda: experiment_fig5(longterm)),
+        ("fig6", lambda: experiment_fig6(longterm)),
     ]
     if include_fig7:
-        drivers.append(lambda: experiment_fig7(platform, jobs=jobs))
+        drivers.append(("fig7", lambda: experiment_fig7(platform, jobs=jobs)))
     drivers.extend(
         [
-            lambda: experiment_congestion_norm(pings),
-            lambda: experiment_localization(traces, platform),
-            lambda: experiment_link_classification(traces, platform),
-            lambda: experiment_fig9(traces, platform),
-            lambda: experiment_fig10a(longterm),
-            lambda: experiment_fig10b(longterm),
-            lambda: experiment_loss(pings),
-            lambda: experiment_sharedinfra(longterm),
+            ("congestion-norm", lambda: experiment_congestion_norm(pings)),
+            ("localization", lambda: experiment_localization(traces, platform)),
+            ("link-classification",
+             lambda: experiment_link_classification(traces, platform)),
+            ("fig9", lambda: experiment_fig9(traces, platform)),
+            ("fig10a", lambda: experiment_fig10a(longterm)),
+            ("fig10b", lambda: experiment_fig10b(longterm)),
+            ("ext-loss", lambda: experiment_loss(pings)),
+            ("ext-sharedinfra", lambda: experiment_sharedinfra(longterm)),
         ]
     )
     results: List[ExperimentResult] = []
-    for driver in drivers:
+    for name, driver in drivers:
         started = time.perf_counter()
-        result = driver()
+        with obs_trace.span(f"experiment:{name}"):
+            result = driver()
         if timings is not None:
             timings.record(
                 f"experiment:{result.experiment_id}", time.perf_counter() - started

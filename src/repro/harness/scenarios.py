@@ -29,6 +29,8 @@ from repro.datasets.shortterm import (
 from repro.core.congestion import CongestionDetector
 from repro.measurement.congestionmodel import CongestionConfig
 from repro.measurement.platform import MeasurementPlatform, PlatformConfig
+from repro.obs.log import get_logger
+from repro.obs.trace import stage as _obs_stage
 from repro.topology.cdn import Server
 
 __all__ = ["Scenario", "SCENARIOS", "get_scenario", "scenario_platform",
@@ -118,6 +120,8 @@ def get_scenario(name: str) -> Scenario:
         ) from None
 
 
+_LOG = get_logger("repro.harness.scenarios")
+
 _platform_cache: Dict[Tuple[str, int], MeasurementPlatform] = {}
 _longterm_cache: Dict[Tuple[str, int], LongTermDataset] = {}
 _ping_cache: Dict[Tuple[str, int], ShortTermPingDataset] = {}
@@ -151,6 +155,8 @@ def scenario_platform(
     key = (name, seed)
     if key not in _platform_cache:
         config = get_scenario(name).platform_config(seed)
+        _LOG.info("scenario.platform", scenario=name, seed=seed, jobs=jobs,
+                  cached=cache is not None)
         if cache is not None:
             from repro.harness.engine import cached_platform
 
@@ -188,7 +194,8 @@ def scenario_longterm(
             )
         else:
             platform = scenario_platform(name, seed, jobs=jobs, timings=timings)
-            with _maybe_stage(timings, "longterm-build"):
+            _LOG.info("scenario.longterm", scenario=name, seed=seed, jobs=jobs)
+            with _obs_stage("longterm-build", timings):
                 dataset = build_longterm_dataset(
                     platform, scenario.longterm_config(), jobs=jobs
                 )
@@ -206,7 +213,8 @@ def scenario_ping(
     key = (name, seed)
     if key not in _ping_cache:
         platform = scenario_platform(name, seed, jobs=jobs, timings=timings)
-        with _maybe_stage(timings, "ping-build"):
+        _LOG.info("scenario.ping", scenario=name, seed=seed, jobs=jobs)
+        with _obs_stage("ping-build", timings):
             _ping_cache[key] = build_shortterm_ping_dataset(
                 platform, get_scenario(name).shortterm_config(), jobs=jobs
             )
@@ -250,17 +258,10 @@ def scenario_traces(
         platform = scenario_platform(name, seed, jobs=jobs, timings=timings)
         pings = scenario_ping(name, seed, jobs=jobs, timings=timings)
         pairs = congested_pairs(platform, pings, detector)
-        with _maybe_stage(timings, "shorttrace-build"):
+        _LOG.info("scenario.traces", scenario=name, seed=seed, jobs=jobs,
+                  congested_pairs=len(pairs))
+        with _obs_stage("shorttrace-build", timings):
             _trace_cache[key] = build_shortterm_trace_dataset(
                 platform, pairs, get_scenario(name).shortterm_config(), jobs=jobs
             )
     return _trace_cache[key]
-
-
-def _maybe_stage(timings: Optional[object], stage_name: str):
-    """A timing context when a recorder is given, else a no-op."""
-    import contextlib
-
-    if timings is None:
-        return contextlib.nullcontext()
-    return timings.stage(stage_name)

@@ -17,7 +17,6 @@ produce bit-identical datasets.
 
 from __future__ import annotations
 
-import contextlib
 import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -35,6 +34,7 @@ from repro.measurement.rttmodel import DelayModel, DelayParams
 from repro.measurement.traceroute import ArtifactParams, TracerouteEngine
 from repro.net.asn import ASN
 from repro.net.ip import IPVersion
+from repro.obs.trace import stage as obs_stage
 from repro.routing.bgp import compute_route_table
 from repro.routing.dynamics import (
     PathEpoch,
@@ -95,12 +95,12 @@ def _stage(timings: Optional[object], name: str):
     """A timing context for one build stage.
 
     ``timings`` is any object with a ``stage(name)`` context manager (see
-    :class:`repro.harness.engine.Timings`); ``None`` times nothing.  Duck
-    typing keeps the measurement layer free of a harness dependency.
+    :class:`repro.harness.engine.Timings`); duck typing keeps the
+    measurement layer free of a harness dependency.  Either way the stage
+    opens a span on the current tracer, so build stages show up in
+    ``--trace-out`` even when no flat recorder is attached.
     """
-    if timings is None:
-        return contextlib.nullcontext()
-    return timings.stage(name)
+    return obs_stage(name, timings)
 
 
 class MeasurementPlatform:

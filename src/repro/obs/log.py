@@ -1,0 +1,250 @@
+"""Structured logging for the pipeline.
+
+Built on the stdlib :mod:`logging` machinery under the ``repro`` logger
+namespace, with two render modes:
+
+- *human* (default): ``HH:MM:SS LEVEL logger: event key=value ...``
+- *JSON-lines*: one JSON object per line with ``ts``/``level``/``logger``/
+  ``event`` plus every structured field -- machine-parseable run logs.
+
+Configuration comes from :func:`configure` (the CLI wires ``--log-level``
+and ``--log-json`` through it) or the ``REPRO_LOG_LEVEL`` /
+``REPRO_LOG_JSON`` environment variables.  Until :func:`configure` runs,
+loggers fall back to stdlib defaults (warnings and errors to stderr).
+
+Log lines always go to *stderr* so report output on stdout stays clean
+and pipeable.  :class:`Progress` emits rate-limited progress lines for
+long loops -- at most one per interval, however hot the loop.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import IO, Optional, Union
+
+__all__ = [
+    "LEVEL_ENV",
+    "JSON_ENV",
+    "configure",
+    "reset",
+    "get_logger",
+    "StructuredLogger",
+    "Progress",
+    "HumanFormatter",
+    "JsonLinesFormatter",
+]
+
+LEVEL_ENV = "REPRO_LOG_LEVEL"
+JSON_ENV = "REPRO_LOG_JSON"
+
+_ROOT_NAME = "repro"
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_handler: Optional[logging.Handler] = None
+
+
+def _render_value(value: object) -> str:
+    """A compact single-token rendering of one structured field value."""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (dict, list, tuple)):
+        return json.dumps(value, default=str, separators=(",", ":"))
+    return str(value)
+
+
+class HumanFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL logger: event key=value ...``"""
+
+    def format(self, record: logging.LogRecord) -> str:
+        fields = getattr(record, "fields", None) or {}
+        suffix = "".join(
+            f" {key}={_render_value(value)}" for key, value in fields.items()
+        )
+        stamp = self.formatTime(record, "%H:%M:%S")
+        return (
+            f"{stamp} {record.levelname:<7} {record.name}: "
+            f"{record.getMessage()}{suffix}"
+        )
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per line: ``ts``/``level``/``logger``/``event`` + fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload.update(fields)
+        return json.dumps(payload, default=str)
+
+
+def _resolve_level(level: Union[str, int, None]) -> int:
+    if level is None:
+        level = os.environ.get(LEVEL_ENV) or "warning"
+    if isinstance(level, int):
+        return level
+    try:
+        return _LEVELS[str(level).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; valid: {sorted(_LEVELS)}"
+        ) from None
+
+
+def _truthy(value: Optional[str]) -> bool:
+    return str(value or "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def configure(
+    level: Union[str, int, None] = None,
+    json_mode: Optional[bool] = None,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install (or replace) the pipeline log handler.
+
+    Args:
+        level: ``"debug"``/``"info"``/``"warning"``/``"error"`` or a
+            stdlib numeric level; ``None`` reads ``REPRO_LOG_LEVEL``
+            (default ``warning``).
+        json_mode: JSON-lines output when true, human-readable otherwise;
+            ``None`` reads ``REPRO_LOG_JSON``.
+        stream: Destination (default: current ``sys.stderr``).
+
+    Returns:
+        The configured ``repro`` root logger.  Safe to call repeatedly --
+        each call replaces the previous handler, never stacks a second.
+    """
+    global _handler
+    if json_mode is None:
+        json_mode = _truthy(os.environ.get(JSON_ENV))
+    root = logging.getLogger(_ROOT_NAME)
+    if _handler is not None:
+        root.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    _handler.setFormatter(JsonLinesFormatter() if json_mode else HumanFormatter())
+    root.addHandler(_handler)
+    root.setLevel(_resolve_level(level))
+    root.propagate = False
+    return root
+
+
+def reset() -> None:
+    """Remove the installed handler, returning to stdlib default behavior."""
+    global _handler
+    root = logging.getLogger(_ROOT_NAME)
+    if _handler is not None:
+        root.removeHandler(_handler)
+        _handler = None
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+class StructuredLogger:
+    """A thin wrapper adding keyword *fields* to stdlib logging calls.
+
+    ``log.info("cache.hit", kind="platform", seconds=0.21)`` renders as
+    one human line or one JSON object depending on :func:`configure`.
+    """
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        """The underlying stdlib logger name."""
+        return self._logger.name
+
+    def is_enabled_for(self, level: int) -> bool:
+        """Whether a record at ``level`` would be emitted."""
+        return self._logger.isEnabledFor(level)
+
+    def log(self, level: int, event: str, **fields: object) -> None:
+        """Emit ``event`` with structured ``fields`` at ``level``."""
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={"fields": fields})
+
+    def debug(self, event: str, **fields: object) -> None:
+        self.log(logging.DEBUG, event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log(logging.INFO, event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log(logging.WARNING, event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log(logging.ERROR, event, **fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """A structured logger under the ``repro`` namespace."""
+    if name != _ROOT_NAME and not name.startswith(_ROOT_NAME + "."):
+        name = f"{_ROOT_NAME}.{name}"
+    return StructuredLogger(logging.getLogger(name))
+
+
+class Progress:
+    """Rate-limited progress reporting for long loops.
+
+    ``update()`` is cheap enough to call per item: it emits at most one
+    INFO line per ``interval_seconds``, so a build that finishes inside
+    the interval logs nothing and a ten-minute build logs steadily.
+    """
+
+    def __init__(
+        self,
+        logger: StructuredLogger,
+        event: str,
+        total: Optional[int] = None,
+        interval_seconds: float = 5.0,
+        **fields: object,
+    ) -> None:
+        self._logger = logger
+        self._event = event
+        self._fields = fields
+        self.total = total
+        self.done = 0
+        self._interval = interval_seconds
+        self._started = time.monotonic()
+        self._last_emit = self._started
+
+    def update(self, step: int = 1) -> None:
+        """Advance by ``step`` items, emitting if the interval elapsed."""
+        self.done += step
+        now = time.monotonic()
+        if now - self._last_emit >= self._interval:
+            self._last_emit = now
+            self._logger.info(
+                self._event,
+                done=self.done,
+                total=self.total,
+                elapsed_s=round(now - self._started, 3),
+                **self._fields,
+            )
+
+    def finish(self) -> None:
+        """Emit a final (debug-level) completion line."""
+        self._logger.debug(
+            self._event,
+            done=self.done,
+            total=self.total,
+            elapsed_s=round(time.monotonic() - self._started, 3),
+            finished=True,
+            **self._fields,
+        )

@@ -1,0 +1,105 @@
+"""Run manifests: everything needed to audit or re-run a pipeline pass.
+
+A manifest answers, in one JSON document, the questions a measurement
+campaign gets asked months later: which scenario/seed/config produced
+this artifact (config *fingerprints*, the same ones that key the artifact
+cache), on what software (package/python/platform versions), what the
+cache did (metric snapshot with hit/miss counts), and where the time went
+(per-stage span summary plus trace coverage).
+
+``python -m repro reproduce --run-report out.json`` writes one per run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+__all__ = ["MANIFEST_SCHEMA", "build_manifest", "write_run_report"]
+
+MANIFEST_SCHEMA = 1
+
+_ConfigParts = Union[object, Tuple[object, ...]]
+
+
+def build_manifest(
+    scenario: Optional[str] = None,
+    seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+    experiments: Optional[Iterable[str]] = None,
+    configs: Optional[Dict[str, _ConfigParts]] = None,
+    registry: Optional[obs_metrics.MetricsRegistry] = None,
+    tracer: Optional[obs_trace.Tracer] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble a run manifest as a JSON-ready dict.
+
+    Args:
+        scenario / seed / jobs / experiments: What the run computed.
+        configs: Name -> config object (or tuple of config objects) to
+            fingerprint; keys/parts should mirror the artifact cache's
+            (``{"platform": cfg, "longterm": (platform_cfg, lt_cfg)}``)
+            so manifest fingerprints equal cache-entry fingerprints.
+        registry: Metrics to snapshot (default registry otherwise).
+        tracer: Span source (current tracer otherwise).
+        extra: Free-form additions, stored under ``"extra"``.
+    """
+    # Imported lazily: the harness imports repro.obs, so a module-level
+    # import here would be circular.
+    from repro.harness.engine import config_fingerprint
+    import repro
+
+    registry = registry if registry is not None else obs_metrics.get_registry()
+    tracer = tracer if tracer is not None else obs_trace.get_tracer()
+
+    fingerprints = {}
+    for name, parts in (configs or {}).items():
+        if not isinstance(parts, tuple):
+            parts = (parts,)
+        fingerprints[name] = config_fingerprint(name, *parts)
+
+    manifest: Dict[str, object] = {
+        "schema": MANIFEST_SCHEMA,
+        "created_unix": round(time.time(), 3),
+        "argv": list(sys.argv),
+        "run": {
+            "scenario": scenario,
+            "seed": seed,
+            "jobs": jobs,
+            "experiments": list(experiments) if experiments is not None else [],
+        },
+        "environment": {
+            "package_version": getattr(repro, "__version__", "0"),
+            "python": _platform.python_version(),
+            "platform": _platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "pid": os.getpid(),
+        },
+        "config_fingerprints": fingerprints,
+        "metrics": registry.snapshot(),
+        "spans": {
+            "total_seconds": round(tracer.total_seconds(), 6),
+            "coverage": tracer.coverage(),
+            "summary": tracer.summary(),
+        },
+    }
+    if extra:
+        manifest["extra"] = dict(extra)
+    return manifest
+
+
+def write_run_report(path: Union[str, Path], manifest: Dict[str, object]) -> Path:
+    """Write a manifest as indented JSON; returns the resolved path."""
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(manifest, indent=2, default=str) + "\n")
+    return target

@@ -280,6 +280,7 @@ def compute_route_table(
         BGP selects with everything up.
     """
     from repro.datasets.parallel import fork_map
+    from repro.obs import metrics as obs_metrics
 
     if max_alternatives < 1:
         raise ValueError("max_alternatives must be positive")
@@ -297,7 +298,9 @@ def compute_route_table(
             jitter_salt,
         )
 
-    for shard in fork_map(run_destination, destinations, jobs):
+    obs_metrics.counter("bgp.destinations").inc(len(destinations))
+    for shard in fork_map(run_destination, destinations, jobs, label="routes"):
         for pair, candidates in shard:
             table.candidates[pair] = candidates
+    obs_metrics.counter("bgp.pairs").inc(len(table.candidates))
     return table

@@ -34,6 +34,19 @@ class TestForkMap:
     def test_empty_input(self):
         assert fork_map(lambda x: x, [], jobs=4) == []
 
+    def test_empty_input_never_resolves_jobs(self, monkeypatch):
+        # jobs=0 means "all cores" -- but an empty map must return before
+        # consulting the machine at all (the old path relied on the
+        # serial fallback via min(cores, 0) == 0).
+        import repro.datasets.parallel as parallel_module
+
+        def boom(_jobs):
+            raise AssertionError("resolve_jobs called for an empty map")
+
+        monkeypatch.setattr(parallel_module, "resolve_jobs", boom)
+        assert fork_map(lambda x: x, [], jobs=0) == []
+        assert fork_map(lambda x: x, iter(()), jobs=4) == []
+
     def test_closure_state_is_visible_to_workers(self):
         # Fork shares parent memory copy-on-write: closures over large
         # structures (the platform) must work without pickling.
@@ -47,6 +60,65 @@ class TestForkMap:
         assert resolve_jobs(5) == 5
         assert resolve_jobs(None) >= 1
         assert resolve_jobs(0) >= 1
+
+
+class TestForkMapTelemetry:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        from repro.obs import metrics, trace
+
+        metrics.get_registry().reset()
+        trace.set_tracer(trace.Tracer())
+        yield
+        metrics.get_registry().reset()
+        trace.set_tracer(trace.Tracer())
+
+    def test_span_records_items_and_jobs(self):
+        from repro.obs import trace
+
+        fork_map(lambda x: x, [1, 2, 3], jobs=1, label="unit")
+        spans = trace.get_tracer().spans
+        assert [span.name for span in spans] == ["fork_map:unit"]
+        assert spans[0].attrs["items"] == 3
+        assert spans[0].attrs["jobs"] == 1
+
+    def test_worker_counters_merge_back_to_parent(self):
+        # Counters bumped inside forked workers must reach the parent
+        # registry exactly once per item, via the snapshot-delta scheme.
+        import multiprocessing
+
+        from repro.obs import metrics
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+
+        def work(x):
+            metrics.counter("test.worker.items").inc()
+            metrics.counter("test.worker.weight").inc(x)
+            return x * 2
+
+        items = list(range(8))
+        assert fork_map(work, items, jobs=2, label="unit") == [
+            x * 2 for x in items
+        ]
+        snap = metrics.get_registry().snapshot()
+        assert snap["counters"]["test.worker.items"] == len(items)
+        assert snap["counters"]["test.worker.weight"] == sum(items)
+        assert snap["histograms"]["fork_map.item_seconds"]["count"] == len(items)
+        assert snap["gauges"]["fork_map.jobs"] == 2
+
+    def test_serial_counters_count_in_process(self):
+        from repro.obs import metrics
+
+        def work(x):
+            metrics.counter("test.serial.items").inc()
+            return x
+
+        fork_map(work, [1, 2, 3], jobs=1)
+        snap = metrics.get_registry().snapshot()
+        assert snap["counters"]["test.serial.items"] == 3
+        assert snap["counters"]["fork_map.items"] == 3
+        assert snap["counters"]["fork_map.calls"] == 1
 
 
 def _assert_trace_timelines_identical(serial, parallel):

@@ -20,6 +20,19 @@ class TestParser:
         )
         assert args.src == 0 and args.dst == 2 and args.ipv6
 
+    def test_observability_arguments(self):
+        args = build_parser().parse_args([
+            "reproduce", "--log-level", "debug", "--log-json",
+            "--trace-out", "t.json", "--run-report", "r.json",
+        ])
+        assert args.log_level == "debug" and args.log_json
+        assert args.trace_out == "t.json" and args.run_report == "r.json"
+
+    def test_logging_flags_on_every_command(self):
+        for command in (["info"], ["trace", "--src", "0", "--dst", "1"]):
+            args = build_parser().parse_args(command + ["--log-level", "info"])
+            assert args.log_level == "info"
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -52,3 +65,13 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "Traceroute completeness summary" in out
+
+    def test_reproduce_timings_table(self, capsys):
+        assert main(
+            ["reproduce", "--scenario", "small", "--experiments", "table1",
+             "--timings"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "== stage timings ==" in out
+        assert "experiment:table1" in out
+        assert "total" in out

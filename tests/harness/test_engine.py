@@ -67,6 +67,51 @@ class TestTimings:
         assert [name for name, _ in timings.stages] == ["boom"]
 
 
+class TestTimingsSpanShim:
+    """Timings is a shim over tracing spans: same stages, both systems."""
+
+    def test_stage_also_opens_span(self):
+        from repro.obs.trace import Tracer, use_tracer
+
+        tracer = Tracer()
+        timings = Timings()
+        with use_tracer(tracer):
+            with timings.stage("topology"):
+                with timings.stage("routing"):
+                    pass
+        assert [name for name, _ in timings.stages] == ["routing", "topology"]
+        assert [span.name for span in tracer.spans] == ["topology", "routing"]
+        # The span tree nests; the flat table agrees on wall time.
+        topology, routing = tracer.spans
+        assert routing.parent_id == topology.span_id
+        by_name = dict(timings.stages)
+        assert by_name["topology"] == pytest.approx(
+            topology.duration_seconds, abs=0.05
+        )
+
+    def test_record_creates_no_span(self):
+        from repro.obs.trace import Tracer, use_tracer
+
+        tracer = Tracer()
+        timings = Timings()
+        with use_tracer(tracer):
+            timings.record("external", 1.25)
+        assert timings.as_dict() == {"external": 1.25}
+        assert tracer.spans == []
+
+    def test_stage_span_closes_on_exception(self):
+        from repro.obs.trace import Tracer, use_tracer
+
+        tracer = Tracer()
+        timings = Timings()
+        with use_tracer(tracer):
+            with pytest.raises(RuntimeError):
+                with timings.stage("boom"):
+                    raise RuntimeError("x")
+        assert tracer.spans[0].end is not None
+        assert tracer.current() is None
+
+
 class TestFingerprint:
     def test_equal_configs_equal_fingerprint(self):
         a = PlatformConfig(seed=3, cluster_count=8)
@@ -126,6 +171,25 @@ class TestArtifactCache:
     def test_default_cache_dir_env_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
         assert default_cache_dir() == tmp_path / "elsewhere"
+
+    def test_outcomes_are_counted(self, tmp_path):
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        registry.reset()
+        cache = ArtifactCache(tmp_path)
+        cache.load("demo", "nothing")          # miss
+        cache.store("demo", "abc", [1, 2])     # store
+        cache.load("demo", "abc")              # hit
+        bad = cache.path("demo", "bad")
+        bad.write_bytes(b"garbage")
+        cache.load("demo", "bad")              # corrupt
+        counters = registry.snapshot()["counters"]
+        registry.reset()
+        assert counters["cache.miss"] == 1
+        assert counters["cache.store"] == 1
+        assert counters["cache.hit"] == 1
+        assert counters["cache.corrupt"] == 1
 
 
 @pytest.fixture(scope="module")

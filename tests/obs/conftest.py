@@ -1,0 +1,22 @@
+"""Shared observability-test isolation.
+
+Every test in this package gets a clean observability slate: a fresh
+default tracer, an emptied default metrics registry, and no installed
+log handler -- before and after, so obs tests neither see state from the
+wider suite nor leak any into it.
+"""
+
+import pytest
+
+from repro.obs import log, metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    log.reset()
+    metrics.get_registry().reset()
+    trace.set_tracer(trace.Tracer())
+    yield
+    log.reset()
+    metrics.get_registry().reset()
+    trace.set_tracer(trace.Tracer())

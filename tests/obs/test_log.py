@@ -1,0 +1,103 @@
+"""Structured logging: formatters, configure semantics, progress."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import log
+
+
+def test_human_lines_carry_event_and_fields():
+    stream = io.StringIO()
+    log.configure(level="info", json_mode=False, stream=stream)
+    log.get_logger("test").info("cache.hit", kind="platform", seconds=0.25)
+    line = stream.getvalue().strip()
+    assert "repro.test: cache.hit" in line
+    assert "kind=platform" in line
+    assert "seconds=0.25" in line
+
+
+def test_json_lines_are_parseable_with_schema():
+    stream = io.StringIO()
+    log.configure(level="debug", json_mode=True, stream=stream)
+    logger = log.get_logger("test")
+    logger.info("build.start", scenario="small", jobs=2)
+    logger.debug("span", name="topology", seconds=0.001)
+    lines = stream.getvalue().strip().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        payload = json.loads(line)
+        for key in ("ts", "level", "logger", "event"):
+            assert key in payload
+    first = json.loads(lines[0])
+    assert first["event"] == "build.start"
+    assert first["level"] == "info"
+    assert first["logger"] == "repro.test"
+    assert first["scenario"] == "small"
+    assert first["jobs"] == 2
+
+
+def test_level_filters_and_env_fallback(monkeypatch):
+    stream = io.StringIO()
+    monkeypatch.setenv(log.LEVEL_ENV, "error")
+    log.configure(stream=stream)  # level=None -> env
+    logger = log.get_logger("test")
+    logger.warning("dropped")
+    logger.error("kept")
+    lines = stream.getvalue().strip().splitlines()
+    assert len(lines) == 1
+    assert "kept" in lines[0]
+
+
+def test_json_env_fallback(monkeypatch):
+    stream = io.StringIO()
+    monkeypatch.setenv(log.JSON_ENV, "1")
+    log.configure(level="info", stream=stream)  # json_mode=None -> env
+    log.get_logger("test").info("hello")
+    assert json.loads(stream.getvalue().strip())["event"] == "hello"
+
+
+def test_configure_replaces_handler_instead_of_stacking():
+    first, second = io.StringIO(), io.StringIO()
+    log.configure(level="info", json_mode=False, stream=first)
+    log.configure(level="info", json_mode=False, stream=second)
+    log.get_logger("test").info("once")
+    assert first.getvalue() == ""
+    assert second.getvalue().count("once") == 1
+    root = logging.getLogger("repro")
+    assert len(root.handlers) == 1
+    assert root.propagate is False
+
+
+def test_configure_rejects_unknown_level():
+    with pytest.raises(ValueError, match="unknown log level"):
+        log.configure(level="loud", stream=io.StringIO())
+
+
+def test_get_logger_prefixes_namespace():
+    assert log.get_logger("datasets").name == "repro.datasets"
+    assert log.get_logger("repro.cli").name == "repro.cli"
+
+
+def test_progress_rate_limits(monkeypatch):
+    stream = io.StringIO()
+    log.configure(level="debug", json_mode=True, stream=stream)
+    clock = {"now": 100.0}
+    monkeypatch.setattr(log.time, "monotonic", lambda: clock["now"])
+    progress = log.Progress(
+        log.get_logger("test"), "build", total=50, interval_seconds=5.0
+    )
+    for _ in range(10):
+        progress.update()  # no time passes: nothing emitted
+    assert stream.getvalue() == ""
+    clock["now"] += 6.0
+    progress.update()
+    progress.finish()
+    lines = [json.loads(line) for line in stream.getvalue().strip().splitlines()]
+    assert len(lines) == 2
+    assert lines[0]["done"] == 11
+    assert lines[0]["total"] == 50
+    assert lines[1]["finished"] is True
+    assert lines[1]["done"] == 11
