@@ -6,9 +6,8 @@ often each criterion picks the same best path, and how the implied RTT
 increases differ.
 """
 
-import numpy as np
 
-from repro.core.rttstats import best_path_id, path_percentiles, path_rtt_std
+from repro.core.rttstats import best_path_id, path_rtt_std
 from repro.harness.report import render_table
 from repro.net.ip import IPVersion
 

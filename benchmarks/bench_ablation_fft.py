@@ -11,7 +11,6 @@ import numpy as np
 
 from repro.core.congestion import CongestionDetector
 from repro.harness.report import render_table
-from repro.net.ip import IPVersion
 
 
 def _ground_truth(platform, pings):

@@ -7,7 +7,6 @@ more often).  Paper (10b): median inflation over cRTT ~3.01 (v4) / 3.10
 """
 
 from repro.harness.experiments import experiment_fig10a, experiment_fig10b
-from repro.net.ip import IPVersion
 
 
 def test_fig10a(benchmark, longterm, emit):

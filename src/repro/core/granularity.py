@@ -114,7 +114,7 @@ def compare_granularity(
         subsampled = rtt_increase_from_best(
             subsample_timeline(timeline, min_gap_hours), q=q
         )
-        common = set(full) & set(subsampled)
+        common = sorted(set(full) & set(subsampled))
         all_values.extend(full[path_id] for path_id in common)
         sub_values.extend(subsampled[path_id] for path_id in common)
     return GranularityComparison(

@@ -109,7 +109,7 @@ def assess_loss(timeline: PingTimeline) -> LossVerdict:
     hour_of_day = np.mod(timeline.times_hours, float(HOURS_PER_DAY)).astype(int)
     order = np.argsort(np.nan_to_num(rtt_profile, nan=-np.inf))
     busy_hours = set(int(h) for h in order[-BUSY_HOURS:])
-    busy_mask = np.isin(hour_of_day, list(busy_hours))
+    busy_mask = np.isin(hour_of_day, sorted(busy_hours))
     busy = float(lost[busy_mask].mean()) if busy_mask.any() else float("nan")
     quiet = float(lost[~busy_mask].mean()) if (~busy_mask).any() else float("nan")
     return LossVerdict(

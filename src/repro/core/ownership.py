@@ -88,7 +88,8 @@ class OwnershipInference:
                 self.owners[address] = None
                 continue
             if len(distinct) == 1:
-                self.owners[address] = next(iter(distinct))
+                # Singleton set: same element whatever the iteration order.
+                self.owners[address] = next(iter(distinct))  # repro: noqa[DET002]
                 continue
             (top_asn, top_heuristic), _count = counter.most_common(1)[0]
             if top_heuristic == "first":

@@ -1,0 +1,86 @@
+"""CLI: ``python -m repro.lint [paths] [--json] [--select ...] ...``.
+
+Exit codes: 0 clean (or warnings without ``--strict``), 1 findings,
+2 usage error.  Findings go to stdout (human lines or one JSON
+document); logs go to stderr via ``repro.obs`` so output stays pipeable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.findings import render_human, render_json
+from repro.lint.registry import all_rules
+from repro.lint.runner import Linter
+from repro.obs import log
+
+
+def _codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code.strip().upper() for code in raw.split(",") if code.strip()]
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        kind = " (synthetic)" if rule.synthetic else ""
+        lines.append(f"{rule.code} [{rule.severity.value}] {rule.name}{kind}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant linter: determinism, fork-safety, "
+        "telemetry hygiene, cache-fingerprint coverage.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: ./src if present, else .)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit one JSON document")
+    parser.add_argument(
+        "--select", metavar="CODES", help="comma-separated rule codes to run exclusively"
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES", help="comma-separated rule codes to skip"
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="warnings also fail the run (CI mode)"
+    )
+    parser.add_argument(
+        "--no-allowlist", action="store_true",
+        help="accept noqa suppressions without a documented allowlist entry",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="describe every rule")
+    args = parser.parse_args(argv)
+
+    log.configure()
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    try:
+        linter = Linter(
+            select=_codes(args.select),
+            ignore=_codes(args.ignore),
+            enforce_allowlist=not args.no_allowlist,
+        )
+        report = linter.lint_paths(paths)
+    except (KeyError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    sys.stdout.write(render_json(report) if args.json else render_human(report))
+    return report.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

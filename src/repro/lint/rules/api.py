@@ -1,0 +1,74 @@
+"""API001: public functions in ``core``/``datasets`` carry full annotations.
+
+These two packages are the analysis surface other layers (harness,
+examples, benchmarks, downstream notebooks) build on; their signatures
+are contracts.  A public function there must annotate every parameter
+and its return type.  Private helpers (leading underscore), dunders, and
+functions nested inside other functions are implementation detail and
+exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+__all__ = ["PublicApiAnnotations"]
+
+_Func = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _public_functions(tree: ast.Module) -> Iterator[_Func]:
+    """Module-level functions and methods of public classes, public names only."""
+    stack: List[ast.AST] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.ClassDef):
+            if not node.name.startswith("_"):
+                stack.extend(node.body)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield node
+
+
+@register
+class PublicApiAnnotations(Rule):
+    code = "API001"
+    name = "public-api-annotations"
+    severity = Severity.WARNING
+    rationale = (
+        "core/ and datasets/ signatures are the contract the harness and "
+        "downstream analyses build on; unannotated parameters make config "
+        "drift and unit mix-ups (hours vs seconds, ms vs s) invisible."
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_packages("core", "datasets")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for function in _public_functions(ctx.tree):
+            missing: List[str] = []
+            args = function.args
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                if arg.annotation is None and arg.arg not in ("self", "cls"):
+                    missing.append(arg.arg)
+            if args.vararg is not None and args.vararg.annotation is None:
+                missing.append("*" + args.vararg.arg)
+            if args.kwarg is not None and args.kwarg.annotation is None:
+                missing.append("**" + args.kwarg.arg)
+            if missing:
+                yield self.finding(
+                    ctx, function,
+                    f"public function {function.name}() is missing parameter "
+                    f"annotations: {', '.join(missing)}",
+                )
+            if function.returns is None:
+                yield self.finding(
+                    ctx, function,
+                    f"public function {function.name}() is missing a return "
+                    "annotation",
+                )

@@ -1,0 +1,46 @@
+"""LNT000/LNT001: findings the runner emits about the lint pass itself.
+
+These are *synthetic* rules: they have no AST visitor.  The runner
+raises LNT001 when a file does not parse (a file the linter cannot see
+is a file whose invariants are unchecked) and LNT000 when a
+``# repro: noqa[...]`` comment is not covered by the documented
+allowlist in :mod:`repro.lint.allowlist` -- suppressions are part of the
+reviewed surface, not an escape hatch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+__all__ = ["UndocumentedSuppression", "ParseFailure"]
+
+
+@register
+class UndocumentedSuppression(Rule):
+    code = "LNT000"
+    name = "undocumented-suppression"
+    severity = Severity.ERROR
+    synthetic = True
+    rationale = (
+        "Every noqa comment must be backed by an entry (path, rule, reason) "
+        "in repro.lint.allowlist so suppressions are reviewed and searchable."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+
+@register
+class ParseFailure(Rule):
+    code = "LNT001"
+    name = "parse-failure"
+    severity = Severity.ERROR
+    synthetic = True
+    rationale = "A file that does not parse is a file whose invariants go unchecked."
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())

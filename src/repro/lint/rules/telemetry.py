@@ -1,0 +1,76 @@
+"""OBS001: library code must emit telemetry through ``repro.obs``.
+
+PR 2's telemetry contract: library modules never write to stdout/stderr
+directly and never talk to stdlib ``logging`` themselves.  Everything
+flows through :func:`repro.obs.log.get_logger`, so one ``configure()``
+call controls level, human-vs-JSON rendering, and destination for the
+whole pipeline -- and report output on stdout stays machine-parseable.
+
+``print`` is still the right tool in exactly two places, and both are
+excluded by scope rather than suppression: ``__main__.py`` CLI entry
+points (their stdout *is* the product) and the ``repro.obs`` package
+itself (it implements the logging layer on top of stdlib ``logging``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+__all__ = ["DirectOutput"]
+
+
+@register
+class DirectOutput(Rule):
+    code = "OBS001"
+    name = "direct-output"
+    severity = Severity.ERROR
+    rationale = (
+        "Library output must flow through repro.obs.log so one configure() "
+        "call controls rendering and destination; print() and bare logging "
+        "bypass level filtering, JSON mode, and structured fields."
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        if ctx.is_main_module:
+            return False
+        return not ctx.in_packages("obs")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id == "print":
+                    yield self.finding(
+                        ctx, node,
+                        "print() in library code; use repro.obs.log.get_logger "
+                        "(or return the text to the CLI layer)",
+                    )
+                    continue
+                canonical = ctx.resolve_imported(node.func)
+                if canonical in ("sys.stdout.write", "sys.stderr.write"):
+                    yield self.finding(
+                        ctx, node,
+                        f"{canonical}() in library code; use repro.obs.log "
+                        "instead of writing to process streams directly",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "logging" or alias.name.startswith("logging."):
+                        yield self.finding(
+                            ctx, node,
+                            "bare stdlib logging import in library code; use "
+                            "repro.obs.log.get_logger for structured, "
+                            "configurable telemetry",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and (node.module or "").split(".")[0] == "logging":
+                    yield self.finding(
+                        ctx, node,
+                        "bare stdlib logging import in library code; use "
+                        "repro.obs.log.get_logger for structured, "
+                        "configurable telemetry",
+                    )

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.net.geo import GeoLocation
 from repro.measurement.realization import SegmentKey
+from repro.seeds import CONGESTION_SEED
 
 __all__ = [
     "SegmentGeo",
@@ -294,7 +295,7 @@ def assign_congestion(
     """
     config = config or CongestionConfig()
     config.validate()
-    rng = rng if rng is not None else np.random.default_rng(6)
+    rng = rng if rng is not None else np.random.default_rng(CONGESTION_SEED)
     schedule = CongestionSchedule()
 
     intra_keys = sorted((key for key, geo in segments.items() if geo.kind == "i"), key=repr)

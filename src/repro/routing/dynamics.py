@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.net.asn import ASN
 from repro.routing.table import RouteTable
+from repro.seeds import FLAPS_SEED, OUTAGES_SEED
 from repro.topology.generator import ASGraph
 
 __all__ = [
@@ -163,7 +164,7 @@ def sample_edge_outages(
     """
     config = config or RoutingDynamicsConfig()
     config.validate()
-    rng = rng if rng is not None else np.random.default_rng(4)
+    rng = rng if rng is not None else np.random.default_rng(OUTAGES_SEED)
     months = duration_hours / HOURS_PER_MONTH
     outages: List[EdgeOutage] = []
     for edge in graph.edges():
@@ -192,7 +193,7 @@ def sample_pair_flaps(
     """Sample per-pair primary-route demotions over the study window."""
     config = config or RoutingDynamicsConfig()
     config.validate()
-    rng = rng if rng is not None else np.random.default_rng(5)
+    rng = rng if rng is not None else np.random.default_rng(FLAPS_SEED)
     months = duration_hours / HOURS_PER_MONTH
     flaps: List[PairFlap] = []
     for pair in pairs:

@@ -26,6 +26,7 @@ import numpy as np
 from repro.net.asn import ASN
 from repro.net.ip import IPAddress, IPVersion
 from repro.net.prefix import Prefix, PrefixTrie
+from repro.seeds import ADDRESSING_SEED
 from repro.topology.generator import ASGraph
 
 __all__ = ["AddressingConfig", "ASAddressing", "AddressPlan", "allocate_addresses"]
@@ -217,7 +218,7 @@ def allocate_addresses(
     """
     config = config or AddressingConfig()
     config.validate()
-    rng = rng if rng is not None else np.random.default_rng(1)
+    rng = rng if rng is not None else np.random.default_rng(ADDRESSING_SEED)
     plan = AddressPlan(config=config)
 
     for index, asn in enumerate(graph.asns()):

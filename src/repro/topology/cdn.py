@@ -18,6 +18,7 @@ import numpy as np
 from repro.net.asn import ASN
 from repro.net.geo import GeoLocation
 from repro.net.ip import IPAddress, IPVersion
+from repro.seeds import CDN_SEED
 from repro.topology.addressing import AddressPlan
 from repro.topology.generator import ASGraph, ASTier
 from repro.topology.world import sample_city
@@ -168,7 +169,7 @@ def deploy_cdn(
         raise ValueError("cluster_count and servers_per_cluster must be positive")
     if not 0.0 <= dual_stack_fraction <= 1.0:
         raise ValueError("dual_stack_fraction must be a probability")
-    rng = rng if rng is not None else np.random.default_rng(3)
+    rng = rng if rng is not None else np.random.default_rng(CDN_SEED)
     deployment = CDNDeployment()
     next_server_id = itertools.count(0)
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.net.asn import ASN, ASRelationship, RelationshipTable
 from repro.net.geo import GeoLocation
+from repro.seeds import TOPOLOGY_SEED
 from repro.topology.world import cities_by_continent, sample_cities
 
 __all__ = [
@@ -289,7 +290,7 @@ def generate_topology(
     """
     config = config or TopologyConfig()
     config.validate()
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(TOPOLOGY_SEED)
     graph = ASGraph()
 
     next_asn = itertools.count(config.first_asn)

@@ -28,6 +28,7 @@ from repro.net.asn import ASN, ASRelationship
 from repro.net.geo import GeoLocation
 from repro.net.ip import IPAddress, IPVersion
 from repro.net.prefix import Prefix
+from repro.seeds import ROUTERS_SEED
 from repro.topology.addressing import AddressPlan, LinkSpaceOwner
 from repro.topology.generator import ASGraph, LinkMedium
 
@@ -234,7 +235,7 @@ def build_router_topology(
     Returns:
         A fully addressed :class:`RouterTopology`.
     """
-    rng = rng if rng is not None else np.random.default_rng(2)
+    rng = rng if rng is not None else np.random.default_rng(ROUTERS_SEED)
     topology = RouterTopology()
     next_router_id = itertools.count(0)
     next_link_id = itertools.count(0)

@@ -1,6 +1,5 @@
 """Tests for RTT inflation over cRTT (Figure 10b)."""
 
-import numpy as np
 import pytest
 
 from repro.core.inflation import MIN_CRTT_MS, inflation_ratio, pair_inflation

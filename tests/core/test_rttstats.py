@@ -9,7 +9,7 @@ from repro.core.rttstats import (
     path_rtt_std,
     rtt_increase_from_best,
 )
-from tests.core.test_routechange import COMPLETE, make_timeline
+from tests.core.test_routechange import make_timeline
 
 
 def timeline_with_rtts(path_ids, rtts):

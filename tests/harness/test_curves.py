@@ -4,7 +4,6 @@ import numpy as np
 
 from repro.core.ecdf import ECDF
 from repro.harness.curves import plot_ecdfs, plot_timeline
-from repro.net.ip import IPVersion
 from tests.core.test_rttstats import timeline_with_rtts
 
 

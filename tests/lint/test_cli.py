@@ -1,0 +1,76 @@
+"""CLI surface: exit codes, JSON mode, rule listing, bad input handling."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+
+def run_cli(*args, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd or REPO,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+
+
+@pytest.fixture(scope="module")
+def dirty_tree(tmp_path_factory):
+    root = tmp_path_factory.mktemp("dirty") / "repro" / "core"
+    root.mkdir(parents=True)
+    (root / "bad.py").write_text(
+        "import numpy as np\nrng = np.random.default_rng()\n"
+    )
+    return root
+
+
+def test_clean_src_exits_zero():
+    result = run_cli(str(SRC), "--strict")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 finding(s)" in result.stdout
+
+
+def test_dirty_tree_exits_one_with_human_finding(dirty_tree):
+    result = run_cli(str(dirty_tree))
+    assert result.returncode == 1
+    assert "DET001" in result.stdout
+    assert "bad.py:2" in result.stdout
+
+
+def test_json_mode_emits_schema_document(dirty_tree):
+    result = run_cli(str(dirty_tree), "--json")
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["schema"] == 1
+    assert payload["summary"]["by_rule"] == {"DET001": 1}
+
+
+def test_select_filter_via_cli(dirty_tree):
+    result = run_cli(str(dirty_tree), "--select", "OBS001")
+    assert result.returncode == 0
+    assert "0 finding(s)" in result.stdout
+
+
+def test_list_rules_describes_every_rule():
+    result = run_cli("--list-rules")
+    assert result.returncode == 0
+    for code in ("DET001", "DET002", "FRK001", "OBS001", "API001", "CCH001", "LNT000"):
+        assert code in result.stdout
+
+
+def test_unknown_rule_is_usage_error():
+    result = run_cli(str(SRC), "--select", "NOPE99")
+    assert result.returncode == 2
+    assert "unknown rule" in result.stderr
+
+
+def test_missing_path_is_usage_error():
+    result = run_cli("does-not-exist.txt")
+    assert result.returncode == 2

@@ -1,0 +1,180 @@
+"""FRK001 and CCH001 fixtures: positive, negative, and suppressed snippets."""
+
+from repro.lint import lint_source
+
+
+def codes(report):
+    return [finding.rule for finding in report.findings]
+
+
+# -- FRK001 -----------------------------------------------------------------
+
+_FORK_MUTATION = (
+    "from repro.datasets.parallel import fork_map\n"
+    "RESULTS = []\n"
+    "def worker(item):\n"
+    "    RESULTS.append(item * 2)\n"
+    "    return item\n"
+    "def build(items):\n"
+    "    return fork_map(worker, items, jobs=4)\n"
+)
+
+
+def test_frk001_flags_module_list_append_in_worker():
+    report = lint_source(_FORK_MUTATION, path="src/repro/datasets/example.py", select=["FRK001"])
+    assert codes(report) == ["FRK001"]
+    assert "RESULTS" in report.findings[0].message
+
+
+def test_frk001_flags_global_rebinding_and_subscript_store():
+    report = lint_source(
+        "from repro.datasets.parallel import fork_map\n"
+        "TOTAL = 0\n"
+        "CACHE = {}\n"
+        "def worker(item):\n"
+        "    global TOTAL\n"
+        "    TOTAL += 1\n"
+        "    CACHE[item] = item\n"
+        "    return item\n"
+        "def build(items):\n"
+        "    return fork_map(worker, items)\n",
+        path="src/repro/datasets/example.py",
+        select=["FRK001"],
+    )
+    # One finding at the `global` declaration (covering TOTAL's rebinds)
+    # plus one at the module-dict subscript store.
+    assert codes(report) == ["FRK001", "FRK001"]
+    assert "global TOTAL" in report.findings[0].message
+    assert "CACHE" in report.findings[1].message
+
+
+def test_frk001_flags_lambda_workers():
+    report = lint_source(
+        "from repro.datasets.parallel import fork_map\n"
+        "ACC = []\n"
+        "def build(items):\n"
+        "    return fork_map(lambda item: ACC.append(item), items)\n",
+        path="src/repro/datasets/example.py",
+        select=["FRK001"],
+    )
+    assert codes(report) == ["FRK001"]
+
+
+def test_frk001_clean_worker_returning_results():
+    report = lint_source(
+        "from repro.datasets.parallel import fork_map\n"
+        "from repro.obs import metrics as obs_metrics\n"
+        "def build(platform, items):\n"
+        "    def worker(item):\n"
+        "        obs_metrics.get_registry().counter('built').inc()\n"
+        "        local = []\n"
+        "        local.append(item)\n"
+        "        return local\n"
+        "    return fork_map(worker, items, jobs=4)\n",
+        path="src/repro/datasets/example.py",
+        select=["FRK001"],
+    )
+    assert codes(report) == []
+
+
+def test_frk001_mutation_outside_worker_is_clean():
+    report = lint_source(
+        "from repro.datasets.parallel import fork_map\n"
+        "RESULTS = []\n"
+        "def worker(item):\n"
+        "    return item\n"
+        "def build(items):\n"
+        "    for result in fork_map(worker, items):\n"
+        "        RESULTS.append(result)\n"
+        "    return RESULTS\n",
+        path="src/repro/datasets/example.py",
+        select=["FRK001"],
+    )
+    assert codes(report) == []
+
+
+def test_frk001_suppressed():
+    source = _FORK_MUTATION.replace(
+        "    RESULTS.append(item * 2)\n",
+        "    RESULTS.append(item * 2)  # repro: noqa[FRK001]\n",
+    )
+    report = lint_source(source, path="src/repro/datasets/example.py", select=["FRK001"])
+    assert codes(report) == []
+    assert report.suppressed == 1
+
+
+# -- CCH001 -----------------------------------------------------------------
+
+
+def test_cch001_flags_bare_class_attribute():
+    report = lint_source(
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class BuildConfig:\n"
+        "    days: int = 16\n"
+        "    retries = 3\n",
+        path="src/repro/datasets/example.py",
+        select=["CCH001"],
+    )
+    assert codes(report) == ["CCH001"]
+    assert "retries" in report.findings[0].message
+
+
+def test_cch001_flags_classvar_and_post_init_attribute():
+    report = lint_source(
+        "from dataclasses import dataclass\n"
+        "from typing import ClassVar\n"
+        "@dataclass\n"
+        "class BuildConfig:\n"
+        "    days: int = 16\n"
+        "    mode: ClassVar[str] = 'fast'\n"
+        "    def __post_init__(self):\n"
+        "        self.window = self.days * 24\n",
+        path="src/repro/datasets/example.py",
+        select=["CCH001"],
+    )
+    assert codes(report) == ["CCH001", "CCH001"]
+
+
+def test_cch001_clean_config_and_private_derived_state():
+    report = lint_source(
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class BuildConfig:\n"
+        "    days: int = 16\n"
+        "    def __post_init__(self):\n"
+        "        self._window = self.days * 24\n"
+        "    def validate(self):\n"
+        "        self.days = int(self.days)\n",
+        path="src/repro/datasets/example.py",
+        select=["CCH001"],
+    )
+    assert codes(report) == []
+
+
+def test_cch001_ignores_non_config_dataclasses_and_plain_classes():
+    report = lint_source(
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Record:\n"
+        "    tag = 'not-a-config'\n"
+        "class HelperConfig:\n"
+        "    tag = 'not-a-dataclass'\n",
+        path="src/repro/datasets/example.py",
+        select=["CCH001"],
+    )
+    assert codes(report) == []
+
+
+def test_cch001_suppressed():
+    report = lint_source(
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class BuildConfig:\n"
+        "    days: int = 16\n"
+        "    retries = 3  # repro: noqa[CCH001]\n",
+        path="src/repro/datasets/example.py",
+        select=["CCH001"],
+    )
+    assert codes(report) == []
+    assert report.suppressed == 1

@@ -1,0 +1,105 @@
+"""Runner behavior: JSON schema, allowlist policy, registry, parse errors."""
+
+import json
+
+from repro.lint import (
+    REPORT_SCHEMA,
+    Severity,
+    all_rules,
+    lint_source,
+    render_human,
+    render_json,
+    report_as_dict,
+    rule_codes,
+)
+from repro.lint.allowlist import SUPPRESSION_ALLOWLIST, is_allowlisted
+
+
+_DIRTY = (
+    "import numpy as np\n"
+    "rng = np.random.default_rng()\n"
+    "def summarize(values):\n"
+    "    return values\n"
+)
+
+
+def test_registry_contains_documented_rules():
+    expected = {"DET001", "DET002", "FRK001", "OBS001", "API001", "CCH001", "LNT000", "LNT001"}
+    assert expected <= set(rule_codes())
+    for rule in all_rules():
+        assert rule.code and rule.name and rule.rationale
+        assert isinstance(rule.severity, Severity)
+
+
+def test_json_report_schema():
+    report = lint_source(_DIRTY, path="src/repro/core/example.py")
+    payload = json.loads(render_json(report))
+    assert payload == report_as_dict(report)
+    assert payload["schema"] == REPORT_SCHEMA
+    assert payload["tool"] == "repro.lint"
+    assert payload["files"] == 1
+    assert isinstance(payload["findings"], list) and payload["findings"]
+    for finding in payload["findings"]:
+        assert set(finding) == {"rule", "severity", "path", "line", "col", "message"}
+        assert finding["severity"] in ("error", "warning")
+        assert isinstance(finding["line"], int) and finding["line"] >= 1
+    summary = payload["summary"]
+    assert summary["findings"] == len(payload["findings"])
+    assert summary["errors"] + summary["warnings"] == summary["findings"]
+    assert summary["by_rule"]["DET001"] == 1
+    # API001 (missing annotations) is the warning; DET001 the error.
+    assert summary["errors"] >= 1 and summary["warnings"] >= 1
+
+
+def test_findings_sorted_and_human_rendering():
+    report = lint_source(_DIRTY, path="src/repro/core/example.py")
+    keys = [f.sort_key() for f in sorted(report.findings, key=lambda f: f.sort_key())]
+    assert keys == sorted(keys)
+    text = render_human(report)
+    assert "src/repro/core/example.py:2" in text
+    assert "DET001" in text
+    assert text.strip().endswith("suppressed")
+
+
+def test_parse_failure_yields_lnt001():
+    report = lint_source("def broken(:\n", path="src/repro/core/example.py")
+    assert [f.rule for f in report.findings] == ["LNT001"]
+    assert report.exit_code() == 1
+
+
+def test_undocumented_suppression_yields_lnt000():
+    source = "import numpy as np\nrng = np.random.default_rng()  # repro: noqa[DET001]\n"
+    report = lint_source(
+        source, path="src/repro/core/example.py", select=["DET001", "LNT000"],
+        enforce_allowlist=True,
+    )
+    assert [f.rule for f in report.findings] == ["LNT000"]
+    assert report.suppressed == 1  # the DET001 noqa still applies...
+    assert report.exit_code() == 1  # ...but the undocumented comment fails the run
+
+
+def test_allowlisted_suppression_is_silent():
+    # repro/core/ownership.py x DET002 is the one documented allowance.
+    source = "def pick(distinct):\n    return next(iter(distinct))  # repro: noqa[DET002]\n"
+    report = lint_source(
+        source, path="src/repro/core/ownership.py", select=["DET002", "LNT000"],
+        enforce_allowlist=True,
+    )
+    assert report.findings == []
+
+
+def test_allowlist_entries_are_narrow_and_reasoned():
+    for allowance in SUPPRESSION_ALLOWLIST:
+        assert allowance.path.endswith(".py")
+        assert allowance.rule in rule_codes()
+        assert len(allowance.reason) >= 20
+        assert is_allowlisted(__import__("pathlib").Path("x/" + allowance.path), allowance.rule)
+
+
+def test_select_and_ignore_filters():
+    everything = lint_source(_DIRTY, path="src/repro/core/example.py")
+    only_det = lint_source(_DIRTY, path="src/repro/core/example.py", select=["DET001"])
+    no_api = lint_source(_DIRTY, path="src/repro/core/example.py", ignore=["API001"])
+    assert {f.rule for f in only_det.findings} == {"DET001"}
+    assert "API001" not in {f.rule for f in no_api.findings}
+    assert len(everything.findings) > len(only_det.findings)

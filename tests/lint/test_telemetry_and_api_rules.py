@@ -1,0 +1,134 @@
+"""OBS001 and API001 fixtures: positive, negative, and suppressed snippets."""
+
+from repro.lint import Severity, lint_source
+
+
+def codes(report):
+    return [finding.rule for finding in report.findings]
+
+
+# -- OBS001 -----------------------------------------------------------------
+
+
+def test_obs001_flags_print_and_bare_logging():
+    report = lint_source(
+        "import logging\n"
+        "def report(value):\n"
+        "    print(value)\n"
+        "    logging.getLogger(__name__).info('built')\n",
+        path="src/repro/harness/example.py",
+        select=["OBS001"],
+    )
+    assert codes(report) == ["OBS001", "OBS001"]
+
+
+def test_obs001_flags_from_logging_import_and_stream_writes():
+    report = lint_source(
+        "import sys\n"
+        "from logging import getLogger\n"
+        "def report(value):\n"
+        "    sys.stderr.write(str(value))\n",
+        path="src/repro/core/example.py",
+        select=["OBS001"],
+    )
+    assert codes(report) == ["OBS001", "OBS001"]
+
+
+def test_obs001_allows_cli_main_and_obs_package():
+    cli = lint_source(
+        "def main():\n"
+        "    print('report')\n",
+        path="src/repro/__main__.py",
+        select=["OBS001"],
+    )
+    obs = lint_source(
+        "import logging\n"
+        "HANDLER = logging.StreamHandler()\n",
+        path="src/repro/obs/log.py",
+        select=["OBS001"],
+    )
+    assert codes(cli) == []
+    assert codes(obs) == []
+
+
+def test_obs001_structured_logger_is_clean():
+    report = lint_source(
+        "from repro.obs.log import get_logger\n"
+        "_LOG = get_logger('repro.core.example')\n"
+        "def report(value):\n"
+        "    _LOG.info('built', value=value)\n",
+        path="src/repro/core/example.py",
+        select=["OBS001"],
+    )
+    assert codes(report) == []
+
+
+def test_obs001_suppressed():
+    report = lint_source(
+        "def report(value):\n"
+        "    print(value)  # repro: noqa[OBS001]\n",
+        path="src/repro/core/example.py",
+        select=["OBS001"],
+    )
+    assert codes(report) == []
+    assert report.suppressed == 1
+
+
+# -- API001 -----------------------------------------------------------------
+
+
+def test_api001_flags_missing_param_and_return_annotations():
+    report = lint_source(
+        "def summarize(values, q=50.0):\n"
+        "    return sorted(values)[0]\n",
+        path="src/repro/core/example.py",
+        select=["API001"],
+    )
+    assert codes(report) == ["API001", "API001"]
+    assert all(f.severity is Severity.WARNING for f in report.findings)
+
+
+def test_api001_ignores_private_nested_and_out_of_scope():
+    source = (
+        "def _helper(values):\n"
+        "    return values\n"
+        "def public() -> int:\n"
+        "    def inner(x):\n"
+        "        return x\n"
+        "    return inner(1)\n"
+        "class _Private:\n"
+        "    def method(self, x):\n"
+        "        return x\n"
+    )
+    in_scope = lint_source(source, path="src/repro/datasets/example.py", select=["API001"])
+    out_of_scope = lint_source(
+        "def summarize(values):\n    return values\n",
+        path="src/repro/harness/example.py",
+        select=["API001"],
+    )
+    assert codes(in_scope) == []
+    assert codes(out_of_scope) == []
+
+
+def test_api001_fully_annotated_method_is_clean():
+    report = lint_source(
+        "from typing import List\n"
+        "class Analyzer:\n"
+        "    def run(self, values: List[float], q: float = 50.0) -> float:\n"
+        "        return q\n",
+        path="src/repro/core/example.py",
+        select=["API001"],
+    )
+    assert codes(report) == []
+
+
+def test_api001_warning_exit_code_depends_on_strict():
+    report = lint_source(
+        "def summarize(values) -> float:\n"
+        "    return 0.0\n",
+        path="src/repro/core/example.py",
+        select=["API001"],
+    )
+    assert codes(report) == ["API001"]
+    assert report.exit_code(strict=False) == 0
+    assert report.exit_code(strict=True) == 1

@@ -7,7 +7,6 @@ from repro.measurement.traceroute import (
     ArtifactParams,
     TraceOutcome,
     TracerouteEngine,
-    TracerouteFlavor,
 )
 from repro.net.ip import IPVersion
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.net.asn import ASRelationship, RelationshipTable
+from repro.net.asn import ASRelationship
 from repro.net.ip import IPVersion
 from repro.routing.bgp import compute_best_routes, compute_route_table
 from repro.routing.policy import RouteClass, is_valley_free

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.net.ip import IPAddress, IPVersion
-from repro.net.prefix import Prefix
 from repro.topology.addressing import AddressingConfig, allocate_addresses
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.net.asn import ASRelationship
 from repro.net.ip import IPVersion
-from repro.topology.generator import ASTier, LinkMedium
+from repro.topology.generator import LinkMedium
 
 
 class TestRouters:
