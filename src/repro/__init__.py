@@ -30,16 +30,6 @@ Quickstart::
     print(record.render())
 """
 
-from repro.harness.scenarios import (
-    Scenario,
-    get_scenario,
-    scenario_longterm,
-    scenario_ping,
-    scenario_platform,
-    scenario_traces,
-)
-from repro.measurement.platform import MeasurementPlatform, PlatformConfig
-
 __version__ = "1.0.0"
 
 __all__ = [
@@ -53,3 +43,33 @@ __all__ = [
     "scenario_traces",
     "__version__",
 ]
+
+# The convenience exports are resolved lazily (PEP 562): the simulation
+# stack needs numpy, but dependency-light subpackages (repro.lint,
+# repro.obs) must stay importable in environments without it -- CI's
+# lint job installs only ruff.
+_LAZY_EXPORTS = {
+    "MeasurementPlatform": "repro.measurement.platform",
+    "PlatformConfig": "repro.measurement.platform",
+    "Scenario": "repro.harness.scenarios",
+    "get_scenario": "repro.harness.scenarios",
+    "scenario_platform": "repro.harness.scenarios",
+    "scenario_longterm": "repro.harness.scenarios",
+    "scenario_ping": "repro.harness.scenarios",
+    "scenario_traces": "repro.harness.scenarios",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -43,9 +43,15 @@ SUPPRESSION_ALLOWLIST: Tuple[Allowance, ...] = (
 
 
 def is_allowlisted(path: Path, rule: str) -> bool:
-    """Whether ``(path, rule)`` matches an allowlist entry."""
+    """Whether ``(path, rule)`` matches an allowlist entry.
+
+    Suffix matching stops at path-component boundaries so an allowance
+    for ``repro/core/ownership.py`` does not also cover, say,
+    ``other_repro/core/ownership.py``.
+    """
     posix = path.as_posix()
     return any(
-        posix.endswith(allowance.path) and allowance.rule == rule
+        (posix == allowance.path or posix.endswith("/" + allowance.path))
+        and allowance.rule == rule
         for allowance in SUPPRESSION_ALLOWLIST
     )

@@ -101,6 +101,7 @@ class FileContext:
         self.tree = ast.parse(source, filename=str(path))
         self.module = _module_name(path)
         self.module_parts: Tuple[str, ...] = tuple(self.module.split("."))
+        self.is_package = path.stem == "__init__"
         self.aliases = self._import_aliases(self.tree)
         self.suppressions = _parse_suppressions(source)
         self._line_rules: Dict[int, Set[str]] = {}
@@ -140,8 +141,13 @@ class FileContext:
             elif isinstance(node, ast.ImportFrom):
                 base = node.module or ""
                 if node.level:
-                    # Relative import: anchor at this module's package.
-                    package = list(self.module_parts[: -node.level] if self.module_parts else [])
+                    # Relative import: anchor at this module's package.  A
+                    # package's own name is already its level-1 anchor
+                    # (module_parts has no ``__init__`` component to strip),
+                    # so drop one component fewer there.
+                    drop = node.level - 1 if self.is_package else node.level
+                    keep = len(self.module_parts) - drop
+                    package = list(self.module_parts[:keep]) if keep > 0 else []
                     base = ".".join(package + ([node.module] if node.module else []))
                 for alias in node.names:
                     if alias.name == "*":

@@ -96,18 +96,20 @@ class UnseededRandomness(Rule):
                     "np.random.default_rng() without a seed draws OS entropy; "
                     "pass a seed (see repro.seeds) or thread an rng through",
                 )
-            elif (
-                not literals_allowed
-                and node.args
-                and isinstance(node.args[0], ast.Constant)
-                and isinstance(node.args[0].value, int)
-                and not isinstance(node.args[0].value, bool)
-            ):
-                yield self.finding(
-                    ctx, node,
-                    f"magic literal seed {node.args[0].value}; use a named "
-                    "constant from repro.seeds so default streams stay disjoint",
+            elif not literals_allowed:
+                seed = node.args[0] if node.args else next(
+                    (kw.value for kw in node.keywords if kw.arg == "seed"), None
                 )
+                if (
+                    isinstance(seed, ast.Constant)
+                    and isinstance(seed.value, int)
+                    and not isinstance(seed.value, bool)
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        f"magic literal seed {seed.value}; use a named "
+                        "constant from repro.seeds so default streams stay disjoint",
+                    )
             return
         if canonical == "numpy.random.SeedSequence" and not node.args and not node.keywords:
             yield self.finding(
@@ -183,10 +185,16 @@ class _SetFlow:
         bindings: Dict[str, List[ast.AST]] = {}
         disqualified: Set[str] = set()
         for node in _scope_statements(scope):
-            if isinstance(node, ast.Assign) and len(node.targets) == 1 and isinstance(
-                node.targets[0], ast.Name
-            ):
-                bindings.setdefault(node.targets[0].id, []).append(node.value)
+            if isinstance(node, ast.Assign):
+                if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                    bindings.setdefault(node.targets[0].id, []).append(node.value)
+                else:
+                    # Tuple/list unpacking and chained targets rebind names
+                    # to values we cannot see through; drop them.
+                    for target in node.targets:
+                        for name_node in ast.walk(target):
+                            if isinstance(name_node, ast.Name):
+                                disqualified.add(name_node.id)
             elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
                 if node.value is not None:
                     bindings.setdefault(node.target.id, []).append(node.value)

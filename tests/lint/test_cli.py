@@ -37,6 +37,31 @@ def test_clean_src_exits_zero():
     assert "0 finding(s)" in result.stdout
 
 
+def test_lint_runs_without_numpy(tmp_path):
+    # CI's lint job installs only ruff: `python -m repro.lint` must not
+    # drag in the numpy-backed simulation stack via the package root.
+    blocker = (
+        "import runpy, sys\n"
+        "class BlockNumpy:\n"
+        "    def find_spec(self, name, path=None, target=None):\n"
+        "        if name == 'numpy' or name.startswith('numpy.'):\n"
+        "            raise ModuleNotFoundError('numpy blocked')\n"
+        "        return None\n"
+        "sys.meta_path.insert(0, BlockNumpy())\n"
+        "sys.argv = ['repro.lint', sys.argv[1], '--strict']\n"
+        "runpy.run_module('repro.lint', run_name='__main__')\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", blocker, str(SRC)],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 finding(s)" in result.stdout
+
+
 def test_dirty_tree_exits_one_with_human_finding(dirty_tree):
     result = run_cli(str(dirty_tree))
     assert result.returncode == 1

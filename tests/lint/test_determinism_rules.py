@@ -32,10 +32,22 @@ def test_det001_flags_magic_literal_seed():
     assert "repro.seeds" in report.findings[0].message
 
 
+def test_det001_flags_magic_literal_seed_keyword():
+    report = lint_source(
+        "import numpy as np\n"
+        "rng = np.random.default_rng(seed=42)\n",
+        path="src/repro/core/example.py",
+        select=["DET001"],
+    )
+    assert codes(report) == ["DET001"]
+    assert "repro.seeds" in report.findings[0].message
+
+
 def test_det001_allows_literal_seeds_in_seeds_module():
     report = lint_source(
         "import numpy as np\n"
-        "rng = np.random.default_rng(42)\n",
+        "rng = np.random.default_rng(42)\n"
+        "rng2 = np.random.default_rng(seed=7)\n",
         path="src/repro/seeds.py",
         select=["DET001"],
     )
@@ -183,6 +195,20 @@ def test_det002_membership_only_sets_are_clean():
         "            return True\n"
         "        seen.add(hop)\n"
         "    return False\n",
+        path="src/repro/core/example.py",
+        select=["DET002"],
+    )
+    assert codes(report) == []
+
+
+def test_det002_tuple_rebinding_disqualifies_set_names():
+    # `s, t = compute()` rebinds s to an unknown value; list(s) must not
+    # be flagged just because an earlier binding of s was a set.
+    report = lint_source(
+        "def build(x, compute):\n"
+        "    s = set(x)\n"
+        "    s, t = compute()\n"
+        "    return list(s)\n",
         path="src/repro/core/example.py",
         select=["DET002"],
     )

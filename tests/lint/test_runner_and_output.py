@@ -96,6 +96,35 @@ def test_allowlist_entries_are_narrow_and_reasoned():
         assert is_allowlisted(__import__("pathlib").Path("x/" + allowance.path), allowance.rule)
 
 
+def test_allowlist_matching_stops_at_path_boundaries():
+    from pathlib import Path
+
+    allowance = SUPPRESSION_ALLOWLIST[0]
+    assert is_allowlisted(Path(allowance.path), allowance.rule)
+    assert is_allowlisted(Path("src/" + allowance.path), allowance.rule)
+    # A path that merely *ends with* the allowed string (no component
+    # boundary) must not inherit the allowance.
+    assert not is_allowlisted(Path("src/other_" + allowance.path), allowance.rule)
+
+
+def test_relative_imports_resolve_against_the_right_package():
+    from pathlib import Path
+
+    from repro.lint.context import FileContext
+
+    source = "from . import sibling\nfrom .sibling import thing\n"
+    # In a plain module, `.` is the containing package...
+    module_ctx = FileContext(Path("src/repro/core/example.py"), source)
+    assert module_ctx.aliases["sibling"] == "repro.core.sibling"
+    assert module_ctx.aliases["thing"] == "repro.core.sibling.thing"
+    # ...and in a package __init__, `.` is the package itself.
+    package_ctx = FileContext(Path("src/repro/core/__init__.py"), source)
+    assert package_ctx.aliases["sibling"] == "repro.core.sibling"
+    assert package_ctx.aliases["thing"] == "repro.core.sibling.thing"
+    two_up = FileContext(Path("src/repro/core/__init__.py"), "from ..obs import log\n")
+    assert two_up.aliases["log"] == "repro.obs.log"
+
+
 def test_select_and_ignore_filters():
     everything = lint_source(_DIRTY, path="src/repro/core/example.py")
     only_det = lint_source(_DIRTY, path="src/repro/core/example.py", select=["DET001"])
