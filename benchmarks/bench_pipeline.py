@@ -1,12 +1,17 @@
-"""End-to-end pipeline benchmark: serial vs parallel vs warm cache.
+"""End-to-end pipeline benchmark: serial vs parallel vs warm cache vs stream.
 
-Runs the full dataset-generation pipeline (platform, long-term dataset,
-short-term pings and traces, all experiments) three times:
+Runs the dataset-generation pipeline four times, each phase in its own
+subprocess so ``resource.getrusage`` peak-RSS readings are per-phase
+(``ru_maxrss`` is a process-lifetime high-water mark and never resets):
 
-1. ``serial``    -- jobs=1, cold cache (populates it).
+1. ``serial``    -- jobs=1, cold cache (populates it), all experiments.
 2. ``parallel``  -- jobs=N, its own cold cache directory.
 3. ``warm``      -- jobs=1, reusing the serial phase's cache, so platform
    and long-term construction are skipped entirely.
+4. ``stream``    -- the bounded-memory streaming engine serving its four
+   experiments (fig3, fig6, congestion-norm, localization) without ever
+   materializing a dataset; its peak RSS against serial's is the
+   headline memory number.
 
 Writes machine-readable per-stage timings to a JSON file (default
 ``benchmarks/output/pipeline_timings.json``) plus a stable-schema
@@ -26,6 +31,8 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import resource
+import subprocess
 import sys
 import tempfile
 import time
@@ -41,6 +48,17 @@ from repro.datasets.shortterm import (
     build_shortterm_trace_dataset,
 )
 
+SUMMARY_SCHEMA = 2
+
+
+def _peak_rss_bytes(who: int = resource.RUSAGE_SELF) -> int:
+    """This process's (or its children's) peak resident set, in bytes.
+
+    Linux reports ``ru_maxrss`` in KiB, macOS in bytes.
+    """
+    raw = resource.getrusage(who).ru_maxrss
+    return int(raw) if sys.platform == "darwin" else int(raw) * 1024
+
 
 def run_phase(
     scenario_name: str,
@@ -48,7 +66,7 @@ def run_phase(
     jobs: int,
     cache_dir: Path,
 ) -> dict:
-    """One full pipeline pass; returns its timing record."""
+    """One full batch pipeline pass; returns its timing record."""
     scenario = get_scenario(scenario_name)
     cache = ArtifactCache(cache_dir)
     timings = Timings()
@@ -96,24 +114,89 @@ def run_phase(
     }
 
 
+def run_stream_phase(scenario_name: str, seed: int) -> dict:
+    """One streaming-engine pass (serial shards, no dataset, no cache)."""
+    from repro.measurement.platform import MeasurementPlatform
+    from repro.stream.engine import StreamEngine
+
+    scenario = get_scenario(scenario_name)
+    timings = Timings()
+    started = time.perf_counter()
+
+    with timings.stage("platform-build"):
+        platform = MeasurementPlatform(scenario.platform_config(seed))
+    engine = StreamEngine(
+        platform,
+        longterm_config=scenario.longterm_config(),
+        shortterm_config=scenario.shortterm_config(),
+    )
+    with timings.stage("stream-run"):
+        results = engine.run()
+    wall = time.perf_counter() - started
+
+    return {
+        "jobs": 1,
+        "cache_hit": {},
+        "wall_seconds": wall,
+        "stage_seconds": timings.as_dict(),
+        "stages": timings.as_records(),
+        "experiments": len(results),
+    }
+
+
+def _child_main(args: argparse.Namespace) -> int:
+    """``--run-phase`` entry: run one phase, print its record as JSON."""
+    if args.run_phase == "stream":
+        record = run_stream_phase(args.scenario, args.seed)
+    else:
+        record = run_phase(
+            args.scenario, args.seed, jobs=args.jobs, cache_dir=Path(args.cache_dir)
+        )
+    record["peak_rss_bytes"] = _peak_rss_bytes()
+    record["peak_rss_children_bytes"] = _peak_rss_bytes(resource.RUSAGE_CHILDREN)
+    print(json.dumps(record))
+    return 0
+
+
+def _run_phase_subprocess(
+    name: str, scenario: str, seed: int, jobs: int, cache_dir: Path
+) -> dict:
+    """Launch one phase in a fresh interpreter and parse its JSON record."""
+    argv = [
+        sys.executable, __file__,
+        "--run-phase", name,
+        "--scenario", scenario,
+        "--seed", str(seed),
+        "--jobs", str(jobs),
+        "--cache-dir", str(cache_dir),
+    ]
+    proc = subprocess.run(argv, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError(f"phase {name!r} failed with exit {proc.returncode}")
+    # The record is the last stdout line; anything above it is phase noise.
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
 def build_summary(report: dict, parallel_jobs: int) -> dict:
     """The stable-schema repo-root summary (``BENCH_pipeline.json``).
 
-    Schema (version 1): top-level run parameters plus, per phase
-    (serial/parallel/warm), its wall time and a flat stage -> seconds
-    map.  Values are rounded so diffs stay readable.
+    Schema version 2: version 1's per-phase wall time and flat
+    stage -> seconds map, plus per-phase ``peak_rss_mb`` and a ``memory``
+    section with the stream-vs-serial peak-RSS ratio.
     """
     phases = {}
     for phase_name, phase in report["phases"].items():
         phases[phase_name] = {
             "wall_seconds": round(phase["wall_seconds"], 3),
+            "peak_rss_mb": round(phase["peak_rss_bytes"] / 1e6, 1),
             "stage_seconds": {
                 stage: round(seconds, 3)
                 for stage, seconds in sorted(phase["stage_seconds"].items())
             },
         }
     return {
-        "schema": 1,
+        "schema": SUMMARY_SCHEMA,
         "benchmark": "pipeline",
         "scenario": report["scenario"],
         "seed": report["seed"],
@@ -122,6 +205,9 @@ def build_summary(report: dict, parallel_jobs: int) -> dict:
         "phases": phases,
         "speedup": {name: round(value, 2)
                     for name, value in report["speedup"].items()},
+        "memory": {
+            name: round(value, 3) for name, value in report["memory"].items()
+        },
     }
 
 
@@ -144,7 +230,14 @@ def main(argv=None) -> int:
         help="where to write the stable-schema summary "
              "(empty string disables it)",
     )
+    parser.add_argument("--run-phase", default=None, metavar="NAME",
+                        help=argparse.SUPPRESS)  # internal: child-process mode
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help=argparse.SUPPRESS)  # internal: child-process mode
     args = parser.parse_args(argv)
+
+    if args.run_phase:
+        return _child_main(args)
 
     parallel_jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     report = {
@@ -159,28 +252,32 @@ def main(argv=None) -> int:
         serial_cache = Path(tmp) / "serial"
         parallel_cache = Path(tmp) / "parallel"
 
-        print(f"[1/3] serial   (jobs=1, cold cache)", flush=True)
-        report["phases"]["serial"] = run_phase(
-            args.scenario, args.seed, jobs=1, cache_dir=serial_cache
-        )
-        print(f"      {report['phases']['serial']['wall_seconds']:.2f}s", flush=True)
-
-        print(f"[2/3] parallel (jobs={parallel_jobs}, cold cache)", flush=True)
-        report["phases"]["parallel"] = run_phase(
-            args.scenario, args.seed, jobs=parallel_jobs, cache_dir=parallel_cache
-        )
-        print(f"      {report['phases']['parallel']['wall_seconds']:.2f}s", flush=True)
-
-        print(f"[3/3] warm     (jobs=1, reusing serial cache)", flush=True)
-        report["phases"]["warm"] = run_phase(
-            args.scenario, args.seed, jobs=1, cache_dir=serial_cache
-        )
-        print(f"      {report['phases']['warm']['wall_seconds']:.2f}s", flush=True)
+        plan = [
+            ("serial", 1, serial_cache, "jobs=1, cold cache"),
+            ("parallel", parallel_jobs, parallel_cache,
+             f"jobs={parallel_jobs}, cold cache"),
+            ("warm", 1, serial_cache, "jobs=1, reusing serial cache"),
+            ("stream", 1, serial_cache, "streaming engine, no dataset"),
+        ]
+        for step, (name, jobs, cache_dir, blurb) in enumerate(plan, start=1):
+            print(f"[{step}/{len(plan)}] {name:<8} ({blurb})", flush=True)
+            record = _run_phase_subprocess(
+                name, args.scenario, args.seed, jobs, cache_dir
+            )
+            report["phases"][name] = record
+            print(f"      {record['wall_seconds']:.2f}s, "
+                  f"peak RSS {record['peak_rss_bytes'] / 1e6:.0f} MB", flush=True)
 
     serial = report["phases"]["serial"]["wall_seconds"]
     report["speedup"] = {
         "parallel": serial / max(report["phases"]["parallel"]["wall_seconds"], 1e-9),
         "warm": serial / max(report["phases"]["warm"]["wall_seconds"], 1e-9),
+    }
+    report["memory"] = {
+        "stream_vs_serial_rss": (
+            report["phases"]["stream"]["peak_rss_bytes"]
+            / max(report["phases"]["serial"]["peak_rss_bytes"], 1)
+        ),
     }
     assert report["phases"]["warm"]["cache_hit"] == {
         "platform": True, "longterm": True,
@@ -191,6 +288,8 @@ def main(argv=None) -> int:
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"\nspeedup: parallel x{report['speedup']['parallel']:.2f}, "
           f"warm x{report['speedup']['warm']:.2f}")
+    print(f"stream peak RSS: "
+          f"{report['memory']['stream_vs_serial_rss']:.1%} of serial")
     print(f"wrote {output}")
 
     if args.summary:

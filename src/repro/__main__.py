@@ -13,6 +13,8 @@ Examples::
     python -m repro reproduce --scenario default --experiments table1,fig3
     python -m repro reproduce --scenario small --log-json \\
         --trace-out trace.json --run-report run.json
+    python -m repro reproduce --scenario default --stream \\
+        --checkpoint-dir /tmp/ckpt --resume
 
 Observability: ``--log-level``/``--log-json`` (or ``REPRO_LOG_LEVEL`` /
 ``REPRO_LOG_JSON``) control structured logging on stderr; ``--trace-out``
@@ -109,6 +111,12 @@ def _command_reproduce(args: argparse.Namespace) -> int:
     from repro.harness import experiments as exp
     from repro.harness.engine import ArtifactCache, Timings
     from repro.harness.scenarios import get_scenario
+
+    if args.stream:
+        return _command_reproduce_stream(args)
+    if args.checkpoint_dir or args.resume:
+        print("error: --checkpoint-dir/--resume require --stream", file=sys.stderr)
+        return 2
 
     wanted = (
         [name.strip() for name in args.experiments.split(",")]
@@ -239,6 +247,115 @@ def _command_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_reproduce_stream(args: argparse.Namespace) -> int:
+    """``reproduce --stream``: serve the reports from the streaming engine.
+
+    Instead of materializing whole datasets and handing them to the batch
+    drivers, the platform's records flow through the incremental
+    operators in bounded memory.  Only the experiments those operators
+    serve are available; ``--checkpoint-dir`` enables mid-campaign
+    snapshots and ``--resume`` picks the last one up bit-identically.
+    """
+    from repro.harness.engine import ArtifactCache, Timings
+    from repro.harness.scenarios import get_scenario
+    from repro.stream.checkpoint import CHECKPOINT_SCHEMA_VERSION, required_phases
+    from repro.stream.engine import STREAM_EXPERIMENTS, StreamConfig, StreamEngine
+
+    wanted = (
+        [name.strip() for name in args.experiments.split(",")]
+        if args.experiments
+        else list(STREAM_EXPERIMENTS)
+    )
+    unknown = [name for name in wanted if name not in STREAM_EXPERIMENTS]
+    if unknown:
+        print(f"error: experiments not served by --stream: {unknown}; valid: "
+              f"{', '.join(STREAM_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+
+    observing = bool(args.timings or args.trace_out or args.run_report)
+    registry = get_registry()
+    if observing:
+        registry.reset()
+
+    timings = Timings() if observing else None
+    tracer = Tracer()
+    cache = None
+    if args.cache or args.cache_dir:
+        cache = ArtifactCache(args.cache_dir)
+        if args.refresh_cache:
+            cache.clear()
+    jobs = args.jobs if args.jobs >= 1 else (os.cpu_count() or 1)
+
+    scenario = get_scenario(args.scenario)
+    stream_config = StreamConfig(shards=jobs)
+    _LOG.info("reproduce.stream.start", scenario=args.scenario, seed=args.seed,
+              shards=jobs, experiments=",".join(wanted), resume=args.resume)
+
+    with use_tracer(tracer), tracer.span(
+        "reproduce", scenario=args.scenario, seed=args.seed, jobs=jobs, stream=True
+    ):
+        platform = scenario_platform(
+            args.scenario, args.seed, jobs=jobs, cache=cache, timings=timings
+        )
+        engine = StreamEngine(
+            platform,
+            longterm_config=scenario.longterm_config(),
+            shortterm_config=scenario.shortterm_config(),
+            experiments=wanted,
+            config=stream_config,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        results = engine.run(resume=args.resume)
+
+    for result in results:
+        print(result.render())
+        print()
+    if args.timings:
+        print("== stage timings ==")
+        print(timings.render())
+
+    if args.trace_out:
+        with open(args.trace_out, "w") as handle:
+            json.dump(tracer.to_chrome_trace(), handle, indent=2)
+            handle.write("\n")
+        _LOG.info("trace.written", path=args.trace_out,
+                  spans=len(tracer.spans))
+    if args.run_report:
+        platform_config = scenario.platform_config(args.seed)
+        phases = required_phases(wanted)
+        configs = {"platform": platform_config}
+        if phases["longterm"]:
+            configs["longterm"] = (platform_config, scenario.longterm_config())
+        manifest = obs_runinfo.build_manifest(
+            scenario=args.scenario,
+            seed=args.seed,
+            jobs=jobs,
+            experiments=wanted,
+            configs=configs,
+            registry=registry,
+            tracer=tracer,
+            extra={
+                "stream": {
+                    "enabled": True,
+                    "experiments": wanted,
+                    "phases": phases,
+                    "checkpoint_fingerprint": engine.fingerprint,
+                    "checkpoint_schema": CHECKPOINT_SCHEMA_VERSION,
+                    "shards": jobs,
+                    "window_rounds": stream_config.window_rounds,
+                    "resumed": bool(args.resume),
+                }
+            },
+        )
+        obs_runinfo.write_run_report(args.run_report, manifest)
+        _LOG.info("run_report.written", path=args.run_report)
+    _LOG.info("reproduce.done", experiments=len(results))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     logging_options = argparse.ArgumentParser(add_help=False)
@@ -306,6 +423,21 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument(
         "--refresh-cache", action="store_true",
         help="with --cache: drop existing entries and rebuild",
+    )
+    reproduce.add_argument(
+        "--stream", action="store_true",
+        help="serve the reports from the bounded-memory streaming engine "
+             "(experiments limited to fig3, fig6, congestion-norm, "
+             "localization; --jobs controls source shards)",
+    )
+    reproduce.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="with --stream: snapshot operator state here for resumable runs",
+    )
+    reproduce.add_argument(
+        "--resume", action="store_true",
+        help="with --stream --checkpoint-dir: resume from the last snapshot "
+             "(bit-identical to an uninterrupted run)",
     )
     reproduce.add_argument(
         "--trace-out", default=None, metavar="FILE",

@@ -19,6 +19,7 @@ import numpy as np
 from repro.datasets.timeline import PingTimeline
 
 __all__ = [
+    "fill_missing_rtts",
     "diurnal_power_ratio",
     "CongestionDetector",
     "CongestionVerdict",
@@ -28,8 +29,15 @@ __all__ = [
 HOURS_PER_DAY = 24.0
 
 
-def _fill_missing(values: np.ndarray) -> Optional[np.ndarray]:
-    """Replace NaNs by linear interpolation (median at the edges)."""
+def fill_missing_rtts(values: np.ndarray) -> Optional[np.ndarray]:
+    """Replace NaNs by linear interpolation (edge values are clamped).
+
+    Public because the streaming detector
+    (:mod:`repro.stream.operators`) must apply the *exact* same gap
+    filling as this batch FFT detector for the two to agree sample for
+    sample.  Returns ``None`` for series with fewer than four finite
+    samples (too sparse to interpolate meaningfully).
+    """
     finite = np.isfinite(values)
     if finite.sum() < 4:
         return None
@@ -61,7 +69,7 @@ def diurnal_power_ratio(
         a window shorter than one day).
     """
     times_hours = np.asarray(times_hours, dtype=float)
-    rtt = _fill_missing(np.asarray(rtt_ms, dtype=float))
+    rtt = fill_missing_rtts(np.asarray(rtt_ms, dtype=float))
     if rtt is None or times_hours.size != rtt.size:
         return float("nan")
     if times_hours.size < 8:

@@ -5,13 +5,29 @@ regenerate at paper scale; saving one lets benchmark runs and notebooks
 reload it instantly.  Arrays go into a single compressed ``.npz``; the
 variable-size metadata (AS-path tables, grid, server index) goes into a
 JSON sidecar embedded in the same archive.
+
+Two streaming access paths feed :mod:`repro.stream` without ever holding
+a whole campaign in memory:
+
+- :func:`iter_longterm` yields the archive's timelines **one at a time**
+  (NPZ members decompress lazily on access); :func:`load_longterm` is a
+  thin wrapper that drains it into the batch dataset dict.
+- :func:`save_records` / :func:`iter_records` persist flat measurement
+  records (:class:`~repro.stream.records.TracerouteRecord` /
+  :class:`~repro.stream.records.PingRecord`) as JSON Lines, one record
+  per line in writer order -- campaign dumps conventionally use
+  round-major order (every pair's round ``r`` before any pair's round
+  ``r+1``), matching how a live collection pipeline would emit them.
+  Both ends are generators: constant memory however large the file.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
+import math
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
 import numpy as np
 
@@ -20,8 +36,18 @@ from repro.datasets.shortterm import ShortTermPingDataset
 from repro.datasets.timeline import PingTimeline, TraceTimeline
 from repro.measurement.scheduler import CampaignGrid
 from repro.net.ip import IPVersion
+from repro.stream.records import PingRecord, TracerouteRecord
 
-__all__ = ["save_longterm", "load_longterm", "save_pings", "load_pings"]
+__all__ = [
+    "save_longterm",
+    "load_longterm",
+    "iter_longterm",
+    "save_pings",
+    "load_pings",
+    "save_records",
+    "iter_records",
+    "RECORDS_SCHEMA_VERSION",
+]
 
 _PathLike = Union[str, Path]
 
@@ -67,33 +93,61 @@ def save_longterm(dataset: LongTermDataset, path: _PathLike) -> None:
         np.savez_compressed(handle, **arrays)
 
 
-def load_longterm(path: _PathLike) -> LongTermDataset:
-    """Load a dataset written by :func:`save_longterm`."""
+def _parse_grid(meta: Dict[str, object]) -> CampaignGrid:
+    return CampaignGrid(
+        start_hour=float(meta["grid"]["start_hour"]),
+        period_hours=float(meta["grid"]["period_hours"]),
+        rounds=int(meta["grid"]["rounds"]),
+    )
+
+
+def _archive_timelines(archive, meta, times: np.ndarray) -> Iterator[TraceTimeline]:
+    for entry in meta["timelines"]:
+        src, dst = int(entry["src"]), int(entry["dst"])
+        version = IPVersion(int(entry["version"]))
+        token = _key_token(src, dst, version)
+        paths: List[Tuple[int, ...]] = [tuple(path) for path in entry["paths"]]
+        yield TraceTimeline(
+            src_server_id=src,
+            dst_server_id=dst,
+            version=version,
+            times_hours=times,
+            rtt_ms=archive[f"rtt_{token}"],
+            outcome=archive[f"outcome_{token}"],
+            path_id=archive[f"pathid_{token}"],
+            paths=paths,
+            true_candidate=archive[f"cand_{token}"],
+        )
+
+
+def iter_longterm(path: _PathLike) -> Iterator[TraceTimeline]:
+    """Yield an archive's timelines one at a time, in saved (pair) order.
+
+    Only the yielded timeline's arrays are decompressed and alive at any
+    moment -- NPZ members load lazily on access -- so replaying a
+    paper-scale archive through the streaming operators stays within the
+    stream's memory bound.  The archive handle closes when the generator
+    is exhausted (or closed).
+    """
     with np.load(path) as archive:
         meta = json.loads(bytes(archive["_meta"].tobytes()).decode("utf-8"))
-        grid = CampaignGrid(
-            start_hour=float(meta["grid"]["start_hour"]),
-            period_hours=float(meta["grid"]["period_hours"]),
-            rounds=int(meta["grid"]["rounds"]),
-        )
-        times = grid.times()
+        times = _parse_grid(meta).times()
+        yield from _archive_timelines(archive, meta, times)
+
+
+def load_longterm(path: _PathLike) -> LongTermDataset:
+    """Load a dataset written by :func:`save_longterm`.
+
+    Thin wrapper over the :func:`iter_longterm` reader: drains the same
+    lazy timeline stream into the batch dataset's dict.
+    """
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["_meta"].tobytes()).decode("utf-8"))
+        grid = _parse_grid(meta)
         dataset = LongTermDataset(grid=grid)
-        for entry in meta["timelines"]:
-            src, dst = int(entry["src"]), int(entry["dst"])
-            version = IPVersion(int(entry["version"]))
-            token = _key_token(src, dst, version)
-            paths: List[Tuple[int, ...]] = [tuple(path) for path in entry["paths"]]
-            dataset.timelines[(src, dst, version)] = TraceTimeline(
-                src_server_id=src,
-                dst_server_id=dst,
-                version=version,
-                times_hours=times,
-                rtt_ms=archive[f"rtt_{token}"],
-                outcome=archive[f"outcome_{token}"],
-                path_id=archive[f"pathid_{token}"],
-                paths=paths,
-                true_candidate=archive[f"cand_{token}"],
-            )
+        for timeline in _archive_timelines(archive, meta, grid.times()):
+            key = (timeline.src_server_id, timeline.dst_server_id, timeline.version)
+            dataset.timelines[key] = timeline
     return dataset
 
 
@@ -143,3 +197,118 @@ def load_pings(path: _PathLike) -> ShortTermPingDataset:
                 rtt_ms=archive[f"ping_{token}"],
             )
     return dataset
+
+
+# ----------------------------------------------------------------------
+# Flat measurement records as JSON Lines (the stream's wire format)
+# ----------------------------------------------------------------------
+
+RECORDS_SCHEMA_VERSION = 1
+"""Bump when the JSONL record line layout changes shape."""
+
+
+def _open_text(path: _PathLike, mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def _finite_or_none(value: float):
+    return float(value) if math.isfinite(value) else None
+
+
+def _record_line(record) -> Dict[str, object]:
+    if isinstance(record, TracerouteRecord):
+        return {
+            "t": "trace",
+            "src": record.src,
+            "dst": record.dst,
+            "v": record.version,
+            "r": record.round_index,
+            "h": record.time_hours,
+            "rtt": _finite_or_none(record.rtt_ms),
+            "o": record.outcome,
+            "p": list(record.as_path) if record.as_path is not None else None,
+        }
+    if isinstance(record, PingRecord):
+        return {
+            "t": "ping",
+            "src": record.src,
+            "dst": record.dst,
+            "v": record.version,
+            "r": record.round_index,
+            "h": record.time_hours,
+            "rtt": _finite_or_none(record.rtt_ms),
+        }
+    raise TypeError(f"cannot serialize record of type {type(record).__name__}")
+
+
+def save_records(records: Iterable[object], path: _PathLike) -> None:
+    """Write measurement records as JSON Lines, one record per line.
+
+    Records are written in iteration order with constant memory; the
+    conventional order for campaign dumps is round-major (every pair's
+    round ``r`` before any pair's round ``r+1``), mirroring a live
+    collection pipeline's emission order.  A header line carries the
+    schema version.  Floats round-trip exactly (shortest-repr JSON);
+    NaN RTTs (losses / unreached destinations) are stored as ``null``.
+    A ``.gz`` suffix transparently gzip-compresses.
+    """
+    with _open_text(path, "w") as handle:
+        header = {"format": "repro-records", "schema": RECORDS_SCHEMA_VERSION}
+        handle.write(json.dumps(header, allow_nan=False) + "\n")
+        for record in records:
+            handle.write(json.dumps(_record_line(record), allow_nan=False) + "\n")
+
+
+def iter_records(path: _PathLike) -> Iterator[object]:
+    """Yield records written by :func:`save_records`, in file order.
+
+    A generator end to end: one line is parsed at a time, so the
+    streaming operators can consume arbitrarily large dumps in bounded
+    memory.
+
+    Raises:
+        ValueError: Not a record file, or an unknown schema version.
+    """
+    with _open_text(path, "r") as handle:
+        header = json.loads(next(handle, "null"))
+        if not isinstance(header, dict) or header.get("format") != "repro-records":
+            raise ValueError(f"{path}: not a repro-records JSONL file")
+        if header.get("schema") != RECORDS_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: records schema {header.get('schema')!r} unsupported "
+                f"(expected {RECORDS_SCHEMA_VERSION})"
+            )
+        for line in handle:
+            if not line.strip():
+                continue
+            entry = json.loads(line)
+            rtt = entry["rtt"]
+            rtt = float("nan") if rtt is None else float(rtt)
+            if entry["t"] == "trace":
+                as_path = entry["p"]
+                yield TracerouteRecord(
+                    src=int(entry["src"]),
+                    dst=int(entry["dst"]),
+                    version=int(entry["v"]),
+                    round_index=int(entry["r"]),
+                    time_hours=float(entry["h"]),
+                    rtt_ms=rtt,
+                    outcome=int(entry["o"]),
+                    as_path=tuple(int(asn) for asn in as_path)
+                    if as_path is not None
+                    else None,
+                )
+            elif entry["t"] == "ping":
+                yield PingRecord(
+                    src=int(entry["src"]),
+                    dst=int(entry["dst"]),
+                    version=int(entry["v"]),
+                    round_index=int(entry["r"]),
+                    time_hours=float(entry["h"]),
+                    rtt_ms=rtt,
+                )
+            else:
+                raise ValueError(f"{path}: unknown record type {entry['t']!r}")

@@ -15,11 +15,19 @@ therefore invisible to this rule (they are reads plus registry method
 calls, not mutations of *this module's* globals) -- the rule only fires
 on direct mutation of names defined at module level in the same module.
 
+The same copy-on-write trap applies to raw ``multiprocessing`` workers:
+``repro.stream.source.ShardedSource`` forks ``Process(target=...)``
+workers directly, so the rule also resolves callables passed as the
+``target=`` keyword (or first positional argument) of ``Process(...)``
+calls and holds them to the identical contract -- results travel through
+the queue, side effects through registry snapshot deltas.
+
 Scope and limits: the rule resolves the callable passed to ``fork_map``
-when it is a lambda or a ``def`` in the same file (including closures)
-and inspects that one function body; it does not chase calls into other
-functions.  That matches how every call site in this repo is written --
-a small local ``run_task`` closure delegating to a pure builder.
+or ``Process`` when it is a lambda or a ``def`` in the same file
+(including closures) and inspects that one function body; it does not
+chase calls into other functions.  That matches how every call site in
+this repo is written -- a small local ``run_task`` closure (or a
+module-level ``_shard_worker``) delegating to a pure builder.
 """
 
 from __future__ import annotations
@@ -72,9 +80,10 @@ class ForkUnsafeMutation(Rule):
     name = "fork-unsafe-mutation"
     severity = Severity.ERROR
     rationale = (
-        "Mutations of module-level state inside fork_map workers die with "
-        "the worker process, so serial and parallel runs diverge; worker "
-        "side effects must travel through MetricsRegistry snapshot deltas."
+        "Mutations of module-level state inside fork_map or Process workers "
+        "die with the worker process, so serial and parallel runs diverge; "
+        "worker side effects must travel through MetricsRegistry snapshot "
+        "deltas."
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -91,9 +100,20 @@ class ForkUnsafeMutation(Rule):
                 func_name = node.func.id
             elif isinstance(node.func, ast.Attribute):
                 func_name = node.func.attr
-            if func_name != "fork_map" or not node.args:
+            worker = None
+            if func_name == "fork_map" and node.args:
+                worker = node.args[0]
+            elif func_name == "Process":
+                # multiprocessing.Process / ctx.Process: the worker is the
+                # target= keyword (or, rarely, the first positional arg).
+                for keyword in node.keywords:
+                    if keyword.arg == "target":
+                        worker = keyword.value
+                        break
+                if worker is None and node.args:
+                    worker = node.args[0]
+            if worker is None:
                 continue
-            worker = node.args[0]
             workers: List[_Worker] = []
             if isinstance(worker, ast.Lambda):
                 workers = [worker]
@@ -103,10 +123,10 @@ class ForkUnsafeMutation(Rule):
                 if id(candidate) in seen:
                     continue
                 seen.add(id(candidate))
-                yield from self._check_worker(ctx, candidate, module_names)
+                yield from self._check_worker(ctx, candidate, module_names, func_name)
 
     def _check_worker(
-        self, ctx: FileContext, worker: _Worker, module_names: Set[str]
+        self, ctx: FileContext, worker: _Worker, module_names: Set[str], via: str
     ) -> Iterator[Finding]:
         for node in ast.walk(worker):
             if isinstance(node, ast.Global):
@@ -114,7 +134,7 @@ class ForkUnsafeMutation(Rule):
                 if shared:
                     yield self.finding(
                         ctx, node,
-                        f"fork_map worker declares global {', '.join(shared)}; "
+                        f"{via} worker declares global {', '.join(shared)}; "
                         "rebinding module state in a worker never reaches the "
                         "parent process",
                     )
@@ -124,7 +144,7 @@ class ForkUnsafeMutation(Rule):
                     and isinstance(node.func.value, ast.Name)
                     and node.func.value.id in module_names
                 ):
-                    yield self._mutation_finding(ctx, node, node.func.value.id)
+                    yield self._mutation_finding(ctx, node, node.func.value.id, via)
             elif isinstance(node, (ast.Assign, ast.AugAssign)):
                 targets = node.targets if isinstance(node, ast.Assign) else [node.target]
                 for target in targets:
@@ -136,12 +156,14 @@ class ForkUnsafeMutation(Rule):
                         and isinstance(base, ast.Name)
                         and base.id in module_names
                     ):
-                        yield self._mutation_finding(ctx, node, base.id)
+                        yield self._mutation_finding(ctx, node, base.id, via)
 
-    def _mutation_finding(self, ctx: FileContext, node: ast.AST, name: str) -> Finding:
+    def _mutation_finding(
+        self, ctx: FileContext, node: ast.AST, name: str, via: str
+    ) -> Finding:
         return self.finding(
             ctx, node,
-            f"fork_map worker mutates module-level {name!r}; the change is "
+            f"{via} worker mutates module-level {name!r}; the change is "
             "lost when the worker exits -- accumulate through "
             "MetricsRegistry snapshot deltas or return the data as the "
             "item's result",

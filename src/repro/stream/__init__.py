@@ -1,0 +1,86 @@
+"""repro.stream: bounded-memory streaming analysis of the campaigns.
+
+The batch pipeline materializes every timeline before :mod:`repro.core`
+runs; this package runs the same analyses *online* over record streams:
+
+- :mod:`repro.stream.records` -- flat per-observation record types.
+- :mod:`repro.stream.source` -- pull-based unit sources (live platform,
+  persisted archives) plus a sharded fan-out with bounded queues.
+- :mod:`repro.stream.operators` -- incremental operators: route-change /
+  prevalence accumulators, P-squared percentile estimators, and the
+  sliding-window Goertzel congestion detector with windowed
+  localization.
+- :mod:`repro.stream.checkpoint` -- versioned, fingerprint-keyed
+  operator snapshots for bit-identical kill/resume.
+- :mod:`repro.stream.engine` -- the phase driver behind
+  ``python -m repro reproduce --stream``.
+
+Exports resolve lazily (PEP 562) following the package convention: the
+stream stack needs numpy, and dependency-light tools must be able to
+import ``repro`` without it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TracerouteRecord",
+    "PingRecord",
+    "SegmentRecord",
+    "StreamUnit",
+    "LongTermTraceSource",
+    "PingSource",
+    "SegmentTraceSource",
+    "LongTermFileSource",
+    "ShardedSource",
+    "P2Quantile",
+    "PathStatsOperator",
+    "CongestionWindowOperator",
+    "SegmentWindowOperator",
+    "windowed_diurnal_power_ratio",
+    "CheckpointStore",
+    "checkpoint_fingerprint",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "StreamConfig",
+    "StreamEngine",
+    "StreamInterrupted",
+    "STREAM_EXPERIMENTS",
+]
+
+_LAZY_EXPORTS = {
+    "TracerouteRecord": "repro.stream.records",
+    "PingRecord": "repro.stream.records",
+    "SegmentRecord": "repro.stream.records",
+    "StreamUnit": "repro.stream.source",
+    "LongTermTraceSource": "repro.stream.source",
+    "PingSource": "repro.stream.source",
+    "SegmentTraceSource": "repro.stream.source",
+    "LongTermFileSource": "repro.stream.source",
+    "ShardedSource": "repro.stream.source",
+    "P2Quantile": "repro.stream.operators",
+    "PathStatsOperator": "repro.stream.operators",
+    "CongestionWindowOperator": "repro.stream.operators",
+    "SegmentWindowOperator": "repro.stream.operators",
+    "windowed_diurnal_power_ratio": "repro.stream.operators",
+    "CheckpointStore": "repro.stream.checkpoint",
+    "checkpoint_fingerprint": "repro.stream.checkpoint",
+    "CHECKPOINT_SCHEMA_VERSION": "repro.stream.checkpoint",
+    "StreamConfig": "repro.stream.engine",
+    "StreamEngine": "repro.stream.engine",
+    "StreamInterrupted": "repro.stream.engine",
+    "STREAM_EXPERIMENTS": "repro.stream.engine",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

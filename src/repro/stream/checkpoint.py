@@ -1,0 +1,153 @@
+"""Versioned, fingerprint-keyed snapshots of streaming operator state.
+
+A checkpoint captures everything the engine needs to resume a killed run
+mid-campaign: which phase was active, how many stream units it had fully
+consumed, the live operator's state, and the finalized payloads of the
+phases already completed.  Because stream units are deterministic and
+independent (every unit draws from its own named RNG stream), replaying
+the remaining units on top of a restored operator reproduces the
+uninterrupted run **bit-identically**.
+
+Keying reuses the :func:`repro.harness.engine.config_fingerprint` scheme
+that the :class:`~repro.harness.engine.ArtifactCache` uses: the
+fingerprint covers the platform/campaign/stream configs, the experiment
+list, and :data:`CHECKPOINT_SCHEMA_VERSION`, so a checkpoint can never be
+resumed against a run it does not exactly describe -- a mismatched or
+corrupt snapshot reads as "no checkpoint" and the run starts over.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from repro.harness.engine import config_fingerprint
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "checkpoint_fingerprint",
+    "CheckpointStore",
+]
+
+CHECKPOINT_SCHEMA_VERSION = 1
+"""Bump when the pickled layout of operator state changes shape.
+
+Part of the checkpoint fingerprint surface (and, like the cache schema
+version, watched by the CCH001 lint rule's fingerprint contract): old
+checkpoints become unreadable misses instead of wrong resumes.
+"""
+
+_LOG = get_logger("repro.stream.checkpoint")
+
+
+def checkpoint_fingerprint(*parts: object) -> str:
+    """Fingerprint of everything a resumable stream run depends on.
+
+    Callers pass the platform config, campaign configs, stream config and
+    the experiment selection; the schema version is mixed in here.
+    """
+    return config_fingerprint("stream-checkpoint", CHECKPOINT_SCHEMA_VERSION, *parts)
+
+
+class CheckpointStore:
+    """Atomic on-disk snapshots, one file per run fingerprint.
+
+    Writes go to a temp file in the same directory followed by an atomic
+    rename, so a crash mid-save leaves the previous snapshot intact and a
+    resume never observes a torn file.
+    """
+
+    def __init__(self, directory: Union[str, Path], fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+
+    @property
+    def path(self) -> Path:
+        """Where this run's snapshot lives."""
+        return self.directory / f"stream-{self.fingerprint}.ckpt"
+
+    def save(
+        self,
+        phase: str,
+        units_done: int,
+        operator_state: object,
+        completed: Dict[str, object],
+    ) -> None:
+        """Snapshot the live phase's progress and all finished phases."""
+        started = time.perf_counter()
+        payload = {
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "phase": phase,
+            "units_done": int(units_done),
+            "operator": operator_state,
+            "completed": completed,
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        temp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        with open(temp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp, self.path)
+        elapsed = time.perf_counter() - started
+        obs_metrics.counter("stream.checkpoint.saves").inc()
+        obs_metrics.histogram("stream.checkpoint_seconds").observe(elapsed)
+        _LOG.debug(
+            "stream.checkpoint.saved",
+            phase=phase,
+            units_done=units_done,
+            seconds=round(elapsed, 6),
+        )
+
+    def load(self) -> Optional[Dict[str, object]]:
+        """The snapshot, or ``None`` when absent, corrupt, or mismatched."""
+        if not self.path.exists():
+            return None
+        try:
+            with open(self.path, "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            obs_metrics.counter("stream.checkpoint.corrupt").inc()
+            _LOG.warning("stream.checkpoint.corrupt", path=str(self.path))
+            return None
+        if not isinstance(payload, dict):
+            obs_metrics.counter("stream.checkpoint.corrupt").inc()
+            return None
+        if payload.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+            obs_metrics.counter("stream.checkpoint.schema_mismatch").inc()
+            _LOG.warning(
+                "stream.checkpoint.schema_mismatch",
+                found=payload.get("schema"),
+                expected=CHECKPOINT_SCHEMA_VERSION,
+            )
+            return None
+        if payload.get("fingerprint") != self.fingerprint:
+            obs_metrics.counter("stream.checkpoint.fingerprint_mismatch").inc()
+            return None
+        obs_metrics.counter("stream.checkpoint.loads").inc()
+        return payload
+
+    def clear(self) -> None:
+        """Remove the snapshot (a completed run needs no resume point)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def required_phases(experiments: Sequence[str]) -> Dict[str, bool]:
+    """Which stream phases the requested experiments need.
+
+    Shared between the engine (phase scheduling) and the CLI (manifest
+    reporting).  Localization implies the ping phase too: its probed
+    pairs are the ones the ping analysis flags.
+    """
+    wanted = set(experiments)
+    longterm = bool(wanted & {"fig3", "fig6"})
+    ping = bool(wanted & {"congestion-norm", "localization"})
+    segment = "localization" in wanted
+    return {"longterm": longterm, "ping": ping, "segment": segment}

@@ -1,0 +1,478 @@
+"""The streaming engine: online reproduction of the paper's analyses.
+
+:class:`StreamEngine` runs the experiments the incremental operators can
+serve -- ``fig3``, ``fig6``, ``congestion-norm`` and ``localization`` --
+over record streams in three phases (long-term traceroutes, short-term
+pings, short-term per-hop traceroutes), holding only one pair's records
+plus the operators' bounded state in memory at any time.  Results come
+back as the same :class:`~repro.harness.experiments.ExperimentResult`
+objects the batch drivers produce, with identical metric names, paper
+values and rendered reports; the only documented divergence is the
+P-squared percentile approximation behind ``fig6``.
+
+Checkpoint/resume: with a :class:`~repro.stream.checkpoint.CheckpointStore`
+attached, the engine snapshots the live operator every
+``checkpoint_every`` units and at each phase boundary.  A killed run
+resumed from its last snapshot replays only the remaining units --
+every unit draws from its own named RNG stream, so the resumed run's
+reports are **byte-identical** to an uninterrupted run's.
+
+Telemetry: spans per phase (``stream:<phase>`` with unit/record counts
+and records/sec), counters (``stream.units``, ``stream.records``),
+queue-depth and window-occupancy gauges/histograms from the sources and
+operators, and checkpoint latency histograms from the store.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.congestion import PopulationStats
+from repro.core.ecdf import ECDF
+from repro.core.suboptimal import DEFAULT_THRESHOLDS_MS
+from repro.datasets.longterm import LongTermConfig
+from repro.datasets.shortterm import ShortTermConfig
+from repro.harness.experiments import ExperimentResult, Metric
+from repro.harness.report import render_ecdf, render_table
+from repro.measurement.platform import MeasurementPlatform
+from repro.net.ip import IPVersion
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+from repro.obs.trace import get_tracer
+from repro.stream.checkpoint import (
+    CheckpointStore,
+    checkpoint_fingerprint,
+    required_phases,
+)
+from repro.stream.operators import (
+    CongestionWindowOperator,
+    PathStatsOperator,
+    SegmentWindowOperator,
+)
+from repro.stream.source import (
+    LongTermTraceSource,
+    PingSource,
+    SegmentTraceSource,
+    ShardedSource,
+    StreamUnit,
+)
+
+__all__ = [
+    "STREAM_EXPERIMENTS",
+    "StreamConfig",
+    "StreamInterrupted",
+    "StreamEngine",
+]
+
+STREAM_EXPERIMENTS: Tuple[str, ...] = (
+    "fig3",
+    "fig6",
+    "congestion-norm",
+    "localization",
+)
+"""The experiments the incremental operators can serve."""
+
+_LOG = get_logger("repro.stream.engine")
+
+_VERSIONS = (IPVersion.V4, IPVersion.V6)
+
+
+@dataclass
+class StreamConfig:
+    """Knobs of the streaming run.
+
+    Attributes:
+        window_rounds: Sliding-window length (in rounds) of the
+            congestion/localization operators.  ``None`` sizes each
+            window to its full campaign, which makes the stream verdicts
+            equal to the batch detector's; smaller windows bound memory
+            harder but assess only the most recent rounds.
+        shards: Worker processes fanning unit construction
+            (``1`` = serial in-process).
+        queue_units: Bound of each shard's unit queue (backpressure
+            depth).
+        checkpoint_every: Snapshot the live operator every this many
+            stream units (when a checkpoint store is attached).
+        trim_realizations: Drop the platform's per-pair realization
+            cache after each unit, keeping memory flat over the mesh.
+    """
+
+    window_rounds: Optional[int] = None
+    shards: int = 1
+    queue_units: int = 4
+    checkpoint_every: int = 64
+    trim_realizations: bool = True
+
+
+class StreamInterrupted(RuntimeError):
+    """Raised when a run hits its ``max_units`` budget (kill simulation)."""
+
+    def __init__(self, phase: str, units_done: int) -> None:
+        super().__init__(f"stream interrupted in phase {phase!r} after {units_done} units")
+        self.phase = phase
+        self.units_done = units_done
+
+
+class StreamEngine:
+    """Drive the streaming operators over a platform's record streams."""
+
+    def __init__(
+        self,
+        platform: MeasurementPlatform,
+        longterm_config: Optional[LongTermConfig] = None,
+        shortterm_config: Optional[ShortTermConfig] = None,
+        experiments: Sequence[str] = STREAM_EXPERIMENTS,
+        config: Optional[StreamConfig] = None,
+        checkpoint_dir: Optional[object] = None,
+    ) -> None:
+        unsupported = [name for name in experiments if name not in STREAM_EXPERIMENTS]
+        if unsupported:
+            raise ValueError(
+                f"experiments not served by the stream engine: {unsupported}; "
+                f"available: {list(STREAM_EXPERIMENTS)}"
+            )
+        self.platform = platform
+        self.longterm_config = longterm_config or LongTermConfig()
+        self.shortterm_config = shortterm_config or ShortTermConfig()
+        self.experiments = tuple(experiments)
+        self.config = config or StreamConfig()
+        self.fingerprint = checkpoint_fingerprint(
+            platform.config,
+            self.longterm_config,
+            self.shortterm_config,
+            self.config,
+            self.experiments,
+        )
+        self.checkpoint_store: Optional[CheckpointStore] = (
+            CheckpointStore(checkpoint_dir, self.fingerprint)
+            if checkpoint_dir is not None
+            else None
+        )
+        self._completed: Dict[str, object] = {}
+        self._processed = 0
+        self._max_units: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Phase driving
+    # ------------------------------------------------------------------
+
+    def _window(self, campaign_rounds: int) -> int:
+        if self.config.window_rounds is None:
+            return campaign_rounds
+        return min(self.config.window_rounds, campaign_rounds)
+
+    def _feed(self, operator, unit: StreamUnit) -> None:
+        if unit.kind == "segment" and unit.meta is None:
+            return  # placeholder for a pair the builders skipped
+        operator.start_unit(unit.key, unit.meta)
+        for record in unit.records:
+            operator.observe(record)
+
+    def _consume(self, phase: str, source, operator, units_done: int) -> None:
+        """Feed units ``units_done..`` of a phase into its operator."""
+        total = len(source)
+        sharded = ShardedSource(source, self.config.shards, self.config.queue_units)
+        records_counter = obs_metrics.counter("stream.records")
+        store = self.checkpoint_store
+        every = self.config.checkpoint_every
+        with get_tracer().span(
+            f"stream:{phase}", units=total, resumed_at=units_done
+        ) as span:
+            started = time.perf_counter()
+            records = 0
+            for unit in sharded.iter_from(units_done):
+                self._feed(operator, unit)
+                records += len(unit.records)
+                records_counter.inc(len(unit.records))
+                units_done += 1
+                self._processed += 1
+                if store is not None and every and units_done % every == 0 and units_done < total:
+                    store.save(phase, units_done, operator, self._completed)
+                if self._max_units is not None and self._processed >= self._max_units:
+                    if units_done < total:
+                        raise StreamInterrupted(phase, units_done)
+            elapsed = time.perf_counter() - started
+            span.attrs["records"] = records
+            span.attrs["records_per_second"] = (
+                round(records / elapsed, 1) if elapsed > 0 else 0.0
+            )
+        _LOG.info(
+            "stream.phase.done", phase=phase, units=total, records=records
+        )
+
+    def _restore(self, phase: str, state: Optional[Dict[str, object]]):
+        """(operator, units_done) to resume a phase from, or (None, 0)."""
+        if (
+            state is not None
+            and state.get("phase") == phase
+            and state.get("operator") is not None
+        ):
+            return state["operator"], int(state["units_done"])
+        return None, 0
+
+    def _phase_done(self, phase: str) -> None:
+        """Snapshot a finished phase so a resume never replays it."""
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.save(phase, 0, None, self._completed)
+        if self._max_units is not None and self._processed >= self._max_units:
+            raise StreamInterrupted(phase, self._processed)
+
+    def run(
+        self, resume: bool = False, max_units: Optional[int] = None
+    ) -> List[ExperimentResult]:
+        """Run all phases the requested experiments need.
+
+        Args:
+            resume: Restore phase progress from the checkpoint store (a
+                missing/mismatched snapshot silently starts from zero).
+            max_units: Stop (with :class:`StreamInterrupted`) after this
+                many stream units -- the kill switch the resume tests
+                use to simulate a mid-campaign crash.
+        """
+        self._max_units = max_units
+        self._processed = 0
+        state = (
+            self.checkpoint_store.load()
+            if (resume and self.checkpoint_store is not None)
+            else None
+        )
+        self._completed = dict(state["completed"]) if state is not None else {}
+        phases = required_phases(self.experiments)
+
+        with get_tracer().span("stream:run", experiments=",".join(self.experiments)):
+            if phases["longterm"] and "longterm" not in self._completed:
+                operator, start = self._restore("longterm", state)
+                if operator is None:
+                    operator = PathStatsOperator(self.longterm_config.period_hours)
+                source = LongTermTraceSource(
+                    self.platform,
+                    self.longterm_config,
+                    trim_realizations=self.config.trim_realizations,
+                )
+                self._consume("longterm", source, operator, start)
+                self._completed["longterm"] = operator.finalize()
+                self._phase_done("longterm")
+
+            if phases["ping"] and "ping" not in self._completed:
+                operator, start = self._restore("ping", state)
+                source = PingSource(
+                    self.platform,
+                    self.shortterm_config,
+                    trim_realizations=self.config.trim_realizations,
+                )
+                if operator is None:
+                    operator = CongestionWindowOperator(
+                        source.grid.period_hours, self._window(source.grid.rounds)
+                    )
+                self._consume("ping", source, operator, start)
+                verdicts = operator.verdicts()
+                self._completed["ping"] = {
+                    "verdicts": verdicts,
+                    "stats": {
+                        int(version): operator.population_stats(verdicts, int(version))
+                        for version in _VERSIONS
+                    },
+                    "flagged": sorted(
+                        {
+                            (key[0], key[1])
+                            for key, verdict in verdicts.items()
+                            if verdict.congested
+                        }
+                    ),
+                }
+                self._phase_done("ping")
+
+            if phases["segment"] and "segment" not in self._completed:
+                operator, start = self._restore("segment", state)
+                pairs = self._flagged_pairs()
+                source = SegmentTraceSource(
+                    self.platform,
+                    pairs,
+                    self.shortterm_config,
+                    trim_realizations=self.config.trim_realizations,
+                )
+                if operator is None:
+                    operator = SegmentWindowOperator(
+                        source.grid.period_hours, self._window(source.grid.rounds)
+                    )
+                self._consume("segment", source, operator, start)
+                self._completed["segment"] = operator.outcomes()
+                self._phase_done("segment")
+
+        if self.checkpoint_store is not None:
+            # The run finished; a stale snapshot must not shadow the next.
+            self.checkpoint_store.clear()
+        return self.results()
+
+    def _flagged_pairs(self):
+        """Server pairs the ping phase flagged (the Section 5.2 targets)."""
+        flagged = self._completed["ping"]["flagged"]
+        servers = {
+            server.server_id: server
+            for server in self.platform.measurement_servers()
+        }
+        return [
+            (servers[src_id], servers[dst_id])
+            for src_id, dst_id in flagged
+            if src_id in servers and dst_id in servers
+        ]
+
+    # ------------------------------------------------------------------
+    # Result building (mirrors repro.harness.experiments byte for byte)
+    # ------------------------------------------------------------------
+
+    def results(self) -> List[ExperimentResult]:
+        """Experiment results from the completed phases, in batch order."""
+        builders = {
+            "fig3": self._result_fig3,
+            "fig6": self._result_fig6,
+            "congestion-norm": self._result_congestion_norm,
+            "localization": self._result_localization,
+        }
+        return [
+            builders[name]()
+            for name in STREAM_EXPERIMENTS
+            if name in self.experiments
+        ]
+
+    def _summaries(self, version: IPVersion):
+        summaries = self._completed["longterm"]
+        return [
+            summary
+            for key, summary in summaries.items()
+            if key[2] == int(version)
+        ]
+
+    def _result_fig3(self) -> ExperimentResult:
+        metrics: List[Metric] = []
+        reports: List[str] = []
+        for version in _VERSIONS:
+            stats = self._summaries(version)
+            prevalences = [
+                s.popular_prevalence for s in stats if s.popular_prevalence is not None
+            ]
+            prevalence_ecdf = ECDF(prevalences)
+            dominant = 100 * prevalence_ecdf.tail_fraction(0.5)
+            metrics.append(
+                Metric(f"timelines with dominant path (prev>=50%) v{int(version)}",
+                       80.0, dominant, "%")
+            )
+            changes_ecdf = ECDF([s.changes for s in stats])
+            metrics.append(
+                Metric(f"no-change timelines v{int(version)}",
+                       18.0 if version is IPVersion.V4 else 16.0,
+                       100 * changes_ecdf.at(0.0), "%")
+            )
+            metrics.append(
+                Metric(f"changes/timeline p90 v{int(version)}", 30.0,
+                       changes_ecdf.quantile(0.9))
+            )
+            reports.append(render_ecdf(prevalence_ecdf,
+                                       f"prevalence of popular AS path (IPv{int(version)})",
+                                       probe_points=(0.5,)))
+            reports.append(render_ecdf(changes_ecdf,
+                                       f"route changes per trace timeline (IPv{int(version)})",
+                                       probe_points=(0, 30)))
+        return ExperimentResult(
+            "fig3", "Popular-path prevalence and route-change frequency", metrics,
+            "\n".join(reports),
+        )
+
+    def _result_fig6(self) -> ExperimentResult:
+        metrics: List[Metric] = []
+        reports: List[str] = []
+        paper = {
+            (IPVersion.V4, 20.0): (0.30, 10.0),
+            (IPVersion.V6, 20.0): (0.50, 10.0),
+            (IPVersion.V4, 100.0): (0.20, 1.1),
+            (IPVersion.V6, 100.0): (0.40, 1.3),
+        }
+        for version in _VERSIONS:
+            stats = self._summaries(version)
+            for threshold in sorted(DEFAULT_THRESHOLDS_MS):
+                ecdf = ECDF([s.suboptimal[threshold] for s in stats])
+                reports.append(
+                    render_ecdf(
+                        ecdf,
+                        f"prevalence of sub-optimal paths, >= {threshold:g}ms "
+                        f"(IPv{int(version)})",
+                        probe_points=(0.2, 0.3, 0.5),
+                    )
+                )
+                key = (version, threshold)
+                if key in paper:
+                    probe, paper_pct = paper[key]
+                    metrics.append(
+                        Metric(
+                            f"timelines with >= {threshold:g}ms paths at prevalence "
+                            f">= {probe:g} v{int(version)}",
+                            paper_pct,
+                            100 * ecdf.tail_fraction(probe),
+                            "%",
+                        )
+                    )
+        return ExperimentResult("fig6", "Sub-optimal AS-path prevalence", metrics,
+                                "\n".join(reports))
+
+    def _result_congestion_norm(self) -> ExperimentResult:
+        stats_by_version: Dict[int, PopulationStats] = self._completed["ping"]["stats"]
+        metrics: List[Metric] = []
+        rows = []
+        paper_spread = {IPVersion.V4: 9.5, IPVersion.V6: 4.0}
+        paper_congested = {IPVersion.V4: 2.0, IPVersion.V6: 0.6}
+        for version in _VERSIONS:
+            stats = stats_by_version[int(version)]
+            metrics.append(
+                Metric(f"pairs with >10ms p95-p5 spread v{int(version)}",
+                       paper_spread[version], 100 * stats.spread_fraction, "%")
+            )
+            metrics.append(
+                Metric(f"pairs with strong diurnal + spread v{int(version)}",
+                       paper_congested[version], 100 * stats.congested_fraction, "%")
+            )
+            rows.append(
+                (f"IPv{int(version)}", stats.pairs, stats.spread_exceeds, stats.congested)
+            )
+        report = render_table(
+            ("protocol", "pairs", "spread>10ms", "consistent congestion"), rows
+        )
+        return ExperimentResult(
+            "congestion-norm", "Congestion is not the norm (Section 5.1)",
+            metrics, report,
+        )
+
+    def _result_localization(self) -> ExperimentResult:
+        outcomes = self._completed["segment"]
+        congested_keys = set(self.platform.congestion.congested_keys())
+        located = persistent = attempted = correct = 0
+        for outcome in outcomes.values():
+            if not outcome.static_path:
+                continue
+            attempted += 1
+            if outcome.end_to_end_diurnal:
+                persistent += 1
+            if outcome.congested_hop is None:
+                continue
+            located += 1
+            truly_congested = [
+                index
+                for index, segment in enumerate(outcome.segment_keys)
+                if segment in congested_keys
+            ]
+            if truly_congested and truly_congested[0] == outcome.congested_hop:
+                correct += 1
+        metrics = [
+            Metric("pairs with persistent diurnal weeks later", 30.0,
+                   100 * persistent / attempted if attempted else float("nan"), "%"),
+            Metric("localization accuracy vs ground truth", None,
+                   100 * correct / located if located else float("nan"), "%"),
+            Metric("located pairs", None, float(located)),
+        ]
+        report = (
+            f"static-path entries: {attempted}; persistent diurnal: {persistent}; "
+            f"located: {located}; ground-truth-correct: {correct}"
+        )
+        return ExperimentResult("localization", "Locating congestion (Section 5.2)",
+                                metrics, report)

@@ -1,0 +1,690 @@
+"""Composable incremental operators over measurement record streams.
+
+Each operator consumes records one at a time and keeps only bounded
+state, yet reproduces a batch analysis from :mod:`repro.core`:
+
+- :class:`PathStatsOperator` -- the route-change / lifetime / prevalence
+  analysis of :mod:`repro.core.routechange` plus the per-path RTT
+  percentile stats behind Figure 6.  Route changes compare each usable
+  AS path only against the *previous* one; lifetimes are running counts;
+  percentiles are streaming P-squared estimators.  Route-change counts,
+  lifetimes and prevalence are **exactly** the batch values (counts and
+  count-times-period sums are integer-valued floats, so no rounding ever
+  differs); the P-squared percentile estimates carry the documented
+  per-operator tolerance (exact below five samples, typically within a
+  few ms of the true percentile at campaign sample counts).
+- :class:`CongestionWindowOperator` -- the Section 5.1 detector of
+  :mod:`repro.core.congestion` over a sliding window, with the spectral
+  test evaluated by Goertzel recursions at the daily bins and the total
+  (non-DC) power obtained from Parseval's theorem, so the power *ratio*
+  matches the batch FFT's to ~1e-9 relative without storing a spectrum.
+  With the window covering the whole campaign (the default) the verdict
+  set is identical to the batch detector's.
+- :class:`SegmentWindowOperator` -- Section 5.2 localization fed from
+  the same sliding window: per-hop RTT rows are kept in a ring buffer
+  and correlated against the end-to-end series with the *same*
+  masked-Pearson code the batch pipeline uses.
+
+All operator state is plain data (lists, dicts, numpy ring buffers) so a
+checkpoint can pickle it mid-campaign and resume bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.congestion import (
+    HOURS_PER_DAY,
+    CongestionDetector,
+    CongestionVerdict,
+    PopulationStats,
+    fill_missing_rtts,
+)
+from repro.core.localization import segment_correlations
+from repro.core.rttstats import MIN_BUCKET_SAMPLES
+from repro.core.suboptimal import DEFAULT_THRESHOLDS_MS
+from repro.measurement.traceroute import TraceOutcome
+from repro.obs import metrics as obs_metrics
+from repro.stream.records import PingRecord, SegmentRecord, TracerouteRecord, UnitKey
+
+__all__ = [
+    "P2Quantile",
+    "RingWindow",
+    "goertzel_power",
+    "windowed_diurnal_power_ratio",
+    "PathSummary",
+    "PathStatsOperator",
+    "CongestionWindowOperator",
+    "SegmentMeta",
+    "SegmentOutcome",
+    "SegmentWindowOperator",
+]
+
+USABLE_OUTCOMES = frozenset(
+    {
+        int(TraceOutcome.COMPLETE),
+        int(TraceOutcome.MISSING_AS),
+        int(TraceOutcome.MISSING_IP),
+    }
+)
+
+# Sentinel for "no usable sample seen yet"; distinct from None, which is
+# a usable sample without an attributable AS path.
+_UNSEEN = "__unseen__"
+
+
+# ---------------------------------------------------------------------------
+# Streaming percentile estimation (P-squared, Jain & Chlamtac 1985)
+# ---------------------------------------------------------------------------
+
+
+class P2Quantile:
+    """Single-quantile P-squared estimator in O(1) memory.
+
+    Exact (via ``np.percentile`` over a five-element buffer) until five
+    observations have arrived, then maintained with the classic
+    five-marker parabolic update.  Tolerance: exact for buckets smaller
+    than five samples -- which covers the batch pipeline's
+    ``MIN_BUCKET_SAMPLES`` floor -- and an approximation error that
+    shrinks with the bucket size above that (empirically a few ms at the
+    RTT scales and sample counts of the campaigns here).
+    """
+
+    __slots__ = ("quantile", "count", "_initial", "_heights", "_positions", "_desired")
+
+    def __init__(self, quantile: float) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+        self.quantile = quantile
+        self.count = 0
+        self._initial: List[float] = []
+        self._heights: Optional[List[float]] = None
+        self._positions: List[int] = []
+        self._desired: List[float] = []
+
+    def __getstate__(self):
+        return (self.quantile, self.count, self._initial, self._heights,
+                self._positions, self._desired)
+
+    def __setstate__(self, state) -> None:
+        (self.quantile, self.count, self._initial, self._heights,
+         self._positions, self._desired) = state
+
+    def observe(self, value: float) -> None:
+        """Feed one sample."""
+        self.count += 1
+        if self._heights is None:
+            self._initial.append(float(value))
+            if len(self._initial) == 5:
+                q = self.quantile
+                self._heights = sorted(self._initial)
+                self._positions = [0, 1, 2, 3, 4]
+                self._desired = [0.0, 2.0 * q, 4.0 * q, 2.0 + 2.0 * q, 4.0]
+            return
+        self._update(float(value))
+
+    def _update(self, x: float) -> None:
+        h, n = self._heights, self._positions
+        if x < h[0]:
+            h[0] = x
+            cell = 0
+        elif x < h[1]:
+            cell = 0
+        elif x < h[2]:
+            cell = 1
+        elif x < h[3]:
+            cell = 2
+        elif x < h[4]:
+            cell = 3
+        else:
+            h[4] = x
+            cell = 3
+        for i in range(cell + 1, 5):
+            n[i] += 1
+        q = self.quantile
+        for i, step in enumerate((0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)):
+            self._desired[i] += step
+        for i in (1, 2, 3):
+            drift = self._desired[i] - n[i]
+            if (drift >= 1.0 and n[i + 1] - n[i] > 1) or (
+                drift <= -1.0 and n[i - 1] - n[i] < -1
+            ):
+                sign = 1 if drift > 0 else -1
+                candidate = self._parabolic(i, sign)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = h[i] + sign * (h[i + sign] - h[i]) / (n[i + sign] - n[i])
+                n[i] += sign
+
+    def _parabolic(self, i: int, sign: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + sign / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + sign) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - sign) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def value(self) -> float:
+        """Current estimate (NaN before any sample)."""
+        if self._heights is None:
+            if not self._initial:
+                return float("nan")
+            return float(np.percentile(self._initial, self.quantile * 100.0))
+        return float(self._heights[2])
+
+
+# ---------------------------------------------------------------------------
+# Sliding windows and the Goertzel spectral test
+# ---------------------------------------------------------------------------
+
+
+class RingWindow:
+    """Fixed-capacity ring buffer of float32 samples (or sample vectors).
+
+    ``rows=None`` stores a scalar series; an integer stores one vector of
+    that many rows per push (the per-hop RTT columns of the localization
+    window).  ``values()`` returns the window contents oldest-first.
+    """
+
+    __slots__ = ("capacity", "rows", "_buffer", "_filled", "_next")
+
+    def __init__(self, capacity: int, rows: Optional[int] = None) -> None:
+        if capacity < 1:
+            raise ValueError("window capacity must be positive")
+        self.capacity = capacity
+        self.rows = rows
+        shape = (capacity,) if rows is None else (rows, capacity)
+        self._buffer = np.full(shape, np.nan, dtype=np.float32)
+        self._filled = 0
+        self._next = 0
+
+    def __getstate__(self):
+        return (self.capacity, self.rows, self._buffer, self._filled, self._next)
+
+    def __setstate__(self, state) -> None:
+        self.capacity, self.rows, self._buffer, self._filled, self._next = state
+
+    def __len__(self) -> int:
+        return self._filled
+
+    def push(self, value) -> None:
+        """Append one sample, evicting the oldest at capacity."""
+        if self.rows is None:
+            self._buffer[self._next] = value
+        else:
+            self._buffer[:, self._next] = value
+        self._next = (self._next + 1) % self.capacity
+        self._filled = min(self._filled + 1, self.capacity)
+
+    def values(self) -> np.ndarray:
+        """Window contents in arrival order (float32)."""
+        if self._filled < self.capacity:
+            if self.rows is None:
+                return self._buffer[: self._filled].copy()
+            return self._buffer[:, : self._filled].copy()
+        if self._next == 0:
+            return self._buffer.copy()
+        if self.rows is None:
+            return np.concatenate([self._buffer[self._next:], self._buffer[: self._next]])
+        return np.concatenate(
+            [self._buffer[:, self._next:], self._buffer[:, : self._next]], axis=1
+        )
+
+
+def goertzel_power(values: np.ndarray, k: int) -> float:
+    """``|X_k|**2`` of one DFT bin via the Goertzel recursion.
+
+    Evaluates a single bin of the unnormalized forward DFT (numpy's FFT
+    convention) in O(n) time and O(1) space -- the streaming detector
+    needs only the daily bins, never the full spectrum.
+    """
+    samples = np.asarray(values, dtype=float).tolist()
+    n = len(samples)
+    if n == 0:
+        return 0.0
+    coeff = 2.0 * math.cos(2.0 * math.pi * k / n)
+    s_prev = 0.0
+    s_prev2 = 0.0
+    for x in samples:
+        s_prev, s_prev2 = x + coeff * s_prev - s_prev2, s_prev
+    return s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2
+
+
+def windowed_diurnal_power_ratio(
+    rtt_ms: np.ndarray, period_hours: float, band: int = 1
+) -> float:
+    """The :func:`repro.core.congestion.diurnal_power_ratio` of a window.
+
+    Same gap filling, same guards, same band -- but the daily-bin powers
+    come from Goertzel recursions and the total non-DC power from
+    Parseval's theorem (``sum|X_k|**2 = n * sum x**2``), so no spectrum
+    is ever materialized.  Agrees with the batch FFT ratio to ~1e-9
+    relative (floating-point summation order is the only difference).
+    """
+    values = np.asarray(rtt_ms, dtype=float)
+    filled = fill_missing_rtts(values)
+    if filled is None:
+        return float("nan")
+    n = int(filled.size)
+    if n < 8:
+        return float("nan")
+    days = period_hours * n / HOURS_PER_DAY
+    if days < 1.0:
+        return float("nan")
+
+    centered = filled - filled.mean()
+    sum_sq = float(np.dot(centered, centered))
+    dc_power = float(centered.sum()) ** 2
+    # Parseval over the one-sided (rfft) spectrum, bins 1..n//2: every
+    # interior bin appears twice in the full spectrum, DC and (for even
+    # n) the Nyquist bin once.
+    if n % 2 == 0:
+        alternating = float(centered[::2].sum() - centered[1::2].sum())
+        nyquist_power = alternating * alternating
+        total = (n * sum_sq - dc_power - nyquist_power) / 2.0 + nyquist_power
+    else:
+        total = (n * sum_sq - dc_power) / 2.0
+    if total <= 0:
+        return 0.0
+    spectrum_size = n // 2 + 1
+    daily_bin = int(round(days))
+    low = max(1, daily_bin - band)
+    high = min(spectrum_size - 1, daily_bin + band)
+    if low > high:
+        return float("nan")
+    band_power = 0.0
+    for bin_index in range(low, high + 1):
+        band_power += goertzel_power(centered, bin_index)
+    return float(band_power / total)
+
+
+# ---------------------------------------------------------------------------
+# Long-term stream: route changes, prevalence, per-path percentiles
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PathSummary:
+    """Finalized per-pair routing statistics (Figures 3 and 6 inputs)."""
+
+    key: UnitKey
+    changes: int
+    unique_paths: int
+    popular_prevalence: Optional[float]
+    suboptimal: Dict[float, float] = field(default_factory=dict)
+
+
+class _PairPathState:
+    __slots__ = ("last", "changes", "counts", "finite", "p10", "p90")
+
+    def __init__(self) -> None:
+        self.last: object = _UNSEEN
+        self.changes = 0
+        self.counts: Dict[Tuple[int, ...], int] = {}
+        self.finite: Dict[Tuple[int, ...], int] = {}
+        self.p10: Dict[Tuple[int, ...], P2Quantile] = {}
+        self.p90: Dict[Tuple[int, ...], P2Quantile] = {}
+
+    def __getstate__(self):
+        return (self.last, self.changes, self.counts, self.finite, self.p10, self.p90)
+
+    def __setstate__(self, state) -> None:
+        self.last, self.changes, self.counts, self.finite, self.p10, self.p90 = state
+
+
+class PathStatsOperator:
+    """Incremental route-change + per-path RTT statistics per pair.
+
+    Keeps, per (src, dst, version): the previous usable AS path, a change
+    counter, per-path observation counts (lifetimes are counts times the
+    grid period), and P-squared p10/p90 estimators per path.  Everything
+    except the percentile estimates is exactly the batch computation.
+    """
+
+    def __init__(self, period_hours: float) -> None:
+        self.period_hours = float(period_hours)
+        self._states: Dict[UnitKey, _PairPathState] = {}
+
+    def start_unit(self, key: UnitKey, meta: object = None) -> None:
+        """Register a unit so empty timelines still appear in finals."""
+        if key not in self._states:
+            self._states[key] = _PairPathState()
+
+    def observe(self, record: TracerouteRecord) -> None:
+        """Feed one traceroute record (records of a pair in time order)."""
+        if record.outcome not in USABLE_OUTCOMES:
+            return
+        key = (record.src, record.dst, record.version)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _PairPathState()
+        path = record.as_path
+        if state.last is not _UNSEEN and state.last != path:
+            state.changes += 1
+        state.last = path
+        if path is None:
+            return
+        state.counts[path] = state.counts.get(path, 0) + 1
+        rtt = record.rtt_ms
+        if math.isfinite(rtt):
+            state.finite[path] = state.finite.get(path, 0) + 1
+            if path not in state.p10:
+                state.p10[path] = P2Quantile(0.10)
+                state.p90[path] = P2Quantile(0.90)
+            state.p10[path].observe(rtt)
+            state.p90[path].observe(rtt)
+
+    def finalize(
+        self, thresholds_ms: Tuple[float, ...] = DEFAULT_THRESHOLDS_MS
+    ) -> Dict[UnitKey, PathSummary]:
+        """Per-pair summaries, in unit arrival order."""
+        summaries: Dict[UnitKey, PathSummary] = {}
+        for key, state in self._states.items():
+            summaries[key] = self._summarize(key, state, thresholds_ms)
+        return summaries
+
+    def _summarize(
+        self, key: UnitKey, state: _PairPathState, thresholds_ms: Tuple[float, ...]
+    ) -> PathSummary:
+        paths = list(state.counts)
+        if not paths:
+            return PathSummary(
+                key=key, changes=state.changes, unique_paths=0,
+                popular_prevalence=None,
+                suboptimal={threshold: 0.0 for threshold in thresholds_ms},
+            )
+        # Lifetimes are integer counts times the grid period; their sum is
+        # exact in floating point, so prevalence matches batch bit for bit.
+        lifetimes = [state.counts[path] * self.period_hours for path in paths]
+        total = sum(lifetimes)
+        prevalence = [lifetime / total for lifetime in lifetimes]
+        popular = prevalence[0]
+        for value in prevalence[1:]:
+            if value > popular:
+                popular = value
+
+        # Figure 6: increase of each path's p10 over the best path's; the
+        # best path breaks percentile ties by first-seen order, mirroring
+        # the batch tie-break on (value, path_id).
+        selection = {
+            index: state.p10[path].value()
+            for index, path in enumerate(paths)
+            if state.finite.get(path, 0) >= MIN_BUCKET_SAMPLES
+        }
+        suboptimal = {threshold: 0.0 for threshold in thresholds_ms}
+        if len(selection) >= 2:
+            best = min(selection, key=lambda index: (selection[index], index))
+            for threshold in thresholds_ms:
+                suboptimal[threshold] = sum(
+                    prevalence[index]
+                    for index, value in selection.items()
+                    if index != best and value - selection[best] >= threshold
+                )
+        return PathSummary(
+            key=key,
+            changes=state.changes,
+            unique_paths=len(paths),
+            popular_prevalence=popular,
+            suboptimal=suboptimal,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Ping stream: the sliding-window congestion detector
+# ---------------------------------------------------------------------------
+
+
+class _CongestionState:
+    __slots__ = ("window", "valid", "seen")
+
+    def __init__(self, capacity: int) -> None:
+        self.window = RingWindow(capacity)
+        self.valid = 0
+        self.seen = 0
+
+    def __getstate__(self):
+        return (self.window, self.valid, self.seen)
+
+    def __setstate__(self, state) -> None:
+        self.window, self.valid, self.seen = state
+
+
+class CongestionWindowOperator:
+    """Section 5.1 congestion verdicts from a sliding RTT window.
+
+    With ``window_rounds`` covering the whole campaign (the engine's
+    default) every verdict matches the batch detector's; a smaller window
+    turns the detector into a rolling one whose verdict reflects the most
+    recent ``window_rounds`` samples only (documented approximation).
+    """
+
+    def __init__(
+        self,
+        period_hours: float,
+        window_rounds: int,
+        detector: Optional[CongestionDetector] = None,
+    ) -> None:
+        self.period_hours = float(period_hours)
+        self.window_rounds = int(window_rounds)
+        self.detector = detector or CongestionDetector()
+        self._states: Dict[UnitKey, _CongestionState] = {}
+
+    def start_unit(self, key: UnitKey, meta: object = None) -> None:
+        """Register one pair's series."""
+        if key not in self._states:
+            self._states[key] = _CongestionState(self.window_rounds)
+
+    def observe(self, record: PingRecord) -> None:
+        """Feed one ping record."""
+        key = (record.src, record.dst, record.version)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _CongestionState(self.window_rounds)
+        state.window.push(record.rtt_ms)
+        state.seen += 1
+        if math.isfinite(record.rtt_ms):
+            state.valid += 1
+
+    def _assess(self, state: _CongestionState) -> CongestionVerdict:
+        values = state.window.values().astype(float)
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            spread = float("nan")
+        else:
+            low, high = self.detector.spread_percentiles
+            spread = float(np.percentile(finite, high) - np.percentile(finite, low))
+        ratio = windowed_diurnal_power_ratio(
+            values, self.period_hours, band=self.detector.band
+        )
+        return CongestionVerdict(
+            spread_ms=spread,
+            power_ratio=ratio,
+            spread_exceeds=bool(
+                np.isfinite(spread) and spread > self.detector.spread_threshold_ms
+            ),
+            diurnal=bool(
+                np.isfinite(ratio) and ratio >= self.detector.power_ratio_threshold
+            ),
+        )
+
+    def verdicts(self) -> Dict[UnitKey, CongestionVerdict]:
+        """Current verdict per pair (window occupancy goes to metrics)."""
+        occupancy = obs_metrics.histogram("stream.window_occupancy")
+        results: Dict[UnitKey, CongestionVerdict] = {}
+        for key, state in self._states.items():
+            occupancy.observe(len(state.window))
+            results[key] = self._assess(state)
+        return results
+
+    def valid_counts(self) -> Dict[UnitKey, int]:
+        """Answered-probe count per pair (whole stream, not the window)."""
+        return {key: state.valid for key, state in self._states.items()}
+
+    def population_stats(
+        self,
+        verdicts: Dict[UnitKey, CongestionVerdict],
+        version: int,
+        min_valid_samples: int = 600,
+    ) -> PopulationStats:
+        """The Section 5.1 population counts for one protocol."""
+        pairs = spread_count = congested_count = 0
+        for key, state in self._states.items():
+            if key[2] != version:
+                continue
+            required = min(min_valid_samples, int(0.9 * state.seen))
+            if state.valid < required:
+                continue
+            verdict = verdicts[key]
+            pairs += 1
+            if verdict.spread_exceeds:
+                spread_count += 1
+            if verdict.congested:
+                congested_count += 1
+        return PopulationStats(
+            pairs=pairs, spread_exceeds=spread_count, congested=congested_count
+        )
+
+
+# ---------------------------------------------------------------------------
+# Short-term trace stream: windowed localization
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SegmentMeta:
+    """Static per-unit context for the localization window."""
+
+    hop_addresses: Tuple[object, ...]
+    segment_keys: Tuple[object, ...]
+    static_path: bool
+
+
+@dataclass
+class SegmentOutcome:
+    """Windowed localization outcome for one pair."""
+
+    key: UnitKey
+    static_path: bool
+    end_to_end_diurnal: bool
+    congested_hop: Optional[int]
+    link: Optional[Tuple[object, object]]
+    segment_keys: Tuple[object, ...]
+
+
+class _SegmentState:
+    __slots__ = ("meta", "window")
+
+    def __init__(self, meta: SegmentMeta, capacity: int) -> None:
+        self.meta = meta
+        self.window = RingWindow(capacity, rows=len(meta.hop_addresses))
+
+    def __getstate__(self):
+        return (self.meta, self.window)
+
+    def __setstate__(self, state) -> None:
+        self.meta, self.window = state
+
+
+class _WindowEntry:
+    """Duck-typed :class:`repro.datasets.shortterm.SegmentSeries` view.
+
+    Carries exactly the attributes
+    :func:`repro.core.localization.segment_correlations` reads, so the
+    windowed correlations reuse the batch code path verbatim.
+    """
+
+    __slots__ = ("rtt_ms", "hop_rtt_ms", "n_hops")
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self.hop_rtt_ms = matrix
+        self.rtt_ms = matrix[-1]
+        self.n_hops = int(matrix.shape[0])
+
+
+class SegmentWindowOperator:
+    """Section 5.2 localization fed from the sliding window.
+
+    The end-to-end verdict uses the same Goertzel-windowed spectral test
+    as :class:`CongestionWindowOperator`; segment correlation walks hops
+    with the batch masked-Pearson code over the windowed matrix.
+    """
+
+    def __init__(
+        self,
+        period_hours: float,
+        window_rounds: int,
+        detector: Optional[CongestionDetector] = None,
+        rho_threshold: float = 0.5,
+    ) -> None:
+        self.period_hours = float(period_hours)
+        self.window_rounds = int(window_rounds)
+        self.detector = detector or CongestionDetector()
+        self.rho_threshold = float(rho_threshold)
+        self._states: Dict[UnitKey, _SegmentState] = {}
+
+    def start_unit(self, key: UnitKey, meta: object = None) -> None:
+        """Register one pair's window; ``meta`` must be a SegmentMeta."""
+        if key not in self._states:
+            if not isinstance(meta, SegmentMeta):
+                raise TypeError("SegmentWindowOperator units need SegmentMeta")
+            self._states[key] = _SegmentState(meta, self.window_rounds)
+
+    def observe(self, record: SegmentRecord) -> None:
+        """Feed one per-hop traceroute round."""
+        key = (record.src, record.dst, record.version)
+        state = self._states[key]
+        state.window.push(np.asarray(record.hop_rtt_ms, dtype=np.float32))
+
+    def _assess_e2e(self, e2e: np.ndarray) -> CongestionVerdict:
+        values = e2e.astype(float)
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            spread = float("nan")
+        else:
+            low, high = self.detector.spread_percentiles
+            spread = float(np.percentile(finite, high) - np.percentile(finite, low))
+        ratio = windowed_diurnal_power_ratio(
+            values, self.period_hours, band=self.detector.band
+        )
+        return CongestionVerdict(
+            spread_ms=spread,
+            power_ratio=ratio,
+            spread_exceeds=bool(
+                np.isfinite(spread) and spread > self.detector.spread_threshold_ms
+            ),
+            diurnal=bool(
+                np.isfinite(ratio) and ratio >= self.detector.power_ratio_threshold
+            ),
+        )
+
+    def outcomes(self) -> Dict[UnitKey, SegmentOutcome]:
+        """Windowed localization per pair, in unit arrival order."""
+        occupancy = obs_metrics.histogram("stream.window_occupancy")
+        results: Dict[UnitKey, SegmentOutcome] = {}
+        for key, state in self._states.items():
+            occupancy.observe(len(state.window))
+            matrix = state.window.values()
+            verdict = self._assess_e2e(matrix[-1])
+            congested_hop: Optional[int] = None
+            link = None
+            if verdict.congested:
+                correlations = segment_correlations(_WindowEntry(matrix))
+                for hop, correlation in enumerate(correlations):
+                    if np.isfinite(correlation) and correlation >= self.rho_threshold:
+                        near = state.meta.hop_addresses[hop - 1] if hop > 0 else None
+                        congested_hop = hop
+                        link = (near, state.meta.hop_addresses[hop])
+                        break
+            results[key] = SegmentOutcome(
+                key=key,
+                static_path=state.meta.static_path,
+                end_to_end_diurnal=verdict.congested,
+                congested_hop=congested_hop,
+                link=link,
+                segment_keys=state.meta.segment_keys,
+            )
+        return results

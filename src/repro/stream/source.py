@@ -1,0 +1,403 @@
+"""Pull-based record sources for the streaming engine.
+
+A *stream unit* is one (src, dst, version) pair's campaign: its records
+in round order plus any static per-pair context (the localization
+window's hop metadata).  Sources yield units one at a time -- each unit
+is built on demand with the exact batch builders from
+:mod:`repro.datasets` (same named RNG streams, same epoch walk), so a
+record stream replayed through the operators carries bit-identical
+sample values -- but only ever holds *one* pair's timeline in memory,
+never the whole-campaign dict the batch datasets materialize.
+
+Sources:
+
+- :class:`LongTermTraceSource` / :class:`PingSource` /
+  :class:`SegmentTraceSource` -- units sampled live from a
+  :class:`~repro.measurement.platform.MeasurementPlatform`.
+- :class:`LongTermFileSource` -- units replayed from a persisted NPZ
+  archive via :func:`repro.datasets.io.iter_longterm`.
+- :class:`ShardedSource` -- fans a platform source's units across
+  forked worker processes (the :func:`repro.datasets.parallel.fork_map`
+  model: fork inheritance in, pickled results + metric deltas out) with
+  a **bounded** queue per shard, so a slow consumer blocks the producers
+  instead of letting them buffer unboundedly.
+
+Because every unit draws from its own named RNG stream, sharding and
+resume order never influence any random draw: a sharded stream, a serial
+stream, and the batch pipeline all see the same sample values.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.datasets.longterm import LongTermConfig, _build_timeline
+from repro.datasets.shortterm import (
+    SegmentSeries,
+    ShortTermConfig,
+    _build_ping_timeline,
+    _build_trace_entry,
+)
+from repro.datasets.timeline import PingTimeline, TraceTimeline
+from repro.measurement.platform import MeasurementPlatform
+from repro.obs import metrics as obs_metrics
+from repro.stream.operators import SegmentMeta
+from repro.stream.records import PingRecord, SegmentRecord, TracerouteRecord, UnitKey
+from repro.topology.cdn import Server
+
+__all__ = [
+    "StreamUnit",
+    "trace_unit",
+    "ping_unit",
+    "segment_unit",
+    "LongTermTraceSource",
+    "PingSource",
+    "SegmentTraceSource",
+    "LongTermFileSource",
+    "ShardedSource",
+]
+
+
+@dataclass
+class StreamUnit:
+    """One pair-campaign's records, in round order.
+
+    ``meta`` carries the static per-pair context an operator needs before
+    the first record (only localization units have any); a unit with no
+    records and no meta is a placeholder for a pair the builders skipped
+    (kept so unit indices stay aligned with the task list across
+    checkpoint/resume).
+    """
+
+    key: UnitKey
+    kind: str  # "trace" | "ping" | "segment"
+    records: Tuple[object, ...]
+    meta: Optional[SegmentMeta] = None
+
+
+def trace_unit(timeline: TraceTimeline) -> StreamUnit:
+    """Decompose one long-term timeline into a record unit."""
+    key = (timeline.src_server_id, timeline.dst_server_id, int(timeline.version))
+    times = timeline.times_hours.tolist()
+    rtts = timeline.rtt_ms.tolist()
+    outcomes = timeline.outcome.tolist()
+    path_ids = timeline.path_id.tolist()
+    paths = timeline.paths
+    records = tuple(
+        TracerouteRecord(
+            src=key[0],
+            dst=key[1],
+            version=key[2],
+            round_index=index,
+            time_hours=times[index],
+            rtt_ms=rtts[index],
+            outcome=outcomes[index],
+            as_path=paths[path_ids[index]] if path_ids[index] >= 0 else None,
+        )
+        for index in range(len(times))
+    )
+    return StreamUnit(key=key, kind="trace", records=records)
+
+
+def ping_unit(timeline: PingTimeline) -> StreamUnit:
+    """Decompose one ping timeline into a record unit."""
+    key = (timeline.src_server_id, timeline.dst_server_id, int(timeline.version))
+    times = timeline.times_hours.tolist()
+    rtts = timeline.rtt_ms.tolist()
+    records = tuple(
+        PingRecord(
+            src=key[0],
+            dst=key[1],
+            version=key[2],
+            round_index=index,
+            time_hours=times[index],
+            rtt_ms=rtts[index],
+        )
+        for index in range(len(times))
+    )
+    return StreamUnit(key=key, kind="ping", records=records)
+
+
+def segment_unit(key: UnitKey, entry: Optional[SegmentSeries]) -> StreamUnit:
+    """Decompose one per-hop series into a record unit (or a placeholder)."""
+    if entry is None:
+        return StreamUnit(key=key, kind="segment", records=())
+    times = entry.times_hours.tolist()
+    columns = entry.hop_rtt_ms.T.tolist()
+    records = tuple(
+        SegmentRecord(
+            src=key[0],
+            dst=key[1],
+            version=key[2],
+            round_index=index,
+            time_hours=times[index],
+            hop_rtt_ms=tuple(columns[index]),
+        )
+        for index in range(len(times))
+    )
+    meta = SegmentMeta(
+        hop_addresses=entry.hop_addresses,
+        segment_keys=entry.segment_keys,
+        static_path=entry.static_path,
+    )
+    return StreamUnit(key=key, kind="segment", records=records, meta=meta)
+
+
+def _version_tasks(
+    pairs: Sequence[Tuple[Server, Server]], versions
+) -> List[Tuple[Server, Server, object]]:
+    """The batch builders' (src, dst, version) task list, in their order."""
+    return [
+        (src, dst, version)
+        for src, dst in pairs
+        for version in versions
+        if src.address(version) is not None and dst.address(version) is not None
+    ]
+
+
+class _PlatformSource:
+    """Shared plumbing of the live platform-backed sources."""
+
+    kind = "unit"
+
+    def __init__(self, platform: MeasurementPlatform, trim_realizations: bool) -> None:
+        self.platform = platform
+        self.trim_realizations = trim_realizations
+        self.tasks: List[Tuple[Server, Server, object]] = []
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def _build(self, src: Server, dst: Server, version) -> StreamUnit:
+        raise NotImplementedError
+
+    def unit_at(self, index: int) -> StreamUnit:
+        """Build the unit of one task (random access, for shards/resume)."""
+        src, dst, version = self.tasks[index]
+        unit = self._build(src, dst, version)
+        if self.trim_realizations:
+            # Bounded-memory invariant: a unit leaves no realization
+            # cache behind.  The next unit of the same pair rebuilds its
+            # (cheap, deterministic) realizations.
+            self.platform.drop_realizations(src.server_id, dst.server_id)
+        obs_metrics.counter("stream.units").inc()
+        return unit
+
+    def __iter__(self) -> Iterator[StreamUnit]:
+        for index in range(len(self.tasks)):
+            yield self.unit_at(index)
+
+
+class LongTermTraceSource(_PlatformSource):
+    """Long-term traceroute units sampled live from the platform."""
+
+    kind = "trace"
+
+    def __init__(
+        self,
+        platform: MeasurementPlatform,
+        config: Optional[LongTermConfig] = None,
+        pairs: Optional[Sequence[Tuple[Server, Server]]] = None,
+        trim_realizations: bool = True,
+    ) -> None:
+        super().__init__(platform, trim_realizations)
+        self.config = config or LongTermConfig()
+        self.grid = self.config.grid()
+        if self.grid.end_hour > platform.config.duration_hours + 1e-9:
+            raise ValueError(
+                f"campaign covers {self.grid.end_hour:.0f}h but the platform "
+                f"simulates only {platform.config.duration_hours:.0f}h"
+            )
+        if pairs is None:
+            pairs = platform.server_pairs(dual_stack_only=self.config.dual_stack_only)
+        self.tasks = _version_tasks(list(pairs), self.config.versions)
+
+    def _build(self, src: Server, dst: Server, version) -> StreamUnit:
+        timeline = _build_timeline(self.platform, src, dst, version, self.grid)
+        return trace_unit(timeline)
+
+
+class PingSource(_PlatformSource):
+    """Short-term ping units sampled live from the platform."""
+
+    kind = "ping"
+
+    def __init__(
+        self,
+        platform: MeasurementPlatform,
+        config: Optional[ShortTermConfig] = None,
+        pairs: Optional[Sequence[Tuple[Server, Server]]] = None,
+        trim_realizations: bool = True,
+    ) -> None:
+        super().__init__(platform, trim_realizations)
+        self.config = config or ShortTermConfig()
+        self.grid = self.config.ping_grid()
+        if self.grid.end_hour > platform.config.duration_hours + 1e-9:
+            raise ValueError(
+                f"campaign covers {self.grid.end_hour:.0f}h but the platform "
+                f"simulates only {platform.config.duration_hours:.0f}h"
+            )
+        if pairs is None:
+            pairs = platform.server_pairs(dual_stack_only=False)
+        self.tasks = _version_tasks(list(pairs), self.config.versions)
+        self._times = self.grid.times()
+
+    def _build(self, src: Server, dst: Server, version) -> StreamUnit:
+        timeline = _build_ping_timeline(
+            self.platform, src, dst, version, self._times, self.config
+        )
+        return ping_unit(timeline)
+
+
+class SegmentTraceSource(_PlatformSource):
+    """Per-hop traceroute units for the pairs flagged by the ping analysis."""
+
+    kind = "segment"
+
+    def __init__(
+        self,
+        platform: MeasurementPlatform,
+        pairs: Sequence[Tuple[Server, Server]],
+        config: Optional[ShortTermConfig] = None,
+        trim_realizations: bool = True,
+    ) -> None:
+        super().__init__(platform, trim_realizations)
+        self.config = config or ShortTermConfig()
+        self.grid = self.config.trace_grid()
+        if self.grid.end_hour > platform.config.duration_hours + 1e-9:
+            raise ValueError(
+                f"campaign covers {self.grid.end_hour:.0f}h but the platform "
+                f"simulates only {platform.config.duration_hours:.0f}h"
+            )
+        self.tasks = _version_tasks(list(pairs), self.config.versions)
+        self._times = self.grid.times()
+
+    def _build(self, src: Server, dst: Server, version) -> StreamUnit:
+        entry = _build_trace_entry(
+            self.platform, src, dst, version, self._times, self.grid
+        )
+        return segment_unit((src.server_id, dst.server_id, int(version)), entry)
+
+
+class LongTermFileSource:
+    """Long-term units replayed one at a time from a persisted NPZ archive."""
+
+    kind = "trace"
+
+    def __init__(self, path) -> None:
+        self.path = path
+
+    def __iter__(self) -> Iterator[StreamUnit]:
+        from repro.datasets.io import iter_longterm
+
+        for timeline in iter_longterm(self.path):
+            obs_metrics.counter("stream.units").inc()
+            yield trace_unit(timeline)
+
+
+# ---------------------------------------------------------------------------
+# Sharded fan-out with bounded per-shard queues
+# ---------------------------------------------------------------------------
+
+_DONE = "__shard_done__"
+
+
+def _shard_worker(source, worker_index: int, shards: int, start: int, queue) -> None:
+    """Worker loop: build this shard's units and push them with telemetry.
+
+    The queue is bounded, so ``put`` blocks when the consumer lags --
+    that is the backpressure contract.  Counters incremented inside the
+    builders travel back as per-unit registry snapshot deltas, exactly
+    like :func:`repro.datasets.parallel.fork_map` workers.
+    """
+    registry = obs_metrics.get_registry()
+    try:
+        for index in range(start + worker_index, len(source), shards):
+            baseline = registry.snapshot()
+            unit = source.unit_at(index)
+            queue.put(("unit", index, unit, registry.delta_since(baseline)))
+        queue.put((_DONE, worker_index, None, None))
+    except BaseException:  # surfaced to the parent, never swallowed
+        queue.put(("error", worker_index, traceback.format_exc(), None))
+
+
+class ShardedSource:
+    """Fan a platform source's units across forked workers.
+
+    Worker ``w`` of ``shards`` builds units ``start+w, start+w+shards,
+    ...`` and pushes them into its own bounded queue
+    (``queue_units`` deep); the parent pops queues round-robin in global
+    unit order, so consumers see exactly the serial order.  Falls back to
+    the serial loop for one shard or platforms without ``fork``.
+    """
+
+    def __init__(self, source, shards: int, queue_units: int = 4) -> None:
+        if queue_units < 1:
+            raise ValueError("queue_units must be positive")
+        self.source = source
+        self.shards = int(shards)
+        self.queue_units = int(queue_units)
+
+    @property
+    def kind(self) -> str:
+        """The wrapped source's unit kind."""
+        return self.source.kind
+
+    def __len__(self) -> int:
+        return len(self.source)
+
+    def iter_from(self, start: int = 0) -> Iterator[StreamUnit]:
+        """Yield units ``start..`` in order, building them across shards."""
+        total = len(self.source)
+        shards = min(self.shards, max(1, total - start))
+        if shards <= 1 or "fork" not in multiprocessing.get_all_start_methods():
+            for index in range(start, total):
+                yield self.source.unit_at(index)
+            return
+
+        registry = obs_metrics.get_registry()
+        depth_gauge = registry.gauge("stream.queue_depth")
+        context = multiprocessing.get_context("fork")
+        queues = [context.Queue(maxsize=self.queue_units) for _ in range(shards)]
+        workers = [
+            context.Process(
+                target=_shard_worker,
+                args=(self.source, worker, shards, start, queues[worker]),
+                daemon=True,
+            )
+            for worker in range(shards)
+        ]
+        for process in workers:
+            process.start()
+        try:
+            for index in range(start, total):
+                queue = queues[(index - start) % shards]
+                try:
+                    depth_gauge.set(queue.qsize())
+                except NotImplementedError:  # macOS has no qsize
+                    pass
+                tag, value, payload, delta = queue.get()
+                if tag == "error":
+                    raise RuntimeError(
+                        f"stream shard {value} failed:\n{payload}"
+                    )
+                if value != index:  # pragma: no cover - ordering invariant
+                    raise RuntimeError(
+                        f"stream shard returned unit {value}, expected {index}"
+                    )
+                registry.merge(delta)
+                yield payload
+        finally:
+            for process in workers:
+                process.terminate()
+            for process in workers:
+                process.join()
+            for queue in queues:
+                queue.cancel_join_thread()
+                queue.close()
+
+    def __iter__(self) -> Iterator[StreamUnit]:
+        return self.iter_from(0)

@@ -75,3 +75,48 @@ class TestCommands:
         assert "== stage timings ==" in out
         assert "experiment:table1" in out
         assert "total" in out
+
+
+class TestStreamCommand:
+    def test_stream_flags_parse(self):
+        args = build_parser().parse_args([
+            "reproduce", "--stream", "--checkpoint-dir", "ckpt", "--resume",
+        ])
+        assert args.stream and args.resume
+        assert args.checkpoint_dir == "ckpt"
+
+    def test_stream_rejects_batch_experiment(self, capsys):
+        assert main(
+            ["reproduce", "--stream", "--experiments", "table1"]
+        ) == 2
+        assert "not served by --stream" in capsys.readouterr().err
+
+    def test_checkpoint_flags_require_stream(self, capsys):
+        assert main(["reproduce", "--resume"]) == 2
+        assert "require --stream" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["reproduce", "--stream", "--resume"]) == 2
+        assert "requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_stream_reproduce_with_manifest(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "run.json"
+        assert main([
+            "reproduce", "--scenario", "small", "--stream",
+            "--experiments", "fig3",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--run-report", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Popular-path prevalence" in out
+        manifest = json.loads(report.read_text())
+        stream = manifest["extra"]["stream"]
+        assert stream["enabled"] is True
+        assert stream["experiments"] == ["fig3"]
+        assert stream["checkpoint_fingerprint"]
+        assert stream["phases"] == {
+            "longterm": True, "ping": False, "segment": False,
+        }
+        assert manifest["metrics"]["counters"]["stream.units"] > 0

@@ -125,6 +125,17 @@ def test_det002_flags_wall_clock_in_scoped_packages():
     assert codes(report) == ["DET002", "DET002"]
 
 
+def test_det002_scope_covers_stream_package():
+    report = lint_source(
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n",
+        path="src/repro/stream/example.py",
+        select=["DET002"],
+    )
+    assert codes(report) == ["DET002"]
+
+
 def test_det002_ignores_wall_clock_outside_scope():
     report = lint_source(
         "import time\n"

@@ -93,6 +93,41 @@ def test_frk001_mutation_outside_worker_is_clean():
     assert codes(report) == []
 
 
+def test_frk001_flags_process_target_keyword():
+    report = lint_source(
+        "import multiprocessing\n"
+        "SEEN = []\n"
+        "def _worker(queue):\n"
+        "    SEEN.append(1)\n"
+        "    queue.put('done')\n"
+        "def spawn(queue):\n"
+        "    context = multiprocessing.get_context('fork')\n"
+        "    return context.Process(target=_worker, args=(queue,), daemon=True)\n",
+        path="src/repro/stream/example.py",
+        select=["FRK001"],
+    )
+    assert codes(report) == ["FRK001"]
+    assert "SEEN" in report.findings[0].message
+    assert "Process worker" in report.findings[0].message
+
+
+def test_frk001_clean_process_worker_with_registry_delta():
+    report = lint_source(
+        "import multiprocessing\n"
+        "from repro.obs import metrics as obs_metrics\n"
+        "def _worker(source, queue):\n"
+        "    registry = obs_metrics.get_registry()\n"
+        "    baseline = registry.snapshot()\n"
+        "    queue.put((source, registry.delta_since(baseline)))\n"
+        "def spawn(source, queue):\n"
+        "    context = multiprocessing.get_context('fork')\n"
+        "    return context.Process(target=_worker, args=(source, queue))\n",
+        path="src/repro/stream/example.py",
+        select=["FRK001"],
+    )
+    assert codes(report) == []
+
+
 def test_frk001_suppressed():
     source = _FORK_MUTATION.replace(
         "    RESULTS.append(item * 2)\n",

@@ -1,0 +1,81 @@
+"""Tests for checkpoint snapshots and their fingerprint keying."""
+
+import pickle
+
+from repro.stream.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointStore,
+    checkpoint_fingerprint,
+    required_phases,
+)
+
+
+class TestFingerprint:
+    def test_stable_for_equal_parts(self):
+        assert checkpoint_fingerprint("a", 1) == checkpoint_fingerprint("a", 1)
+
+    def test_sensitive_to_parts(self):
+        assert checkpoint_fingerprint("a", 1) != checkpoint_fingerprint("a", 2)
+
+
+class TestCheckpointStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path, "abc123")
+        store.save("longterm", 42, {"state": [1, 2, 3]}, {"done": "payload"})
+        state = store.load()
+        assert state is not None
+        assert state["phase"] == "longterm"
+        assert state["units_done"] == 42
+        assert state["operator"] == {"state": [1, 2, 3]}
+        assert state["completed"] == {"done": "payload"}
+        assert state["schema"] == CHECKPOINT_SCHEMA_VERSION
+
+    def test_missing_is_none(self, tmp_path):
+        assert CheckpointStore(tmp_path, "nothing").load() is None
+
+    def test_corrupt_is_none(self, tmp_path):
+        store = CheckpointStore(tmp_path, "abc123")
+        store.save("ping", 1, None, {})
+        store.path.write_bytes(b"\x80\x04 truncated garbage")
+        assert store.load() is None
+
+    def test_schema_mismatch_is_none(self, tmp_path):
+        store = CheckpointStore(tmp_path, "abc123")
+        store.save("ping", 1, None, {})
+        payload = pickle.loads(store.path.read_bytes())
+        payload["schema"] = CHECKPOINT_SCHEMA_VERSION + 1
+        store.path.write_bytes(pickle.dumps(payload))
+        assert store.load() is None
+
+    def test_fingerprint_mismatch_is_none(self, tmp_path):
+        CheckpointStore(tmp_path, "run-a").save("ping", 1, None, {})
+        other = CheckpointStore(tmp_path, "run-b")
+        # Different fingerprint -> different file; also reject a copy
+        # carrying the wrong fingerprint inside.
+        assert other.load() is None
+        other.path.write_bytes(CheckpointStore(tmp_path, "run-a").path.read_bytes())
+        assert other.load() is None
+
+    def test_clear_is_idempotent(self, tmp_path):
+        store = CheckpointStore(tmp_path, "abc123")
+        store.save("ping", 1, None, {})
+        store.clear()
+        assert store.load() is None
+        store.clear()  # no snapshot left: still fine
+
+
+class TestRequiredPhases:
+    def test_longterm_only(self):
+        assert required_phases(["fig3", "fig6"]) == {
+            "longterm": True, "ping": False, "segment": False,
+        }
+
+    def test_localization_pulls_ping(self):
+        assert required_phases(["localization"]) == {
+            "longterm": False, "ping": True, "segment": True,
+        }
+
+    def test_all(self):
+        assert required_phases(["fig3", "congestion-norm", "localization"]) == {
+            "longterm": True, "ping": True, "segment": True,
+        }

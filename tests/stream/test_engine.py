@@ -1,0 +1,166 @@
+"""Batch <-> stream equivalence and kill/resume determinism.
+
+The headline contracts of the streaming engine:
+
+- every report it renders is byte-identical to the batch driver's
+  (fig6's P-squared approximation is exact at this scale, where most
+  per-path buckets stay below the estimator's five-sample threshold);
+- a run killed mid-campaign and resumed from its checkpoint produces
+  byte-identical reports to an uninterrupted run;
+- sharded unit construction changes nothing.
+"""
+
+import pytest
+
+from repro.datasets.longterm import LongTermConfig
+from repro.datasets.shortterm import ShortTermConfig
+from repro.harness import experiments as exp
+from repro.stream.engine import (
+    STREAM_EXPERIMENTS,
+    StreamConfig,
+    StreamEngine,
+    StreamInterrupted,
+)
+
+LONGTERM_CONFIG = LongTermConfig(days=60)
+SHORTTERM_CONFIG = ShortTermConfig(ping_days=7.0, trace_days=14.0)
+
+
+def _render_all(results):
+    return "\n\n".join(result.render() for result in results)
+
+
+@pytest.fixture(scope="module")
+def stream_results(platform):
+    engine = StreamEngine(
+        platform,
+        longterm_config=LONGTERM_CONFIG,
+        shortterm_config=SHORTTERM_CONFIG,
+    )
+    return engine.run()
+
+
+class TestBatchEquivalence:
+    def test_serves_all_four_experiments(self, stream_results):
+        assert [result.experiment_id for result in stream_results] == list(STREAM_EXPERIMENTS)
+
+    def test_fig3_identical(self, stream_results, longterm):
+        assert stream_results[0].render() == exp.experiment_fig3(longterm).render()
+
+    def test_fig6_identical(self, stream_results, longterm):
+        assert stream_results[1].render() == exp.experiment_fig6(longterm).render()
+
+    def test_congestion_norm_identical(self, stream_results, ping_dataset):
+        assert (
+            stream_results[2].render()
+            == exp.experiment_congestion_norm(ping_dataset).render()
+        )
+
+    def test_localization_identical(self, stream_results, trace_dataset, platform):
+        assert (
+            stream_results[3].render()
+            == exp.experiment_localization(trace_dataset, platform).render()
+        )
+
+
+class TestExperimentSelection:
+    def test_rejects_batch_only_experiments(self, platform):
+        with pytest.raises(ValueError, match="not served by the stream engine"):
+            StreamEngine(platform, experiments=["table1"])
+
+    def test_subset_runs_only_needed_phases(self, platform):
+        engine = StreamEngine(
+            platform,
+            longterm_config=LONGTERM_CONFIG,
+            shortterm_config=SHORTTERM_CONFIG,
+            experiments=["fig3"],
+        )
+        results = engine.run()
+        assert [result.experiment_id for result in results] == ["fig3"]
+        assert set(engine._completed) == {"longterm"}
+
+
+class TestShardedEquivalence:
+    def test_sharded_run_identical(self, platform, stream_results):
+        engine = StreamEngine(
+            platform,
+            longterm_config=LONGTERM_CONFIG,
+            shortterm_config=SHORTTERM_CONFIG,
+            config=StreamConfig(shards=3, queue_units=2),
+        )
+        assert _render_all(engine.run()) == _render_all(stream_results)
+
+
+class TestKillResume:
+    def test_resume_is_byte_identical(self, platform, tmp_path, stream_results):
+        reference = _render_all(stream_results)
+        config = StreamConfig(checkpoint_every=8)
+
+        killed = StreamEngine(
+            platform,
+            longterm_config=LONGTERM_CONFIG,
+            shortterm_config=SHORTTERM_CONFIG,
+            config=config,
+            checkpoint_dir=tmp_path,
+        )
+        with pytest.raises(StreamInterrupted) as outcome:
+            killed.run(max_units=25)
+        assert outcome.value.phase == "longterm"
+        assert killed.checkpoint_store.load() is not None
+
+        resumed = StreamEngine(
+            platform,
+            longterm_config=LONGTERM_CONFIG,
+            shortterm_config=SHORTTERM_CONFIG,
+            config=config,
+            checkpoint_dir=tmp_path,
+        )
+        assert _render_all(resumed.run(resume=True)) == reference
+        # A completed run leaves no resume point behind.
+        assert resumed.checkpoint_store.load() is None
+
+    def test_kill_in_later_phase_resumes(self, platform, tmp_path, stream_results):
+        reference = _render_all(stream_results)
+        config = StreamConfig(checkpoint_every=8)
+        longterm_units = 2 * len(platform.server_pairs(dual_stack_only=True))
+
+        killed = StreamEngine(
+            platform,
+            longterm_config=LONGTERM_CONFIG,
+            shortterm_config=SHORTTERM_CONFIG,
+            config=config,
+            checkpoint_dir=tmp_path,
+        )
+        with pytest.raises(StreamInterrupted) as outcome:
+            killed.run(max_units=longterm_units + 10)
+        assert outcome.value.phase == "ping"
+
+        resumed = StreamEngine(
+            platform,
+            longterm_config=LONGTERM_CONFIG,
+            shortterm_config=SHORTTERM_CONFIG,
+            config=config,
+            checkpoint_dir=tmp_path,
+        )
+        assert _render_all(resumed.run(resume=True)) == reference
+
+    def test_mismatched_config_ignores_checkpoint(self, platform, tmp_path):
+        killed = StreamEngine(
+            platform,
+            longterm_config=LONGTERM_CONFIG,
+            shortterm_config=SHORTTERM_CONFIG,
+            config=StreamConfig(checkpoint_every=8),
+            checkpoint_dir=tmp_path,
+        )
+        with pytest.raises(StreamInterrupted):
+            killed.run(max_units=25)
+
+        other = StreamEngine(
+            platform,
+            longterm_config=LONGTERM_CONFIG,
+            shortterm_config=SHORTTERM_CONFIG,
+            config=StreamConfig(checkpoint_every=9),  # different fingerprint
+            checkpoint_dir=tmp_path,
+        )
+        assert other.fingerprint != killed.fingerprint
+        assert other.checkpoint_store.load() is None

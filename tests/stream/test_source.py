@@ -1,0 +1,128 @@
+"""Tests for the pull-based stream sources."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import save_longterm
+from repro.datasets.longterm import LongTermConfig, build_longterm_dataset
+from repro.datasets.shortterm import ShortTermConfig, build_shortterm_ping_dataset
+from repro.stream.source import (
+    LongTermFileSource,
+    LongTermTraceSource,
+    PingSource,
+    ShardedSource,
+)
+
+
+def _rtts_equal(a, b):
+    return (a == b) or (math.isnan(a) and math.isnan(b))
+
+
+class TestLongTermTraceSource:
+    def test_units_match_batch_timelines(self, platform):
+        config = LongTermConfig(days=10)
+        pairs = platform.server_pairs(dual_stack_only=True)[:3]
+        batch = build_longterm_dataset(platform, config, pairs=pairs)
+        source = LongTermTraceSource(platform, config, pairs=pairs)
+
+        assert len(source) == len(batch.timelines)
+        for unit in source:
+            timeline = batch.timelines[
+                (unit.key[0], unit.key[1], unit.key[2])
+            ]
+            assert len(unit.records) == timeline.rtt_ms.size
+            rtts = timeline.rtt_ms.tolist()
+            outcomes = timeline.outcome.tolist()
+            for index, record in enumerate(unit.records):
+                assert _rtts_equal(record.rtt_ms, rtts[index])
+                assert record.outcome == outcomes[index]
+                assert record.round_index == index
+
+    def test_window_check_mirrors_batch(self, platform):
+        with pytest.raises(ValueError, match="platform simulates only"):
+            LongTermTraceSource(platform, LongTermConfig(days=10_000))
+
+
+class TestPingSource:
+    def test_units_match_batch_timelines(self, platform):
+        config = ShortTermConfig(ping_days=2.0)
+        pairs = platform.server_pairs()[:3]
+        batch = build_shortterm_ping_dataset(platform, config, pairs=pairs)
+        source = PingSource(platform, config, pairs=pairs)
+
+        assert len(source) == len(batch.timelines)
+        for unit in source:
+            timeline = batch.timelines[(unit.key[0], unit.key[1], unit.key[2])]
+            rtts = timeline.rtt_ms.tolist()
+            assert len(unit.records) == len(rtts)
+            for index, record in enumerate(unit.records):
+                assert _rtts_equal(record.rtt_ms, rtts[index])
+
+
+class TestLongTermFileSource:
+    def test_replays_saved_archive(self, platform, tmp_path):
+        config = LongTermConfig(days=10)
+        pairs = platform.server_pairs(dual_stack_only=True)[:2]
+        dataset = build_longterm_dataset(platform, config, pairs=pairs)
+        path = tmp_path / "longterm.npz"
+        save_longterm(dataset, path)
+
+        units = list(LongTermFileSource(path))
+        assert len(units) == len(dataset.timelines)
+        for unit in units:
+            assert unit.kind == "trace"
+            timeline = dataset.timelines[(unit.key[0], unit.key[1], unit.key[2])]
+            assert len(unit.records) == timeline.rtt_ms.size
+
+
+class TestShardedSource:
+    def test_sharded_equals_serial(self, platform):
+        config = LongTermConfig(days=10)
+        pairs = platform.server_pairs(dual_stack_only=True)[:3]
+        serial = list(LongTermTraceSource(platform, config, pairs=pairs))
+        sharded = list(
+            ShardedSource(
+                LongTermTraceSource(platform, config, pairs=pairs),
+                shards=3,
+                queue_units=2,
+            )
+        )
+        assert len(sharded) == len(serial)
+        for left, right in zip(serial, sharded):
+            assert left.key == right.key
+            assert len(left.records) == len(right.records)
+            for a, b in zip(left.records, right.records):
+                assert _rtts_equal(a.rtt_ms, b.rtt_ms)
+                assert a.outcome == b.outcome
+                assert a.as_path == b.as_path
+
+    def test_iter_from_offset(self, platform):
+        config = LongTermConfig(days=10)
+        pairs = platform.server_pairs(dual_stack_only=True)[:2]
+        source = LongTermTraceSource(platform, config, pairs=pairs)
+        full = [unit.key for unit in ShardedSource(source, shards=2).iter_from(0)]
+        tail = [unit.key for unit in ShardedSource(source, shards=2).iter_from(2)]
+        assert tail == full[2:]
+
+    def test_rejects_bad_queue_bound(self, platform):
+        source = LongTermTraceSource(
+            platform, LongTermConfig(days=10),
+            pairs=platform.server_pairs(dual_stack_only=True)[:1],
+        )
+        with pytest.raises(ValueError, match="queue_units"):
+            ShardedSource(source, shards=2, queue_units=0)
+
+    def test_trim_keeps_realization_cache_bounded(self, platform):
+        config = LongTermConfig(days=10)
+        pairs = platform.server_pairs(dual_stack_only=True)[:3]
+        source = LongTermTraceSource(platform, config, pairs=pairs)
+        for _ in source:
+            pass
+        trimmed_pairs = {(src.server_id, dst.server_id) for src, dst, _ in source.tasks}
+        leftover = [
+            key for key in platform._realizations
+            if (key[0], key[1]) in trimmed_pairs
+        ]
+        assert leftover == []
