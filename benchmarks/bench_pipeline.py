@@ -48,7 +48,7 @@ from repro.datasets.shortterm import (
     build_shortterm_trace_dataset,
 )
 
-SUMMARY_SCHEMA = 2
+SUMMARY_SCHEMA = 3
 
 
 def _peak_rss_bytes(who: int = resource.RUSAGE_SELF) -> int:
@@ -178,16 +178,28 @@ def _run_phase_subprocess(
     return json.loads(proc.stdout.strip().splitlines()[-1])
 
 
-def build_summary(report: dict, parallel_jobs: int) -> dict:
+def build_summary(
+    report: dict, parallel_jobs: int, previous: dict = None
+) -> dict:
     """The stable-schema repo-root summary (``BENCH_pipeline.json``).
 
-    Schema version 2: version 1's per-phase wall time and flat
-    stage -> seconds map, plus per-phase ``peak_rss_mb`` and a ``memory``
-    section with the stream-vs-serial peak-RSS ratio.
+    Schema version 3: version 2's per-phase wall time, flat
+    stage -> seconds map, ``peak_rss_mb`` and ``memory`` section, plus --
+    when the previous committed summary is available and comparable --
+    a ``speedup.columnar`` ratio (previous serial wall over this serial
+    wall; the columnar record plane is the change the ratio tracks) and
+    per-phase ``stage_seconds_delta`` maps (this run minus the previous
+    run, negative = faster).
     """
+    comparable = (
+        isinstance(previous, dict)
+        and previous.get("benchmark") == "pipeline"
+        and previous.get("scenario") == report["scenario"]
+        and isinstance(previous.get("phases"), dict)
+    )
     phases = {}
     for phase_name, phase in report["phases"].items():
-        phases[phase_name] = {
+        entry = {
             "wall_seconds": round(phase["wall_seconds"], 3),
             "peak_rss_mb": round(phase["peak_rss_bytes"] / 1e6, 1),
             "stage_seconds": {
@@ -195,6 +207,25 @@ def build_summary(report: dict, parallel_jobs: int) -> dict:
                 for stage, seconds in sorted(phase["stage_seconds"].items())
             },
         }
+        if comparable:
+            before = previous["phases"].get(phase_name, {}).get(
+                "stage_seconds", {}
+            )
+            entry["stage_seconds_delta"] = {
+                stage: round(seconds - before[stage], 3)
+                for stage, seconds in sorted(phase["stage_seconds"].items())
+                if stage in before
+            }
+        phases[phase_name] = entry
+    speedup = {name: round(value, 2) for name, value in report["speedup"].items()}
+    if comparable:
+        before_serial = previous["phases"].get("serial", {}).get("wall_seconds")
+        if before_serial:
+            speedup["columnar"] = round(
+                before_serial
+                / max(report["phases"]["serial"]["wall_seconds"], 1e-9),
+                2,
+            )
     return {
         "schema": SUMMARY_SCHEMA,
         "benchmark": "pipeline",
@@ -203,8 +234,7 @@ def build_summary(report: dict, parallel_jobs: int) -> dict:
         "parallel_jobs": parallel_jobs,
         "cpu_count": report["cpu_count"],
         "phases": phases,
-        "speedup": {name: round(value, 2)
-                    for name, value in report["speedup"].items()},
+        "speedup": speedup,
         "memory": {
             name: round(value, 3) for name, value in report["memory"].items()
         },
@@ -294,9 +324,15 @@ def main(argv=None) -> int:
 
     if args.summary:
         summary_path = Path(args.summary)
+        previous = None
+        if summary_path.exists():
+            try:
+                previous = json.loads(summary_path.read_text())
+            except (OSError, ValueError):
+                previous = None
         summary_path.write_text(
-            json.dumps(build_summary(report, parallel_jobs), indent=2,
-                       sort_keys=True) + "\n"
+            json.dumps(build_summary(report, parallel_jobs, previous=previous),
+                       indent=2, sort_keys=True) + "\n"
         )
         print(f"wrote {summary_path}")
     return 0

@@ -1,0 +1,100 @@
+"""Perf guard: fail CI when the pipeline regresses past its baseline.
+
+Compares a freshly produced ``BENCH_pipeline.json``-style summary (the
+*candidate*) against the committed one (the *baseline*).  The guarded
+number is the serial ``longterm-build`` stage -- the hot path the
+columnar record plane vectorizes -- which must not exceed
+``--factor`` (default 2.0) times the baseline.  A generous factor
+absorbs runner-to-runner noise while still catching an accidental
+return to per-round Python loops, which is an order-of-magnitude cliff,
+not a percentage.
+
+Also reports (without failing on) the stream-vs-serial wall ratio so
+regressions in stream mode's "pays for itself" property show up in the
+job log::
+
+    PYTHONPATH=src python benchmarks/perf_guard.py \
+        --baseline BENCH_pipeline.json --candidate /tmp/bench_new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+MIN_SCHEMA = 2
+
+
+def _load_summary(path: Path, label: str) -> dict:
+    """Parse one summary file, validating the parts the guard reads."""
+    try:
+        summary = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"perf-guard: cannot read {label} {path}: {exc}")
+    if not isinstance(summary, dict) or summary.get("benchmark") != "pipeline":
+        raise SystemExit(f"perf-guard: {label} {path} is not a pipeline summary")
+    if summary.get("schema", 0) < MIN_SCHEMA:
+        raise SystemExit(
+            f"perf-guard: {label} {path} schema {summary.get('schema')!r} "
+            f"predates {MIN_SCHEMA}"
+        )
+    return summary
+
+
+def _serial_longterm_build(summary: dict, label: str) -> float:
+    stages = summary.get("phases", {}).get("serial", {}).get("stage_seconds", {})
+    seconds = stages.get("longterm-build")
+    if not isinstance(seconds, (int, float)) or seconds <= 0:
+        raise SystemExit(
+            f"perf-guard: {label} has no serial longterm-build timing"
+        )
+    return float(seconds)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed BENCH_pipeline.json")
+    parser.add_argument("--candidate", required=True, type=Path,
+                        help="summary produced by this run")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="failure threshold: candidate may take at most "
+                             "FACTOR x baseline (default: 2.0)")
+    args = parser.parse_args(argv)
+
+    baseline = _load_summary(args.baseline, "baseline")
+    candidate = _load_summary(args.candidate, "candidate")
+    if baseline.get("scenario") != candidate.get("scenario"):
+        raise SystemExit(
+            f"perf-guard: scenario mismatch "
+            f"(baseline {baseline.get('scenario')!r}, "
+            f"candidate {candidate.get('scenario')!r})"
+        )
+
+    base_build = _serial_longterm_build(baseline, "baseline")
+    cand_build = _serial_longterm_build(candidate, "candidate")
+    limit = args.factor * base_build
+    ratio = cand_build / base_build
+    print(f"serial longterm-build: baseline {base_build:.3f}s, "
+          f"candidate {cand_build:.3f}s ({ratio:.2f}x, limit {args.factor}x)")
+
+    phases = candidate.get("phases", {})
+    serial_wall = phases.get("serial", {}).get("wall_seconds")
+    stream_wall = phases.get("stream", {}).get("wall_seconds")
+    if serial_wall and stream_wall:
+        print(f"stream wall vs serial wall: {stream_wall:.2f}s / "
+              f"{serial_wall:.2f}s = {stream_wall / serial_wall:.2f}x "
+              "(informational)")
+
+    if cand_build > limit:
+        print(f"perf-guard: FAIL -- serial longterm-build {cand_build:.3f}s "
+              f"exceeds {args.factor}x baseline ({limit:.3f}s)")
+        return 1
+    print("perf-guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

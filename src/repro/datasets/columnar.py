@@ -1,0 +1,529 @@
+"""The columnar record plane: preallocated column buffers per campaign.
+
+The batch builders and the streaming sources both ultimately need, per
+(pair, version), four parallel arrays over the campaign grid -- RTT,
+outcome, path id, true candidate -- plus an interned path table.  The
+object path reaches them through per-epoch calls into
+:mod:`repro.measurement.rttmodel` / :mod:`repro.measurement.traceroute`
+that recompute everything epoch-independent (segment stretch, baseline
+RTT, responsiveness products, congestion series) on every call.
+
+This module hoists all of that into per-realization **kernels** and
+samples each epoch directly into preallocated full-grid columns.  The
+contract is **bit-identity**: every random draw happens in exactly the
+order (and with exactly the argument arrays) of the object path, every
+floating-point expression keeps the object path's association, and the
+interned path table is built in the same sequence -- so a columnar
+timeline is indistinguishable, byte for byte, from an object-path one.
+The equivalence suite in ``tests/datasets/test_columnar_equivalence.py``
+holds this line.
+
+Layout notes (change any of these and the bit-identity contract breaks):
+
+- Congestion is cached as one float64 series per congested segment key
+  over the *full* grid, then summed per realization in path-occurrence
+  order.  Elementwise sums commute with slicing, so a ``[low:high]``
+  slice of the cached sum is bitwise what ``CongestionSchedule.path_series``
+  returns for the epoch window.
+- The miss-hop weight vector is normalized once per kernel with the same
+  expression the object path uses per epoch.
+- Gamma / Bernoulli / exponential / choice draws keep the object path's
+  conditional structure (a draw that the object path skips -- e.g. the
+  loop-position draw on a short path -- must stay skipped here).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.timeline import PingTimeline, TraceTimeline
+from repro.measurement.fastseed import RecycledGenerator, pcg64_states
+from repro.measurement.loss import LossModel
+from repro.measurement.ping import DEFAULT_LOSS_PROBABILITY
+from repro.measurement.platform import MeasurementPlatform
+from repro.measurement.realization import UNKNOWN_ASN, PathRealization, SegmentKey
+from repro.measurement.scheduler import CampaignGrid
+from repro.measurement.traceroute import TraceOutcome, TracerouteFlavor, _loop_variant
+from repro.net.asn import ASN
+from repro.net.ip import IPVersion
+from repro.obs import metrics as obs_metrics
+from repro.topology.cdn import Server
+
+__all__ = ["RealizationKernel", "CampaignKernels"]
+
+_INCOMPLETE = int(TraceOutcome.INCOMPLETE)
+_LOOP = int(TraceOutcome.LOOP)
+_MISSING_IP = int(TraceOutcome.MISSING_IP)
+
+
+class RealizationKernel:
+    """Everything epoch-independent about sampling one realization.
+
+    One kernel serves every epoch (of every campaign on the same grid)
+    that routes over the same realization; building it costs one pass of
+    the delay/artifact precomputation the object path repeats per epoch.
+    """
+
+    __slots__ = (
+        "realization",
+        "base_rtt",
+        "noise_shape",
+        "noise_scale",
+        "spike_probability",
+        "spike_mean_ms",
+        "incomplete_probability",
+        "loop_classic",
+        "loop_paris",
+        "respond",
+        "p_all_respond",
+        "miss_weights",
+        "miss_cdf",
+        "congestion_total",
+        "observed_complete",
+        "clean_outcome",
+        "_miss_paths",
+    )
+
+    def __init__(
+        self,
+        realization: PathRealization,
+        platform: MeasurementPlatform,
+        congestion_total: Optional[np.ndarray],
+    ) -> None:
+        engine = platform.engine
+        delay = platform.delay_model
+        params = delay.params
+        artifacts = engine.artifacts
+
+        self.realization = realization
+        self.base_rtt = delay.base_rtt(realization)
+        self.noise_shape = params.noise_shape
+        scale = params.noise_scale_ms
+        if realization.version is IPVersion.V6:
+            scale *= params.ipv6_noise_factor
+        self.noise_scale = scale
+        self.spike_probability = params.spike_probability
+        self.spike_mean_ms = params.spike_mean_ms
+        self.incomplete_probability = artifacts.incomplete_probability
+        self.loop_classic = engine._loop_probability(realization, TracerouteFlavor.CLASSIC)
+        self.loop_paris = engine._loop_probability(realization, TracerouteFlavor.PARIS)
+        self.respond = np.array([hop.respond_probability for hop in realization.hops])
+        self.p_all_respond = float(np.prod(self.respond))
+        # Normalized exactly as the object path does per epoch; ``None``
+        # encodes the degenerate all-respond case where the object path
+        # clears the miss mask without drawing.
+        miss_weights = 1.0 - self.respond
+        if miss_weights.sum() <= 0:
+            self.miss_weights: Optional[np.ndarray] = None
+            self.miss_cdf: Optional[np.ndarray] = None
+        else:
+            self.miss_weights = miss_weights / miss_weights.sum()
+            # ``Generator.choice(n, size, p)`` draws by building this CDF
+            # and right-searchsorting uniforms into it; precomputing the
+            # CDF and replaying that recipe per epoch consumes the same
+            # random words and yields the same hops at a fraction of
+            # choice()'s per-call overhead.
+            cdf = self.miss_weights.cumsum()
+            cdf /= cdf[-1]
+            self.miss_cdf = cdf
+        self.congestion_total = congestion_total
+        self.observed_complete = realization.observed_path_complete
+        self.clean_outcome = int(
+            TraceOutcome.MISSING_AS
+            if UNKNOWN_ASN in realization.observed_path_complete
+            else TraceOutcome.COMPLETE
+        )
+        self._miss_paths: Dict[int, Tuple[ASN, ...]] = {}
+
+    def miss_path(self, hop_index: int) -> Tuple[ASN, ...]:
+        """The observed AS path when ``hop_index`` does not answer."""
+        path = self._miss_paths.get(hop_index)
+        if path is None:
+            path = self.realization.observed_path_with_miss(hop_index)
+            self._miss_paths[hop_index] = path
+        return path
+
+
+class CampaignKernels:
+    """Per-grid kernel and congestion caches for one platform.
+
+    Owns the shared full-grid ``times`` array (one allocation instead of
+    one per timeline), a lazily-filled per-segment congestion series
+    cache, and the realization kernels keyed like the platform's own
+    realization cache -- including the matching :meth:`drop_pair`
+    eviction for bounded-memory streaming.
+    """
+
+    def __init__(self, platform: MeasurementPlatform, grid: CampaignGrid) -> None:
+        self.platform = platform
+        self.grid = grid
+        self.times = grid.times()
+        self._congestion_series: Dict[SegmentKey, np.ndarray] = {}
+        self._kernels: Dict[Tuple[int, int, int, int], Optional[RealizationKernel]] = {}
+        self._paris_cuts: Dict[float, int] = {}
+        self._stream_plans: Dict[
+            Tuple[str, int, int, int], List[Tuple[int, int]]
+        ] = {}
+        # One recycled generator serves every planned stream: the
+        # builders fully consume one epoch's stream before requesting
+        # the next, and forked workers each hold their own copy.
+        self._recycled = RecycledGenerator()
+        self._samples_counter = obs_metrics.counter("traceroute.samples")
+        self._ping_counter = obs_metrics.counter("rtt.samples")
+
+    def plan_streams(
+        self, label: str, tasks: Iterable[Tuple[Server, Server, IPVersion]]
+    ) -> None:
+        """Precompute every (pair, epoch) stream's PCG64 start state.
+
+        Seeding through ``SeedSequence`` costs ~15us per stream, almost
+        all of it per-instance Python overhead; batching the entropy-pool
+        mixing over a whole build's ~20k streams (see
+        :mod:`repro.measurement.fastseed`) brings it to ~2us.  Builders
+        call this once with the full task list before fanning out --
+        workers inherit the read-only plan through the fork.  Unplanned
+        pairs (the bounded-memory stream sources skip planning) seed
+        through :meth:`~repro.measurement.platform.MeasurementPlatform.rng_factory`
+        unchanged, and a fastseed self-check failure downgrades the whole
+        plan to that reference path: bit-identity never rides on trust.
+        """
+        platform = self.platform
+        keys: List[Tuple[str, int, int, int]] = []
+        spans: List[Tuple[int, int]] = []
+        digests: List[int] = []
+        for src, dst, version in tasks:
+            digester = platform.stream_digester(
+                label, src.server_id, dst.server_id, int(version)
+            )
+            count = len(platform.epochs(src, dst, version))
+            keys.append((label, src.server_id, dst.server_id, int(version)))
+            spans.append((len(digests), count))
+            digests.extend(digester(number) for number in range(count))
+        states = pcg64_states(platform.config.seed, digests)
+        for key, (start, count) in zip(keys, spans):
+            self._stream_plans[key] = states[start:start + count]
+
+    def _stream_rng(
+        self, label: str, src: Server, dst: Server, version: IPVersion
+    ) -> Callable[[int], np.random.Generator]:
+        """Per-epoch generator factory: planned fast path or reference."""
+        plan = self._stream_plans.get(
+            (label, src.server_id, dst.server_id, int(version))
+        )
+        if plan is None:
+            return self.platform.rng_factory(
+                label, src.server_id, dst.server_id, int(version)
+            )
+        recycled = self._recycled
+
+        def make(epoch_number: int) -> np.random.Generator:
+            state, inc = plan[epoch_number]
+            return recycled.set(state, inc)
+
+        return make
+
+    def _paris_cut(self, paris_start_hour: float) -> int:
+        """First grid index at or past the Paris cutover."""
+        cut = self._paris_cuts.get(paris_start_hour)
+        if cut is None:
+            cut = int(self.times.searchsorted(paris_start_hour, side="left"))
+            self._paris_cuts[paris_start_hour] = cut
+        return cut
+
+    def _congestion_for(self, key: SegmentKey) -> np.ndarray:
+        series = self._congestion_series.get(key)
+        if series is None:
+            series = self.platform.congestion.series(key, self.times)
+            self._congestion_series[key] = series
+        return series
+
+    def _congestion_total(self, realization: PathRealization) -> Optional[np.ndarray]:
+        """Full-grid path congestion, summed in path-occurrence order."""
+        congestion = self.platform.congestion
+        if congestion is None:
+            return None
+        events = congestion.events
+        congested = [key for key in realization.segment_keys if key in events]
+        if not congested:
+            return None
+        total = np.zeros_like(self.times)
+        for key in congested:
+            total += self._congestion_for(key)
+        return total
+
+    def kernel(
+        self, src: Server, dst: Server, version: IPVersion, candidate: int
+    ) -> Optional[RealizationKernel]:
+        """The kernel for one (pair, version, candidate), or ``None``."""
+        cache_key = (src.server_id, dst.server_id, int(version), candidate)
+        if cache_key in self._kernels:
+            return self._kernels[cache_key]
+        realization = self.platform.realization(src, dst, version, candidate)
+        kernel: Optional[RealizationKernel] = None
+        if realization is not None:
+            kernel = RealizationKernel(
+                realization, self.platform, self._congestion_total(realization)
+            )
+        self._kernels[cache_key] = kernel
+        return kernel
+
+    def drop_pair(self, src_id: int, dst_id: int) -> None:
+        """Evict a pair's kernels (mirrors ``platform.drop_realizations``)."""
+        stale = [key for key in self._kernels if key[0] == src_id and key[1] == dst_id]
+        for key in stale:
+            del self._kernels[key]
+
+    # ------------------------------------------------------------------
+    # Column samplers
+    # ------------------------------------------------------------------
+
+    def _rtt_base(
+        self, kernel: RealizationKernel, low: int, high: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Baseline + queueing noise + congestion.
+
+        The object path computes ``(base + noise) + congestion``; this
+        computes ``(noise + base) + congestion`` -- bitwise equal because
+        IEEE addition is commutative (the association is unchanged) --
+        which saves allocating a baseline array per epoch.
+        """
+        count = high - low
+        series = rng.gamma(kernel.noise_shape, kernel.noise_scale, size=count)
+        spikes = rng.random(count) < kernel.spike_probability
+        n_spikes = int(np.count_nonzero(spikes))
+        if n_spikes:
+            series[spikes] += rng.exponential(kernel.spike_mean_ms, size=n_spikes)
+        series += kernel.base_rtt
+        if kernel.congestion_total is not None:
+            series += kernel.congestion_total[low:high]
+        return series
+
+    def sample_trace_epoch(
+        self,
+        kernel: RealizationKernel,
+        low: int,
+        high: int,
+        rng: np.random.Generator,
+        paris_start_hour: Optional[float],
+        rtt: np.ndarray,
+        outcome: np.ndarray,
+        path_id: np.ndarray,
+        intern: Callable[[Tuple[int, ...]], int],
+        miss_lut: np.ndarray,
+    ) -> None:
+        """Sample one routing epoch's traceroutes into the columns.
+
+        ``intern`` maps a path tuple into the timeline's global path
+        table; it is called in exactly the order the object path's
+        per-epoch table would be remapped, so the table is identical.
+        ``miss_lut`` carries the hop-to-global-path-id mapping this
+        timeline has interned so far for this kernel (-1 for unseen).
+        """
+        count = high - low
+        series = self._rtt_base(kernel, low, high, rng)
+        complete_id = intern(kernel.observed_complete)
+        # The outcome/path columns are written fully for this window, so
+        # slice views stand in for the object path's temporaries.
+        out = outcome[low:high]
+        out[:] = kernel.clean_outcome
+        gid = path_id[low:high]
+        gid[:] = complete_id
+
+        # One draw covers the incomplete and loop uniforms: consecutive
+        # ``random(count)`` calls consume the same random words as one
+        # ``random(2 * count)`` call split in half.
+        u = rng.random(2 * count)
+        incomplete = u[:count] < kernel.incomplete_probability
+        series[incomplete] = np.nan
+        out[incomplete] = _INCOMPLETE
+        gid[incomplete] = -1
+
+        # A routing epoch straddles the Paris cutover at most once, so
+        # almost every epoch compares against one scalar probability --
+        # element-for-element what the object path's np.where array does.
+        if paris_start_hour is None or high <= self._paris_cut(paris_start_hour):
+            loop_probability: object = kernel.loop_classic
+        elif low >= self._paris_cut(paris_start_hour):
+            loop_probability = kernel.loop_paris
+        else:
+            classic = self.times[low:high] < paris_start_hour
+            loop_probability = np.where(classic, kernel.loop_classic, kernel.loop_paris)
+        looped = (~incomplete) & (u[count:] < loop_probability)
+        if np.count_nonzero(looped):
+            loop_path = _loop_variant(kernel.observed_complete, rng)
+            loop_id = intern(loop_path)
+            out[looped] = _LOOP
+            gid[looped] = loop_id
+
+        normal = ~(incomplete | looped)
+        misses = normal & (rng.random(count) >= kernel.p_all_respond)
+        n_misses = int(np.count_nonzero(misses))
+        if n_misses:
+            if kernel.miss_cdf is None:
+                misses[:] = False
+            else:
+                chosen_hops = kernel.miss_cdf.searchsorted(
+                    rng.random(n_misses), side="right"
+                )
+                ids = miss_lut[chosen_hops]
+                if np.count_nonzero(ids < 0):
+                    # The object path interns each hop's miss variant at
+                    # its first appearance; visiting the unique hops in
+                    # first-appearance order preserves that sequence.
+                    uniq, first_index = np.unique(chosen_hops, return_index=True)
+                    for rank in np.argsort(first_index, kind="stable"):
+                        hop_index = int(uniq[rank])
+                        if miss_lut[hop_index] < 0:
+                            miss_lut[hop_index] = intern(kernel.miss_path(hop_index))
+                    ids = miss_lut[chosen_hops]
+                out[misses] = _MISSING_IP
+                gid[misses] = ids
+
+        rtt[low:high] = series
+
+    def sample_ping_epoch(
+        self,
+        kernel: RealizationKernel,
+        low: int,
+        high: int,
+        rng: np.random.Generator,
+        loss_model: LossModel,
+        loss_probability: float,
+        rtt: np.ndarray,
+    ) -> None:
+        """Sample one routing epoch's pings into the RTT column."""
+        count = high - low
+        series = self._rtt_base(kernel, low, high, rng)
+        if loss_model is not None:
+            if kernel.congestion_total is not None:
+                lift = kernel.congestion_total[low:high]
+            else:
+                lift = np.zeros(count)
+            series[loss_model.sample_losses(rng, lift)] = np.nan
+        elif loss_probability > 0.0:
+            lost = rng.random(count) < loss_probability
+            series[lost] = np.nan
+        rtt[low:high] = series
+
+    # ------------------------------------------------------------------
+    # Timeline builders
+    # ------------------------------------------------------------------
+
+    def build_trace_timeline(
+        self, src: Server, dst: Server, version: IPVersion
+    ) -> TraceTimeline:
+        """One pair's long-term trace timeline, sampled into columns.
+
+        Bit-identical to :func:`repro.datasets.longterm._build_timeline`:
+        epochs visit in schedule order, each epoch draws from the same
+        named RNG stream, and paths intern directly into the timeline's
+        global table in the order the object path's per-epoch remap
+        would insert them.
+        """
+        platform = self.platform
+        times = self.times
+        count = times.size
+        rtt = np.full(count, np.nan, dtype=np.float32)
+        outcome = np.full(count, int(TraceOutcome.INCOMPLETE), dtype=np.uint8)
+        path_id = np.full(count, -1, dtype=np.int32)
+        true_candidate = np.full(count, -1, dtype=np.int16)
+
+        paths: List[Tuple[ASN, ...]] = []
+        path_index: Dict[Tuple[ASN, ...], int] = {}
+
+        def intern(path: Tuple[ASN, ...]) -> int:
+            index = path_index.get(path)
+            if index is None:
+                index = len(paths)
+                paths.append(path)
+                path_index[path] = index
+            return index
+
+        paris_start = (
+            platform.config.paris_start_hour if version is IPVersion.V4 else None
+        )
+        make_rng = self._stream_rng("longterm", src, dst, version)
+        # Miss-variant intern state per candidate, for this timeline only
+        # (path ids are timeline-local, so the LUTs must not outlive it).
+        miss_luts: Dict[int, np.ndarray] = {}
+        sampled = 0
+        for epoch_number, epoch in enumerate(platform.epochs(src, dst, version)):
+            low = int(times.searchsorted(epoch.start_hour, side="left"))
+            high = int(times.searchsorted(epoch.end_hour, side="left"))
+            if high <= low or epoch.candidate_index < 0:
+                continue
+            kernel = self.kernel(src, dst, version, epoch.candidate_index)
+            if kernel is None:
+                continue
+            miss_lut = miss_luts.get(epoch.candidate_index)
+            if miss_lut is None:
+                miss_lut = np.full(kernel.respond.size, -1, dtype=np.int32)
+                miss_luts[epoch.candidate_index] = miss_lut
+            self.sample_trace_epoch(
+                kernel,
+                low,
+                high,
+                make_rng(epoch_number),
+                paris_start,
+                rtt,
+                outcome,
+                path_id,
+                intern,
+                miss_lut,
+            )
+            true_candidate[low:high] = epoch.candidate_index
+            sampled += high - low
+        if sampled:
+            self._samples_counter.inc(sampled)
+
+        return TraceTimeline(
+            src_server_id=src.server_id,
+            dst_server_id=dst.server_id,
+            version=version,
+            times_hours=times,
+            rtt_ms=rtt,
+            outcome=outcome,
+            path_id=path_id,
+            paths=paths,
+            true_candidate=true_candidate,
+        )
+
+    def build_ping_timeline(
+        self, src: Server, dst: Server, version: IPVersion, coupled_loss: bool
+    ) -> PingTimeline:
+        """One pair's ping timeline, bit-identical to the object path."""
+        platform = self.platform
+        times = self.times
+        rtt = np.full(times.size, np.nan, dtype=np.float32)
+        loss_model = LossModel() if coupled_loss else None
+        make_rng = self._stream_rng("ping", src, dst, version)
+        sampled = 0
+        for epoch_number, epoch in enumerate(platform.epochs(src, dst, version)):
+            low = int(times.searchsorted(epoch.start_hour, side="left"))
+            high = int(times.searchsorted(epoch.end_hour, side="left"))
+            if high <= low or epoch.candidate_index < 0:
+                continue
+            kernel = self.kernel(src, dst, version, epoch.candidate_index)
+            if kernel is None:
+                continue
+            self.sample_ping_epoch(
+                kernel,
+                low,
+                high,
+                make_rng(epoch_number),
+                loss_model,
+                DEFAULT_LOSS_PROBABILITY,
+                rtt,
+            )
+            sampled += high - low
+        if sampled:
+            self._ping_counter.inc(sampled)
+        return PingTimeline(
+            src_server_id=src.server_id,
+            dst_server_id=dst.server_id,
+            version=version,
+            times_hours=times,
+            rtt_ms=rtt,
+        )

@@ -27,7 +27,7 @@ import gzip
 import json
 import math
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from repro.datasets.shortterm import ShortTermPingDataset
 from repro.datasets.timeline import PingTimeline, TraceTimeline
 from repro.measurement.scheduler import CampaignGrid
 from repro.net.ip import IPVersion
+from repro.stream.columns import PingColumns, TraceColumns
 from repro.stream.records import PingRecord, TracerouteRecord
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "load_pings",
     "save_records",
     "iter_records",
+    "iter_record_columns",
     "RECORDS_SCHEMA_VERSION",
 ]
 
@@ -244,22 +246,83 @@ def _record_line(record) -> Dict[str, object]:
     raise TypeError(f"cannot serialize record of type {type(record).__name__}")
 
 
+def _trace_column_lines(columns: TraceColumns) -> Iterator[Dict[str, object]]:
+    """One unit's trace columns as line dicts, byte-equal to the record
+    encoding (same key order, same shortest-repr floats)."""
+    src, dst, version = columns.key
+    times = columns.times_hours.tolist()
+    rtts = columns.rtt_ms.tolist()
+    outcomes = columns.outcome.tolist()
+    path_ids = columns.path_id.tolist()
+    paths = [list(path) for path in columns.paths]
+    for index in range(len(times)):
+        rtt = rtts[index]
+        pid = path_ids[index]
+        yield {
+            "t": "trace",
+            "src": src,
+            "dst": dst,
+            "v": version,
+            "r": index,
+            "h": times[index],
+            "rtt": rtt if math.isfinite(rtt) else None,
+            "o": outcomes[index],
+            "p": paths[pid] if pid >= 0 else None,
+        }
+
+
+def _ping_column_lines(columns: PingColumns) -> Iterator[Dict[str, object]]:
+    """One unit's ping columns as line dicts (see _trace_column_lines)."""
+    src, dst, version = columns.key
+    times = columns.times_hours.tolist()
+    rtts = columns.rtt_ms.tolist()
+    for index in range(len(times)):
+        rtt = rtts[index]
+        yield {
+            "t": "ping",
+            "src": src,
+            "dst": dst,
+            "v": version,
+            "r": index,
+            "h": times[index],
+            "rtt": rtt if math.isfinite(rtt) else None,
+        }
+
+
+def _item_lines(item: object) -> Iterator[Dict[str, object]]:
+    """Line dicts of one save_records item (a record or a column block)."""
+    if isinstance(item, TraceColumns):
+        yield from _trace_column_lines(item)
+    elif isinstance(item, PingColumns):
+        yield from _ping_column_lines(item)
+    else:
+        yield _record_line(item)
+
+
 def save_records(records: Iterable[object], path: _PathLike) -> None:
     """Write measurement records as JSON Lines, one record per line.
 
-    Records are written in iteration order with constant memory; the
+    Items are written in iteration order with constant memory; the
     conventional order for campaign dumps is round-major (every pair's
     round ``r`` before any pair's round ``r+1``), mirroring a live
     collection pipeline's emission order.  A header line carries the
     schema version.  Floats round-trip exactly (shortest-repr JSON);
     NaN RTTs (losses / unreached destinations) are stored as ``null``.
     A ``.gz`` suffix transparently gzip-compresses.
+
+    An item may also be a whole :class:`~repro.stream.columns.TraceColumns`
+    / :class:`~repro.stream.columns.PingColumns` block: its rounds are
+    encoded straight off the columns (pair-major, round order within the
+    pair), producing byte-for-byte the lines the equivalent record
+    objects would -- the schema is unchanged, columns are just the fast
+    encoder.
     """
     with _open_text(path, "w") as handle:
         header = {"format": "repro-records", "schema": RECORDS_SCHEMA_VERSION}
         handle.write(json.dumps(header, allow_nan=False) + "\n")
-        for record in records:
-            handle.write(json.dumps(_record_line(record), allow_nan=False) + "\n")
+        for item in records:
+            for line in _item_lines(item):
+                handle.write(json.dumps(line, allow_nan=False) + "\n")
 
 
 def iter_records(path: _PathLike) -> Iterator[object]:
@@ -312,3 +375,94 @@ def iter_records(path: _PathLike) -> Iterator[object]:
                 )
             else:
                 raise ValueError(f"{path}: unknown record type {entry['t']!r}")
+
+
+def _flush_column_block(
+    kind: str,
+    key: Tuple[int, int, int],
+    times: List[float],
+    rtts: List[Optional[float]],
+    outcomes: List[int],
+    paths: List[Optional[List[int]]],
+) -> Union[TraceColumns, PingColumns]:
+    """Assemble one decoded run of lines into a column block."""
+    rtt_column = np.array(
+        [math.nan if value is None else value for value in rtts], dtype=np.float32
+    )
+    times_column = np.array(times, dtype=np.float64)
+    if kind == "ping":
+        return PingColumns(key=key, times_hours=times_column, rtt_ms=rtt_column)
+    # Re-intern paths in first-appearance order, the same order the
+    # builders produce, so decoded blocks compare equal to built ones.
+    table: Dict[Tuple[int, ...], int] = {}
+    path_ids = np.empty(len(paths), dtype=np.int32)
+    for index, path in enumerate(paths):
+        if path is None:
+            path_ids[index] = -1
+            continue
+        as_path = tuple(int(asn) for asn in path)
+        path_ids[index] = table.setdefault(as_path, len(table))
+    return TraceColumns(
+        key=key,
+        times_hours=times_column,
+        rtt_ms=rtt_column,
+        outcome=np.array(outcomes, dtype=np.uint8),
+        path_id=path_ids,
+        paths=tuple(table),
+    )
+
+
+def iter_record_columns(path: _PathLike) -> Iterator[Union[TraceColumns, PingColumns]]:
+    """Yield column blocks from a :func:`save_records` file.
+
+    The inverse codec of passing column blocks to :func:`save_records`:
+    consecutive lines sharing a type and ``(src, dst, v)`` key become one
+    :class:`~repro.stream.columns.TraceColumns` /
+    :class:`~repro.stream.columns.PingColumns` block, with trace paths
+    re-interned in first appearance order.  Pair-major dumps decode to
+    one block per unit; round-major dumps still decode correctly, just
+    into many short blocks.  Memory stays bounded by the largest single
+    unit, never the file.
+
+    Raises:
+        ValueError: Not a record file, an unknown schema version, or a
+            segment/unknown record type (segments have no JSONL codec).
+    """
+    run_kind: Optional[str] = None
+    run_key: Optional[Tuple[int, int, int]] = None
+    times: List[float] = []
+    rtts: List[Optional[float]] = []
+    outcomes: List[int] = []
+    paths: List[Optional[List[int]]] = []
+
+    with _open_text(path, "r") as handle:
+        header = json.loads(next(handle, "null"))
+        if not isinstance(header, dict) or header.get("format") != "repro-records":
+            raise ValueError(f"{path}: not a repro-records JSONL file")
+        if header.get("schema") != RECORDS_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: records schema {header.get('schema')!r} unsupported "
+                f"(expected {RECORDS_SCHEMA_VERSION})"
+            )
+        for line in handle:
+            if not line.strip():
+                continue
+            entry = json.loads(line)
+            kind = entry["t"]
+            if kind not in ("trace", "ping"):
+                raise ValueError(f"{path}: unknown record type {kind!r}")
+            key = (int(entry["src"]), int(entry["dst"]), int(entry["v"]))
+            if kind != run_kind or key != run_key:
+                if run_kind is not None:
+                    yield _flush_column_block(
+                        run_kind, run_key, times, rtts, outcomes, paths
+                    )
+                run_kind, run_key = kind, key
+                times, rtts, outcomes, paths = [], [], [], []
+            times.append(float(entry["h"]))
+            rtts.append(entry["rtt"])
+            if kind == "trace":
+                outcomes.append(int(entry["o"]))
+                paths.append(entry["p"])
+        if run_kind is not None:
+            yield _flush_column_block(run_kind, run_key, times, rtts, outcomes, paths)

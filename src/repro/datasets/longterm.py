@@ -14,6 +14,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.datasets.columnar import CampaignKernels
+from repro.datasets.mutation import VersionedDict, dict_version
 from repro.datasets.parallel import fork_map
 from repro.datasets.timeline import TraceTimeline
 from repro.obs import metrics as obs_metrics
@@ -46,26 +48,31 @@ class LongTermDataset:
     """All long-term trace timelines, keyed by (src, dst, version)."""
 
     grid: CampaignGrid
-    timelines: Dict[Tuple[int, int, IPVersion], TraceTimeline] = field(default_factory=dict)
+    timelines: Dict[Tuple[int, int, IPVersion], TraceTimeline] = field(
+        default_factory=VersionedDict
+    )
     servers: Dict[int, Server] = field(default_factory=dict)
     _ordered_key_cache: Optional[Tuple[int, List[Tuple[int, int, IPVersion]]]] = field(
         default=None, init=False, repr=False, compare=False
     )
 
+    def __post_init__(self) -> None:
+        if not isinstance(self.timelines, VersionedDict):
+            self.timelines = VersionedDict(self.timelines)
+
     def _ordered_keys(self) -> List[Tuple[int, int, IPVersion]]:
-        """Timeline keys in pair order, cached until the dict grows.
+        """Timeline keys in pair order, cached until the dict mutates.
 
         ``by_version`` and ``pairs`` are called per experiment (16 of
         them); re-sorting the full key set every time is quadratic noise
-        at scale.  The cache keys on ``len(timelines)`` so builder
-        insertions invalidate it.
+        at scale.  The cache keys on the dict's mutation counter (not its
+        length, which misses same-size key replacement) so any insert,
+        replacement, or delete invalidates it.
         """
-        if (
-            self._ordered_key_cache is None
-            or self._ordered_key_cache[0] != len(self.timelines)
-        ):
+        version = dict_version(self.timelines)
+        if self._ordered_key_cache is None or self._ordered_key_cache[0] != version:
             ordered = sorted(self.timelines, key=lambda k: (k[0], k[1], int(k[2])))
-            self._ordered_key_cache = (len(self.timelines), ordered)
+            self._ordered_key_cache = (version, ordered)
         return self._ordered_key_cache[1]
 
     def timeline(self, src_id: int, dst_id: int, version: IPVersion) -> TraceTimeline:
@@ -167,6 +174,7 @@ def build_longterm_dataset(
     config: Optional[LongTermConfig] = None,
     pairs: Optional[Iterable[Tuple[Server, Server]]] = None,
     jobs: int = 1,
+    columnar: bool = True,
 ) -> LongTermDataset:
     """Build the long-term full-mesh dataset.
 
@@ -180,6 +188,10 @@ def build_longterm_dataset(
             serial; ``0``/``None`` all cores).  Every timeline draws from
             its own named RNG stream and interns paths locally, so the
             parallel dataset is bit-identical to the serial one.
+        columnar: Sample through the per-realization kernels of
+            :mod:`repro.datasets.columnar` (the fast path) instead of the
+            per-epoch object path.  Both produce bit-identical datasets;
+            the object path is kept as the reference implementation.
 
     Raises:
         ValueError: If the campaign extends past the platform's window.
@@ -208,9 +220,19 @@ def build_longterm_dataset(
     obs_metrics.counter("dataset.longterm.pairs").inc(len(pairs))
     obs_metrics.counter("dataset.longterm.timelines").inc(len(tasks))
 
-    def run_task(task: Tuple[Server, Server, IPVersion]) -> TraceTimeline:
-        src, dst, version = task
-        return _build_timeline(platform, src, dst, version, grid)
+    if columnar:
+        kernels = CampaignKernels(platform, grid)
+        kernels.plan_streams("longterm", tasks)
+
+        def run_task(task: Tuple[Server, Server, IPVersion]) -> TraceTimeline:
+            src, dst, version = task
+            return kernels.build_trace_timeline(src, dst, version)
+
+    else:
+
+        def run_task(task: Tuple[Server, Server, IPVersion]) -> TraceTimeline:
+            src, dst, version = task
+            return _build_timeline(platform, src, dst, version, grid)
 
     for (src, dst, version), timeline in zip(
         tasks, fork_map(run_task, tasks, jobs, label="longterm")

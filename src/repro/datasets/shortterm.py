@@ -19,6 +19,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.datasets.columnar import CampaignKernels
+from repro.datasets.mutation import VersionedDict, dict_version
 from repro.datasets.parallel import fork_map
 from repro.datasets.timeline import PingTimeline
 from repro.obs import metrics as obs_metrics
@@ -70,9 +72,15 @@ def _ordered_keys(
     entries: Dict[Tuple[int, int, IPVersion], object],
     cache: Optional[Tuple[int, List[Tuple[int, int, IPVersion]]]],
 ) -> Tuple[Tuple[int, int, IPVersion], ...]:
-    """Sorted key order, recomputed only when the dict has grown."""
-    if cache is None or cache[0] != len(entries):
-        cache = (len(entries), sorted(entries, key=lambda k: (k[0], k[1], int(k[2]))))
+    """Sorted key order, recomputed whenever the dict has mutated.
+
+    Keys on the dict's mutation counter (see
+    :class:`repro.datasets.mutation.VersionedDict`), not its length: a
+    same-size key replacement must invalidate the cached order too.
+    """
+    version = dict_version(entries)
+    if cache is None or cache[0] != version:
+        cache = (version, sorted(entries, key=lambda k: (k[0], k[1], int(k[2]))))
     return cache
 
 
@@ -81,10 +89,16 @@ class ShortTermPingDataset:
     """Ping timelines keyed by (src, dst, version)."""
 
     grid: CampaignGrid
-    timelines: Dict[Tuple[int, int, IPVersion], PingTimeline] = field(default_factory=dict)
+    timelines: Dict[Tuple[int, int, IPVersion], PingTimeline] = field(
+        default_factory=VersionedDict
+    )
     _key_cache: Optional[Tuple[int, List[Tuple[int, int, IPVersion]]]] = field(
         default=None, init=False, repr=False, compare=False
     )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.timelines, VersionedDict):
+            self.timelines = VersionedDict(self.timelines)
 
     def by_version(self, version: IPVersion) -> List[PingTimeline]:
         """All timelines of one protocol, in pair order."""
@@ -141,10 +155,16 @@ class ShortTermTraceDataset:
     """Segment series keyed by (src, dst, version)."""
 
     grid: CampaignGrid
-    entries: Dict[Tuple[int, int, IPVersion], SegmentSeries] = field(default_factory=dict)
+    entries: Dict[Tuple[int, int, IPVersion], SegmentSeries] = field(
+        default_factory=VersionedDict
+    )
     _key_cache: Optional[Tuple[int, List[Tuple[int, int, IPVersion]]]] = field(
         default=None, init=False, repr=False, compare=False
     )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.entries, VersionedDict):
+            self.entries = VersionedDict(self.entries)
 
     def by_version(self, version: IPVersion) -> List[SegmentSeries]:
         """All entries of one protocol, in pair order."""
@@ -228,6 +248,7 @@ def build_shortterm_ping_dataset(
     config: Optional[ShortTermConfig] = None,
     pairs: Optional[Iterable[Tuple[Server, Server]]] = None,
     jobs: int = 1,
+    columnar: bool = True,
 ) -> ShortTermPingDataset:
     """Build the one-week 15-minute ping dataset.
 
@@ -236,6 +257,9 @@ def build_shortterm_ping_dataset(
     from routing changes appear in pings exactly as they would in reality.
     Every series draws from its own named RNG stream, so sharding the
     pair list across ``jobs`` workers is bit-identical to serial.
+    ``columnar`` selects the kernel-based fast path of
+    :mod:`repro.datasets.columnar` (bit-identical to the object path,
+    which stays as the reference implementation).
     """
     config = config or ShortTermConfig()
     grid = config.ping_grid()
@@ -254,9 +278,21 @@ def build_shortterm_ping_dataset(
 
     obs_metrics.counter("dataset.ping.timelines").inc(len(tasks))
 
-    def run_task(task: Tuple[Server, Server, IPVersion]) -> PingTimeline:
-        src, dst, version = task
-        return _build_ping_timeline(platform, src, dst, version, times, config)
+    if columnar:
+        kernels = CampaignKernels(platform, grid)
+        kernels.plan_streams("ping", tasks)
+
+        def run_task(task: Tuple[Server, Server, IPVersion]) -> PingTimeline:
+            src, dst, version = task
+            return kernels.build_ping_timeline(
+                src, dst, version, config.congestion_coupled_loss
+            )
+
+    else:
+
+        def run_task(task: Tuple[Server, Server, IPVersion]) -> PingTimeline:
+            src, dst, version = task
+            return _build_ping_timeline(platform, src, dst, version, times, config)
 
     for (src, dst, version), timeline in zip(
         tasks, fork_map(run_task, tasks, jobs, label="ping")

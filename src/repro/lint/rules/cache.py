@@ -120,3 +120,27 @@ class ConfigFieldsOutsideFingerprint(Rule):
                         "fingerprint cannot see it (declare it as an annotated "
                         "field, or prefix it with _ if it is derived state)",
                     )
+            # Frozen dataclasses smuggle attributes past __setattr__ with
+            # object.__setattr__(self, "name", ...) -- same invisibility.
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "__setattr__"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "object"
+                and len(node.args) >= 2
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == "self"
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+                and not node.args[1].value.startswith("_")
+                and node.args[1].value not in fields
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"{class_node.name}.{method.name} sets "
+                    f"self.{node.args[1].value} via object.__setattr__, "
+                    "which is not a declared dataclass field; the cache "
+                    "fingerprint cannot see it (declare it as an annotated "
+                    "field, or prefix it with _ if it is derived state)",
+                )

@@ -260,7 +260,9 @@ class WallClockAndSetOrder(Rule):
     )
 
     def applies(self, ctx: FileContext) -> bool:
-        return ctx.in_packages("core", "datasets", "routing", "topology", "stream")
+        return ctx.in_packages(
+            "core", "datasets", "measurement", "routing", "topology", "stream"
+        )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

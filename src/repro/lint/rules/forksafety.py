@@ -45,6 +45,9 @@ _MUTATORS = frozenset(
     {
         "append", "extend", "insert", "add", "update", "setdefault",
         "pop", "popitem", "remove", "discard", "clear", "appendleft",
+        # numpy in-place mutators: a worker writing into a module-level
+        # preallocated column buffer loses the writes the same way.
+        "fill", "sort", "resize", "partition", "put",
     }
 )
 

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.measurement.congestionmodel import CongestionSchedule
 from repro.measurement.realization import PathRealization, segment_seed
-from repro.net.geo import fiber_rtt_ms
+from repro.net.geo import FIBER_REFRACTION_FACTOR, SPEED_OF_LIGHT_KM_PER_MS
 from repro.net.ip import IPVersion
 
 __all__ = ["DelayParams", "DelayModel"]
@@ -65,21 +65,39 @@ class DelayModel:
     def __init__(self, params: Optional[DelayParams] = None) -> None:
         self.params = params or DelayParams()
         self.params.validate()
+        self._stretch_cache: dict = {}
 
     def _stretch(self, realization: PathRealization, index: int) -> float:
         """Stable per-segment path-stretch factor (same for v4 and v6)."""
         key = realization.hops[index].segment_key
-        rng = np.random.default_rng(segment_seed(key, "stretch"))
-        return float(rng.uniform(self.params.stretch_min, self.params.stretch_max))
+        cached = self._stretch_cache.get(key)
+        if cached is None:
+            rng = np.random.default_rng(segment_seed(key, "stretch"))
+            cached = float(rng.uniform(self.params.stretch_min, self.params.stretch_max))
+            self._stretch_cache[key] = cached
+        return cached
 
     def segment_one_way_ms(self, realization: PathRealization) -> np.ndarray:
-        """One-way propagation delay of each segment, in path order."""
+        """One-way propagation delay of each segment, in path order.
+
+        Vectorized ``max(min_one_way, 0.5 * fiber_rtt_ms(d, stretch))``:
+        the elementwise expression keeps :func:`fiber_rtt_ms`'s exact
+        association (``2.0 * d * stretch / speed``), so every delay is
+        bitwise what the scalar loop produced.
+        """
         params = self.params
-        delays = np.empty(len(realization.hops))
-        for index, hop in enumerate(realization.hops):
-            propagation = 0.5 * fiber_rtt_ms(hop.distance_km, self._stretch(realization, index))
-            delays[index] = max(params.min_segment_one_way_ms, propagation)
-        return delays
+        hops = realization.hops
+        distances = np.array([hop.distance_km for hop in hops])
+        if distances.size and float(distances.min()) < 0.0:
+            raise ValueError("distance must be non-negative")
+        stretches = np.array(
+            [self._stretch(realization, index) for index in range(len(hops))]
+        )
+        speed = SPEED_OF_LIGHT_KM_PER_MS * FIBER_REFRACTION_FACTOR
+        return np.maximum(
+            params.min_segment_one_way_ms,
+            0.5 * (2.0 * distances * stretches / speed),
+        )
 
     def base_rtt_to_hops(self, realization: PathRealization) -> np.ndarray:
         """Baseline RTT from the source to each hop (ms)."""

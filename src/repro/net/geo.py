@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 __all__ = [
     "SPEED_OF_LIGHT_KM_PER_MS",
@@ -66,10 +67,17 @@ class GeoLocation:
         return f"{self.city}, {self.country}"
 
 
+@lru_cache(maxsize=None)
 def great_circle_km(
     lat1: float, lon1: float, lat2: float, lon2: float
 ) -> float:
-    """Great-circle (haversine) distance between two points, in kilometres."""
+    """Great-circle (haversine) distance between two points, in kilometres.
+
+    Memoized: the coordinate space is the finite set of city locations,
+    and path realization recomputes the same link distances tens of
+    thousands of times per build.  A pure function of its four floats,
+    so caching cannot change any result.
+    """
     phi1, phi2 = math.radians(lat1), math.radians(lat2)
     dphi = phi2 - phi1
     dlam = math.radians(lon2 - lon1)

@@ -4,6 +4,8 @@ The batch pipeline materializes every timeline before :mod:`repro.core`
 runs; this package runs the same analyses *online* over record streams:
 
 - :mod:`repro.stream.records` -- flat per-observation record types.
+- :mod:`repro.stream.columns` -- the same observations as per-unit
+  column blocks, the payload the vectorized operators consume.
 - :mod:`repro.stream.source` -- pull-based unit sources (live platform,
   persisted archives) plus a sharded fan-out with bounded queues.
 - :mod:`repro.stream.operators` -- incremental operators: route-change /
@@ -26,6 +28,9 @@ __all__ = [
     "TracerouteRecord",
     "PingRecord",
     "SegmentRecord",
+    "TraceColumns",
+    "PingColumns",
+    "SegmentColumns",
     "StreamUnit",
     "LongTermTraceSource",
     "PingSource",
@@ -50,6 +55,9 @@ _LAZY_EXPORTS = {
     "TracerouteRecord": "repro.stream.records",
     "PingRecord": "repro.stream.records",
     "SegmentRecord": "repro.stream.records",
+    "TraceColumns": "repro.stream.columns",
+    "PingColumns": "repro.stream.columns",
+    "SegmentColumns": "repro.stream.columns",
     "StreamUnit": "repro.stream.source",
     "LongTermTraceSource": "repro.stream.source",
     "PingSource": "repro.stream.source",

@@ -34,8 +34,12 @@ __all__ = [
     "CheckpointStore",
 ]
 
-CHECKPOINT_SCHEMA_VERSION = 1
+CHECKPOINT_SCHEMA_VERSION = 2
 """Bump when the pickled layout of operator state changes shape.
+
+Version 2: :class:`~repro.stream.operators.PathStatsOperator` dropped
+its per-path p90 estimators (write-only state no summary ever read), so
+version-1 pair-state tuples no longer unpickle into the live class.
 
 Part of the checkpoint fingerprint surface (and, like the cache schema
 version, watched by the CCH001 lint rule's fingerprint contract): old

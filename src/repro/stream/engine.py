@@ -97,6 +97,10 @@ class StreamConfig:
             stream units (when a checkpoint store is attached).
         trim_realizations: Drop the platform's per-pair realization
             cache after each unit, keeping memory flat over the mesh.
+        columnar: Build units through the columnar kernels and feed the
+            operators whole column blocks instead of per-round record
+            objects.  Results are identical either way; the record path
+            remains as the reference implementation.
     """
 
     window_rounds: Optional[int] = None
@@ -104,6 +108,7 @@ class StreamConfig:
     queue_units: int = 4
     checkpoint_every: int = 64
     trim_realizations: bool = True
+    columnar: bool = True
 
 
 class StreamInterrupted(RuntimeError):
@@ -167,6 +172,9 @@ class StreamEngine:
         if unit.kind == "segment" and unit.meta is None:
             return  # placeholder for a pair the builders skipped
         operator.start_unit(unit.key, unit.meta)
+        if unit.columns is not None:
+            operator.observe_columns(unit.columns)
+            return
         for record in unit.records:
             operator.observe(record)
 
@@ -184,8 +192,8 @@ class StreamEngine:
             records = 0
             for unit in sharded.iter_from(units_done):
                 self._feed(operator, unit)
-                records += len(unit.records)
-                records_counter.inc(len(unit.records))
+                records += unit.record_count
+                records_counter.inc(unit.record_count)
                 units_done += 1
                 self._processed += 1
                 if store is not None and every and units_done % every == 0 and units_done < total:
@@ -250,6 +258,7 @@ class StreamEngine:
                     self.platform,
                     self.longterm_config,
                     trim_realizations=self.config.trim_realizations,
+                    columnar=self.config.columnar,
                 )
                 self._consume("longterm", source, operator, start)
                 self._completed["longterm"] = operator.finalize()
@@ -261,6 +270,7 @@ class StreamEngine:
                     self.platform,
                     self.shortterm_config,
                     trim_realizations=self.config.trim_realizations,
+                    columnar=self.config.columnar,
                 )
                 if operator is None:
                     operator = CongestionWindowOperator(
@@ -292,6 +302,7 @@ class StreamEngine:
                     pairs,
                     self.shortterm_config,
                     trim_realizations=self.config.trim_realizations,
+                    columnar=self.config.columnar,
                 )
                 if operator is None:
                     operator = SegmentWindowOperator(

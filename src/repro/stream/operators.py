@@ -56,6 +56,7 @@ __all__ = [
     "RingWindow",
     "goertzel_power",
     "windowed_diurnal_power_ratio",
+    "batched_diurnal_power_ratios",
     "PathSummary",
     "PathStatsOperator",
     "CongestionWindowOperator",
@@ -71,6 +72,9 @@ USABLE_OUTCOMES = frozenset(
         int(TraceOutcome.MISSING_IP),
     }
 )
+
+_USABLE_LUT = np.zeros(256, dtype=bool)
+_USABLE_LUT[sorted(USABLE_OUTCOMES)] = True
 
 # Sentinel for "no usable sample seen yet"; distinct from None, which is
 # a usable sample without an attributable AS path.
@@ -126,6 +130,34 @@ class P2Quantile:
                 self._desired = [0.0, 2.0 * q, 4.0 * q, 2.0 + 2.0 * q, 4.0]
             return
         self._update(float(value))
+
+    def observe_many(self, values) -> None:
+        """Feed a batch of samples, equivalent to repeated :meth:`observe`.
+
+        The estimator's update is inherently sequential, so this is the
+        same marker arithmetic in a tight loop -- it saves only the
+        per-sample method dispatch, which is exactly what the columnar
+        operators need when draining a whole unit at once.
+        """
+        iterator = iter(np.asarray(values, dtype=float).tolist())
+        if self._heights is None:
+            for value in iterator:
+                self.count += 1
+                self._initial.append(value)
+                if len(self._initial) == 5:
+                    q = self.quantile
+                    self._heights = sorted(self._initial)
+                    self._positions = [0, 1, 2, 3, 4]
+                    self._desired = [0.0, 2.0 * q, 4.0 * q, 2.0 + 2.0 * q, 4.0]
+                    break
+            if self._heights is None:
+                return
+        update = self._update
+        count = self.count
+        for value in iterator:
+            count += 1
+            update(value)
+        self.count = count
 
     def _update(self, x: float) -> None:
         h, n = self._heights, self._positions
@@ -220,6 +252,55 @@ class RingWindow:
         self._next = (self._next + 1) % self.capacity
         self._filled = min(self._filled + 1, self.capacity)
 
+    def extend(self, values: np.ndarray) -> None:
+        """Append many samples at once, equivalent to repeated pushes.
+
+        ``values`` is a 1-D series (scalar windows) or a ``(rows, n)``
+        matrix (vector windows); only the last ``capacity`` samples can
+        survive, so anything older is never written at all.
+        """
+        values = np.asarray(values, dtype=np.float32)
+        capacity = self.capacity
+        buffer = self._buffer
+        if self.rows is None:
+            n = int(values.size)
+            if n == 0:
+                return
+            if n >= capacity:
+                keep = values[n - capacity:]
+                start = (self._next + (n - capacity)) % capacity
+                split = capacity - start
+                buffer[start:] = keep[:split]
+                buffer[:start] = keep[split:]
+            else:
+                end = self._next + n
+                if end <= capacity:
+                    buffer[self._next:end] = values
+                else:
+                    split = capacity - self._next
+                    buffer[self._next:] = values[:split]
+                    buffer[: end - capacity] = values[split:]
+        else:
+            n = int(values.shape[1])
+            if n == 0:
+                return
+            if n >= capacity:
+                keep = values[:, n - capacity:]
+                start = (self._next + (n - capacity)) % capacity
+                split = capacity - start
+                buffer[:, start:] = keep[:, :split]
+                buffer[:, :start] = keep[:, split:]
+            else:
+                end = self._next + n
+                if end <= capacity:
+                    buffer[:, self._next:end] = values
+                else:
+                    split = capacity - self._next
+                    buffer[:, self._next:] = values[:, :split]
+                    buffer[:, : end - capacity] = values[:, split:]
+        self._next = (self._next + n) % capacity
+        self._filled = min(self._filled + n, capacity)
+
     def values(self) -> np.ndarray:
         """Window contents in arrival order (float32)."""
         if self._filled < self.capacity:
@@ -302,6 +383,73 @@ def windowed_diurnal_power_ratio(
     return float(band_power / total)
 
 
+def batched_diurnal_power_ratios(
+    series_list: List[np.ndarray], period_hours: float, band: int = 1
+) -> List[float]:
+    """:func:`windowed_diurnal_power_ratio` over many windows at once.
+
+    Per-window guards, centering and Parseval totals are element-for-
+    element the scalar function's; the Goertzel recursions then run as
+    vector updates over all (window, bin) pairs of the same length, so a
+    population of P windows costs one length-n loop of array ops instead
+    of P*bins scalar recursions.  The recursion keeps the scalar code's
+    float association (``(x + coeff*s) - s2``) and takes its bin
+    coefficients from ``math.cos``, so every returned ratio is bitwise
+    the scalar function's.
+    """
+    results: List[float] = [float("nan")] * len(series_list)
+    groups: Dict[Tuple[int, int, int], List[Tuple[int, np.ndarray, float]]] = {}
+    for index, rtt_ms in enumerate(series_list):
+        values = np.asarray(rtt_ms, dtype=float)
+        filled = fill_missing_rtts(values)
+        if filled is None:
+            continue
+        n = int(filled.size)
+        if n < 8:
+            continue
+        days = period_hours * n / HOURS_PER_DAY
+        if days < 1.0:
+            continue
+        centered = filled - filled.mean()
+        sum_sq = float(np.dot(centered, centered))
+        dc_power = float(centered.sum()) ** 2
+        if n % 2 == 0:
+            alternating = float(centered[::2].sum() - centered[1::2].sum())
+            nyquist_power = alternating * alternating
+            total = (n * sum_sq - dc_power - nyquist_power) / 2.0 + nyquist_power
+        else:
+            total = (n * sum_sq - dc_power) / 2.0
+        if total <= 0:
+            results[index] = 0.0
+            continue
+        spectrum_size = n // 2 + 1
+        daily_bin = int(round(days))
+        low = max(1, daily_bin - band)
+        high = min(spectrum_size - 1, daily_bin + band)
+        if low > high:
+            continue
+        groups.setdefault((n, low, high), []).append((index, centered, total))
+
+    for (n, low, high), members in groups.items():
+        stacked = np.stack([centered for _, centered, _ in members])
+        coeff = np.array(
+            [2.0 * math.cos(2.0 * math.pi * k / n) for k in range(low, high + 1)]
+        )
+        shape = (len(members), coeff.size)
+        s_prev = np.zeros(shape)
+        s_prev2 = np.zeros(shape)
+        for step in range(n):
+            x_t = stacked[:, step : step + 1]
+            s_prev, s_prev2 = (x_t + coeff * s_prev) - s_prev2, s_prev
+        powers = (s_prev * s_prev + s_prev2 * s_prev2) - (coeff * s_prev) * s_prev2
+        band_power = np.zeros(len(members))
+        for column in range(coeff.size):
+            band_power = band_power + powers[:, column]
+        for row, (index, _, total) in enumerate(members):
+            results[index] = float(band_power[row] / total)
+    return results
+
+
 # ---------------------------------------------------------------------------
 # Long-term stream: route changes, prevalence, per-path percentiles
 # ---------------------------------------------------------------------------
@@ -319,7 +467,7 @@ class PathSummary:
 
 
 class _PairPathState:
-    __slots__ = ("last", "changes", "counts", "finite", "p10", "p90")
+    __slots__ = ("last", "changes", "counts", "finite", "p10")
 
     def __init__(self) -> None:
         self.last: object = _UNSEEN
@@ -327,13 +475,12 @@ class _PairPathState:
         self.counts: Dict[Tuple[int, ...], int] = {}
         self.finite: Dict[Tuple[int, ...], int] = {}
         self.p10: Dict[Tuple[int, ...], P2Quantile] = {}
-        self.p90: Dict[Tuple[int, ...], P2Quantile] = {}
 
     def __getstate__(self):
-        return (self.last, self.changes, self.counts, self.finite, self.p10, self.p90)
+        return (self.last, self.changes, self.counts, self.finite, self.p10)
 
     def __setstate__(self, state) -> None:
-        self.last, self.changes, self.counts, self.finite, self.p10, self.p90 = state
+        self.last, self.changes, self.counts, self.finite, self.p10 = state
 
 
 class PathStatsOperator:
@@ -341,8 +488,13 @@ class PathStatsOperator:
 
     Keeps, per (src, dst, version): the previous usable AS path, a change
     counter, per-path observation counts (lifetimes are counts times the
-    grid period), and P-squared p10/p90 estimators per path.  Everything
-    except the percentile estimates is exactly the batch computation.
+    grid period), and a P-squared p10 estimator per path (the only
+    percentile the Figure 6 summary reads).  Everything except the
+    percentile estimates is exactly the batch computation.
+
+    Units arrive either as records (:meth:`observe`, one round at a
+    time) or as whole columns (:meth:`observe_columns`); both leave the
+    operator in the same state.
     """
 
     def __init__(self, period_hours: float) -> None:
@@ -374,9 +526,63 @@ class PathStatsOperator:
             state.finite[path] = state.finite.get(path, 0) + 1
             if path not in state.p10:
                 state.p10[path] = P2Quantile(0.10)
-                state.p90[path] = P2Quantile(0.90)
             state.p10[path].observe(rtt)
-            state.p90[path].observe(rtt)
+
+    def observe_columns(self, columns) -> None:
+        """Feed one unit's trace columns (same state as per-record feed).
+
+        Path ids are interned per timeline, so id equality is path
+        equality: route changes count sign changes in the usable id
+        sequence, per-path tallies come from bincounts, and each path's
+        finite RTTs reach its p10 estimator grouped but still in time
+        order.  Dict insertion order (which fixes the summary's path
+        list) follows first appearance, as the record feed's does.
+        """
+        state = self._states.get(columns.key)
+        if state is None:
+            state = self._states[columns.key] = _PairPathState()
+        usable = _USABLE_LUT[columns.outcome]
+        pids = columns.path_id[usable]
+        if pids.size == 0:
+            return
+        paths = columns.paths
+        first_pid = int(pids[0])
+        first_path = paths[first_pid] if first_pid >= 0 else None
+        if state.last is not _UNSEEN and state.last != first_path:
+            state.changes += 1
+        state.changes += int(np.count_nonzero(pids[1:] != pids[:-1]))
+        last_pid = int(pids[-1])
+        state.last = paths[last_pid] if last_pid >= 0 else None
+
+        attributed = pids >= 0
+        if not attributed.any():
+            return
+        apids = pids[attributed]
+        tallies = np.bincount(apids, minlength=len(paths))
+        uniq, first_index = np.unique(apids, return_index=True)
+        for rank in np.argsort(first_index, kind="stable"):
+            pid = int(uniq[rank])
+            path = paths[pid]
+            state.counts[path] = state.counts.get(path, 0) + int(tallies[pid])
+
+        rtt = columns.rtt_ms[usable]
+        finite_idx = np.flatnonzero(attributed & np.isfinite(rtt))
+        if finite_idx.size == 0:
+            return
+        group_pids = pids[finite_idx]
+        order = np.argsort(group_pids, kind="stable")
+        sorted_pids = group_pids[order]
+        sorted_rtts = rtt[finite_idx][order]
+        bounds = np.flatnonzero(sorted_pids[1:] != sorted_pids[:-1]) + 1
+        starts = np.concatenate(([0], bounds))
+        ends = np.concatenate((bounds, [sorted_pids.size]))
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            path = paths[int(sorted_pids[start])]
+            state.finite[path] = state.finite.get(path, 0) + (end - start)
+            estimator = state.p10.get(path)
+            if estimator is None:
+                estimator = state.p10[path] = P2Quantile(0.10)
+            estimator.observe_many(sorted_rtts[start:end])
 
     def finalize(
         self, thresholds_ms: Tuple[float, ...] = DEFAULT_THRESHOLDS_MS
@@ -489,6 +695,16 @@ class CongestionWindowOperator:
         if math.isfinite(record.rtt_ms):
             state.valid += 1
 
+    def observe_columns(self, columns) -> None:
+        """Feed one unit's ping columns (same state as per-record feed)."""
+        state = self._states.get(columns.key)
+        if state is None:
+            state = self._states[columns.key] = _CongestionState(self.window_rounds)
+        rtt = columns.rtt_ms
+        state.window.extend(rtt)
+        state.seen += int(rtt.size)
+        state.valid += int(np.count_nonzero(np.isfinite(rtt)))
+
     def _assess(self, state: _CongestionState) -> CongestionVerdict:
         values = state.window.values().astype(float)
         finite = values[np.isfinite(values)]
@@ -512,12 +728,47 @@ class CongestionWindowOperator:
         )
 
     def verdicts(self) -> Dict[UnitKey, CongestionVerdict]:
-        """Current verdict per pair (window occupancy goes to metrics)."""
+        """Current verdict per pair (window occupancy goes to metrics).
+
+        The diurnal ratios of all windows run through one batched
+        Goertzel pass (bitwise the per-window recursion); the spreads
+        stay per-window percentile calls.
+        """
         occupancy = obs_metrics.histogram("stream.window_occupancy")
+        keys = list(self._states)
         results: Dict[UnitKey, CongestionVerdict] = {}
-        for key, state in self._states.items():
-            occupancy.observe(len(state.window))
-            results[key] = self._assess(state)
+        # Chunked so the f64 window copies never all live at once -- the
+        # memory bound is the operator's contract, not just its buffers'.
+        chunk = 256
+        for offset in range(0, len(keys), chunk):
+            block = keys[offset : offset + chunk]
+            windows: List[np.ndarray] = []
+            for key in block:
+                state = self._states[key]
+                occupancy.observe(len(state.window))
+                windows.append(state.window.values().astype(float))
+            ratios = batched_diurnal_power_ratios(
+                windows, self.period_hours, band=self.detector.band
+            )
+            for key, values, ratio in zip(block, windows, ratios):
+                finite = values[np.isfinite(values)]
+                if finite.size == 0:
+                    spread = float("nan")
+                else:
+                    low, high = self.detector.spread_percentiles
+                    spread = float(
+                        np.percentile(finite, high) - np.percentile(finite, low)
+                    )
+                results[key] = CongestionVerdict(
+                    spread_ms=spread,
+                    power_ratio=ratio,
+                    spread_exceeds=bool(
+                        np.isfinite(spread) and spread > self.detector.spread_threshold_ms
+                    ),
+                    diurnal=bool(
+                        np.isfinite(ratio) and ratio >= self.detector.power_ratio_threshold
+                    ),
+                )
         return results
 
     def valid_counts(self) -> Dict[UnitKey, int]:
@@ -639,6 +890,11 @@ class SegmentWindowOperator:
         state = self._states[key]
         state.window.push(np.asarray(record.hop_rtt_ms, dtype=np.float32))
 
+    def observe_columns(self, columns) -> None:
+        """Feed one unit's per-hop matrix (same state as per-record feed)."""
+        state = self._states[columns.key]
+        state.window.extend(columns.hop_rtt_ms)
+
     def _assess_e2e(self, e2e: np.ndarray) -> CongestionVerdict:
         values = e2e.astype(float)
         finite = values[np.isfinite(values)]
@@ -664,11 +920,37 @@ class SegmentWindowOperator:
     def outcomes(self) -> Dict[UnitKey, SegmentOutcome]:
         """Windowed localization per pair, in unit arrival order."""
         occupancy = obs_metrics.histogram("stream.window_occupancy")
-        results: Dict[UnitKey, SegmentOutcome] = {}
-        for key, state in self._states.items():
+        keys = list(self._states)
+        matrices: List[np.ndarray] = []
+        e2e_values: List[np.ndarray] = []
+        for key in keys:
+            state = self._states[key]
             occupancy.observe(len(state.window))
             matrix = state.window.values()
-            verdict = self._assess_e2e(matrix[-1])
+            matrices.append(matrix)
+            e2e_values.append(matrix[-1].astype(float))
+        ratios = batched_diurnal_power_ratios(
+            e2e_values, self.period_hours, band=self.detector.band
+        )
+        results: Dict[UnitKey, SegmentOutcome] = {}
+        for key, matrix, values, ratio in zip(keys, matrices, e2e_values, ratios):
+            state = self._states[key]
+            finite = values[np.isfinite(values)]
+            if finite.size == 0:
+                spread = float("nan")
+            else:
+                low, high = self.detector.spread_percentiles
+                spread = float(np.percentile(finite, high) - np.percentile(finite, low))
+            verdict = CongestionVerdict(
+                spread_ms=spread,
+                power_ratio=ratio,
+                spread_exceeds=bool(
+                    np.isfinite(spread) and spread > self.detector.spread_threshold_ms
+                ),
+                diurnal=bool(
+                    np.isfinite(ratio) and ratio >= self.detector.power_ratio_threshold
+                ),
+            )
             congested_hop: Optional[int] = None
             link = None
             if verdict.congested:

@@ -34,6 +34,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.datasets.columnar import CampaignKernels
 from repro.datasets.longterm import LongTermConfig, _build_timeline
 from repro.datasets.shortterm import (
     SegmentSeries,
@@ -44,6 +45,7 @@ from repro.datasets.shortterm import (
 from repro.datasets.timeline import PingTimeline, TraceTimeline
 from repro.measurement.platform import MeasurementPlatform
 from repro.obs import metrics as obs_metrics
+from repro.stream.columns import PingColumns, SegmentColumns, TraceColumns
 from repro.stream.operators import SegmentMeta
 from repro.stream.records import PingRecord, SegmentRecord, TracerouteRecord, UnitKey
 from repro.topology.cdn import Server
@@ -63,11 +65,14 @@ __all__ = [
 
 @dataclass
 class StreamUnit:
-    """One pair-campaign's records, in round order.
+    """One pair-campaign's payload, in round order.
 
-    ``meta`` carries the static per-pair context an operator needs before
-    the first record (only localization units have any); a unit with no
-    records and no meta is a placeholder for a pair the builders skipped
+    The payload is either ``records`` (per-round objects, the original
+    wire shape) or ``columns`` (the same rounds as parallel arrays, which
+    the vectorized operators consume wholesale) -- never both.  ``meta``
+    carries the static per-pair context an operator needs before the
+    first record (only localization units have any); a unit with no
+    payload and no meta is a placeholder for a pair the builders skipped
     (kept so unit indices stay aligned with the task list across
     checkpoint/resume).
     """
@@ -76,11 +81,35 @@ class StreamUnit:
     kind: str  # "trace" | "ping" | "segment"
     records: Tuple[object, ...]
     meta: Optional[SegmentMeta] = None
+    columns: Optional[object] = None
+
+    @property
+    def record_count(self) -> int:
+        """Rounds carried by this unit, whatever the payload shape."""
+        if self.columns is not None:
+            return len(self.columns)
+        return len(self.records)
+
+    def iter_records(self) -> Iterator[object]:
+        """Per-round records, whatever the payload shape.
+
+        Columnar units materialize records lazily; they are identical to
+        the ones the object path would have carried.
+        """
+        if self.columns is not None:
+            yield from self.columns.records()
+        else:
+            yield from self.records
 
 
-def trace_unit(timeline: TraceTimeline) -> StreamUnit:
+def trace_unit(timeline: TraceTimeline, columnar: bool = False) -> StreamUnit:
     """Decompose one long-term timeline into a record unit."""
     key = (timeline.src_server_id, timeline.dst_server_id, int(timeline.version))
+    if columnar:
+        return StreamUnit(
+            key=key, kind="trace", records=(),
+            columns=TraceColumns.from_timeline(timeline),
+        )
     times = timeline.times_hours.tolist()
     rtts = timeline.rtt_ms.tolist()
     outcomes = timeline.outcome.tolist()
@@ -102,9 +131,14 @@ def trace_unit(timeline: TraceTimeline) -> StreamUnit:
     return StreamUnit(key=key, kind="trace", records=records)
 
 
-def ping_unit(timeline: PingTimeline) -> StreamUnit:
+def ping_unit(timeline: PingTimeline, columnar: bool = False) -> StreamUnit:
     """Decompose one ping timeline into a record unit."""
     key = (timeline.src_server_id, timeline.dst_server_id, int(timeline.version))
+    if columnar:
+        return StreamUnit(
+            key=key, kind="ping", records=(),
+            columns=PingColumns.from_timeline(timeline),
+        )
     times = timeline.times_hours.tolist()
     rtts = timeline.rtt_ms.tolist()
     records = tuple(
@@ -121,10 +155,22 @@ def ping_unit(timeline: PingTimeline) -> StreamUnit:
     return StreamUnit(key=key, kind="ping", records=records)
 
 
-def segment_unit(key: UnitKey, entry: Optional[SegmentSeries]) -> StreamUnit:
+def segment_unit(
+    key: UnitKey, entry: Optional[SegmentSeries], columnar: bool = False
+) -> StreamUnit:
     """Decompose one per-hop series into a record unit (or a placeholder)."""
     if entry is None:
         return StreamUnit(key=key, kind="segment", records=())
+    if columnar:
+        meta = SegmentMeta(
+            hop_addresses=entry.hop_addresses,
+            segment_keys=entry.segment_keys,
+            static_path=entry.static_path,
+        )
+        return StreamUnit(
+            key=key, kind="segment", records=(), meta=meta,
+            columns=SegmentColumns.from_entry(key, entry),
+        )
     times = entry.times_hours.tolist()
     columns = entry.hop_rtt_ms.T.tolist()
     records = tuple(
@@ -163,9 +209,16 @@ class _PlatformSource:
 
     kind = "unit"
 
-    def __init__(self, platform: MeasurementPlatform, trim_realizations: bool) -> None:
+    def __init__(
+        self,
+        platform: MeasurementPlatform,
+        trim_realizations: bool,
+        columnar: bool = True,
+    ) -> None:
         self.platform = platform
         self.trim_realizations = trim_realizations
+        self.columnar = columnar
+        self.kernels: Optional[CampaignKernels] = None
         self.tasks: List[Tuple[Server, Server, object]] = []
 
     def __len__(self) -> int:
@@ -183,6 +236,8 @@ class _PlatformSource:
             # cache behind.  The next unit of the same pair rebuilds its
             # (cheap, deterministic) realizations.
             self.platform.drop_realizations(src.server_id, dst.server_id)
+            if self.kernels is not None:
+                self.kernels.drop_pair(src.server_id, dst.server_id)
         obs_metrics.counter("stream.units").inc()
         return unit
 
@@ -202,8 +257,9 @@ class LongTermTraceSource(_PlatformSource):
         config: Optional[LongTermConfig] = None,
         pairs: Optional[Sequence[Tuple[Server, Server]]] = None,
         trim_realizations: bool = True,
+        columnar: bool = True,
     ) -> None:
-        super().__init__(platform, trim_realizations)
+        super().__init__(platform, trim_realizations, columnar)
         self.config = config or LongTermConfig()
         self.grid = self.config.grid()
         if self.grid.end_hour > platform.config.duration_hours + 1e-9:
@@ -214,8 +270,13 @@ class LongTermTraceSource(_PlatformSource):
         if pairs is None:
             pairs = platform.server_pairs(dual_stack_only=self.config.dual_stack_only)
         self.tasks = _version_tasks(list(pairs), self.config.versions)
+        if self.columnar:
+            self.kernels = CampaignKernels(platform, self.grid)
 
     def _build(self, src: Server, dst: Server, version) -> StreamUnit:
+        if self.kernels is not None:
+            timeline = self.kernels.build_trace_timeline(src, dst, version)
+            return trace_unit(timeline, columnar=True)
         timeline = _build_timeline(self.platform, src, dst, version, self.grid)
         return trace_unit(timeline)
 
@@ -231,8 +292,9 @@ class PingSource(_PlatformSource):
         config: Optional[ShortTermConfig] = None,
         pairs: Optional[Sequence[Tuple[Server, Server]]] = None,
         trim_realizations: bool = True,
+        columnar: bool = True,
     ) -> None:
-        super().__init__(platform, trim_realizations)
+        super().__init__(platform, trim_realizations, columnar)
         self.config = config or ShortTermConfig()
         self.grid = self.config.ping_grid()
         if self.grid.end_hour > platform.config.duration_hours + 1e-9:
@@ -244,8 +306,15 @@ class PingSource(_PlatformSource):
             pairs = platform.server_pairs(dual_stack_only=False)
         self.tasks = _version_tasks(list(pairs), self.config.versions)
         self._times = self.grid.times()
+        if self.columnar:
+            self.kernels = CampaignKernels(platform, self.grid)
 
     def _build(self, src: Server, dst: Server, version) -> StreamUnit:
+        if self.kernels is not None:
+            timeline = self.kernels.build_ping_timeline(
+                src, dst, version, self.config.congestion_coupled_loss
+            )
+            return ping_unit(timeline, columnar=True)
         timeline = _build_ping_timeline(
             self.platform, src, dst, version, self._times, self.config
         )
@@ -263,8 +332,9 @@ class SegmentTraceSource(_PlatformSource):
         pairs: Sequence[Tuple[Server, Server]],
         config: Optional[ShortTermConfig] = None,
         trim_realizations: bool = True,
+        columnar: bool = True,
     ) -> None:
-        super().__init__(platform, trim_realizations)
+        super().__init__(platform, trim_realizations, columnar)
         self.config = config or ShortTermConfig()
         self.grid = self.config.trace_grid()
         if self.grid.end_hour > platform.config.duration_hours + 1e-9:
@@ -276,10 +346,14 @@ class SegmentTraceSource(_PlatformSource):
         self._times = self.grid.times()
 
     def _build(self, src: Server, dst: Server, version) -> StreamUnit:
+        # The per-hop builder only runs for the (few) flagged pairs, so
+        # it stays on the object path; only the payload shape changes.
         entry = _build_trace_entry(
             self.platform, src, dst, version, self._times, self.grid
         )
-        return segment_unit((src.server_id, dst.server_id, int(version)), entry)
+        return segment_unit(
+            (src.server_id, dst.server_id, int(version)), entry, self.columnar
+        )
 
 
 class LongTermFileSource:
@@ -287,15 +361,16 @@ class LongTermFileSource:
 
     kind = "trace"
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, columnar: bool = False) -> None:
         self.path = path
+        self.columnar = columnar
 
     def __iter__(self) -> Iterator[StreamUnit]:
         from repro.datasets.io import iter_longterm
 
         for timeline in iter_longterm(self.path):
             obs_metrics.counter("stream.units").inc()
-            yield trace_unit(timeline)
+            yield trace_unit(timeline, columnar=self.columnar)
 
 
 # ---------------------------------------------------------------------------

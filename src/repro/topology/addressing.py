@@ -129,15 +129,22 @@ class AddressPlan:
     ixp_lan_announced: Dict[int, bool] = field(default_factory=dict)
     _link_counters: Dict[Tuple[object, IPVersion, bool], int] = field(default_factory=dict)
     _host_counters: Dict[Tuple[ASN, IPVersion], int] = field(default_factory=dict)
+    _origin_cache: Dict[IPAddress, Optional[ASN]] = field(default_factory=dict)
 
     def origin(self, address: IPAddress) -> Optional[ASN]:
         """Origin ASN of the longest announced prefix covering ``address``.
 
         This is the IP-to-ASN mapping of Section 2.1; ``None`` models "no
-        known IP-to-ASN mapping".
+        known IP-to-ASN mapping".  Lookups are memoized: the RIB is frozen
+        once the plan is built, and path realization hits the same server
+        and router addresses for every pair that crosses them.
         """
+        if address in self._origin_cache:
+            return self._origin_cache[address]
         table = self.bgp_v4 if address.version is IPVersion.V4 else self.bgp_v6
-        return table.lookup(address)
+        result = table.lookup(address)
+        self._origin_cache[address] = result
+        return result
 
     def _link_pool(
         self, owner: LinkSpaceOwner, version: IPVersion, unannounced: bool

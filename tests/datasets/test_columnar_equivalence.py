@@ -1,0 +1,180 @@
+"""Golden equivalence: the columnar plane must be invisible in output.
+
+``repro.datasets.columnar`` replays the exact RNG draw sequence of the
+per-round object builders as whole-epoch array operations, so every
+observable artifact -- timeline arrays, JSONL bytes, figure metrics --
+must match the object path bit for bit, at any seed and worker count.
+These tests are the contract: a columnar kernel change that shifts a
+single draw fails here before it can silently change any figure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.datasets.io import iter_record_columns, save_records
+from repro.datasets.longterm import LongTermConfig, build_longterm_dataset
+from repro.datasets.shortterm import ShortTermConfig, build_shortterm_ping_dataset
+from repro.harness.experiments import (
+    experiment_congestion_norm,
+    experiment_fig3,
+    experiment_fig6,
+)
+from repro.measurement.platform import MeasurementPlatform, PlatformConfig
+from repro.stream.columns import PingColumns, TraceColumns
+
+SEEDS = [0, 7]
+JOBS = [1, 2]
+
+LONGTERM = LongTermConfig(days=30)
+SHORTTERM = ShortTermConfig(ping_days=3.0)
+
+
+def _make_platform(seed: int) -> MeasurementPlatform:
+    return MeasurementPlatform(
+        PlatformConfig(seed=seed, cluster_count=8, duration_hours=40 * 24.0)
+    )
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_platform(request) -> MeasurementPlatform:
+    return _make_platform(request.param)
+
+
+def _assert_trace_timelines_equal(reference, candidate):
+    assert set(reference.timelines) == set(candidate.timelines)
+    for key, expected in reference.timelines.items():
+        actual = candidate.timelines[key]
+        assert actual.times_hours.tobytes() == expected.times_hours.tobytes()
+        assert actual.rtt_ms.tobytes() == expected.rtt_ms.tobytes()
+        assert actual.outcome.tobytes() == expected.outcome.tobytes()
+        assert actual.path_id.tobytes() == expected.path_id.tobytes()
+        assert actual.true_candidate.tobytes() == expected.true_candidate.tobytes()
+        assert list(actual.paths) == list(expected.paths)
+
+
+def _assert_ping_timelines_equal(reference, candidate):
+    assert set(reference.timelines) == set(candidate.timelines)
+    for key, expected in reference.timelines.items():
+        actual = candidate.timelines[key]
+        assert actual.times_hours.tobytes() == expected.times_hours.tobytes()
+        assert actual.rtt_ms.tobytes() == expected.rtt_ms.tobytes()
+
+
+class TestTimelineEquivalence:
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_longterm_columnar_matches_object(self, seeded_platform, jobs):
+        reference = build_longterm_dataset(
+            seeded_platform, LONGTERM, jobs=1, columnar=False
+        )
+        candidate = build_longterm_dataset(
+            seeded_platform, LONGTERM, jobs=jobs, columnar=True
+        )
+        _assert_trace_timelines_equal(reference, candidate)
+
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_ping_columnar_matches_object(self, seeded_platform, jobs):
+        reference = build_shortterm_ping_dataset(
+            seeded_platform, SHORTTERM, jobs=1, columnar=False
+        )
+        candidate = build_shortterm_ping_dataset(
+            seeded_platform, SHORTTERM, jobs=jobs, columnar=True
+        )
+        _assert_ping_timelines_equal(reference, candidate)
+
+
+class TestJsonlCodecEquivalence:
+    def test_column_blocks_encode_byte_identically(self, seeded_platform, tmp_path):
+        longterm = build_longterm_dataset(seeded_platform, LONGTERM)
+        pings = build_shortterm_ping_dataset(seeded_platform, SHORTTERM)
+        blocks = [
+            TraceColumns.from_timeline(timeline)
+            for timeline in list(longterm.timelines.values())[:4]
+        ] + [
+            PingColumns.from_timeline(timeline)
+            for timeline in list(pings.timelines.values())[:4]
+        ]
+        records = [record for block in blocks for record in block.records()]
+
+        object_path = tmp_path / "objects.jsonl"
+        column_path = tmp_path / "columns.jsonl"
+        save_records(records, object_path)
+        save_records(blocks, column_path)
+        assert column_path.read_bytes() == object_path.read_bytes()
+
+    def test_column_blocks_decode_round_trip(self, seeded_platform, tmp_path):
+        longterm = build_longterm_dataset(seeded_platform, LONGTERM)
+        blocks = [
+            TraceColumns.from_timeline(timeline)
+            for timeline in list(longterm.timelines.values())[:4]
+        ]
+        path = tmp_path / "trace.jsonl"
+        save_records(blocks, path)
+
+        decoded = list(iter_record_columns(path))
+        assert len(decoded) == len(blocks)
+        for original, restored in zip(blocks, decoded):
+            assert isinstance(restored, TraceColumns)
+            assert restored.key == original.key
+            assert restored.times_hours.tobytes() == original.times_hours.tobytes()
+            assert restored.rtt_ms.tobytes() == original.rtt_ms.tobytes()
+            assert restored.outcome.tobytes() == original.outcome.tobytes()
+            # Path table intern order may differ (the decoder interns in
+            # first-appearance order); the per-round paths must not.
+            for index in range(len(original)):
+                left = original.path_id[index]
+                right = restored.path_id[index]
+                assert (left < 0) == (right < 0)
+                if left >= 0:
+                    assert original.paths[left] == restored.paths[right]
+
+    def test_decoder_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a repro-records"):
+            list(iter_record_columns(path))
+
+
+def _metric_pairs(result):
+    return [
+        (metric.name, metric.measured) for metric in result.metrics
+    ]
+
+
+def _assert_metrics_equal(left, right):
+    assert len(left) == len(right)
+    for (left_name, left_value), (right_name, right_value) in zip(left, right):
+        assert left_name == right_name
+        if isinstance(left_value, float) and math.isnan(left_value):
+            assert math.isnan(right_value)
+        else:
+            assert left_value == right_value
+
+
+class TestFigureEquivalence:
+    def test_figures_identical_across_paths(self, seeded_platform):
+        object_longterm = build_longterm_dataset(
+            seeded_platform, LONGTERM, columnar=False
+        )
+        columnar_longterm = build_longterm_dataset(
+            seeded_platform, LONGTERM, columnar=True
+        )
+        object_pings = build_shortterm_ping_dataset(
+            seeded_platform, SHORTTERM, columnar=False
+        )
+        columnar_pings = build_shortterm_ping_dataset(
+            seeded_platform, SHORTTERM, columnar=True
+        )
+        for experiment, object_data, columnar_data in [
+            (experiment_fig3, object_longterm, columnar_longterm),
+            (experiment_fig6, object_longterm, columnar_longterm),
+            (experiment_congestion_norm, object_pings, columnar_pings),
+        ]:
+            reference = experiment(object_data)
+            candidate = experiment(columnar_data)
+            assert reference.report == candidate.report
+            _assert_metrics_equal(
+                _metric_pairs(reference), _metric_pairs(candidate)
+            )

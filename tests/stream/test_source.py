@@ -21,21 +21,24 @@ def _rtts_equal(a, b):
 
 
 class TestLongTermTraceSource:
-    def test_units_match_batch_timelines(self, platform):
+    @pytest.mark.parametrize("columnar", [False, True])
+    def test_units_match_batch_timelines(self, platform, columnar):
         config = LongTermConfig(days=10)
         pairs = platform.server_pairs(dual_stack_only=True)[:3]
         batch = build_longterm_dataset(platform, config, pairs=pairs)
-        source = LongTermTraceSource(platform, config, pairs=pairs)
+        source = LongTermTraceSource(
+            platform, config, pairs=pairs, columnar=columnar
+        )
 
         assert len(source) == len(batch.timelines)
         for unit in source:
             timeline = batch.timelines[
                 (unit.key[0], unit.key[1], unit.key[2])
             ]
-            assert len(unit.records) == timeline.rtt_ms.size
+            assert unit.record_count == timeline.rtt_ms.size
             rtts = timeline.rtt_ms.tolist()
             outcomes = timeline.outcome.tolist()
-            for index, record in enumerate(unit.records):
+            for index, record in enumerate(unit.iter_records()):
                 assert _rtts_equal(record.rtt_ms, rtts[index])
                 assert record.outcome == outcomes[index]
                 assert record.round_index == index
@@ -46,18 +49,19 @@ class TestLongTermTraceSource:
 
 
 class TestPingSource:
-    def test_units_match_batch_timelines(self, platform):
+    @pytest.mark.parametrize("columnar", [False, True])
+    def test_units_match_batch_timelines(self, platform, columnar):
         config = ShortTermConfig(ping_days=2.0)
         pairs = platform.server_pairs()[:3]
         batch = build_shortterm_ping_dataset(platform, config, pairs=pairs)
-        source = PingSource(platform, config, pairs=pairs)
+        source = PingSource(platform, config, pairs=pairs, columnar=columnar)
 
         assert len(source) == len(batch.timelines)
         for unit in source:
             timeline = batch.timelines[(unit.key[0], unit.key[1], unit.key[2])]
             rtts = timeline.rtt_ms.tolist()
-            assert len(unit.records) == len(rtts)
-            for index, record in enumerate(unit.records):
+            assert unit.record_count == len(rtts)
+            for index, record in enumerate(unit.iter_records()):
                 assert _rtts_equal(record.rtt_ms, rtts[index])
 
 
@@ -92,8 +96,8 @@ class TestShardedSource:
         assert len(sharded) == len(serial)
         for left, right in zip(serial, sharded):
             assert left.key == right.key
-            assert len(left.records) == len(right.records)
-            for a, b in zip(left.records, right.records):
+            assert left.record_count == right.record_count
+            for a, b in zip(left.iter_records(), right.iter_records()):
                 assert _rtts_equal(a.rtt_ms, b.rtt_ms)
                 assert a.outcome == b.outcome
                 assert a.as_path == b.as_path
