@@ -9,9 +9,12 @@ absorbs runner-to-runner noise while still catching an accidental
 return to per-round Python loops, which is an order-of-magnitude cliff,
 not a percentage.
 
-Also reports (without failing on) the stream-vs-serial wall ratio so
-regressions in stream mode's "pays for itself" property show up in the
-job log::
+Two further guards hold the streaming engine to what the columnar
+record plane achieved: the stream-vs-serial wall ratio must stay under
+``--stream-wall-factor`` (default 1.3x -- stream mode must not fall
+back to paying multiples of serial time), and stream peak RSS must stay
+under ``--stream-rss-bound`` (default 0.25) times serial peak RSS --
+the bounded-memory property that justifies the engine's existence::
 
     PYTHONPATH=src python benchmarks/perf_guard.py \
         --baseline BENCH_pipeline.json --candidate /tmp/bench_new.json
@@ -62,6 +65,13 @@ def main(argv=None) -> int:
     parser.add_argument("--factor", type=float, default=2.0,
                         help="failure threshold: candidate may take at most "
                              "FACTOR x baseline (default: 2.0)")
+    parser.add_argument("--stream-wall-factor", type=float, default=1.3,
+                        help="failure threshold: stream wall may take at most "
+                             "this multiple of serial wall (default: 1.3)")
+    parser.add_argument("--stream-rss-bound", type=float, default=0.25,
+                        help="failure threshold: stream peak RSS may be at "
+                             "most this fraction of serial peak RSS "
+                             "(default: 0.25)")
     args = parser.parse_args(argv)
 
     baseline = _load_summary(args.baseline, "baseline")
@@ -80,17 +90,40 @@ def main(argv=None) -> int:
     print(f"serial longterm-build: baseline {base_build:.3f}s, "
           f"candidate {cand_build:.3f}s ({ratio:.2f}x, limit {args.factor}x)")
 
+    failures = []
+    if cand_build > limit:
+        failures.append(
+            f"serial longterm-build {cand_build:.3f}s exceeds "
+            f"{args.factor}x baseline ({limit:.3f}s)"
+        )
+
     phases = candidate.get("phases", {})
     serial_wall = phases.get("serial", {}).get("wall_seconds")
     stream_wall = phases.get("stream", {}).get("wall_seconds")
     if serial_wall and stream_wall:
+        wall_ratio = stream_wall / serial_wall
         print(f"stream wall vs serial wall: {stream_wall:.2f}s / "
-              f"{serial_wall:.2f}s = {stream_wall / serial_wall:.2f}x "
-              "(informational)")
+              f"{serial_wall:.2f}s = {wall_ratio:.2f}x "
+              f"(limit {args.stream_wall_factor}x)")
+        if wall_ratio > args.stream_wall_factor:
+            failures.append(
+                f"stream wall {wall_ratio:.2f}x serial exceeds "
+                f"{args.stream_wall_factor}x"
+            )
 
-    if cand_build > limit:
-        print(f"perf-guard: FAIL -- serial longterm-build {cand_build:.3f}s "
-              f"exceeds {args.factor}x baseline ({limit:.3f}s)")
+    rss_ratio = candidate.get("memory", {}).get("stream_vs_serial_rss")
+    if isinstance(rss_ratio, (int, float)) and rss_ratio > 0:
+        print(f"stream peak RSS vs serial peak RSS: {rss_ratio:.3f} "
+              f"(bound {args.stream_rss_bound})")
+        if rss_ratio > args.stream_rss_bound:
+            failures.append(
+                f"stream RSS ratio {rss_ratio:.3f} exceeds bound "
+                f"{args.stream_rss_bound}"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"perf-guard: FAIL -- {failure}")
         return 1
     print("perf-guard: OK")
     return 0

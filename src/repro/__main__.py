@@ -22,6 +22,13 @@ writes a Chrome trace-event file of the run's span tree (open it in
 https://ui.perfetto.dev); ``--run-report`` writes the run manifest --
 config fingerprints, metric snapshot, span summary.  Reports stay on
 stdout either way.
+
+Live telemetry: ``--serve-metrics [PORT]`` exposes Prometheus-text
+``/metrics``, JSON ``/status`` and ``/health`` over HTTP for the life of
+the run; ``--live-out FILE`` streams flight-recorder samples (metrics +
+process stats + run status, every ``--live-interval`` seconds) as JSONL,
+with a final sample appended on completion, crash or SIGTERM.  Watch
+either live with ``python -m repro.obs.top``.
 """
 
 from __future__ import annotations
@@ -29,8 +36,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from repro.harness.scenarios import (
     SCENARIOS,
@@ -40,12 +49,76 @@ from repro.harness.scenarios import (
     scenario_traces,
 )
 from repro.net.ip import IPVersion
+from repro.obs.expo import DEFAULT_METRICS_PORT as _DEFAULT_METRICS_PORT
 from repro.obs import log as obs_log
 from repro.obs import runinfo as obs_runinfo
 from repro.obs.metrics import get_registry
 from repro.obs.trace import Tracer, use_tracer
 
 _LOG = obs_log.get_logger("repro.cli")
+
+
+@contextmanager
+def _live_plane(args: argparse.Namespace, **run_fields: object) -> Iterator[None]:
+    """Run the live telemetry plane around a reproduce command.
+
+    With ``--live-out`` and/or ``--serve-metrics`` active this starts a
+    :class:`~repro.obs.live.FlightRecorder` (streaming JSONL samples)
+    and optionally the HTTP exposition endpoint, and installs a SIGTERM
+    handler that appends a final sample before the process dies -- so a
+    killed campaign still leaves a fresh post-mortem trail.  Neither
+    touches any RNG or the analysis path: reports are byte-identical
+    with the plane on or off.
+    """
+    if not args.live_out and args.serve_metrics is None:
+        yield
+        return
+    from repro.obs.expo import MetricsServer
+    from repro.obs.live import FlightRecorder, get_status
+
+    status = get_status()
+    status.reset()
+    status.begin_run(**run_fields)
+    recorder = FlightRecorder(
+        interval_seconds=args.live_interval, out_path=args.live_out
+    )
+    server: Optional[MetricsServer] = None
+    previous_handler: object = signal.SIG_DFL
+    owner_pid = os.getpid()
+
+    def _on_sigterm(signum: int, frame: object) -> None:
+        # Forked workers (dataset pools, stream shards) inherit this
+        # handler but not the telemetry threads it tears down -- in any
+        # process but the installer, just die the default way.
+        if os.getpid() == owner_pid:
+            recorder.stop(reason="sigterm")
+            if server is not None:
+                server.close()
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        os.kill(os.getpid(), signal.SIGTERM)
+
+    recorder.start()
+    if args.serve_metrics is not None:
+        server = MetricsServer(recorder=recorder, port=args.serve_metrics)
+        server.start()
+        print(f"live telemetry at {server.url} "
+              "(/metrics /status /health)", file=sys.stderr)
+    try:
+        previous_handler = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        previous_handler = None  # not the main thread (tests); no handler
+    try:
+        yield
+    except BaseException:
+        recorder.stop(reason="crash")
+        raise
+    else:
+        recorder.stop(reason="complete")
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
+        if server is not None:
+            server.close()
 
 _EXPERIMENT_NAMES = (
     "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
@@ -132,7 +205,8 @@ def _command_reproduce(args: argparse.Namespace) -> int:
     # Any observability output needs the stage recorder wired through the
     # pipeline -- stages become spans via the Timings shim.  The flat
     # table itself prints only under --timings.
-    observing = bool(args.timings or args.trace_out or args.run_report)
+    observing = bool(args.timings or args.trace_out or args.run_report
+                     or args.live_out or args.serve_metrics is not None)
     registry = get_registry()
     if observing:
         registry.reset()
@@ -154,7 +228,10 @@ def _command_reproduce(args: argparse.Namespace) -> int:
               jobs=jobs, experiments=",".join(wanted),
               cache=cache is not None)
 
-    with use_tracer(tracer), tracer.span(
+    with use_tracer(tracer), _live_plane(
+        args, mode="batch", scenario=args.scenario, seed=args.seed,
+        jobs=jobs, experiments=wanted,
+    ), tracer.span(
         "reproduce", scenario=args.scenario, seed=args.seed, jobs=jobs
     ):
         platform = scenario_platform(
@@ -275,7 +352,8 @@ def _command_reproduce_stream(args: argparse.Namespace) -> int:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
 
-    observing = bool(args.timings or args.trace_out or args.run_report)
+    observing = bool(args.timings or args.trace_out or args.run_report
+                     or args.live_out or args.serve_metrics is not None)
     registry = get_registry()
     if observing:
         registry.reset()
@@ -294,7 +372,10 @@ def _command_reproduce_stream(args: argparse.Namespace) -> int:
     _LOG.info("reproduce.stream.start", scenario=args.scenario, seed=args.seed,
               shards=jobs, experiments=",".join(wanted), resume=args.resume)
 
-    with use_tracer(tracer), tracer.span(
+    with use_tracer(tracer), _live_plane(
+        args, mode="stream", scenario=args.scenario, seed=args.seed,
+        jobs=jobs, experiments=wanted, resume=bool(args.resume),
+    ), tracer.span(
         "reproduce", scenario=args.scenario, seed=args.seed, jobs=jobs, stream=True
     ):
         platform = scenario_platform(
@@ -438,6 +519,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="with --stream --checkpoint-dir: resume from the last snapshot "
              "(bit-identical to an uninterrupted run)",
+    )
+    reproduce.add_argument(
+        "--serve-metrics", nargs="?", type=int, const=_DEFAULT_METRICS_PORT,
+        default=None,
+        metavar="PORT",
+        help="serve live telemetry over HTTP while the run is active: "
+             "Prometheus /metrics, JSON /status, /health "
+             f"(default port: {_DEFAULT_METRICS_PORT}; 0 = ephemeral)",
+    )
+    reproduce.add_argument(
+        "--live-out", default=None, metavar="FILE",
+        help="stream flight-recorder samples to FILE as JSON-lines "
+             "(tail it with python -m repro.obs.top --follow FILE)",
+    )
+    reproduce.add_argument(
+        "--live-interval", type=float, default=1.0, metavar="SECONDS",
+        help="flight-recorder sampling interval (default: 1.0)",
     )
     reproduce.add_argument(
         "--trace-out", default=None, metavar="FILE",

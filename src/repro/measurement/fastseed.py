@@ -30,7 +30,13 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+from repro.obs.trace import get_tracer
+
 __all__ = ["pcg64_states", "replication_ok", "RecycledGenerator"]
+
+_LOG = get_logger("repro.measurement.fastseed")
 
 # SeedSequence's entropy-pool mixing constants (numpy's _seed_seq_pool
 # hash; stable across every numpy release since the Generator API
@@ -177,14 +183,27 @@ def replication_ok() -> bool:
         [(_PCG_MULT >> 64) & (2**64 - 1), _PCG_MULT & (2**64 - 1), _INIT_B],
         [_INIT_A, _MULT_A, _INIT_B, _MULT_B, _MIX_L, _MIX_R],
     ]
-    try:
-        ok = all(
-            _batch_states([entropy]) == [_reference_state(entropy)]
-            for entropy in vectors
-        )
-    except Exception:  # pragma: no cover - any surprise means "don't trust it"
-        ok = False
+    with get_tracer().span("fastseed:selfcheck", vectors=len(vectors)):
+        try:
+            ok = all(
+                _batch_states([entropy]) == [_reference_state(entropy)]
+                for entropy in vectors
+            )
+        except Exception:  # pragma: no cover - any surprise means "don't trust it"
+            ok = False
     _replication_checked = ok
+    if ok:
+        obs_metrics.counter("fastseed.selfcheck.ok").inc()
+    else:
+        # The fallback is correct but ~10x slower per stream; a silent
+        # flip here would read as a mystery perf cliff, so make it loud.
+        obs_metrics.counter("fastseed.selfcheck.failed").inc()
+        _LOG.warning(
+            "fastseed.selfcheck_failed",
+            numpy=np.__version__,
+            effect="reference seeding path for the whole process (~10x "
+                   "slower stream planning)",
+        )
     return ok
 
 
@@ -199,6 +218,7 @@ def pcg64_states(base_seed: int, digests: Sequence[int]) -> List[Tuple[int, int]
     if not digests:
         return []
     if base_seed < 0 or not replication_ok():
+        obs_metrics.counter("fastseed.streams.reference").inc(len(digests))
         return [_reference_state([base_seed, digest]) for digest in digests]
     width = len(_entropy_words(base_seed)) + 2
     batched: List[int] = []
@@ -212,6 +232,11 @@ def pcg64_states(base_seed: int, digests: Sequence[int]) -> List[Tuple[int, int]
         resolved = _batch_states([[base_seed, digests[index]] for index in batched])
         for index, state in zip(batched, resolved):
             states[index] = state
+    obs_metrics.counter("fastseed.streams.batched").inc(len(batched))
+    if len(batched) != len(digests):
+        obs_metrics.counter("fastseed.streams.reference").inc(
+            len(digests) - len(batched)
+        )
     return states  # type: ignore[return-value]
 
 

@@ -12,13 +12,24 @@ thousands of server pairs -- and this package is its flight recorder:
 - :mod:`repro.obs.runinfo` -- the run manifest: scenario, seed, config
   fingerprints, versions, metric snapshot and span summary in one JSON
   document (``reproduce --run-report``).
+- :mod:`repro.obs.live` -- the live telemetry plane: a thread-safe
+  :class:`~repro.obs.live.RunStatus` board and the sampling
+  :class:`~repro.obs.live.FlightRecorder` (ring buffer + JSONL stream +
+  crash dump) behind ``reproduce --live-out``.
+- :mod:`repro.obs.expo` -- HTTP exposition of the live plane:
+  Prometheus-text ``/metrics``, JSON ``/status`` and ``/health`` behind
+  ``reproduce --serve-metrics``.
+- :mod:`repro.obs.top` -- a terminal dashboard that tails the live
+  JSONL or polls the endpoint (``python -m repro.obs.top``).
 
 ``repro.obs`` sits below every other layer and imports nothing from the
 rest of the package at module scope, so any module may instrument itself
 freely.
 """
 
-from repro.obs import log, metrics, runinfo, trace
+from repro.obs import expo, live, log, metrics, runinfo, trace
+from repro.obs.expo import MetricsServer, prometheus_text
+from repro.obs.live import FlightRecorder, RunStatus, get_status
 from repro.obs.log import Progress, StructuredLogger, configure, get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import Span, Tracer, get_tracer, set_tracer, use_tracer
@@ -28,6 +39,13 @@ __all__ = [
     "metrics",
     "trace",
     "runinfo",
+    "live",
+    "expo",
+    "FlightRecorder",
+    "RunStatus",
+    "get_status",
+    "MetricsServer",
+    "prometheus_text",
     "configure",
     "get_logger",
     "Progress",

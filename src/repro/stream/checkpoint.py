@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
 from repro.harness.engine import config_fingerprint
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import get_logger
 
@@ -100,6 +101,13 @@ class CheckpointStore:
         elapsed = time.perf_counter() - started
         obs_metrics.counter("stream.checkpoint.saves").inc()
         obs_metrics.histogram("stream.checkpoint_seconds").observe(elapsed)
+        obs_metrics.gauge("stream.checkpoint_units_done").set(units_done)
+        obs_live.get_status().set_checkpoint(
+            fingerprint=self.fingerprint,
+            schema=CHECKPOINT_SCHEMA_VERSION,
+            phase=phase,
+            units_done=int(units_done),
+        )
         _LOG.debug(
             "stream.checkpoint.saved",
             phase=phase,

@@ -38,6 +38,7 @@ from repro.harness.experiments import ExperimentResult, Metric
 from repro.harness.report import render_ecdf, render_table
 from repro.measurement.platform import MeasurementPlatform
 from repro.net.ip import IPVersion
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import get_logger
 from repro.obs.trace import get_tracer
@@ -185,6 +186,11 @@ class StreamEngine:
         records_counter = obs_metrics.counter("stream.records")
         store = self.checkpoint_store
         every = self.config.checkpoint_every
+        obs_live.get_status().set_phase(f"stream:{phase}")
+        registry = obs_metrics.get_registry()
+        registry.gauge("stream.phase_units_total").set(total)
+        units_done_gauge = registry.gauge("stream.units_done")
+        units_done_gauge.set(units_done)
         with get_tracer().span(
             f"stream:{phase}", units=total, resumed_at=units_done
         ) as span:
@@ -196,6 +202,7 @@ class StreamEngine:
                 records_counter.inc(unit.record_count)
                 units_done += 1
                 self._processed += 1
+                units_done_gauge.set(units_done)
                 if store is not None and every and units_done % every == 0 and units_done < total:
                     store.save(phase, units_done, operator, self._completed)
                 if self._max_units is not None and self._processed >= self._max_units:

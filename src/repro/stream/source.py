@@ -44,6 +44,7 @@ from repro.datasets.shortterm import (
 )
 from repro.datasets.timeline import PingTimeline, TraceTimeline
 from repro.measurement.platform import MeasurementPlatform
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.stream.columns import PingColumns, SegmentColumns, TraceColumns
 from repro.stream.operators import SegmentMeta
@@ -60,6 +61,7 @@ __all__ = [
     "SegmentTraceSource",
     "LongTermFileSource",
     "ShardedSource",
+    "ShardError",
 ]
 
 
@@ -380,15 +382,42 @@ class LongTermFileSource:
 _DONE = "__shard_done__"
 
 
+class ShardError(RuntimeError):
+    """A shard worker died; carries the shard's traceback and metrics.
+
+    ``metrics_delta`` is the failing worker's registry delta since its
+    last completed unit -- the counters/histograms the doomed unit
+    managed to record before the exception -- so a post-mortem sees how
+    far into the unit the shard got, not just the traceback.
+    """
+
+    def __init__(self, shard: int, worker_traceback: str, metrics_delta) -> None:
+        counters = (metrics_delta or {}).get("counters", {})
+        context = (
+            "; metrics delta: "
+            + ", ".join(f"{name}={counters[name]:g}" for name in sorted(counters))
+            if counters
+            else ""
+        )
+        super().__init__(
+            f"stream shard {shard} failed{context}\n{worker_traceback}"
+        )
+        self.shard = shard
+        self.metrics_delta = metrics_delta or {}
+
+
 def _shard_worker(source, worker_index: int, shards: int, start: int, queue) -> None:
     """Worker loop: build this shard's units and push them with telemetry.
 
     The queue is bounded, so ``put`` blocks when the consumer lags --
     that is the backpressure contract.  Counters incremented inside the
     builders travel back as per-unit registry snapshot deltas, exactly
-    like :func:`repro.datasets.parallel.fork_map` workers.
+    like :func:`repro.datasets.parallel.fork_map` workers -- and on a
+    crash the delta of the half-finished unit rides along with the
+    traceback.
     """
     registry = obs_metrics.get_registry()
+    baseline = registry.snapshot()
     try:
         for index in range(start + worker_index, len(source), shards):
             baseline = registry.snapshot()
@@ -396,7 +425,10 @@ def _shard_worker(source, worker_index: int, shards: int, start: int, queue) -> 
             queue.put(("unit", index, unit, registry.delta_since(baseline)))
         queue.put((_DONE, worker_index, None, None))
     except BaseException:  # surfaced to the parent, never swallowed
-        queue.put(("error", worker_index, traceback.format_exc(), None))
+        queue.put(
+            ("error", worker_index, traceback.format_exc(),
+             registry.delta_since(baseline))
+        )
 
 
 class ShardedSource:
@@ -425,16 +457,40 @@ class ShardedSource:
         return len(self.source)
 
     def iter_from(self, start: int = 0) -> Iterator[StreamUnit]:
-        """Yield units ``start..`` in order, building them across shards."""
+        """Yield units ``start..`` in order, building them across shards.
+
+        Live telemetry per pop: labeled per-shard queue-depth gauges and
+        receive counters (``stream.queue_depth{shard=N}`` /
+        ``stream.shard_units{shard=N}``), a ``stream.merge_lag`` gauge
+        (units built by workers but not yet merged into the ordered
+        stream), and status-board heartbeats -- the last time each
+        shard delivered a unit -- for ``/status`` and the dashboard.
+        """
         total = len(self.source)
         shards = min(self.shards, max(1, total - start))
+        registry = obs_metrics.get_registry()
+        status = obs_live.get_status()
         if shards <= 1 or "fork" not in multiprocessing.get_all_start_methods():
+            status.set_shards(1)
+            serial_units = registry.counter("stream.shard_units{shard=0}")
             for index in range(start, total):
-                yield self.source.unit_at(index)
+                unit = self.source.unit_at(index)
+                serial_units.inc()
+                status.shard_unit(0)
+                yield unit
             return
 
-        registry = obs_metrics.get_registry()
+        status.set_shards(shards)
         depth_gauge = registry.gauge("stream.queue_depth")
+        lag_gauge = registry.gauge("stream.merge_lag")
+        shard_depths = [
+            registry.gauge(f"stream.queue_depth{{shard={worker}}}")
+            for worker in range(shards)
+        ]
+        shard_units = [
+            registry.counter(f"stream.shard_units{{shard={worker}}}")
+            for worker in range(shards)
+        ]
         context = multiprocessing.get_context("fork")
         queues = [context.Queue(maxsize=self.queue_units) for _ in range(shards)]
         workers = [
@@ -449,21 +505,26 @@ class ShardedSource:
             process.start()
         try:
             for index in range(start, total):
-                queue = queues[(index - start) % shards]
+                shard = (index - start) % shards
+                queue = queues[shard]
                 try:
                     depth_gauge.set(queue.qsize())
+                    shard_depths[shard].set(queue.qsize())
+                    lag_gauge.set(sum(q.qsize() for q in queues))
                 except NotImplementedError:  # macOS has no qsize
                     pass
                 tag, value, payload, delta = queue.get()
                 if tag == "error":
-                    raise RuntimeError(
-                        f"stream shard {value} failed:\n{payload}"
-                    )
+                    if delta:
+                        registry.merge(delta)
+                    raise ShardError(value, payload, delta)
                 if value != index:  # pragma: no cover - ordering invariant
                     raise RuntimeError(
                         f"stream shard returned unit {value}, expected {index}"
                     )
                 registry.merge(delta)
+                shard_units[shard].inc()
+                status.shard_unit(shard)
                 yield payload
         finally:
             for process in workers:

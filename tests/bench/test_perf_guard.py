@@ -1,0 +1,91 @@
+"""Perf guard: regression thresholds over pipeline benchmark summaries."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "perf_guard",
+    Path(__file__).resolve().parents[2] / "benchmarks" / "perf_guard.py",
+)
+perf_guard = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(perf_guard)
+
+
+def _summary(
+    build_seconds=1.0,
+    serial_wall=10.0,
+    stream_wall=7.0,
+    stream_rss_ratio=0.2,
+):
+    return {
+        "benchmark": "pipeline",
+        "schema": 3,
+        "scenario": "default",
+        "phases": {
+            "serial": {
+                "wall_seconds": serial_wall,
+                "stage_seconds": {"longterm-build": build_seconds},
+            },
+            "stream": {"wall_seconds": stream_wall},
+        },
+        "memory": {"stream_vs_serial_rss": stream_rss_ratio},
+    }
+
+
+def _run(tmp_path, baseline, candidate, extra=()):
+    base = tmp_path / "base.json"
+    cand = tmp_path / "cand.json"
+    base.write_text(json.dumps(baseline))
+    cand.write_text(json.dumps(candidate))
+    return perf_guard.main(
+        ["--baseline", str(base), "--candidate", str(cand), *extra]
+    )
+
+
+def test_passes_within_all_bounds(tmp_path, capsys):
+    assert _run(tmp_path, _summary(), _summary()) == 0
+    assert "perf-guard: OK" in capsys.readouterr().out
+
+
+def test_fails_on_longterm_build_regression(tmp_path, capsys):
+    assert _run(tmp_path, _summary(), _summary(build_seconds=2.5)) == 1
+    assert "serial longterm-build" in capsys.readouterr().out
+
+
+def test_fails_when_stream_wall_exceeds_factor(tmp_path, capsys):
+    candidate = _summary(stream_wall=20.0)  # 2x serial > 1.3x default
+    assert _run(tmp_path, _summary(), candidate) == 1
+    out = capsys.readouterr().out
+    assert "stream wall" in out and "exceeds" in out
+
+
+def test_fails_when_stream_rss_exceeds_bound(tmp_path, capsys):
+    candidate = _summary(stream_rss_ratio=0.4)
+    assert _run(tmp_path, _summary(), candidate) == 1
+    out = capsys.readouterr().out
+    assert "stream RSS ratio" in out
+
+
+def test_custom_stream_thresholds(tmp_path):
+    candidate = _summary(stream_wall=20.0, stream_rss_ratio=0.4)
+    assert _run(
+        tmp_path, _summary(), candidate,
+        extra=["--stream-wall-factor", "3.0", "--stream-rss-bound", "0.5"],
+    ) == 0
+
+
+def test_missing_stream_phase_only_guards_build(tmp_path):
+    summary = _summary()
+    del summary["phases"]["stream"]
+    del summary["memory"]
+    assert _run(tmp_path, summary, dict(summary)) == 0
+
+
+def test_scenario_mismatch_refuses(tmp_path):
+    candidate = _summary()
+    candidate["scenario"] = "large"
+    with pytest.raises(SystemExit, match="scenario mismatch"):
+        _run(tmp_path, _summary(), candidate)

@@ -120,3 +120,78 @@ class TestStreamCommand:
             "longterm": True, "ping": False, "segment": False,
         }
         assert manifest["metrics"]["counters"]["stream.units"] > 0
+
+
+class TestLivePlane:
+    def test_live_flags_parse(self):
+        args = build_parser().parse_args(["reproduce"])
+        assert args.serve_metrics is None
+        assert args.live_out is None and args.live_interval == 1.0
+
+        args = build_parser().parse_args(["reproduce", "--serve-metrics"])
+        assert args.serve_metrics == 9309  # bare flag uses the default port
+
+        args = build_parser().parse_args([
+            "reproduce", "--serve-metrics", "0",
+            "--live-out", "live.jsonl", "--live-interval", "0.25",
+        ])
+        assert args.serve_metrics == 0
+        assert args.live_out == "live.jsonl" and args.live_interval == 0.25
+
+    def test_live_out_records_stream_run(self, capsys, tmp_path):
+        import json
+
+        live = tmp_path / "live.jsonl"
+        assert main([
+            "reproduce", "--scenario", "small", "--stream", "--jobs", "2",
+            "--experiments", "fig3", "--live-out", str(live),
+            "--live-interval", "0.05",
+        ]) == 0
+        capsys.readouterr()
+        samples = [json.loads(line) for line in live.read_text().splitlines()]
+        assert samples, "no flight-recorder samples written"
+        assert [s["seq"] for s in samples] == list(range(len(samples)))
+        last = samples[-1]
+        assert last["final"] is True and last["reason"] == "complete"
+        assert last["status"]["run"]["mode"] == "stream"
+        assert last["status"]["run"]["jobs"] == 2
+        assert last["counters"]["stream.units"] > 0
+        assert last["counters"]["stream.shard_units{shard=0}"] > 0
+        assert last["process"]["rss_mb"] > 0
+
+    def test_serve_metrics_announces_endpoint(self, capsys):
+        assert main([
+            "reproduce", "--scenario", "small", "--experiments", "table1",
+            "--serve-metrics", "0",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "live telemetry at http://127.0.0.1:" in err
+        assert "/metrics /status /health" in err
+
+    def test_reports_byte_identical_with_live_plane(self, capsys, tmp_path):
+        assert main([
+            "reproduce", "--scenario", "small", "--experiments", "table1",
+        ]) == 0
+        plain = capsys.readouterr().out
+
+        assert main([
+            "reproduce", "--scenario", "small", "--experiments", "table1",
+            "--live-out", str(tmp_path / "live.jsonl"),
+            "--live-interval", "0.05", "--serve-metrics", "0",
+        ]) == 0
+        observed = capsys.readouterr().out
+        assert observed == plain
+
+    def test_stream_reports_byte_identical_with_live_plane(self, capsys, tmp_path):
+        argv = [
+            "reproduce", "--scenario", "small", "--stream",
+            "--experiments", "fig3",
+        ]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+
+        assert main(argv + [
+            "--live-out", str(tmp_path / "live.jsonl"), "--live-interval", "0.05",
+        ]) == 0
+        observed = capsys.readouterr().out
+        assert observed == plain

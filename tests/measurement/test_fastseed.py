@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.measurement import fastseed
+from repro.obs import metrics as obs_metrics
 from repro.measurement.fastseed import (
     RecycledGenerator,
     pcg64_states,
@@ -89,3 +90,47 @@ class TestRecycledGenerator:
         first = recycled.set(state, inc).integers(0, 2**32, size=3, dtype=np.uint32)
         again = recycled.set(state, inc).integers(0, 2**32, size=3, dtype=np.uint32)
         assert first.tobytes() == again.tobytes()
+
+
+class TestSeedingTelemetry:
+    def test_batched_and_straggler_streams_counted(self):
+        registry = obs_metrics.get_registry()
+        batched_before = registry.counter("fastseed.streams.batched").value
+        reference_before = registry.counter("fastseed.streams.reference").value
+
+        # Three common digests plus one straggler (zero high word).
+        pcg64_states(9, [2**40 + 1, 2**50 + 7, 2**33, 5])
+
+        assert registry.counter("fastseed.streams.batched").value == (
+            batched_before + 3
+        )
+        assert registry.counter("fastseed.streams.reference").value == (
+            reference_before + 1
+        )
+
+    def test_reference_fallback_counts_whole_batch(self, monkeypatch):
+        monkeypatch.setattr(fastseed, "_replication_checked", False)
+        registry = obs_metrics.get_registry()
+        before = registry.counter("fastseed.streams.reference").value
+        pcg64_states(11, [2**40 + 1, 2**40 + 2])
+        assert registry.counter("fastseed.streams.reference").value == before + 2
+
+    def test_selfcheck_outcome_counted_once(self, monkeypatch):
+        monkeypatch.setattr(fastseed, "_replication_checked", None)
+        registry = obs_metrics.get_registry()
+        ok_before = registry.counter("fastseed.selfcheck.ok").value
+        assert fastseed.replication_ok() is True
+        assert fastseed.replication_ok() is True  # cached; no second count
+        assert registry.counter("fastseed.selfcheck.ok").value == ok_before + 1
+
+    def test_failed_selfcheck_is_loud(self, monkeypatch):
+        monkeypatch.setattr(fastseed, "_replication_checked", None)
+        monkeypatch.setattr(
+            fastseed, "_batch_states", lambda entropies: [(0, 1)] * len(entropies)
+        )
+        registry = obs_metrics.get_registry()
+        failed_before = registry.counter("fastseed.selfcheck.failed").value
+        assert fastseed.replication_ok() is False
+        assert registry.counter("fastseed.selfcheck.failed").value == (
+            failed_before + 1
+        )

@@ -8,10 +8,12 @@ import pytest
 from repro.datasets.io import save_longterm
 from repro.datasets.longterm import LongTermConfig, build_longterm_dataset
 from repro.datasets.shortterm import ShortTermConfig, build_shortterm_ping_dataset
+from repro.obs import metrics as obs_metrics
 from repro.stream.source import (
     LongTermFileSource,
     LongTermTraceSource,
     PingSource,
+    ShardError,
     ShardedSource,
 )
 
@@ -130,3 +132,46 @@ class TestShardedSource:
             if (key[0], key[1]) in trimmed_pairs
         ]
         assert leftover == []
+
+
+class _ExplodingSource:
+    """Fake source whose fourth unit dies after doing partial work."""
+
+    kind = "test"
+
+    def __len__(self):
+        return 6
+
+    def unit_at(self, index):
+        registry = obs_metrics.get_registry()
+        registry.counter("test.shard_crash.units_built").inc()
+        if index == 3:
+            registry.counter("test.shard_crash.partial_work").inc(2)
+            raise RuntimeError("boom at unit 3")
+        return index
+
+
+class TestShardErrorContext:
+    def test_shard_error_carries_metrics_delta(self):
+        source = ShardedSource(_ExplodingSource(), shards=2, queue_units=2)
+        registry = obs_metrics.get_registry()
+        partial_before = registry.counter("test.shard_crash.partial_work").value
+
+        with pytest.raises(ShardError) as err:
+            list(source.iter_from(0))
+
+        # Worker 1 owns units 1, 3, 5 and dies building unit 3.
+        assert err.value.shard == 1
+        delta = err.value.metrics_delta
+        assert delta["counters"]["test.shard_crash.partial_work"] == 2
+        assert delta["counters"]["test.shard_crash.units_built"] == 1
+
+        message = str(err.value)
+        assert "stream shard 1 failed" in message
+        assert "metrics delta:" in message
+        assert "test.shard_crash.partial_work=2" in message
+        assert "boom at unit 3" in message  # the worker traceback rides along
+
+        # The doomed unit's delta is merged into the parent registry too.
+        partial_after = registry.counter("test.shard_crash.partial_work").value
+        assert partial_after == partial_before + 2
