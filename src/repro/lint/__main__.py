@@ -1,20 +1,39 @@
-"""CLI: ``python -m repro.lint [paths] [--json] [--select ...] ...``.
+"""CLI: ``python -m repro.lint [paths] [--format sarif] [--jobs N] ...``.
 
-Exit codes: 0 clean (or warnings without ``--strict``), 1 findings,
-2 usage error.  Findings go to stdout (human lines or one JSON
-document); logs go to stderr via ``repro.obs`` so output stays pipeable.
+Exit codes (also under ``--help``): **0** when there are no error-level
+findings -- warnings alone do *not* fail the run unless ``--strict`` is
+given; **1** when there are errors, or warnings under ``--strict``;
+**2** on usage errors (unknown rule code, missing path, bad baseline).
+Findings go to stdout (human lines, one JSON document, or one SARIF
+2.1.0 document); logs go to stderr via ``repro.obs`` so output stays
+pipeable.
+
+Incremental runs: per-file results are cached under content
+fingerprints (default cache root: ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro``).  ``--no-cache`` disables, ``--refresh-cache``
+recomputes and rewrites, ``--jobs N`` forks the per-file phase.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.lint.analysis.project import Project
+from repro.lint.analysis.schemas import (
+    current_schemas,
+    default_snapshot_path,
+    write_snapshot,
+)
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.cache import LintCache, default_lint_cache_dir
 from repro.lint.findings import render_human, render_json
 from repro.lint.registry import all_rules
-from repro.lint.runner import Linter
+from repro.lint.runner import Linter, ProjectOptions
+from repro.lint.sarif import render_sarif
 from repro.obs import log
 
 
@@ -28,22 +47,46 @@ def _list_rules() -> str:
     lines = []
     for rule in all_rules():
         kind = " (synthetic)" if rule.synthetic else ""
+        kind = " (project)" if rule.project_scope else kind
         lines.append(f"{rule.code} [{rule.severity.value}] {rule.name}{kind}")
         lines.append(f"    {rule.rationale}")
     return "\n".join(lines)
 
 
+def _explain(code: str) -> Optional[str]:
+    """The RULES.md section for ``code``, verbatim."""
+    rules_md = Path(__file__).resolve().parent / "RULES.md"
+    try:
+        text = rules_md.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    pattern = re.compile(
+        rf"^##\s+{re.escape(code)}\b.*?(?=^##\s|\Z)", re.MULTILINE | re.DOTALL
+    )
+    match = pattern.search(text)
+    return None if match is None else match.group(0).rstrip() + "\n"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="AST-based invariant linter: determinism, fork-safety, "
-        "telemetry hygiene, cache-fingerprint coverage.",
+        description="Whole-program invariant linter: determinism taint, "
+        "fork/thread lock order, schema compatibility, telemetry hygiene, "
+        "cache-fingerprint coverage.",
+        epilog="exit codes: 0 no errors (warnings pass without --strict); "
+        "1 errors, or warnings with --strict; 2 usage error",
     )
     parser.add_argument(
         "paths", nargs="*",
         help="files or directories to lint (default: ./src if present, else .)",
     )
-    parser.add_argument("--json", action="store_true", help="emit one JSON document")
+    parser.add_argument(
+        "--format", choices=("human", "json", "sarif"), default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="shorthand for --format json"
+    )
     parser.add_argument(
         "--select", metavar="CODES", help="comma-separated rule codes to run exclusively"
     )
@@ -51,11 +94,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--ignore", metavar="CODES", help="comma-separated rule codes to skip"
     )
     parser.add_argument(
-        "--strict", action="store_true", help="warnings also fail the run (CI mode)"
+        "--strict", action="store_true",
+        help="warnings also fail the run (CI mode); errors fail regardless",
     )
     parser.add_argument(
         "--no-allowlist", action="store_true",
         help="accept noqa suppressions without a documented allowlist entry",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fork N workers for the per-file phase (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental per-file result cache",
+    )
+    parser.add_argument(
+        "--refresh-cache", action="store_true",
+        help="recompute every file and rewrite its cache entry",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", type=Path,
+        help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", type=Path,
+        help="suppress findings recorded in this baseline file; entries that "
+        "no longer match are reported as stale",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", type=Path,
+        help="record the current findings as a baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--schema-snapshot", metavar="FILE", type=Path,
+        help="SCH010 snapshot to diff against (default: the committed "
+        "repro/lint/schema_snapshot.json)",
+    )
+    parser.add_argument(
+        "--update-schema-snapshot", action="store_true",
+        help="rewrite the SCH010 schema snapshot from the current tree and exit",
+    )
+    parser.add_argument(
+        "--explain", metavar="RULE",
+        help="print the RULES.md entry for a rule code and exit",
     )
     parser.add_argument("--list-rules", action="store_true", help="describe every rule")
     args = parser.parse_args(argv)
@@ -66,20 +148,105 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_list_rules())
         return 0
 
+    if args.explain:
+        code = args.explain.strip().upper()
+        section = _explain(code)
+        if section is None:
+            print(f"error: no RULES.md entry for {code!r}", file=sys.stderr)
+            return 2
+        sys.stdout.write(section)
+        return 0
+
     paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    options = ProjectOptions(
+        schema_snapshot=args.schema_snapshot,
+        bench_baseline=None,
+    )
+    cache: Optional[LintCache] = None
+    if not args.no_cache:
+        cache = LintCache(args.cache_dir or default_lint_cache_dir())
+        if args.refresh_cache:
+            cache.clear()
+
     try:
         linter = Linter(
             select=_codes(args.select),
             ignore=_codes(args.ignore),
             enforce_allowlist=not args.no_allowlist,
+            cache=cache,
+            jobs=args.jobs,
+            options=options,
         )
+        if args.update_schema_snapshot:
+            return _update_snapshot(linter, paths, args.schema_snapshot)
         report = linter.lint_paths(paths)
     except (KeyError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    sys.stdout.write(render_json(report) if args.json else render_human(report))
+    if args.write_baseline is not None:
+        entries = write_baseline(args.write_baseline, report)
+        print(
+            f"wrote {entries} baseline entr{'y' if entries == 1 else 'ies'} "
+            f"({len(report.findings)} finding(s)) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.baseline is not None:
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        report.findings, report.baselined, report.baseline_stale = apply_baseline(
+            report.findings, entries
+        )
+
+    output_format = "json" if args.json else args.format
+    if output_format == "json":
+        sys.stdout.write(render_json(report))
+    elif output_format == "sarif":
+        sys.stdout.write(
+            render_sarif(report, all_rules(_codes(args.select), _codes(args.ignore)))
+        )
+    else:
+        sys.stdout.write(render_human(report))
     return report.exit_code(strict=args.strict)
+
+
+def _update_snapshot(
+    linter: Linter, paths: List[str], override: Optional[Path]
+) -> int:
+    """Rebuild the SCH010 snapshot from the current tree and write it."""
+    report_linter = Linter(
+        select=[],  # no rules: we only need the summaries
+        enforce_allowlist=False,
+        cache=linter.cache,
+        jobs=linter.jobs,
+    )
+    # Reuse the per-file machinery to collect summaries without findings.
+    from repro.lint.runner import iter_python_files
+
+    files = []
+    for path in iter_python_files(paths):
+        try:
+            files.append((path, path.read_text(encoding="utf-8")))
+        except (OSError, UnicodeDecodeError):
+            continue
+    summaries = []
+    for path, source in files:
+        result = report_linter._analyze_source(path, source)
+        if result.get("summary"):
+            summaries.append(result["summary"])
+    tracked = current_schemas(Project(summaries))
+    target = override if override is not None else default_snapshot_path()
+    write_snapshot(target, tracked)
+    print(
+        f"wrote schema snapshot ({len(tracked)} tracked) to {target}",
+        file=sys.stderr,
+    )
+    return 0
 
 
 if __name__ == "__main__":

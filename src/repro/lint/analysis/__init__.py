@@ -1,0 +1,30 @@
+"""repro.lint.analysis: the whole-program layer under the project rules.
+
+The per-file rules (DET001, FRK001, ...) see one AST at a time; the
+rules this package serves (DET010, FRK010, SCH010) need to see the
+program.  The layer is split so the expensive half is cacheable:
+
+- :mod:`repro.lint.analysis.summary` distills each module into a plain
+  JSON-able :func:`build_summary` dict -- functions with import-resolved
+  call records and taint atoms, classes with attribute types and lock
+  attributes, fork/thread/lock events, serialized-schema dict shapes.
+  A summary depends only on the file's bytes, so the incremental runner
+  caches it under a content fingerprint.
+- :mod:`repro.lint.analysis.project` assembles summaries into a
+  :class:`Project`: a global symbol table, annotation-driven call
+  resolution, and the fork-reachability fixpoint.  Cheap to rebuild
+  every run from cached summaries.
+- :mod:`repro.lint.analysis.taint` (interprocedural seed taint),
+  :mod:`repro.lint.analysis.locks` (fork/thread lock order) and
+  :mod:`repro.lint.analysis.schemas` (schema-snapshot compatibility)
+  are the engines the project rules call.
+
+``ANALYSIS_VERSION`` participates in the lint cache key: bump it when
+the summary shape or the engines' semantics change, so stale cached
+summaries can never feed a new analysis.
+"""
+
+from repro.lint.analysis.summary import ANALYSIS_VERSION, build_summary
+from repro.lint.analysis.project import Project
+
+__all__ = ["ANALYSIS_VERSION", "build_summary", "Project"]

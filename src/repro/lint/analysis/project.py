@@ -1,0 +1,285 @@
+"""Project assembly: compose module summaries into a whole-program view.
+
+The :class:`Project` is rebuilt from (possibly cached) summaries on every
+run -- it is cheap, deterministic, and holds the three things the
+interprocedural engines need:
+
+- a **symbol table** mapping dotted names to function and class records
+  across every linted module;
+- **call resolution**: a call record's callee descriptor (dotted name,
+  ``self.method``, typed-receiver method, constructor) resolved to the
+  global function it lands on, using parameter/return annotations and
+  constructor-call bindings collected per module;
+- the **fork-reachability fixpoint**: the set of functions from which a
+  process fork (``os.fork``, ``fork_map``, ``Pool``/``Process``,
+  ``ShardedSource``) is reachable through resolved calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Project", "FuncView", "FORK_CALLABLES"]
+
+# Direct fork actions.  Constructing a worker container (Pool, Process,
+# ShardedSource) counts: construction is where worker wiring happens and
+# the spawn follows immediately in every idiom this codebase uses.
+FORK_CALLABLES = frozenset(
+    {
+        "os.fork",
+        "os.forkpty",
+        "repro.datasets.parallel.fork_map",
+        "repro.stream.source.ShardedSource",
+        "multiprocessing.Pool",
+        "multiprocessing.Process",
+        "multiprocessing.pool.Pool",
+        "multiprocessing.context.Process",
+    }
+)
+
+_FORK_ATTRS = frozenset({"Pool", "Process"})
+
+
+@dataclass
+class FuncView:
+    """One function or method, addressable by its global dotted name."""
+
+    name: str  # e.g. repro.obs.live.FlightRecorder.sample
+    module: str
+    qualname: str  # module-local, e.g. FlightRecorder.sample
+    class_name: Optional[str]
+    info: Dict[str, object] = field(repr=False)
+
+    @property
+    def calls(self) -> List[Dict[str, object]]:
+        return [c for c in self.info.get("calls", ()) if "callee" in c]
+
+    @property
+    def acquires(self) -> List[Dict[str, object]]:
+        return [c for c in self.info.get("calls", ()) if "acquire" in c]
+
+    @property
+    def params(self) -> List[str]:
+        return list(self.info.get("params", ()))
+
+    @property
+    def thread_starts(self) -> List[Dict[str, object]]:
+        return list(self.info.get("thread_starts", ()))
+
+
+class Project:
+    """Global symbol table + call resolution over module summaries."""
+
+    def __init__(self, summaries: Sequence[Dict[str, object]]) -> None:
+        self.summaries = {str(s["module"]): s for s in summaries}
+        self.functions: Dict[str, FuncView] = {}
+        self.classes: Dict[str, Dict[str, object]] = {}
+        for module, summary in self.summaries.items():
+            for qualname, info in summary.get("functions", {}).items():
+                view = FuncView(
+                    name=f"{module}.{qualname}",
+                    module=module,
+                    qualname=qualname,
+                    class_name=info.get("class"),
+                    info=info,
+                )
+                self.functions[view.name] = view
+            for class_name, class_info in summary.get("classes", {}).items():
+                self.classes[f"{module}.{class_name}"] = class_info
+        self._forks: Optional[Set[str]] = None
+
+    # -- symbol table ----------------------------------------------------
+
+    def function(self, name: str) -> Optional[FuncView]:
+        return self.functions.get(name)
+
+    def class_info(self, name: str) -> Optional[Dict[str, object]]:
+        return self.classes.get(name)
+
+    def constructor(self, class_name: str) -> Optional[FuncView]:
+        return self.functions.get(f"{class_name}.__init__")
+
+    def method(self, class_name: str, attr: str) -> Optional[FuncView]:
+        return self.functions.get(f"{class_name}.{attr}")
+
+    def path_of(self, module: str) -> Optional[str]:
+        summary = self.summaries.get(module)
+        return None if summary is None else str(summary.get("path"))
+
+    # -- type resolution -------------------------------------------------
+
+    def _binding_type(
+        self, caller: FuncView, binding: Dict[str, object], depth: int = 0
+    ) -> Optional[str]:
+        """A var_bindings entry -> the dotted class name it holds."""
+        if depth > 4:
+            return None
+        if "class" in binding:
+            return str(binding["class"])
+        if "call" in binding:
+            return self._call_result_type(str(binding["call"]))
+        if "var" in binding:
+            bindings = caller.info.get("var_bindings", {})
+            other = bindings.get(str(binding["var"]))
+            if other is not None:
+                return self._binding_type(caller, other, depth + 1)
+        return None
+
+    def _call_result_type(self, dotted: str) -> Optional[str]:
+        if dotted in self.classes:
+            return dotted
+        func = self.functions.get(dotted)
+        if func is not None:
+            returns = func.info.get("returns")
+            return None if returns is None else str(returns)
+        return None
+
+    def var_type(self, caller: FuncView, var: str) -> Optional[str]:
+        bindings = caller.info.get("var_bindings", {})
+        binding = bindings.get(var)
+        if binding is None:
+            return None
+        return self._binding_type(caller, binding)
+
+    def self_attr_type(self, caller: FuncView, attr: str) -> Optional[str]:
+        if caller.class_name is None:
+            return None
+        class_info = self.classes.get(f"{caller.module}.{caller.class_name}")
+        if class_info is None:
+            return None
+        fields = class_info.get("fields", {})
+        if attr in fields:
+            annotation = fields[attr].get("annotation")
+            if annotation is not None:
+                return str(annotation)
+        attr_type = class_info.get("attr_types", {}).get(attr)
+        if attr_type is None:
+            return None
+        attr_type = str(attr_type)
+        if attr_type.startswith("call:"):
+            return self._call_result_type(attr_type[len("call:"):])
+        return attr_type
+
+    # -- call resolution -------------------------------------------------
+
+    def resolve_callee(
+        self, caller: FuncView, desc: Dict[str, object]
+    ) -> Optional[FuncView]:
+        """Resolve a callee descriptor to the function the call lands on.
+
+        Constructor calls resolve to the class's ``__init__`` when we have
+        one.  Returns ``None`` for external or unresolvable targets.
+        """
+        if "dotted" in desc:
+            dotted = str(desc["dotted"])
+            if dotted in self.functions:
+                return self.functions[dotted]
+            if dotted in self.classes:
+                return self.constructor(dotted)
+            return None
+        attr = desc.get("attr")
+        if desc.get("recv_self") and caller.class_name is not None and attr:
+            found = self.method(f"{caller.module}.{caller.class_name}", str(attr))
+            if found is not None:
+                return found
+            return None
+        if "recv_self_attr" in desc and attr:
+            owner = self.self_attr_type(caller, str(desc["recv_self_attr"]))
+            if owner is not None:
+                return self.method(owner, str(attr))
+            return None
+        if "recv_var" in desc:
+            var = str(desc["recv_var"])
+            if attr is None:
+                # A bare name holding a callable: a class via var binding.
+                owner = self.var_type(caller, var)
+                if owner is not None and owner in self.classes:
+                    return self.constructor(owner)
+                return None
+            owner = self.var_type(caller, var)
+            if owner is not None:
+                return self.method(owner, str(attr))
+            return None
+        if "recv_call" in desc and attr:
+            owner = self._call_result_type(str(desc["recv_call"]))
+            if owner is not None:
+                return self.method(owner, str(attr))
+        return None
+
+    def resolve_class_of_chain(
+        self, caller: FuncView, chain: Sequence[str]
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve an attribute chain to ``(owner_class, final_attr)``.
+
+        ``("self", "config", "seed")`` inside a method whose class binds
+        ``self.config`` to a ``PlatformConfig`` resolves to
+        ``("...PlatformConfig", "seed")``.
+        """
+        if len(chain) < 2:
+            return None
+        head, rest = chain[0], list(chain[1:])
+        if head == "self":
+            if caller.class_name is None:
+                return None
+            owner: Optional[str] = f"{caller.module}.{caller.class_name}"
+        else:
+            owner = self.var_type(caller, head)
+        while owner is not None and len(rest) > 1:
+            attr, rest = rest[0], rest[1:]
+            info = self.classes.get(owner)
+            if info is None:
+                return None
+            annotation = info.get("fields", {}).get(attr, {}).get("annotation")
+            if annotation is None:
+                annotation = info.get("attr_types", {}).get(attr)
+                if annotation is not None and str(annotation).startswith("call:"):
+                    annotation = self._call_result_type(str(annotation)[len("call:"):])
+            owner = None if annotation is None else str(annotation)
+        if owner is None or owner not in self.classes:
+            return None
+        return owner, rest[0]
+
+    # -- fork reachability -----------------------------------------------
+
+    @staticmethod
+    def is_direct_fork(desc: Dict[str, object]) -> bool:
+        dotted = desc.get("dotted")
+        if dotted in FORK_CALLABLES:
+            return True
+        # multiprocessing contexts: ctx.Process(...), context.Pool(...)
+        if dotted is None and desc.get("attr") in _FORK_ATTRS:
+            return True
+        if isinstance(dotted, str) and dotted.rsplit(".", 1)[-1] in _FORK_ATTRS:
+            return dotted.split(".", 1)[0] == "multiprocessing"
+        return False
+
+    @property
+    def forking_functions(self) -> Set[str]:
+        """Functions from which a fork action is reachable (fixpoint)."""
+        if self._forks is not None:
+            return self._forks
+        forks: Set[str] = set()
+        for name, view in self.functions.items():
+            for record in view.calls:
+                if self.is_direct_fork(record["callee"]):
+                    forks.add(name)
+                    break
+        changed = True
+        while changed:
+            changed = False
+            for name, view in self.functions.items():
+                if name in forks:
+                    continue
+                for record in view.calls:
+                    callee = self.resolve_callee(view, record["callee"])
+                    if callee is not None and callee.name in forks:
+                        forks.add(name)
+                        changed = True
+                        break
+        self._forks = forks
+        return forks
+
+    @property
+    def has_fork_actions(self) -> bool:
+        return bool(self.forking_functions)

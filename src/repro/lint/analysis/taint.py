@@ -1,0 +1,238 @@
+"""Interprocedural seed taint: the engine behind DET010.
+
+DET001 sees a literal handed *directly* to ``np.random.default_rng``;
+it is blind to the same literal laundered through a helper::
+
+    def make_rng(seed):                  # seed is *seed-sensitive*
+        return default_rng(SeedSequence([seed, 17]))
+
+    rng = make_rng(42)                   # <- DET010 flags the 42 here
+
+The engine computes the **seed-sensitive parameter set** as a fixpoint
+over the project call graph: a parameter is sensitive when its value can
+reach a seed sink (``SeedSequence``/``default_rng``/bit-generator/
+``fastseed`` construction) directly or through a sensitive parameter of
+another project function.  It then flags, at their source location:
+
+- an int literal reaching a sink or sensitive position (unless the
+  module is in ``SEED_LITERAL_WHITELIST`` -- ``repro.seeds`` is the one
+  sanctioned home for literal seeds);
+- a wall-clock read reaching one (a time-derived seed is magic *and*
+  unreproducible);
+- an int-literal **default** of a sensitive parameter;
+- an int-literal **dataclass field default** read through an attribute
+  chain (``config.seed``) into a sensitive position -- flagged at the
+  field definition, where the fix belongs.
+
+Direct literals at ``default_rng`` itself stay DET001's finding; the
+engine skips them so one bug never surfaces under two codes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.analysis.project import FuncView, Project
+from repro.lint.rules.determinism import SEED_LITERAL_WHITELIST
+
+__all__ = ["SEED_SINKS", "analyze_seed_taint", "sensitive_params"]
+
+# External seed sinks: dotted callable -> (positional indices, keyword
+# names) that consume entropy.  ``skip_direct_literal`` marks sinks where
+# a literal written directly at the call is already DET001's finding.
+SEED_SINKS: Dict[str, Dict[str, object]] = {
+    "numpy.random.SeedSequence": {"positions": (0,), "keywords": ("entropy",)},
+    "numpy.random.default_rng": {
+        "positions": (0,), "keywords": ("seed",), "skip_direct_literal": True,
+    },
+    "numpy.random.PCG64": {"positions": (0,), "keywords": ("seed",)},
+    "numpy.random.PCG64DXSM": {"positions": (0,), "keywords": ("seed",)},
+    "numpy.random.Philox": {"positions": (0,), "keywords": ("seed",)},
+    "numpy.random.MT19937": {"positions": (0,), "keywords": ("seed",)},
+    "numpy.random.SFC64": {"positions": (0,), "keywords": ("seed",)},
+    "random.Random": {"positions": (0,), "keywords": ()},
+    "random.seed": {"positions": (0,), "keywords": ("a",)},
+    "repro.measurement.fastseed.pcg64_states": {
+        "positions": (0,), "keywords": ("base_seed",),
+    },
+}
+
+
+def _param_for_arg(callee: FuncView, arg: Dict[str, object]) -> Optional[str]:
+    if "kw" in arg:
+        keyword = str(arg["kw"])
+        return keyword if keyword in callee.params else None
+    positional: Sequence[str] = callee.info.get("positional", ())  # type: ignore[assignment]
+    index = int(arg["pos"])  # type: ignore[arg-type]
+    if 0 <= index < len(positional):
+        return positional[index]
+    return None
+
+
+def _sink_spec(desc: Dict[str, object]) -> Optional[Dict[str, object]]:
+    dotted = desc.get("dotted")
+    return SEED_SINKS.get(dotted) if isinstance(dotted, str) else None
+
+
+def _arg_hits_sink(spec: Dict[str, object], arg: Dict[str, object]) -> bool:
+    if "kw" in arg:
+        return arg["kw"] in spec.get("keywords", ())
+    return arg["pos"] in spec.get("positions", ())
+
+
+def sensitive_params(project: Project) -> Set[Tuple[str, str]]:
+    """Fixpoint: (function, parameter) pairs whose value can seed an RNG."""
+    sensitive: Set[Tuple[str, str]] = set()
+    changed = True
+    while changed:
+        changed = False
+        for view in project.functions.values():
+            for record in view.calls:
+                desc: Dict[str, object] = record["callee"]  # type: ignore[assignment]
+                spec = _sink_spec(desc)
+                callee = None if spec is not None else project.resolve_callee(view, desc)
+                for arg in record.get("args", ()):  # type: ignore[union-attr]
+                    if spec is not None:
+                        hits = _arg_hits_sink(spec, arg)
+                    elif callee is not None:
+                        param = _param_for_arg(callee, arg)
+                        hits = param is not None and (callee.name, param) in sensitive
+                    else:
+                        hits = False
+                    if not hits:
+                        continue
+                    for atom in arg["atoms"]:
+                        if atom[0] == "param":
+                            key = (view.name, atom[1])
+                            if key not in sensitive:
+                                sensitive.add(key)
+                                changed = True
+    return sensitive
+
+
+def _describe_target(
+    spec: Optional[Dict[str, object]],
+    desc: Dict[str, object],
+    callee: Optional[FuncView],
+    param: Optional[str],
+) -> str:
+    if spec is not None:
+        return f"{desc.get('dotted')}()"
+    if callee is not None and param is not None:
+        return f"seed-sensitive {callee.name}({param}=...)"
+    return "an RNG seed position"
+
+
+def analyze_seed_taint(
+    project: Project,
+    whitelist: Sequence[str] = SEED_LITERAL_WHITELIST,
+) -> Iterator[Dict[str, object]]:
+    """Yield finding dicts: {path, line, col, message}, deduped + sorted."""
+    sensitive = sensitive_params(project)
+    found: List[Tuple[str, int, int, str]] = []
+
+    def emit(path: Optional[str], line: int, col: int, message: str) -> None:
+        if path is not None:
+            found.append((path, line, col, message))
+
+    for view in project.functions.values():
+        module_whitelisted = view.module in whitelist
+        path = project.path_of(view.module)
+        for record in view.calls:
+            desc: Dict[str, object] = record["callee"]  # type: ignore[assignment]
+            spec = _sink_spec(desc)
+            callee = None if spec is not None else project.resolve_callee(view, desc)
+            for arg in record.get("args", ()):  # type: ignore[union-attr]
+                param = None if callee is None else _param_for_arg(callee, arg)
+                if spec is not None:
+                    hits = _arg_hits_sink(spec, arg)
+                else:
+                    hits = param is not None and (callee.name, param) in sensitive
+                if not hits:
+                    continue
+                target = _describe_target(spec, desc, callee, param)
+                for atom in arg["atoms"]:
+                    if atom[0] == "lit" and not module_whitelisted:
+                        _, value, line, col = atom
+                        direct = (
+                            spec is not None
+                            and spec.get("skip_direct_literal")
+                            and (line, col) == (arg.get("line"), arg.get("col"))
+                        )
+                        if direct:
+                            continue  # DET001's finding, not ours
+                        emit(
+                            path, line, col,
+                            f"literal seed {value} flows into {target}; "
+                            "use a named constant from repro.seeds",
+                        )
+                    elif atom[0] == "wc":
+                        _, source, line, col = atom
+                        emit(
+                            path, line, col,
+                            f"wall-clock value from {source}() flows into "
+                            f"{target}; seeds must come from config, never "
+                            "the clock",
+                        )
+                    elif atom[0] == "attr":
+                        yield_from = _field_finding(
+                            project, view, atom, target, whitelist
+                        )
+                        if yield_from is not None:
+                            emit(*yield_from)
+
+    for name, param in sorted(sensitive):
+        view = project.functions[name]
+        if view.module in whitelist:
+            continue
+        default = view.info.get("defaults", {}).get(param)  # type: ignore[union-attr]
+        if default is None or default.get("int_literal") is None:
+            continue
+        emit(
+            project.path_of(view.module),
+            int(default["line"]), int(default["col"]),
+            f"int-literal default {default['int_literal']} on seed-sensitive "
+            f"parameter {name.rsplit('.', 1)[-1]}({param}=...); default it to "
+            "a named constant from repro.seeds",
+        )
+
+    # One finding per source location: the same laundered literal can
+    # reach several sinks, but the fix is singular, so keep the first
+    # (lexicographically stable) flow description.
+    seen_locations = set()
+    for path, line, col, message in sorted(set(found)):
+        if (path, line, col) in seen_locations:
+            continue
+        seen_locations.add((path, line, col))
+        yield {"path": path, "line": line, "col": col, "message": message}
+
+
+def _field_finding(
+    project: Project,
+    view: FuncView,
+    atom: Tuple,
+    target: str,
+    whitelist: Sequence[str],
+) -> Optional[Tuple[Optional[str], int, int, str]]:
+    """An attr-chain atom landing on a sink: flag int-literal field defaults."""
+    _, chain, _line, _col = atom
+    resolved = project.resolve_class_of_chain(view, chain)
+    if resolved is None:
+        return None
+    owner, attr = resolved
+    owner_module = owner.rsplit(".", 1)[0]
+    if owner_module in whitelist:
+        return None
+    class_info = project.class_info(owner)
+    field = (class_info or {}).get("fields", {}).get(attr)  # type: ignore[union-attr]
+    if field is None or field.get("int_literal") is None:
+        return None
+    class_name = owner.rsplit(".", 1)[-1]
+    return (
+        project.path_of(owner_module),
+        int(field["line"]), int(field["col"]),
+        f"dataclass field {class_name}.{attr} defaults to literal "
+        f"{field['int_literal']} and is consumed as an RNG seed "
+        f"(flows into {target} via {view.name}); default it to a named "
+        "constant from repro.seeds",
+    )

@@ -1,0 +1,102 @@
+"""Baseline suppression files: adopt a codebase without fixing it first.
+
+A baseline records every finding present at a point in time, keyed by a
+fingerprint of ``(rule, path, message)`` -- deliberately *not* the line
+number, so unrelated edits that shift code do not resurrect baselined
+findings.  Applying a baseline:
+
+- **suppresses** findings whose key is recorded (counted separately
+  from noqa suppressions, as ``baselined``);
+- reports entries that matched nothing as **stale** -- the debt was
+  paid, so the entry must be deleted (regenerate with
+  ``--write-baseline``) before it can quietly hide a regression.
+
+A key only suppresses as many findings as were recorded under it: two
+new copies of a baselined bug surface the second copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding, LintReport
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "finding_key",
+    "write_baseline",
+    "load_baseline",
+    "apply_baseline",
+]
+
+BASELINE_SCHEMA = 1
+
+
+def finding_key(finding: Finding) -> str:
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(repr((finding.rule, finding.path, finding.message)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def write_baseline(path: Path, report: LintReport) -> int:
+    """Record the report's findings; returns how many entries were written."""
+    entries: Dict[str, Dict[str, object]] = {}
+    for finding in sorted(report.findings, key=Finding.sort_key):
+        key = finding_key(finding)
+        entry = entries.setdefault(
+            key,
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "count": 0,
+            },
+        )
+        entry["count"] = int(entry["count"]) + 1
+    payload = {"schema": BASELINE_SCHEMA, "entries": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def load_baseline(path: Path) -> Dict[str, Dict[str, object]]:
+    """The baseline's entries; raises ValueError on a malformed file."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"not a repro.lint baseline (schema {BASELINE_SCHEMA}): {path}")
+    entries = payload.get("entries")
+    if not isinstance(entries, dict):
+        raise ValueError(f"baseline has no entries table: {path}")
+    return entries
+
+
+def apply_baseline(
+    findings: List[Finding], entries: Dict[str, Dict[str, object]]
+) -> Tuple[List[Finding], int, List[Dict[str, object]]]:
+    """Split findings against a baseline.
+
+    Returns ``(kept, baselined_count, stale_entries)`` where stale
+    entries are baseline records that matched no current finding.
+    """
+    budget = {key: int(entry.get("count", 0)) for key, entry in entries.items()}
+    matched: set = set()
+    kept: List[Finding] = []
+    baselined = 0
+    for finding in findings:
+        key = finding_key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched.add(key)
+            baselined += 1
+        else:
+            kept.append(finding)
+    stale = [
+        dict(entries[key], key=key)
+        for key in sorted(entries)
+        if key not in matched
+    ]
+    return kept, baselined, stale

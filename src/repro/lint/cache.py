@@ -1,0 +1,123 @@
+"""Content-fingerprint cache for per-file lint results.
+
+Same discipline as :class:`repro.harness.engine.ArtifactCache` -- keys
+are stable fingerprints of everything that can change the answer,
+entries are written atomically (temp file + rename), corruption is a
+miss -- but reimplemented here because the harness engine sits on the
+numpy import chain and ``python -m repro.lint`` must run in
+environments (CI lint job, pre-commit) where numpy does not exist.
+
+A cache entry holds everything the runner needs to skip a file whose
+bytes have not changed: its post-suppression findings, its suppression
+table (the project phase consults it for noqa on DET010/FRK010/SCH010
+findings), and its :func:`repro.lint.analysis.summary.build_summary`
+dict, from which the whole-program view is reassembled every run.
+
+The key folds in the engine version, every enabled rule's
+``(code, version)`` pair, the suppression allowlist, and the file's
+bytes -- so bumping a rule's ``version`` or editing the allowlist
+invalidates exactly the entries those could have influenced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = ["LINT_CACHE_SCHEMA", "LintCache", "default_lint_cache_dir", "entry_key"]
+
+LINT_CACHE_SCHEMA = 1
+"""Bump when the entry layout changes shape."""
+
+_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_lint_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``, plus the lint namespace."""
+    root = os.environ.get(_CACHE_DIR_ENV)
+    base = Path(root) if root else Path.home() / ".cache" / "repro"
+    return base / "lint" / f"v{LINT_CACHE_SCHEMA}"
+
+
+def entry_key(
+    engine_version: int,
+    rule_versions: Sequence[Tuple[str, int]],
+    allowlist_repr: str,
+    enforce_allowlist: bool,
+    path: str,
+    source: bytes,
+) -> str:
+    """Stable fingerprint of one file's full lint configuration + content."""
+    digest = hashlib.blake2b(digest_size=16)
+    preamble = repr(
+        (
+            LINT_CACHE_SCHEMA,
+            engine_version,
+            tuple(rule_versions),
+            allowlist_repr,
+            enforce_allowlist,
+            path,
+        )
+    )
+    digest.update(preamble.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(source)
+    return digest.hexdigest()
+
+
+class LintCache:
+    """Keyed JSON entries with atomic writes; any corruption is a miss."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = root if root is not None else default_lint_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._entry_path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            if path.exists():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return None
+        if not isinstance(payload, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: Dict[str, object]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._entry_path(key)
+        temp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            temp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            os.replace(temp, path)
+        except OSError:
+            try:
+                temp.unlink()
+            except OSError:
+                pass
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

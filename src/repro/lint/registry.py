@@ -13,7 +13,15 @@ from typing import Dict, Iterable, Iterator, List, Optional, Type
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding, Severity
 
-__all__ = ["Rule", "register", "get_rule", "all_rules", "rule_codes"]
+__all__ = [
+    "Rule",
+    "ProjectRule",
+    "register",
+    "get_rule",
+    "all_rules",
+    "project_rules",
+    "rule_codes",
+]
 
 _REGISTRY: Dict[str, "Rule"] = {}
 
@@ -27,6 +35,10 @@ class Rule:
     suppressions) are emitted by the runner itself and have a no-op
     :meth:`check` -- they are registered so they show up in
     ``--list-rules`` and can be selected/ignored like any other.
+
+    ``version`` participates in the incremental runner's cache key: bump
+    it whenever the rule's behavior changes so cached findings from the
+    old behavior can never satisfy the new one.
     """
 
     code: str = ""
@@ -34,6 +46,8 @@ class Rule:
     severity: Severity = Severity.ERROR
     rationale: str = ""
     synthetic: bool = False
+    version: int = 1
+    project_scope: bool = False
 
     def applies(self, ctx: FileContext) -> bool:
         return True
@@ -58,6 +72,43 @@ class Rule:
             line=line,
             col=col,
             message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """One invariant check over the assembled whole-program view.
+
+    Project rules run after every file's summary is built (or loaded
+    from cache): the runner hands them the
+    :class:`repro.lint.analysis.project.Project` instead of one file at
+    a time.  They implement :meth:`check_project`; the per-file
+    :meth:`check` is a no-op so a project rule can sit in the same
+    registry, ``--select``/``--ignore`` set, and docs as the rest.
+    """
+
+    project_scope = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project, options) -> Iterator[Finding]:
+        """Yield findings over the whole program.
+
+        ``project`` is a :class:`repro.lint.analysis.project.Project`;
+        ``options`` is the runner's :class:`ProjectOptions` (snapshot
+        path overrides and friends).
+        """
+        raise NotImplementedError
+
+    def finding_dict(self, payload: Dict[str, object]) -> Finding:
+        """A :class:`Finding` from an analysis-engine dict."""
+        return Finding(
+            rule=self.code,
+            severity=self.severity,
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[call-overload]
+            col=int(payload["col"]),  # type: ignore[call-overload]
+            message=str(payload["message"]),
         )
 
 
@@ -92,6 +143,13 @@ def all_rules(
         for code, rule in sorted(_REGISTRY.items())
         if (selected is None or code in selected) and code not in ignored
     ]
+
+
+def project_rules(
+    select: Optional[Iterable[str]] = None, ignore: Optional[Iterable[str]] = None
+) -> List[Rule]:
+    """The project-scoped subset of :func:`all_rules`, same filtering."""
+    return [rule for rule in all_rules(select, ignore) if rule.project_scope]
 
 
 def rule_codes() -> List[str]:

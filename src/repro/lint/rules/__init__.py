@@ -1,5 +1,25 @@
 """Rule modules; importing this package populates the registry."""
 
-from repro.lint.rules import api, cache, determinism, forksafety, meta, telemetry
+from repro.lint.rules import (
+    api,
+    cache,
+    determinism,
+    forklocks,
+    forksafety,
+    interdet,
+    meta,
+    schemacompat,
+    telemetry,
+)
 
-__all__ = ["api", "cache", "determinism", "forksafety", "meta", "telemetry"]
+__all__ = [
+    "api",
+    "cache",
+    "determinism",
+    "forklocks",
+    "forksafety",
+    "interdet",
+    "meta",
+    "schemacompat",
+    "telemetry",
+]

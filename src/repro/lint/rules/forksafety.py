@@ -22,12 +22,21 @@ workers directly, so the rule also resolves callables passed as the
 calls and holds them to the identical contract -- results travel through
 the queue, side effects through registry snapshot deltas.
 
-Scope and limits: the rule resolves the callable passed to ``fork_map``
-or ``Process`` when it is a lambda or a ``def`` in the same file
-(including closures) and inspects that one function body; it does not
-chase calls into other functions.  That matches how every call site in
-this repo is written -- a small local ``run_task`` closure (or a
-module-level ``_shard_worker``) delegating to a pure builder.
+``threading.Thread(target=...)`` workers (PR 7's flight recorder and
+expo server) get the *global-rebinding* half of the same check: threads
+share memory, so container mutation is visible -- but ``global`` name
+rebinding from a worker races every reader with no lock discipline the
+linter can see, and the repo's contract is that telemetry threads only
+touch state through the lock-guarded registry objects.  The rule
+resolves ``Thread`` targets exactly like ``Process`` targets, including
+``self._method`` references to a method defined in the same file.
+
+Scope and limits: the rule resolves the callable passed to ``fork_map``,
+``Process``, or ``Thread`` when it is a lambda, a ``def`` in the same
+file (including closures), or a ``self``-attribute naming a method
+defined in the same file, and inspects that one function body; it does
+not chase calls into other functions.  Cross-function and cross-module
+paths belong to FRK010's whole-program analysis.
 """
 
 from __future__ import annotations
@@ -82,6 +91,7 @@ class ForkUnsafeMutation(Rule):
     code = "FRK001"
     name = "fork-unsafe-mutation"
     severity = Severity.ERROR
+    version = 2  # v2: threading.Thread targets, incl. self._method resolution
     rationale = (
         "Mutations of module-level state inside fork_map or Process workers "
         "die with the worker process, so serial and parallel runs diverge; "
@@ -106,14 +116,16 @@ class ForkUnsafeMutation(Rule):
             worker = None
             if func_name == "fork_map" and node.args:
                 worker = node.args[0]
-            elif func_name == "Process":
-                # multiprocessing.Process / ctx.Process: the worker is the
-                # target= keyword (or, rarely, the first positional arg).
+            elif func_name in ("Process", "Thread"):
+                # multiprocessing.Process / ctx.Process / threading.Thread:
+                # the worker is the target= keyword (or, rarely for Process,
+                # the first positional arg; Thread's first positional is
+                # ``group``, so positional targets are keyword-only there).
                 for keyword in node.keywords:
                     if keyword.arg == "target":
                         worker = keyword.value
                         break
-                if worker is None and node.args:
+                if worker is None and func_name == "Process" and node.args:
                     worker = node.args[0]
             if worker is None:
                 continue
@@ -122,25 +134,50 @@ class ForkUnsafeMutation(Rule):
                 workers = [worker]
             elif isinstance(worker, ast.Name):
                 workers = defs.get(worker.id, [])
+            elif (
+                isinstance(worker, ast.Attribute)
+                and isinstance(worker.value, ast.Name)
+                and worker.value.id == "self"
+            ):
+                # self._loop style thread/process targets: resolve to the
+                # same-file method of that name.
+                workers = defs.get(worker.attr, [])
             for candidate in workers:
                 if id(candidate) in seen:
                     continue
                 seen.add(id(candidate))
-                yield from self._check_worker(ctx, candidate, module_names, func_name)
+                yield from self._check_worker(
+                    ctx, candidate, module_names, func_name,
+                    # Threads share memory, so container mutation is
+                    # visible; only unsynchronized global rebinding races.
+                    mutators=(func_name != "Thread"),
+                )
 
     def _check_worker(
-        self, ctx: FileContext, worker: _Worker, module_names: Set[str], via: str
+        self,
+        ctx: FileContext,
+        worker: _Worker,
+        module_names: Set[str],
+        via: str,
+        mutators: bool = True,
     ) -> Iterator[Finding]:
         for node in ast.walk(worker):
             if isinstance(node, ast.Global):
                 shared = sorted(set(node.names) & module_names)
                 if shared:
+                    what = (
+                        "races every reader of that name with no visible "
+                        "lock discipline"
+                        if via == "Thread"
+                        else "never reaches the parent process"
+                    )
                     yield self.finding(
                         ctx, node,
                         f"{via} worker declares global {', '.join(shared)}; "
-                        "rebinding module state in a worker never reaches the "
-                        "parent process",
+                        f"rebinding module state in a worker {what}",
                     )
+            elif not mutators:
+                continue
             elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
                 if (
                     node.func.attr in _MUTATORS

@@ -1,11 +1,15 @@
-"""LNT000/LNT001: findings the runner emits about the lint pass itself.
+"""LNT000/LNT001/LNT002: findings the runner emits about the lint pass itself.
 
 These are *synthetic* rules: they have no AST visitor.  The runner
-raises LNT001 when a file does not parse (a file the linter cannot see
-is a file whose invariants are unchecked) and LNT000 when a
-``# repro: noqa[...]`` comment is not covered by the documented
-allowlist in :mod:`repro.lint.allowlist` -- suppressions are part of the
-reviewed surface, not an escape hatch.
+raises LNT001 when a file cannot be analyzed at all -- it does not
+parse, does not decode as UTF-8, or cannot be read -- because a file the
+linter cannot see is a file whose invariants are unchecked; one
+structured finding per broken file, and the run keeps going.  LNT000
+fires when a ``# repro: noqa[...]`` comment is not covered by the
+documented allowlist in :mod:`repro.lint.allowlist` -- suppressions are
+part of the reviewed surface, not an escape hatch.  LNT002 fires when a
+rule itself crashes on a file: the crash is reported as a finding for
+that (file, rule) pair and every other rule still runs.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from repro.lint.context import FileContext
 from repro.lint.findings import Finding, Severity
 from repro.lint.registry import Rule, register
 
-__all__ = ["UndocumentedSuppression", "ParseFailure"]
+__all__ = ["UndocumentedSuppression", "ParseFailure", "RuleCrash"]
 
 
 @register
@@ -40,7 +44,26 @@ class ParseFailure(Rule):
     name = "parse-failure"
     severity = Severity.ERROR
     synthetic = True
-    rationale = "A file that does not parse is a file whose invariants go unchecked."
+    rationale = (
+        "A file that cannot be parsed, decoded, or read is a file whose "
+        "invariants go unchecked; it is one structured finding, never an "
+        "aborted run."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+
+@register
+class RuleCrash(Rule):
+    code = "LNT002"
+    name = "rule-crash"
+    severity = Severity.ERROR
+    synthetic = True
+    rationale = (
+        "A rule that crashes on a file silently un-checks that invariant; "
+        "the crash surfaces as a finding and the remaining rules still run."
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         return iter(())

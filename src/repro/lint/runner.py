@@ -1,5 +1,23 @@
 """The lint driver: discover files, run rules, apply suppression policy.
 
+Two phases per run:
+
+1. **Per-file** (expensive, cacheable): parse, run every file-scoped
+   rule, apply noqa suppressions, audit them against the allowlist, and
+   build the module's whole-program summary.  Results are cached under a
+   content fingerprint (:mod:`repro.lint.cache`) keyed by the file's
+   bytes plus everything that can change the answer -- engine version,
+   enabled rules' ``(code, version)`` pairs, the allowlist -- and can
+   run in parallel via ``fork_map`` (``jobs``).  A file that cannot be
+   read, decoded, or parsed produces one structured LNT001 finding and
+   the run continues; a rule that crashes on a file produces LNT002.
+2. **Project** (cheap, always recomputed): the summaries are assembled
+   into a :class:`repro.lint.analysis.project.Project` and the
+   project-scoped rules (DET010/FRK010/SCH010) run over it.  Their
+   findings honor the same noqa suppressions, read from the cached
+   per-file suppression tables -- so warm and cold runs produce
+   byte-identical reports.
+
 Orchestration only -- rules live in :mod:`repro.lint.rules`, policy data
 in :mod:`repro.lint.allowlist`.  The public entry points are
 :func:`lint_paths` (what the CLI and CI call) and :func:`lint_source`
@@ -8,23 +26,35 @@ in :mod:`repro.lint.allowlist`.  The public entry points are
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.lint import allowlist as allowlist_mod
+from repro.lint.analysis.project import Project
+from repro.lint.analysis.summary import ANALYSIS_VERSION, build_summary
+from repro.lint.cache import LintCache, entry_key
 from repro.lint.context import FileContext
-from repro.lint.findings import Finding, LintReport, summarize_codes
+from repro.lint.findings import Finding, LintReport, Severity, summarize_codes
 from repro.lint.registry import Rule, all_rules, get_rule
 from repro.obs.log import get_logger
 
 # Importing the rules package populates the registry as a side effect.
 import repro.lint.rules  # noqa: F401  (registration import)
 
-__all__ = ["Linter", "lint_paths", "lint_source", "iter_python_files"]
+__all__ = ["Linter", "ProjectOptions", "lint_paths", "lint_source", "iter_python_files"]
 
 _PathLike = Union[str, Path]
 
 _LOG = get_logger("repro.lint")
+
+
+@dataclass
+class ProjectOptions:
+    """Knobs the project-scoped rules read (path overrides for tests/CLI)."""
+
+    schema_snapshot: Optional[Path] = None
+    bench_baseline: Optional[Path] = None
 
 
 def iter_python_files(paths: Iterable[_PathLike]) -> Iterator[Path]:
@@ -44,6 +74,38 @@ def iter_python_files(paths: Iterable[_PathLike]) -> Iterator[Path]:
                 yield path
 
 
+class _SuppressionTable:
+    """noqa lookups reconstructed from a cached per-file result."""
+
+    def __init__(self, serialized: Sequence[Sequence[object]]) -> None:
+        self._file_rules: Set[str] = set()
+        self._line_rules: Dict[int, Set[str]] = {}
+        for line, rules, file_scoped in serialized:
+            if file_scoped:
+                self._file_rules.update(rules)  # type: ignore[arg-type]
+            else:
+                self._line_rules.setdefault(int(line), set()).update(rules)  # type: ignore[arg-type, call-overload]
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self._file_rules:
+            return True
+        return rule in self._line_rules.get(line, set())
+
+
+def _finding_from_dict(payload: Dict[str, object]) -> Finding:
+    return Finding(
+        rule=str(payload["rule"]),
+        severity=Severity(str(payload["severity"])),
+        path=str(payload["path"]),
+        line=int(payload["line"]),  # type: ignore[call-overload]
+        col=int(payload["col"]),  # type: ignore[call-overload]
+        message=str(payload["message"]),
+    )
+
+
+_RESULT_KEYS = frozenset({"findings", "suppressed", "suppressions", "summary"})
+
+
 class Linter:
     """A configured lint pass: rule selection plus suppression policy.
 
@@ -54,6 +116,12 @@ class Linter:
             :data:`repro.lint.allowlist.SUPPRESSION_ALLOWLIST` or the
             runner emits LNT000 at the comment.  Rule tests disable this
             to exercise fixtures with undocumented suppressions.
+        cache: A :class:`repro.lint.cache.LintCache` for incremental
+            runs; ``None`` (the default) recomputes everything.
+        jobs: Per-file phase parallelism via ``fork_map``; falls back to
+            serial when the fork machinery is unavailable (no numpy, no
+            fork start method).
+        options: Path overrides handed to project-scoped rules.
     """
 
     def __init__(
@@ -61,24 +129,64 @@ class Linter:
         select: Optional[Iterable[str]] = None,
         ignore: Optional[Iterable[str]] = None,
         enforce_allowlist: bool = True,
+        cache: Optional[LintCache] = None,
+        jobs: int = 1,
+        options: Optional[ProjectOptions] = None,
     ) -> None:
-        self.rules: List[Rule] = [r for r in all_rules(select, ignore) if not r.synthetic]
+        enabled = all_rules(select, ignore)
+        self.rules: List[Rule] = [
+            r for r in enabled if not r.synthetic and not r.project_scope
+        ]
+        self.project_rules: List[Rule] = [r for r in enabled if r.project_scope]
         self.enforce_allowlist = enforce_allowlist
-        enabled = {r.code for r in all_rules(select, ignore)}
-        self._emit_lnt000 = "LNT000" in enabled
-        self._emit_lnt001 = "LNT001" in enabled
+        self.cache = cache
+        self.jobs = max(1, int(jobs))
+        self.options = options if options is not None else ProjectOptions()
+        enabled_codes = {r.code for r in enabled}
+        self._emit_lnt000 = "LNT000" in enabled_codes
+        self._emit_lnt001 = "LNT001" in enabled_codes
+        self._emit_lnt002 = "LNT002" in enabled_codes
+        self._rule_versions: Tuple[Tuple[str, int], ...] = tuple(
+            (r.code, r.version) for r in enabled
+        )
+        self._allowlist_repr = repr(
+            tuple(
+                (entry.path, entry.rule)
+                for entry in allowlist_mod.SUPPRESSION_ALLOWLIST
+            )
+        )
+
+    # -- public entry points --------------------------------------------
 
     def lint_source(self, source: str, path: _PathLike) -> LintReport:
         """Lint one in-memory source blob as if it lived at ``path``."""
         report = LintReport(files=1)
-        self._lint_one(Path(path), source, report)
+        result = self._analyze_source(Path(path), source)
+        self._merge_results(report, [result])
+        report.findings.sort(key=Finding.sort_key)
         return report
 
     def lint_paths(self, paths: Iterable[_PathLike]) -> LintReport:
         report = LintReport()
+        readable: List[Tuple[Path, str]] = []
         for path in iter_python_files(paths):
             report.files += 1
-            self._lint_one(path, path.read_text(encoding="utf-8"), report)
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as error:
+                # One structured finding per unreadable file; never abort.
+                if self._emit_lnt001:
+                    rule = get_rule("LNT001")
+                    report.findings.append(
+                        rule.finding_at(
+                            FileContextStub(path), 1, 0,
+                            f"file cannot be read: {error}",
+                        )
+                    )
+                continue
+            readable.append((path, source))
+        results = self._results_for(readable)
+        self._merge_results(report, results)
         report.findings.sort(key=Finding.sort_key)
         _LOG.info(
             "lint.done",
@@ -86,38 +194,115 @@ class Linter:
             findings=len(report.findings),
             suppressed=report.suppressed,
             codes=summarize_codes(report.findings),
+            cache_hits=None if self.cache is None else self.cache.hits,
+            cache_misses=None if self.cache is None else self.cache.misses,
         )
         return report
 
-    def _lint_one(self, path: Path, source: str, report: LintReport) -> None:
+    # -- per-file phase --------------------------------------------------
+
+    def _results_for(
+        self, files: Sequence[Tuple[Path, str]]
+    ) -> List[Dict[str, object]]:
+        if self.cache is None:
+            return self._map_files(files)
+        keys = [
+            entry_key(
+                ANALYSIS_VERSION,
+                self._rule_versions,
+                self._allowlist_repr,
+                self.enforce_allowlist,
+                path.as_posix(),
+                source.encode("utf-8"),
+            )
+            for path, source in files
+        ]
+        results: List[Optional[Dict[str, object]]] = []
+        for key in keys:
+            entry = self.cache.load(key)
+            if entry is not None and not _RESULT_KEYS <= set(entry):
+                entry = None  # stale layout: treat as a miss
+            results.append(entry)
+        missing = [index for index, entry in enumerate(results) if entry is None]
+        if missing:
+            computed = self._map_files([files[index] for index in missing])
+            for index, result in zip(missing, computed):
+                self.cache.store(keys[index], result)
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    def _map_files(
+        self, files: Sequence[Tuple[Path, str]]
+    ) -> List[Dict[str, object]]:
+        if self.jobs > 1 and len(files) > 1:
+            fork_map = _resolve_fork_map()
+            if fork_map is not None:
+                try:
+                    return fork_map(
+                        lambda pair: self._analyze_source(pair[0], pair[1]),
+                        list(files),
+                        jobs=self.jobs,
+                        label="lint.files",
+                    )
+                except Exception:
+                    _LOG.info("lint.jobs_fallback", jobs=self.jobs)
+        return [self._analyze_source(path, source) for path, source in files]
+
+    def _analyze_source(self, path: Path, source: str) -> Dict[str, object]:
+        """The cacheable per-file result: findings + suppressions + summary."""
         try:
             ctx = FileContext(path, source)
         except (SyntaxError, ValueError) as error:
+            findings: List[Dict[str, object]] = []
             if self._emit_lnt001:
                 rule = get_rule("LNT001")
                 line = getattr(error, "lineno", None) or 1
-                report.findings.append(
+                findings.append(
                     rule.finding_at(
-                        FileContextStub(path), line, 0, f"file does not parse: {error}"
-                    )
+                        FileContextStub(path), line, 0,
+                        f"file does not parse: {error}",
+                    ).as_dict()
                 )
-            return
+            return {
+                "findings": findings,
+                "suppressed": 0,
+                "suppressions": [],
+                "summary": None,
+            }
+        findings = []
+        suppressed = 0
         for rule in self.rules:
             if not rule.applies(ctx):
                 continue
-            for finding in rule.check(ctx):
-                if ctx.is_suppressed(finding.rule, finding.line):
-                    report.suppressed += 1
-                    _LOG.debug(
-                        "lint.suppressed",
-                        path=str(path),
-                        rule=finding.rule,
-                        line=finding.line,
+            try:
+                rule_findings = list(rule.check(ctx))
+            except Exception as error:  # noqa: BLE001 -- any crash becomes LNT002
+                if self._emit_lnt002:
+                    crash = get_rule("LNT002")
+                    findings.append(
+                        crash.finding_at(
+                            ctx, 1, 0,
+                            f"rule {rule.code} crashed on this file "
+                            f"({error!r}); its invariant went unchecked here",
+                        ).as_dict()
                     )
+                continue
+            for finding in rule_findings:
+                if ctx.is_suppressed(finding.rule, finding.line):
+                    suppressed += 1
                 else:
-                    report.findings.append(finding)
+                    findings.append(finding.as_dict())
         if self.enforce_allowlist and self._emit_lnt000:
-            report.findings.extend(self._audit_suppressions(ctx))
+            findings.extend(f.as_dict() for f in self._audit_suppressions(ctx))
+        return {
+            "findings": findings,
+            "suppressed": suppressed,
+            "suppressions": [
+                [comment.line, list(comment.rules), comment.file_scoped]
+                for comment in ctx.suppression_comments()
+            ],
+            "summary": build_summary(ctx),
+        }
 
     def _audit_suppressions(self, ctx: FileContext) -> Iterator[Finding]:
         rule = get_rule("LNT000")
@@ -133,12 +318,71 @@ class Linter:
                         "with a reason or fix the finding",
                     )
 
+    # -- project phase ---------------------------------------------------
+
+    def _merge_results(
+        self, report: LintReport, results: Sequence[Dict[str, object]]
+    ) -> None:
+        tables: Dict[str, _SuppressionTable] = {}
+        summaries: List[Dict[str, object]] = []
+        for result in results:
+            for payload in result["findings"]:  # type: ignore[union-attr]
+                report.findings.append(_finding_from_dict(payload))
+            report.suppressed += int(result["suppressed"])  # type: ignore[call-overload]
+            summary = result.get("summary")
+            if summary:
+                summaries.append(summary)  # type: ignore[arg-type]
+                tables[str(summary["path"])] = _SuppressionTable(  # type: ignore[index]
+                    result["suppressions"]  # type: ignore[arg-type]
+                )
+        if not self.project_rules or not summaries:
+            return
+        project = Project(summaries)
+        for rule in self.project_rules:
+            try:
+                rule_findings = list(rule.check_project(project, self.options))
+            except Exception as error:  # noqa: BLE001 -- any crash becomes LNT002
+                if self._emit_lnt002:
+                    crash = get_rule("LNT002")
+                    report.findings.append(
+                        Finding(
+                            rule=crash.code,
+                            severity=crash.severity,
+                            path="<project>",
+                            line=1,
+                            col=0,
+                            message=(
+                                f"project rule {rule.code} crashed "
+                                f"({error!r}); its invariant went unchecked"
+                            ),
+                        )
+                    )
+                continue
+            for finding in rule_findings:
+                table = tables.get(finding.path)
+                if table is not None and table.is_suppressed(
+                    finding.rule, finding.line
+                ):
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
+
+
+def _resolve_fork_map():
+    """``fork_map``, imported lazily: the import chain reaches numpy, and
+    ``python -m repro.lint`` must keep working where numpy does not exist."""
+    try:
+        from repro.datasets.parallel import fork_map
+    except Exception:  # noqa: BLE001 -- missing numpy, broken env: run serial
+        return None
+    return fork_map
+
 
 class FileContextStub:
     """The minimal context surface :meth:`Rule.finding_at` needs.
 
-    Used for files that fail to parse, where a real :class:`FileContext`
-    cannot exist.
+    Used for files that fail to read or parse, where a real
+    :class:`FileContext` cannot exist.
     """
 
     def __init__(self, path: Path) -> None:
@@ -150,9 +394,14 @@ def lint_paths(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
     enforce_allowlist: bool = True,
+    cache: Optional[LintCache] = None,
+    jobs: int = 1,
+    options: Optional[ProjectOptions] = None,
 ) -> LintReport:
     """Lint files/directories with the given rule selection; see :class:`Linter`."""
-    return Linter(select, ignore, enforce_allowlist).lint_paths(paths)
+    return Linter(
+        select, ignore, enforce_allowlist, cache=cache, jobs=jobs, options=options
+    ).lint_paths(paths)
 
 
 def lint_source(
@@ -161,6 +410,9 @@ def lint_source(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
     enforce_allowlist: bool = False,
+    options: Optional[ProjectOptions] = None,
 ) -> LintReport:
     """Lint an in-memory snippet (fixture tests); allowlist off by default."""
-    return Linter(select, ignore, enforce_allowlist).lint_source(source, path)
+    return Linter(
+        select, ignore, enforce_allowlist, options=options
+    ).lint_source(source, path)

@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 rendering so findings land in GitHub code scanning.
+
+One run, one tool (``repro.lint``), one result per finding.  Only the
+schema subset code-scanning consumes is emitted: driver rules with
+descriptions and default levels, results with ``ruleId``, ``level``,
+message text, and a physical location (1-based line and column, per the
+SARIF region rules -- our columns are 0-based internally).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.findings import Finding, LintReport, Severity
+from repro.lint.registry import Rule
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "sarif_as_dict", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _driver_rules(rules: Sequence[Rule]) -> List[Dict[str, object]]:
+    descriptors = []
+    for rule in sorted(rules, key=lambda r: r.code):
+        descriptors.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.name},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+            }
+        )
+    return descriptors
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def sarif_as_dict(report: LintReport, rules: Sequence[Rule]) -> Dict[str, object]:
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": (
+                            "https://github.com/paper-repro/"
+                            "server-to-server-view"
+                        ),
+                        "rules": _driver_rules(rules),
+                    }
+                },
+                "results": [
+                    _result(finding)
+                    for finding in sorted(report.findings, key=Finding.sort_key)
+                ],
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport, rules: Sequence[Rule]) -> str:
+    return json.dumps(sarif_as_dict(report, rules), indent=2) + "\n"

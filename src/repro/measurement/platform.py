@@ -35,6 +35,7 @@ from repro.measurement.traceroute import ArtifactParams, TracerouteEngine
 from repro.net.asn import ASN
 from repro.net.ip import IPVersion
 from repro.obs.trace import stage as obs_stage
+from repro.seeds import PLATFORM_SEED
 from repro.routing.bgp import compute_route_table
 from repro.routing.dynamics import (
     PathEpoch,
@@ -57,7 +58,7 @@ __all__ = ["PlatformConfig", "MeasurementPlatform"]
 class PlatformConfig:
     """Everything needed to build a platform, under a single seed."""
 
-    seed: int = 0
+    seed: int = PLATFORM_SEED
     duration_hours: float = 485 * 24.0
     cluster_count: int = 60
     servers_per_cluster: int = 2

@@ -22,6 +22,7 @@ drift).
 from __future__ import annotations
 
 __all__ = [
+    "PLATFORM_SEED",
     "TOPOLOGY_SEED",
     "ADDRESSING_SEED",
     "ROUTERS_SEED",
@@ -31,6 +32,12 @@ __all__ = [
     "CONGESTION_SEED",
     "DEFAULT_SEEDS",
 ]
+
+PLATFORM_SEED = 0
+"""Default for :class:`repro.measurement.platform.PlatformConfig`'s base
+seed, from which every platform stream is derived via ``_stream_seed``
+hashing.  DET010 tracks the field interprocedurally into those streams,
+so the default must be a named constant, not a literal at the field."""
 
 TOPOLOGY_SEED = 0
 """Default for :func:`repro.topology.generator.generate_topology`."""

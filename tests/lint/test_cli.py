@@ -73,7 +73,7 @@ def test_json_mode_emits_schema_document(dirty_tree):
     result = run_cli(str(dirty_tree), "--json")
     assert result.returncode == 1
     payload = json.loads(result.stdout)
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
     assert payload["summary"]["by_rule"] == {"DET001": 1}
 
 
@@ -99,3 +99,45 @@ def test_unknown_rule_is_usage_error():
 def test_missing_path_is_usage_error():
     result = run_cli("does-not-exist.txt")
     assert result.returncode == 2
+
+
+def test_explain_prints_rules_md_entry():
+    result = run_cli("--explain", "DET010")
+    assert result.returncode == 0
+    assert "interprocedural-seed-taint" in result.stdout
+    assert "build_platform(42)" in result.stdout  # the failing example
+
+
+def test_explain_unknown_rule_is_usage_error():
+    result = run_cli("--explain", "NOPE99")
+    assert result.returncode == 2
+
+
+def test_sarif_format_emits_valid_document(dirty_tree):
+    result = run_cli(str(dirty_tree), "--format", "sarif")
+    assert result.returncode == 1  # exit code still reflects findings
+    doc = json.loads(result.stdout)
+    assert doc["version"] == "2.1.0"
+    results = doc["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["DET001"]
+    assert results[0]["locations"][0]["physicalLocation"]["region"]["startLine"] == 2
+
+
+def test_baseline_write_then_suppress_roundtrip(dirty_tree, tmp_path):
+    baseline = tmp_path / "lint-baseline.json"
+    written = run_cli(str(dirty_tree), "--write-baseline", str(baseline))
+    assert written.returncode == 0, written.stdout + written.stderr
+    result = run_cli(str(dirty_tree), "--baseline", str(baseline), "--json")
+    assert result.returncode == 0
+    payload = json.loads(result.stdout)
+    assert payload["summary"]["findings"] == 0
+    assert payload["summary"]["baselined"] == 1
+    assert payload["baseline_stale"] == []
+
+
+def test_warm_cache_run_matches_cold_byte_for_byte(dirty_tree, tmp_path):
+    cache_dir = str(tmp_path / "lintcache")
+    cold = run_cli(str(dirty_tree), "--json", "--cache-dir", cache_dir)
+    warm = run_cli(str(dirty_tree), "--json", "--cache-dir", cache_dir)
+    assert cold.returncode == warm.returncode == 1
+    assert cold.stdout == warm.stdout

@@ -213,3 +213,58 @@ def test_cch001_suppressed():
     )
     assert codes(report) == []
     assert report.suppressed == 1
+
+
+def test_frk001_flags_thread_target_global_rebinding():
+    report = lint_source(
+        "import threading\n"
+        "COUNT = 0\n"
+        "def worker():\n"
+        "    global COUNT\n"
+        "    COUNT += 1\n"
+        "def start():\n"
+        "    thread = threading.Thread(target=worker)\n"
+        "    thread.start()\n"
+        "    return thread\n",
+        path="src/repro/obs/example.py",
+        select=["FRK001"],
+    )
+    assert codes(report) == ["FRK001"]
+    # Threads share memory, so the message is about racing readers, not
+    # about state evaporating in a child process.
+    assert "races every reader" in report.findings[0].message
+
+
+def test_frk001_resolves_thread_target_self_method():
+    report = lint_source(
+        "import threading\n"
+        "MODE = 'idle'\n"
+        "class Sampler:\n"
+        "    def _loop(self):\n"
+        "        global MODE\n"
+        "        MODE = 'running'\n"
+        "    def start(self):\n"
+        "        self._thread = threading.Thread(target=self._loop, daemon=True)\n"
+        "        self._thread.start()\n",
+        path="src/repro/obs/example.py",
+        select=["FRK001"],
+    )
+    assert codes(report) == ["FRK001"]
+    assert "MODE" in report.findings[0].message
+
+
+def test_frk001_thread_container_mutation_is_clean():
+    # In-place container mutation is visible across threads (one address
+    # space); only the fork-based workers lose it.  Thread workers are
+    # checked solely for unsynchronized global rebinding.
+    report = lint_source(
+        "import threading\n"
+        "SAMPLES = []\n"
+        "def worker():\n"
+        "    SAMPLES.append(1)\n"
+        "def start():\n"
+        "    threading.Thread(target=worker).start()\n",
+        path="src/repro/obs/example.py",
+        select=["FRK001"],
+    )
+    assert codes(report) == []
