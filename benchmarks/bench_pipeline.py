@@ -12,6 +12,11 @@ subprocess so ``resource.getrusage`` peak-RSS readings are per-phase
    experiments (fig3, fig6, congestion-norm, localization) without ever
    materializing a dataset; its peak RSS against serial's is the
    headline memory number.
+5. ``service``   -- the campaign service's scale proof: a sharded
+   synthetic mesh campaign (``--mesh-pairs`` pairs, default one
+   million) streamed end-to-end through the incremental mesh operator,
+   reporting steady-state ingest rate, merge-lag p99 (units buffered in
+   shard queues but not yet consumed) and peak RSS.
 
 Writes machine-readable per-stage timings to a JSON file (default
 ``benchmarks/output/pipeline_timings.json``) plus a stable-schema
@@ -48,7 +53,7 @@ from repro.datasets.shortterm import (
     build_shortterm_trace_dataset,
 )
 
-SUMMARY_SCHEMA = 3
+SUMMARY_SCHEMA = 4
 
 
 def _peak_rss_bytes(who: int = resource.RUSAGE_SELF) -> int:
@@ -144,10 +149,82 @@ def run_stream_phase(scenario_name: str, seed: int) -> dict:
     }
 
 
+def _histogram_percentile(stats: dict, q: float) -> float:
+    """A percentile from a registry histogram snapshot's bucket counts.
+
+    Returns the smallest bucket bound whose cumulative count reaches the
+    quantile (the overflow bucket reports the largest bound).
+    """
+    counts = stats.get("counts") or []
+    bounds = stats.get("bounds") or []
+    total = sum(counts)
+    if not total or not bounds:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        cumulative += count
+        if cumulative >= target:
+            return float(bounds[min(index, len(bounds) - 1)])
+    return float(bounds[-1])
+
+
+def run_service_phase(seed: int, shards: int, mesh_pairs: int) -> dict:
+    """One steady-state campaign-service pass over the synthetic mesh.
+
+    Drives the mesh campaign exactly as ``repro service run`` would (the
+    sharded source, the incremental operator, periodic checkpoints) but
+    back-to-back with no cadence sleeps, so the wall time is pure ingest.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.service.campaign import Campaign, driver_for
+    from repro.service.config import CampaignConfig
+    from repro.stream.mesh import MeshConfig
+
+    registry = obs_metrics.get_registry()
+    registry.reset()
+    timings = Timings()
+    started = time.perf_counter()
+    config = CampaignConfig(
+        name="bench-mesh",
+        kind="mesh",
+        cycles=2,
+        rounds_per_cycle=8,
+        shards=shards,
+        queue_units=4,
+        checkpoint_every=256,
+        mesh=MeshConfig(pairs=mesh_pairs, seed=seed),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as state:
+        campaign = Campaign(config, driver_for(config), Path(state))
+        with timings.stage("service-ingest"):
+            while campaign.run_cycle() == "completed":
+                pass
+    wall = time.perf_counter() - started
+    ingest_seconds = timings.as_dict()["service-ingest"]
+
+    snapshot = registry.snapshot()
+    lag = snapshot["histograms"].get("stream.merge_lag_units", {})
+    samples = int(campaign.results["samples"])
+    return {
+        "jobs": shards,
+        "cache_hit": {},
+        "wall_seconds": wall,
+        "stage_seconds": timings.as_dict(),
+        "stages": timings.as_records(),
+        "mesh_pairs": mesh_pairs,
+        "samples": samples,
+        "ingest_rate_per_s": samples / max(ingest_seconds, 1e-9),
+        "merge_lag_p99_units": _histogram_percentile(lag, 0.99),
+    }
+
+
 def _child_main(args: argparse.Namespace) -> int:
     """``--run-phase`` entry: run one phase, print its record as JSON."""
     if args.run_phase == "stream":
         record = run_stream_phase(args.scenario, args.seed)
+    elif args.run_phase == "service":
+        record = run_service_phase(args.seed, args.jobs, args.mesh_pairs)
     else:
         record = run_phase(
             args.scenario, args.seed, jobs=args.jobs, cache_dir=Path(args.cache_dir)
@@ -159,7 +236,8 @@ def _child_main(args: argparse.Namespace) -> int:
 
 
 def _run_phase_subprocess(
-    name: str, scenario: str, seed: int, jobs: int, cache_dir: Path
+    name: str, scenario: str, seed: int, jobs: int, cache_dir: Path,
+    mesh_pairs: int = 0,
 ) -> dict:
     """Launch one phase in a fresh interpreter and parse its JSON record."""
     argv = [
@@ -169,6 +247,7 @@ def _run_phase_subprocess(
         "--seed", str(seed),
         "--jobs", str(jobs),
         "--cache-dir", str(cache_dir),
+        "--mesh-pairs", str(mesh_pairs),
     ]
     proc = subprocess.run(argv, capture_output=True, text=True)
     if proc.returncode != 0:
@@ -183,13 +262,12 @@ def build_summary(
 ) -> dict:
     """The stable-schema repo-root summary (``BENCH_pipeline.json``).
 
-    Schema version 3: version 2's per-phase wall time, flat
-    stage -> seconds map, ``peak_rss_mb`` and ``memory`` section, plus --
-    when the previous committed summary is available and comparable --
-    a ``speedup.columnar`` ratio (previous serial wall over this serial
-    wall; the columnar record plane is the change the ratio tracks) and
-    per-phase ``stage_seconds_delta`` maps (this run minus the previous
-    run, negative = faster).
+    Schema version 4: version 3's per-phase wall time, flat
+    stage -> seconds map, ``peak_rss_mb``, ``memory`` section and the
+    comparative extras (``speedup.columnar``, ``stage_seconds_delta``),
+    plus a ``service`` section with the campaign service's scale-proof
+    figures: mesh size, steady-state ingest rate, merge-lag p99 and
+    peak RSS.
     """
     comparable = (
         isinstance(previous, dict)
@@ -226,7 +304,7 @@ def build_summary(
                 / max(report["phases"]["serial"]["wall_seconds"], 1e-9),
                 2,
             )
-    return {
+    summary = {
         "schema": SUMMARY_SCHEMA,
         "benchmark": "pipeline",
         "scenario": report["scenario"],
@@ -239,6 +317,17 @@ def build_summary(
             name: round(value, 3) for name, value in report["memory"].items()
         },
     }
+    service = report["phases"].get("service")
+    if service is not None:
+        summary["service"] = {
+            "mesh_pairs": service["mesh_pairs"],
+            "shards": service["jobs"],
+            "samples": service["samples"],
+            "ingest_rate_per_s": round(service["ingest_rate_per_s"], 1),
+            "merge_lag_p99_units": service["merge_lag_p99_units"],
+            "peak_rss_mb": round(service["peak_rss_bytes"] / 1e6, 1),
+        }
+    return summary
 
 
 def main(argv=None) -> int:
@@ -249,6 +338,9 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=0,
                         help="workers for the parallel phase "
                              "(0 = all cores; default: 0)")
+    parser.add_argument("--mesh-pairs", type=int, default=1_000_000,
+                        help="mesh size for the service phase "
+                             "(default: 1000000)")
     parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent / "output" / "pipeline_timings.json"),
@@ -288,11 +380,14 @@ def main(argv=None) -> int:
              f"jobs={parallel_jobs}, cold cache"),
             ("warm", 1, serial_cache, "jobs=1, reusing serial cache"),
             ("stream", 1, serial_cache, "streaming engine, no dataset"),
+            ("service", 2, serial_cache,
+             f"campaign service, {args.mesh_pairs:,}-pair mesh"),
         ]
         for step, (name, jobs, cache_dir, blurb) in enumerate(plan, start=1):
             print(f"[{step}/{len(plan)}] {name:<8} ({blurb})", flush=True)
             record = _run_phase_subprocess(
-                name, args.scenario, args.seed, jobs, cache_dir
+                name, args.scenario, args.seed, jobs, cache_dir,
+                mesh_pairs=args.mesh_pairs,
             )
             report["phases"][name] = record
             print(f"      {record['wall_seconds']:.2f}s, "
@@ -308,6 +403,10 @@ def main(argv=None) -> int:
             report["phases"]["stream"]["peak_rss_bytes"]
             / max(report["phases"]["serial"]["peak_rss_bytes"], 1)
         ),
+        "service_vs_serial_rss": (
+            report["phases"]["service"]["peak_rss_bytes"]
+            / max(report["phases"]["serial"]["peak_rss_bytes"], 1)
+        ),
     }
     assert report["phases"]["warm"]["cache_hit"] == {
         "platform": True, "longterm": True,
@@ -320,6 +419,11 @@ def main(argv=None) -> int:
           f"warm x{report['speedup']['warm']:.2f}")
     print(f"stream peak RSS: "
           f"{report['memory']['stream_vs_serial_rss']:.1%} of serial")
+    service = report["phases"]["service"]
+    print(f"service ingest: {service['ingest_rate_per_s']:,.0f} samples/s "
+          f"over {service['mesh_pairs']:,} pairs, "
+          f"merge-lag p99 {service['merge_lag_p99_units']:g} units, "
+          f"peak RSS {report['memory']['service_vs_serial_rss']:.1%} of serial")
     print(f"wrote {output}")
 
     if args.summary:

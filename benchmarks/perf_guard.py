@@ -14,7 +14,15 @@ record plane achieved: the stream-vs-serial wall ratio must stay under
 ``--stream-wall-factor`` (default 1.3x -- stream mode must not fall
 back to paying multiples of serial time), and stream peak RSS must stay
 under ``--stream-rss-bound`` (default 0.25) times serial peak RSS --
-the bounded-memory property that justifies the engine's existence::
+the bounded-memory property that justifies the engine's existence.
+
+Two service guards (schema 4 summaries; skipped when either side lacks
+the ``service`` section) hold the campaign service's scale proof: the
+mesh ingest rate must stay above ``1 / --service-rate-factor`` (default
+2.0) times the baseline's when both ran the same mesh size, and service
+peak RSS must stay under ``--service-rss-bound`` (default 1.0) times
+serial peak RSS -- the O(1)-state property that lets the million-pair
+mesh stream at bounded memory::
 
     PYTHONPATH=src python benchmarks/perf_guard.py \
         --baseline BENCH_pipeline.json --candidate /tmp/bench_new.json
@@ -72,6 +80,13 @@ def main(argv=None) -> int:
                         help="failure threshold: stream peak RSS may be at "
                              "most this fraction of serial peak RSS "
                              "(default: 0.25)")
+    parser.add_argument("--service-rate-factor", type=float, default=2.0,
+                        help="failure threshold: service ingest rate may be "
+                             "at worst baseline / FACTOR (default: 2.0)")
+    parser.add_argument("--service-rss-bound", type=float, default=1.0,
+                        help="failure threshold: service peak RSS may be at "
+                             "most this fraction of serial peak RSS "
+                             "(default: 1.0)")
     args = parser.parse_args(argv)
 
     baseline = _load_summary(args.baseline, "baseline")
@@ -119,6 +134,36 @@ def main(argv=None) -> int:
             failures.append(
                 f"stream RSS ratio {rss_ratio:.3f} exceeds bound "
                 f"{args.stream_rss_bound}"
+            )
+
+    base_service = baseline.get("service")
+    cand_service = candidate.get("service")
+    if (
+        isinstance(base_service, dict)
+        and isinstance(cand_service, dict)
+        and base_service.get("mesh_pairs") == cand_service.get("mesh_pairs")
+    ):
+        base_rate = base_service.get("ingest_rate_per_s")
+        cand_rate = cand_service.get("ingest_rate_per_s")
+        if base_rate and cand_rate:
+            floor = base_rate / args.service_rate_factor
+            print(f"service ingest rate: baseline {base_rate:,.0f}/s, "
+                  f"candidate {cand_rate:,.0f}/s "
+                  f"(floor {floor:,.0f}/s at 1/{args.service_rate_factor}x)")
+            if cand_rate < floor:
+                failures.append(
+                    f"service ingest rate {cand_rate:,.0f}/s below "
+                    f"1/{args.service_rate_factor}x baseline ({floor:,.0f}/s)"
+                )
+
+    service_rss = candidate.get("memory", {}).get("service_vs_serial_rss")
+    if isinstance(service_rss, (int, float)) and service_rss > 0:
+        print(f"service peak RSS vs serial peak RSS: {service_rss:.3f} "
+              f"(bound {args.service_rss_bound})")
+        if service_rss > args.service_rss_bound:
+            failures.append(
+                f"service RSS ratio {service_rss:.3f} exceeds bound "
+                f"{args.service_rss_bound}"
             )
 
     if failures:

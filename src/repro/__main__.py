@@ -5,6 +5,7 @@ Commands:
 - ``info``       -- summarize a scenario's synthetic world.
 - ``trace``      -- run one traceroute between two measurement servers.
 - ``reproduce``  -- run table/figure experiments and print the reports.
+- ``service``    -- run the always-on measurement campaign service.
 
 Examples::
 
@@ -15,6 +16,8 @@ Examples::
         --trace-out trace.json --run-report run.json
     python -m repro reproduce --scenario default --stream \\
         --checkpoint-dir /tmp/ckpt --resume
+    python -m repro service run --config service.json \\
+        --time-scale 0.01 --live-out live.jsonl
 
 Observability: ``--log-level``/``--log-json`` (or ``REPRO_LOG_LEVEL`` /
 ``REPRO_LOG_JSON``) control structured logging on stderr; ``--trace-out``
@@ -437,6 +440,82 @@ def _command_reproduce_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_service_run(args: argparse.Namespace) -> int:
+    """``service run``: the always-on campaign supervisor.
+
+    Loads the JSON service config, applies CLI overrides, and hands
+    control to :class:`~repro.service.supervisor.ServiceSupervisor` --
+    which installs its own SIGTERM/SIGINT handlers on the event loop so
+    a kill drains every campaign to a checkpoint boundary instead of
+    aborting mid-unit.  The ``_live_plane`` SIGTERM handler is *not*
+    used here: it re-raises the signal after flushing, which would
+    bypass the drain.
+    """
+    import dataclasses
+
+    from repro.obs.live import FlightRecorder
+    from repro.service import ServiceSupervisor, service_config_from_dict
+
+    try:
+        with open(args.config) as handle:
+            payload = json.load(handle)
+        config = service_config_from_dict(payload)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: bad service config {args.config!r}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    overrides = {}
+    if args.checkpoint_dir is not None:
+        overrides["checkpoint_dir"] = args.checkpoint_dir
+    if args.time_scale is not None:
+        overrides["time_scale"] = args.time_scale
+    if args.port is not None:
+        overrides["port"] = args.port
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.drain_after is not None:
+        overrides["drain_after_s"] = args.drain_after
+    if args.live_interval is not None:
+        overrides["live_interval_s"] = args.live_interval
+    if overrides:
+        try:
+            config = dataclasses.replace(config, **overrides)
+        except ValueError as exc:
+            print(f"error: bad service override: {exc}", file=sys.stderr)
+            return 2
+
+    registry = get_registry()
+    registry.reset()
+    recorder = None
+    if args.live_out:
+        recorder = FlightRecorder(
+            interval_seconds=config.live_interval_s, out_path=args.live_out
+        )
+
+    _LOG.info(
+        "service.start", config=args.config,
+        campaigns=",".join(c.name for c in config.campaigns),
+        time_scale=config.time_scale,
+    )
+    supervisor = ServiceSupervisor(config, recorder=recorder)
+    if recorder is not None:
+        recorder.start()
+    try:
+        outcomes = supervisor.run()
+    except BaseException:
+        if recorder is not None:
+            recorder.stop(reason="crash")
+        raise
+    else:
+        if recorder is not None:
+            recorder.stop(reason="complete")
+
+    for name in sorted(outcomes):
+        print(f"{name}: {outcomes[name]}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     logging_options = argparse.ArgumentParser(add_help=False)
@@ -548,6 +627,57 @@ def build_parser() -> argparse.ArgumentParser:
              "span summary",
     )
     reproduce.set_defaults(handler=_command_reproduce)
+
+    service = commands.add_parser(
+        "service", help="the always-on measurement campaign service"
+    )
+    service_commands = service.add_subparsers(
+        dest="service_command", required=True
+    )
+    service_run = service_commands.add_parser(
+        "run", parents=[logging_options],
+        help="run campaigns until finished, drained, or SIGTERM",
+        description="Run the campaign supervisor from a JSON service "
+                    "config.  SIGTERM/SIGINT drain gracefully: every "
+                    "campaign checkpoints at its next unit boundary, and "
+                    "a restart resumes byte-identically.",
+    )
+    service_run.add_argument(
+        "--config", required=True, metavar="FILE",
+        help="JSON service config (campaigns, scenario, durability knobs)",
+    )
+    service_run.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="override the config's checkpoint directory",
+    )
+    service_run.add_argument(
+        "--time-scale", type=float, default=None, metavar="FACTOR",
+        help="override the config's schedule compression factor "
+             "(scheduling only; results are unaffected)",
+    )
+    service_run.add_argument(
+        "--host", default=None, metavar="HOST",
+        help="override the control/metrics bind host",
+    )
+    service_run.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="override the control/metrics port (0 = ephemeral)",
+    )
+    service_run.add_argument(
+        "--drain-after", type=float, default=None, metavar="SECONDS",
+        help="drain the whole service after this many seconds "
+             "(CI smoke runs)",
+    )
+    service_run.add_argument(
+        "--live-out", default=None, metavar="FILE",
+        help="stream flight-recorder samples to FILE as JSON-lines "
+             "(tail it with python -m repro.obs.top --follow FILE)",
+    )
+    service_run.add_argument(
+        "--live-interval", type=float, default=None, metavar="SECONDS",
+        help="override the flight-recorder sampling interval",
+    )
+    service_run.set_defaults(handler=_command_service_run)
     return parser
 
 

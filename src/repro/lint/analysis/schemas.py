@@ -6,6 +6,10 @@ artifacts outlive the code that wrote them:
 - the stream **checkpoint** payload, versioned by
   ``repro.stream.checkpoint.CHECKPOINT_SCHEMA_VERSION``;
 - the **live telemetry sample**, versioned by ``repro.obs.live.LIVE_SCHEMA``;
+- the **campaign checkpoint** payload, versioned by
+  ``repro.service.checkpoint.CAMPAIGN_CHECKPOINT_SCHEMA``;
+- the service's ``/campaigns`` **control document**, versioned by
+  ``repro.service.api.CAMPAIGNS_SCHEMA``;
 - the committed bench baseline ``BENCH_pipeline.json`` (its own
   ``schema`` key).
 
@@ -49,6 +53,10 @@ SNAPSHOT_SCHEMA = 1
 TRACKED_SCHEMAS: Dict[str, Tuple[str, str]] = {
     "stream-checkpoint": ("repro.stream.checkpoint", "CHECKPOINT_SCHEMA_VERSION"),
     "live-sample": ("repro.obs.live", "LIVE_SCHEMA"),
+    "campaign-checkpoint": (
+        "repro.service.checkpoint", "CAMPAIGN_CHECKPOINT_SCHEMA",
+    ),
+    "campaigns-status": ("repro.service.api", "CAMPAIGNS_SCHEMA"),
 }
 
 BENCH_KEY = "bench-summary"

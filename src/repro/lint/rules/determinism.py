@@ -261,7 +261,8 @@ class WallClockAndSetOrder(Rule):
 
     def applies(self, ctx: FileContext) -> bool:
         return ctx.in_packages(
-            "core", "datasets", "measurement", "routing", "topology", "stream"
+            "core", "datasets", "measurement", "routing", "topology", "stream",
+            "service",
         )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -25,7 +25,7 @@ import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.obs import metrics as obs_metrics
 from repro.obs.live import (
@@ -52,8 +52,12 @@ DEFAULT_METRICS_PORT = 9309
 
 CONTENT_TYPE_METRICS = "text/plain; version=0.0.4; charset=utf-8"
 
-LIVE_STATUS_SCHEMA = 1
-"""Bump when the ``/status`` JSON document changes shape."""
+LIVE_STATUS_SCHEMA = 2
+"""Bump when the ``/status`` JSON document changes shape.
+
+Version history: 1 run/phase/stream/checkpoint + sample; 2 adds the
+``campaigns`` table (the service's per-campaign board rows).
+"""
 
 _LOG = get_logger("repro.obs.expo")
 
@@ -185,8 +189,10 @@ class MetricsServer:
 
     Binds at construction (so ``port=0`` resolves to a real ephemeral
     port immediately); ``start()`` begins serving, ``close()`` shuts the
-    listener down.  Handlers only ever *read* the registry/status/
-    recorder, so serving never perturbs the run it is observing.
+    listener down.  The built-in routes only ever *read* the registry/
+    status/recorder, so serving never perturbs the run it is observing;
+    the campaign service registers additional control routes (pause/
+    resume/drain and ``/campaigns``) through :meth:`add_route`.
     """
 
     def __init__(
@@ -200,27 +206,34 @@ class MetricsServer:
         self.registry = registry if registry is not None else obs_metrics.get_registry()
         self.status = status if status is not None else get_status()
         self.recorder = recorder
+        self._routes: Dict[Tuple[str, str], Callable[[], Tuple[int, str, str]]] = {}
+        self.add_route("GET", "/metrics", self._route_metrics)
+        self.add_route("GET", "/status", self._route_status)
+        self.add_route("GET", "/health", self._route_health)
         server = self
 
         class Handler(BaseHTTPRequestHandler):
-            def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+            def _dispatch(self, method: str) -> None:
                 path = self.path.split("?", 1)[0]
-                if path == "/metrics":
-                    # handlers run on pool threads while the pipeline may
-                    # fork workers: hold the fork guard across registry use
-                    with fork_guard():
-                        refresh_derived_gauges(server.registry, server.status)
-                        body = prometheus_text(server.registry.snapshot())
-                    self._reply(200, CONTENT_TYPE_METRICS, body)
-                elif path == "/status":
-                    with fork_guard():
-                        payload = server.status_payload()
-                    body = json.dumps(payload, indent=2, default=str) + "\n"
-                    self._reply(200, "application/json", body)
-                elif path == "/health":
-                    self._reply(200, "text/plain; charset=utf-8", "ok\n")
-                else:
+                route = server._routes.get((method, path))
+                if route is None:
                     self._reply(404, "text/plain; charset=utf-8", "not found\n")
+                    return
+                try:
+                    code, content_type, body = route()
+                except Exception:  # a broken route must not kill the server
+                    _LOG.warning("expo.route_failed", method=method, path=path)
+                    self._reply(
+                        500, "text/plain; charset=utf-8", "internal error\n"
+                    )
+                    return
+                self._reply(code, content_type, body)
+
+            def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+                self._dispatch("GET")
+
+            def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
+                self._dispatch("POST")
 
             def _reply(self, code: int, content_type: str, body: str) -> None:
                 data = body.encode("utf-8")
@@ -237,6 +250,44 @@ class MetricsServer:
         self._server.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
         self.host, self.port = self._server.server_address[:2]
+
+    def add_route(
+        self,
+        method: str,
+        path: str,
+        handler: Callable[[], Tuple[int, str, str]],
+    ) -> None:
+        """Mount ``handler`` at ``(method, path)``.
+
+        Handlers return ``(code, content_type, body)`` and run on the
+        server's pool threads -- anything touching the registry or the
+        status board must hold :func:`~repro.obs.live.fork_guard` for
+        the read, exactly like the built-in routes.  Registering a path
+        again replaces the previous handler (the service re-mounts its
+        campaign routes on restart).
+        """
+        self._routes[(method.upper(), path)] = handler
+
+    # ------------------------------------------------------------------
+    # Built-in routes
+    # ------------------------------------------------------------------
+
+    def _route_metrics(self) -> Tuple[int, str, str]:
+        # handlers run on pool threads while the pipeline may fork
+        # workers: hold the fork guard across registry use
+        with fork_guard():
+            refresh_derived_gauges(self.registry, self.status)
+            body = prometheus_text(self.registry.snapshot())
+        return 200, CONTENT_TYPE_METRICS, body
+
+    def _route_status(self) -> Tuple[int, str, str]:
+        with fork_guard():
+            payload = self.status_payload()
+        body = json.dumps(payload, indent=2, default=str) + "\n"
+        return 200, "application/json", body
+
+    def _route_health(self) -> Tuple[int, str, str]:
+        return 200, "text/plain; charset=utf-8", "ok\n"
 
     @property
     def url(self) -> str:

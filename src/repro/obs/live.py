@@ -74,15 +74,33 @@ def fork_guard() -> threading.Lock:
     return _fork_lock
 
 
+def _fork_acquire() -> None:
+    """Quiesce telemetry locks before a fork, in a fixed order.
+
+    ``fork_guard`` first (parks the sampler and HTTP handler threads),
+    then the default registry's instrument lock (an application thread
+    -- e.g. a campaign executor -- may be mid-increment), then the
+    status board's.  One ordered hook instead of several independent
+    ones: ``os.register_at_fork`` runs ``before`` callbacks in reverse
+    registration order, so split hooks could invert this order against
+    the sampler (which nests fork-guard around registry reads) and
+    deadlock.
+    """
+    _fork_lock.acquire()
+    obs_metrics.registry_lock().acquire()
+    _STATUS._lock.acquire()
+
+
 def _fork_release() -> None:
-    try:
-        _fork_lock.release()
-    except RuntimeError:  # pragma: no cover - already free
-        pass
+    for lock in (_STATUS._lock, obs_metrics.registry_lock(), _fork_lock):
+        try:
+            lock.release()
+        except RuntimeError:  # pragma: no cover - already free
+            pass
 
 
 os.register_at_fork(
-    before=_fork_lock.acquire,
+    before=_fork_acquire,
     after_in_parent=_fork_release,
     after_in_child=_fork_release,
 )
@@ -130,6 +148,7 @@ class RunStatus:
         self._phase_mono: Optional[float] = None
         self._shards: Dict[int, Dict[str, float]] = {}
         self._checkpoint: Dict[str, object] = {}
+        self._campaigns: Dict[str, Dict[str, object]] = {}
         self._started_mono: Optional[float] = None
 
     def reset(self) -> None:
@@ -140,6 +159,7 @@ class RunStatus:
             self._phase_mono = None
             self._shards = {}
             self._checkpoint = {}
+            self._campaigns = {}
             self._started_mono = None
 
     def begin_run(self, **fields: object) -> None:
@@ -177,6 +197,25 @@ class RunStatus:
             self._checkpoint.update(fields)
             self._checkpoint["saved_mono"] = time.monotonic()
 
+    def set_campaign(self, name: str, **fields: object) -> None:
+        """Merge ``fields`` into campaign ``name``'s board row.
+
+        The campaign supervisor writes one row per named campaign
+        (phase, cycle, units, next-fire countdown, checkpoint
+        fingerprint); ``as_dict`` exposes the table to ``/status``,
+        ``/campaigns`` and the dashboard with an ``updated_age_s``
+        freshness stamp per row.
+        """
+        with self._lock:
+            entry = self._campaigns.setdefault(str(name), {})
+            entry.update(fields)
+            entry["updated_mono"] = time.monotonic()
+
+    def drop_campaign(self, name: str) -> None:
+        """Remove campaign ``name``'s row (a campaign that finished)."""
+        with self._lock:
+            self._campaigns.pop(str(name), None)
+
     def shard_count(self) -> int:
         """Rows currently in the shard table."""
         with self._lock:
@@ -202,6 +241,18 @@ class RunStatus:
             saved_mono = self._checkpoint.get("saved_mono")
             if saved_mono is not None:
                 checkpoint["age_s"] = round(now - float(saved_mono), 3)
+            campaigns: List[Dict[str, object]] = []
+            for name in sorted(self._campaigns):
+                row = {
+                    key: value
+                    for key, value in self._campaigns[name].items()
+                    if key != "updated_mono"
+                }
+                row["name"] = name
+                updated = self._campaigns[name].get("updated_mono")
+                if updated is not None:
+                    row["updated_age_s"] = round(now - float(updated), 3)
+                campaigns.append(row)
             return {
                 "run": dict(self._run),
                 "phase": self._phase,
@@ -217,6 +268,7 @@ class RunStatus:
                 ),
                 "stream": {"shards": shards},
                 "checkpoint": checkpoint,
+                "campaigns": campaigns,
             }
 
 
@@ -251,6 +303,12 @@ def refresh_derived_gauges(
         registry.gauge(
             f'live.shard_heartbeat_age_seconds{{shard={entry["shard"]}}}'
         ).set(entry["heartbeat_age_s"])
+    for row in board["campaigns"]:
+        age = row.get("updated_age_s")
+        if age is not None:
+            registry.gauge(
+                f'live.campaign_update_age_seconds{{campaign={row["name"]}}}'
+            ).set(age)
 
 
 class FlightRecorder:

@@ -28,6 +28,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "get_registry",
+    "registry_lock",
     "counter",
     "gauge",
     "histogram",
@@ -246,6 +247,19 @@ class MetricsRegistry:
 
 
 _REGISTRY = MetricsRegistry()
+
+
+def registry_lock() -> "threading.Lock":
+    """The default registry's instrument lock, for at-fork serialization.
+
+    Any application thread (a campaign executor, a request handler) may
+    be mid-increment at the instant another thread forks a worker pool;
+    the at-fork hook in :mod:`repro.obs.live` acquires this lock (after
+    the fork guard) around the clone so children never inherit it held.
+    The lock object is stable for the life of the process --
+    :meth:`MetricsRegistry.reset` clears instruments, not the lock.
+    """
+    return _REGISTRY._lock
 
 
 def get_registry() -> MetricsRegistry:

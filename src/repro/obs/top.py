@@ -30,6 +30,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 __all__ = [
     "sparkline",
     "shard_rows",
+    "campaign_rows",
     "render_frame",
     "iter_follow_samples",
     "poll_status_sample",
@@ -120,6 +121,21 @@ def shard_rows(
     return rows
 
 
+def campaign_rows(
+    samples: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """The latest sample's campaign board rows (sorted by name already).
+
+    Each row is the service's :meth:`RunStatus.set_campaign` payload:
+    name, state, cycle, units done/total for the running cycle,
+    next-fire countdown and checkpoint fingerprint.
+    """
+    if not samples:
+        return []
+    rows = samples[-1].get("status", {}).get("campaigns", [])
+    return [row for row in rows if isinstance(row, dict)]
+
+
 def render_frame(samples: Sequence[Dict[str, object]], width: int = 78) -> str:
     """One dashboard frame from the sample history (newest last)."""
     if not samples:
@@ -169,6 +185,30 @@ def render_frame(samples: Sequence[Dict[str, object]], width: int = 78) -> str:
             f"units_done {checkpoint.get('units_done', '-')}  "
             f"fingerprint {str(checkpoint.get('fingerprint', '-'))[:16]}"
         )
+
+    campaigns = campaign_rows(samples)
+    if campaigns:
+        lines.append("")
+        lines.append(
+            f"{'campaign':<18} {'state':<9} {'cycle':>5} {'units':>11} "
+            f"{'next fire':>9} {'ckpt':<12}"
+        )
+        for row in campaigns:
+            units_done = row.get("units_done")
+            units_total = row.get("units_total")
+            units = (
+                f"{units_done}/{units_total}"
+                if units_done is not None and units_total is not None
+                else "-"
+            )
+            next_fire = row.get("next_fire_s")
+            fingerprint = str(row.get("fingerprint", "-"))[:12]
+            lines.append(
+                f"{str(row.get('name', '-'))[:18]:<18} "
+                f"{str(row.get('state', '-'))[:9]:<9} "
+                f"{row.get('cycle', '-'):>5} {units:>11} "
+                f"{_fmt(next_fire, 's'):>9} {fingerprint:<12}"
+            )
 
     rows = shard_rows(samples)
     if rows:

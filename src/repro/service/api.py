@@ -1,0 +1,124 @@
+"""The service's HTTP control surface, mounted on the metrics server.
+
+Extends :class:`repro.obs.expo.MetricsServer` (which already serves
+``/metrics``, ``/status``, ``/health``) with the campaign routes:
+
+- ``GET /campaigns`` -- the schema-versioned service document: one row
+  per campaign (state, cycle, ingest progress, next-fire countdown,
+  checkpoint fingerprint), plus drain state and uptime.  SCH010 pins
+  its top-level field set.
+- ``POST /campaigns/<name>/pause`` / ``.../resume`` -- close/open one
+  campaign's unit gate (the running cycle stalls at the next unit
+  boundary; bounded shard queues then stall the producers, which is the
+  backpressure you can watch in ``/metrics``).
+- ``POST /drain`` -- graceful whole-service shutdown: every campaign
+  checkpoints at its next unit boundary and the supervisor exits.
+
+Handlers run on the HTTP server's pool threads and follow its
+fork-guard discipline for any registry/status reads.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Tuple
+
+from repro.obs.expo import MetricsServer
+from repro.obs.live import fork_guard, get_status
+from repro.obs.log import get_logger
+
+__all__ = ["CAMPAIGNS_SCHEMA", "ServiceAPI"]
+
+CAMPAIGNS_SCHEMA = 1
+"""Bump when the ``/campaigns`` JSON document changes shape."""
+
+_LOG = get_logger("repro.service.api")
+
+
+class ServiceAPI:
+    """Mounts the campaign control routes onto a metrics server."""
+
+    def __init__(self, supervisor, server: MetricsServer) -> None:
+        self.supervisor = supervisor
+        self.server = server
+        server.add_route("GET", "/campaigns", self._route_campaigns)
+        server.add_route("POST", "/drain", self._route_drain)
+        for campaign in supervisor.campaigns:
+            name = campaign.config.name
+            server.add_route(
+                "POST",
+                f"/campaigns/{name}/pause",
+                lambda c=campaign: self._route_pause(c),
+            )
+            server.add_route(
+                "POST",
+                f"/campaigns/{name}/resume",
+                lambda c=campaign: self._route_resume(c),
+            )
+
+    # ------------------------------------------------------------------
+    # Payloads
+    # ------------------------------------------------------------------
+
+    def campaigns_payload(self) -> Dict[str, object]:
+        """The ``/campaigns`` document (board rows + service header)."""
+        board = {
+            row["name"]: row for row in get_status().as_dict()["campaigns"]
+        }
+        rows = []
+        for campaign in self.supervisor.campaigns:
+            name = campaign.config.name
+            row = dict(board.get(name, {}))
+            row.update(
+                name=name,
+                kind=campaign.config.kind,
+                state=campaign.state,
+                paused=campaign.paused,
+                cadence_s=campaign.config.cadence_s,
+                shards=campaign.config.shards,
+                total_cycles=campaign.driver.total_cycles,
+                fingerprint=campaign.fingerprint,
+            )
+            rows.append(row)
+        payload = {
+            "schema": CAMPAIGNS_SCHEMA,
+            "campaigns": rows,
+            "draining": self.supervisor.draining,
+            "time_scale": self.supervisor.config.time_scale,
+            "uptime_s": self.supervisor.uptime_s(),
+        }
+        return payload
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _json(code: int, payload: Dict[str, object]) -> Tuple[int, str, str]:
+        body = json.dumps(payload, indent=2, default=str) + "\n"
+        return code, "application/json", body
+
+    def _route_campaigns(self) -> Tuple[int, str, str]:
+        with fork_guard():
+            payload = self.campaigns_payload()
+        return self._json(200, payload)
+
+    def _route_pause(self, campaign) -> Tuple[int, str, str]:
+        with fork_guard():
+            campaign.pause()
+        _LOG.info("service.api.pause", campaign=campaign.config.name)
+        return self._json(
+            200, {"campaign": campaign.config.name, "paused": True}
+        )
+
+    def _route_resume(self, campaign) -> Tuple[int, str, str]:
+        with fork_guard():
+            campaign.resume()
+        _LOG.info("service.api.resume", campaign=campaign.config.name)
+        return self._json(
+            200, {"campaign": campaign.config.name, "paused": False}
+        )
+
+    def _route_drain(self) -> Tuple[int, str, str]:
+        self.supervisor.request_drain("http")
+        return self._json(202, {"draining": True})

@@ -1,0 +1,162 @@
+"""Durable campaign snapshots: one fingerprint-keyed file per campaign.
+
+The service's durability contract in one sentence: **a killed service,
+restarted against the same config, resumes every campaign from its last
+checkpoint and finishes with byte-identical results.**  This module is
+the mechanism -- the same atomic temp-file-and-rename pickle store as
+:mod:`repro.stream.checkpoint`, but keyed per campaign and carrying the
+campaign's cycle position plus its incremental operator wholesale.
+
+The fingerprint covers the :class:`~repro.service.config.CampaignConfig`
+(and, for platform campaigns, the platform config) together with
+:data:`CAMPAIGN_CHECKPOINT_SCHEMA`; any config or layout change turns
+old snapshots into clean misses, never wrong resumes.  SCH010 pins the
+payload's field set against ``schema_snapshot.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.harness.engine import config_fingerprint
+from repro.obs import live as obs_live
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+
+__all__ = [
+    "CAMPAIGN_CHECKPOINT_SCHEMA",
+    "campaign_fingerprint",
+    "CampaignCheckpointStore",
+]
+
+CAMPAIGN_CHECKPOINT_SCHEMA = 1
+"""Bump when the pickled campaign snapshot changes shape.
+
+Part of the checkpoint fingerprint surface (CCH001's contract): bumping
+it orphans every existing snapshot as a schema mismatch instead of
+letting a new service version resume state it no longer understands.
+"""
+
+_LOG = get_logger("repro.service.checkpoint")
+
+
+def campaign_fingerprint(*parts: object) -> str:
+    """Fingerprint of everything one campaign's resume depends on.
+
+    Callers pass the campaign config and whatever the driver measures
+    against (the platform config for trace/ping, nothing extra for the
+    self-describing mesh); the schema version is mixed in here.
+    """
+    return config_fingerprint(
+        "campaign-checkpoint", CAMPAIGN_CHECKPOINT_SCHEMA, *parts
+    )
+
+
+class CampaignCheckpointStore:
+    """Atomic on-disk snapshots of one campaign's progress.
+
+    Writes go to a temp file in the same directory followed by an
+    atomic rename, so a SIGKILL mid-save leaves the previous snapshot
+    intact and a resume never observes a torn file.
+    """
+
+    def __init__(
+        self, directory: Union[str, Path], name: str, fingerprint: str
+    ) -> None:
+        self.directory = Path(directory)
+        self.name = name
+        self.fingerprint = fingerprint
+
+    @property
+    def path(self) -> Path:
+        """Where this campaign's snapshot lives."""
+        return self.directory / f"campaign-{self.name}-{self.fingerprint}.ckpt"
+
+    def save(
+        self,
+        cycle: int,
+        units_done: int,
+        operator_state: object,
+        results: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Snapshot the campaign mid-cycle (or finished, with results).
+
+        ``cycle`` is the cycle currently being ingested, ``units_done``
+        how many of its units the operator has fully consumed;
+        ``results`` is only present on the final snapshot of a finished
+        campaign (the restart then re-serves them without re-ingesting).
+        """
+        started = time.perf_counter()
+        payload = {
+            "schema": CAMPAIGN_CHECKPOINT_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "campaign": self.name,
+            "cycle": int(cycle),
+            "units_done": int(units_done),
+            "operator": operator_state,
+            "results": results,
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        temp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        with open(temp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp, self.path)
+        elapsed = time.perf_counter() - started
+        obs_metrics.counter(
+            f"service.checkpoint.saves{{campaign={self.name}}}"
+        ).inc()
+        obs_metrics.histogram("service.checkpoint_seconds").observe(elapsed)
+        obs_live.get_status().set_campaign(
+            self.name,
+            fingerprint=self.fingerprint,
+            cycle=int(cycle),
+            units_done=int(units_done),
+        )
+        _LOG.debug(
+            "service.checkpoint.saved",
+            campaign=self.name,
+            cycle=cycle,
+            units_done=units_done,
+            seconds=round(elapsed, 6),
+        )
+
+    def load(self) -> Optional[Dict[str, object]]:
+        """The snapshot, or ``None`` when absent, corrupt, or mismatched."""
+        if not self.path.exists():
+            return None
+        try:
+            with open(self.path, "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            obs_metrics.counter("service.checkpoint.corrupt").inc()
+            _LOG.warning("service.checkpoint.corrupt", path=str(self.path))
+            return None
+        if not isinstance(payload, dict):
+            obs_metrics.counter("service.checkpoint.corrupt").inc()
+            return None
+        if payload.get("schema") != CAMPAIGN_CHECKPOINT_SCHEMA:
+            obs_metrics.counter("service.checkpoint.schema_mismatch").inc()
+            _LOG.warning(
+                "service.checkpoint.schema_mismatch",
+                found=payload.get("schema"),
+                expected=CAMPAIGN_CHECKPOINT_SCHEMA,
+            )
+            return None
+        if payload.get("fingerprint") != self.fingerprint:
+            obs_metrics.counter("service.checkpoint.fingerprint_mismatch").inc()
+            return None
+        obs_metrics.counter(
+            f"service.checkpoint.loads{{campaign={self.name}}}"
+        ).inc()
+        return payload
+
+    def clear(self) -> None:
+        """Remove the snapshot."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,255 @@
+"""The asyncio campaign supervisor: scheduling, drain, exposition.
+
+One async task per campaign sleeps until the campaign's next fire time,
+then runs the (synchronous, possibly sharded) cycle on an executor
+thread -- campaigns overlap freely, the event loop stays responsive for
+HTTP control requests, and cadences compress uniformly under
+``time_scale``.  All scheduling runs on the monotonic clock (DET002:
+the service package is wall-clock free), so clock jumps can never
+double-fire or starve a campaign.
+
+Shutdown is a *drain*, never an abort: SIGTERM (or ``POST /drain``, or
+the configured ``drain_after_s`` deadline) sets every campaign's drain
+flag and wakes the sleepers; running cycles stop at the next unit
+boundary, checkpoint, and the supervisor exits cleanly with every
+worker process joined -- the restart then resumes each campaign from
+exactly that boundary, byte-identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import signal
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs import live as obs_live
+from repro.obs import metrics as obs_metrics
+from repro.obs.expo import MetricsServer
+from repro.obs.live import FlightRecorder
+from repro.obs.log import get_logger
+from repro.service.api import ServiceAPI
+from repro.service.campaign import Campaign, driver_for
+from repro.service.config import ServiceConfig
+
+__all__ = ["ServiceSupervisor"]
+
+_LOG = get_logger("repro.service.supervisor")
+
+
+class ServiceSupervisor:
+    """Owns every campaign's lifecycle from restore to drain.
+
+    Construction is cheap and synchronous (drivers may build a platform,
+    which is the one expensive step); :meth:`run` blocks until every
+    campaign finishes or a drain request lands.  Tests drive
+    :meth:`run` directly; the CLI adds the live-out flight recorder.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        platform=None,
+        recorder: Optional[FlightRecorder] = None,
+        serve: bool = True,
+    ) -> None:
+        self.config = config
+        longterm_config = shortterm_config = None
+        if any(
+            campaign.kind in ("trace", "ping") for campaign in config.campaigns
+        ):
+            from repro.harness.scenarios import get_scenario, scenario_platform
+
+            scenario = get_scenario(config.scenario)
+            longterm_config = scenario.longterm_config()
+            shortterm_config = scenario.shortterm_config()
+            if platform is None:
+                platform = scenario_platform(config.scenario, config.seed)
+        self.platform = platform
+        checkpoint_dir = Path(config.checkpoint_dir)
+        self.campaigns: List[Campaign] = [
+            Campaign(
+                entry,
+                driver_for(
+                    entry, platform,
+                    longterm_config=longterm_config,
+                    shortterm_config=shortterm_config,
+                ),
+                checkpoint_dir,
+            )
+            for entry in config.campaigns
+        ]
+        self.recorder = recorder
+        self.server: Optional[MetricsServer] = None
+        self.api: Optional[ServiceAPI] = None
+        self._serve = serve
+        self._started_mono: Optional[float] = None
+        self._draining = False
+        self._drain_async: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(1, len(self.campaigns)),
+            thread_name_prefix="repro-campaign",
+        )
+
+    # ------------------------------------------------------------------
+    # Control surface (thread-safe: HTTP handlers, signals)
+    # ------------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """Whether a drain has been requested."""
+        return self._draining
+
+    def uptime_s(self) -> Optional[float]:
+        """Seconds since :meth:`run` started (monotonic)."""
+        if self._started_mono is None:
+            return None
+        return round(time.monotonic() - self._started_mono, 3)
+
+    def campaign(self, name: str) -> Optional[Campaign]:
+        """The campaign named ``name``, if any."""
+        for campaign in self.campaigns:
+            if campaign.config.name == name:
+                return campaign
+        return None
+
+    def request_drain(self, reason: str = "request") -> None:
+        """Stop every campaign at its next unit boundary; idempotent.
+
+        Safe from any thread: flips the campaign flags directly (the
+        cycle loops poll them) and wakes the async sleepers through the
+        loop's thread-safe call scheduler.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        _LOG.info("service.drain.requested", reason=reason)
+        obs_metrics.counter("service.drains").inc()
+        for campaign in self.campaigns:
+            campaign.request_drain()
+        loop, event = self._loop, self._drain_async
+        if loop is not None and event is not None:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:  # loop already closed: nothing left to wake
+                pass
+
+    # ------------------------------------------------------------------
+    # The async core
+    # ------------------------------------------------------------------
+
+    def run(self) -> Dict[str, str]:
+        """Restore, schedule, serve, drain; returns campaign outcomes."""
+        return asyncio.run(self._main())
+
+    async def _main(self) -> Dict[str, str]:
+        self._loop = asyncio.get_running_loop()
+        self._drain_async = asyncio.Event()
+        self._started_mono = time.monotonic()
+        status = obs_live.get_status()
+        status.begin_run(
+            mode="service",
+            scenario=self.config.scenario,
+            seed=self.config.seed,
+            campaigns=[c.config.name for c in self.campaigns],
+        )
+        status.set_phase("service")
+        for campaign in self.campaigns:
+            campaign.restore()
+        if self._serve:
+            self.server = MetricsServer(
+                recorder=self.recorder,
+                host=self.config.host,
+                port=self.config.port,
+            )
+            self.api = ServiceAPI(self, self.server)
+            self.server.start()
+            _LOG.info("service.serving", url=self.server.url)
+        self._install_signal_handlers()
+        try:
+            if self.config.drain_after_s is not None:
+                self._loop.call_later(
+                    self.config.drain_after_s,
+                    self.request_drain,
+                    "drain_after_s",
+                )
+            outcomes = await asyncio.gather(
+                *(self._campaign_loop(c) for c in self.campaigns)
+            )
+        finally:
+            self._remove_signal_handlers()
+            self._executor.shutdown(wait=True)
+            if self.server is not None:
+                self.server.close()
+        results = {
+            campaign.config.name: outcome
+            for campaign, outcome in zip(self.campaigns, outcomes)
+        }
+        _LOG.info("service.stopped", outcomes=results)
+        return results
+
+    def _install_signal_handlers(self) -> None:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(
+                    signum, self.request_drain, signal.Signals(signum).name
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread or exotic platform: /drain still works
+
+    def _remove_signal_handlers(self) -> None:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.remove_signal_handler(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+
+    async def _sleep_until(self, deadline_mono: float) -> None:
+        """Sleep until the monotonic deadline, or until drain wakes us."""
+        delay = deadline_mono - time.monotonic()
+        if delay <= 0:
+            return
+        try:
+            await asyncio.wait_for(self._drain_async.wait(), timeout=delay)
+        except asyncio.TimeoutError:
+            pass
+
+    async def _campaign_loop(self, campaign: Campaign) -> str:
+        """Fire cycles at the campaign's cadence until done or drained."""
+        name = campaign.config.name
+        cadence = campaign.config.cadence_s * self.config.time_scale
+        if campaign.done:
+            return "done"
+        next_fire = time.monotonic()  # first cycle fires immediately
+        while True:
+            if self._draining:
+                return "drained"
+            obs_live.get_status().set_campaign(
+                name, next_fire_s=round(max(0.0, next_fire - time.monotonic()), 3)
+            )
+            await self._sleep_until(next_fire)
+            if self._draining:
+                return "drained"
+            fired_at = time.monotonic()
+            obs_live.get_status().set_campaign(name, next_fire_s=0.0)
+            try:
+                outcome = await self._loop.run_in_executor(
+                    self._executor, campaign.run_cycle
+                )
+            except Exception:
+                obs_metrics.counter(
+                    f"service.cycle_failures{{campaign={name}}}"
+                ).inc()
+                obs_live.get_status().set_campaign(name, state="failed")
+                _LOG.warning("service.campaign.cycle_failed", campaign=name)
+                raise
+            if outcome in ("finished", "skipped"):
+                return "done"
+            if outcome == "drained":
+                return "drained"
+            # Next fire keeps the cadence grid: a slow cycle fires the
+            # next one immediately rather than drifting the schedule.
+            next_fire = fired_at + cadence

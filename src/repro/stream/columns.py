@@ -30,7 +30,13 @@ __all__ = ["TraceColumns", "PingColumns", "SegmentColumns"]
 
 @dataclass(frozen=True)
 class TraceColumns:
-    """One long-term trace timeline as columns (round order)."""
+    """One long-term trace timeline as columns (round order).
+
+    ``round_offset`` is the absolute grid round of the first column --
+    zero for a whole-campaign block, the window's low edge for a slice
+    -- so lazily materialized records keep their campaign-absolute
+    ``round_index`` whatever the cut.
+    """
 
     key: UnitKey
     times_hours: np.ndarray
@@ -38,6 +44,7 @@ class TraceColumns:
     outcome: np.ndarray
     path_id: np.ndarray
     paths: Tuple[Tuple[int, ...], ...]
+    round_offset: int = 0
 
     @classmethod
     def from_timeline(cls, timeline) -> "TraceColumns":
@@ -54,6 +61,18 @@ class TraceColumns:
     def __len__(self) -> int:
         return int(self.times_hours.size)
 
+    def slice(self, low: int, high: int) -> "TraceColumns":
+        """Rounds ``[low, high)`` as a new block (path table shared whole)."""
+        return TraceColumns(
+            key=self.key,
+            times_hours=self.times_hours[low:high],
+            rtt_ms=self.rtt_ms[low:high],
+            outcome=self.outcome[low:high],
+            path_id=self.path_id[low:high],
+            paths=self.paths,
+            round_offset=self.round_offset + low,
+        )
+
     def records(self) -> Iterator[TracerouteRecord]:
         """Materialize the records the object path would have built."""
         src, dst, version = self.key
@@ -67,7 +86,7 @@ class TraceColumns:
                 src=src,
                 dst=dst,
                 version=version,
-                round_index=index,
+                round_index=self.round_offset + index,
                 time_hours=times[index],
                 rtt_ms=rtts[index],
                 outcome=outcomes[index],
@@ -82,6 +101,7 @@ class PingColumns:
     key: UnitKey
     times_hours: np.ndarray
     rtt_ms: np.ndarray
+    round_offset: int = 0
 
     @classmethod
     def from_timeline(cls, timeline) -> "PingColumns":
@@ -95,6 +115,15 @@ class PingColumns:
     def __len__(self) -> int:
         return int(self.times_hours.size)
 
+    def slice(self, low: int, high: int) -> "PingColumns":
+        """Rounds ``[low, high)`` as a new block."""
+        return PingColumns(
+            key=self.key,
+            times_hours=self.times_hours[low:high],
+            rtt_ms=self.rtt_ms[low:high],
+            round_offset=self.round_offset + low,
+        )
+
     def records(self) -> Iterator[PingRecord]:
         """Materialize the records the object path would have built."""
         src, dst, version = self.key
@@ -105,7 +134,7 @@ class PingColumns:
                 src=src,
                 dst=dst,
                 version=version,
-                round_index=index,
+                round_index=self.round_offset + index,
                 time_hours=times[index],
                 rtt_ms=rtts[index],
             )
@@ -118,6 +147,16 @@ class SegmentColumns:
     key: UnitKey
     times_hours: np.ndarray
     hop_rtt_ms: np.ndarray
+    round_offset: int = 0
+
+    def slice(self, low: int, high: int) -> "SegmentColumns":
+        """Rounds ``[low, high)`` as a new block (all hops kept)."""
+        return SegmentColumns(
+            key=self.key,
+            times_hours=self.times_hours[low:high],
+            hop_rtt_ms=self.hop_rtt_ms[:, low:high],
+            round_offset=self.round_offset + low,
+        )
 
     @classmethod
     def from_entry(cls, key: UnitKey, entry) -> Optional["SegmentColumns"]:
@@ -141,7 +180,7 @@ class SegmentColumns:
                 src=src,
                 dst=dst,
                 version=version,
-                round_index=index,
+                round_index=self.round_offset + index,
                 time_hours=times[index],
                 hop_rtt_ms=tuple(columns[index]),
             )

@@ -1,0 +1,318 @@
+"""Synthetic million-pair mesh: the campaign service's scale workload.
+
+The paper's platform measured a full server mesh continuously for 16
+months.  The simulated platform reproduces its *figures* faithfully but
+tops out around 10^4 pair-campaigns per build -- far from the "millions
+of pairs, forever" regime an always-on service must sustain.  This
+module supplies that regime synthetically: a mesh of up to millions of
+pairs whose RTT samples are a **pure counter hash** of
+``(seed, pair, absolute round)``, so any sample can be generated at any
+time, in any order, on any shard, with no RNG state at all.
+
+Design points:
+
+- **Block units.**  One :class:`StreamUnit` carries a
+  ``(block_pairs, rounds)`` matrix (:class:`MeshColumns`), not one pair
+  -- per-unit overhead (queue hops, pickles, operator dispatch) is paid
+  once per ~thousand pairs, which is what lets a million pairs stream
+  through a single consumer process.
+- **Stateless sampling.**  ``splitmix64``-style integer mixing (no
+  ``numpy.random``), vectorized over the block.  Sharding, windowing
+  and resume order can never influence a draw because there is no
+  stream to advance -- the same determinism-by-construction story as
+  the platform's named RNG streams, taken to its limit.
+- **O(1) operator state.**  :class:`MeshStatsOperator` folds each block
+  into scalar aggregates plus a fixed-width integer histogram of
+  per-pair RTT spreads, so service RSS stays flat however many cycles
+  the mesh campaign runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.stream.records import PingRecord, UnitKey
+from repro.stream.source import StreamUnit
+
+__all__ = [
+    "MeshConfig",
+    "MeshColumns",
+    "SyntheticMeshSource",
+    "MeshStatsOperator",
+    "mesh_results",
+]
+
+_MIX_A = np.uint64(0x9E3779B97F4A7C15)
+_MIX_B = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_C = np.uint64(0x94D049BB133111EB)
+
+
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over a ``uint64`` array (wrapping arithmetic)."""
+    z = values + _MIX_A
+    z = (z ^ (z >> np.uint64(30))) * _MIX_B
+    z = (z ^ (z >> np.uint64(27))) * _MIX_C
+    return z ^ (z >> np.uint64(31))
+
+
+def _uniform01(values: np.ndarray) -> np.ndarray:
+    """Map mixed ``uint64`` words onto float64 uniforms in ``[0, 1)``."""
+    return (values >> np.uint64(11)).astype(np.float64) * (2.0**-53)
+
+
+@dataclass(frozen=True)
+class MeshConfig:
+    """Shape and statistics of the synthetic mesh campaign.
+
+    ``rounds_per_cycle`` rounds are generated per service cycle at
+    ``cadence_hours`` spacing; ``pair * ROUND_CAPACITY + absolute_round``
+    indexes the counter hash, so cycles are unbounded.
+    """
+
+    pairs: int = 1_000_000
+    block_pairs: int = 1024
+    rounds_per_cycle: int = 8
+    cadence_hours: float = 0.25
+    seed: int = 0
+    base_rtt_ms: float = 10.0
+    spread_rtt_ms: float = 180.0
+    jitter_ms: float = 2.0
+    diurnal_ms: float = 8.0
+    congested_fraction: float = 0.2
+    loss_rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.pairs < 1 or self.block_pairs < 1 or self.rounds_per_cycle < 1:
+            raise ValueError("mesh dimensions must be positive")
+
+    @property
+    def blocks(self) -> int:
+        """Units per cycle (the last block may be ragged)."""
+        return -(-self.pairs // self.block_pairs)
+
+
+_ROUND_CAPACITY = np.uint64(1) << np.uint64(24)
+"""Rounds addressable per pair before counter reuse (~191 years at 15 min)."""
+
+
+@dataclass(frozen=True)
+class MeshColumns:
+    """One block of mesh pairs as a ``(pairs, rounds)`` RTT matrix.
+
+    Lost rounds are NaN.  ``__len__`` counts samples (matrix cells) so
+    unit/record accounting matches the per-pair sources.
+    """
+
+    key: UnitKey
+    pair_ids: np.ndarray
+    times_hours: np.ndarray
+    rtt_ms: np.ndarray
+    round_offset: int = 0
+
+    def __len__(self) -> int:
+        return int(self.rtt_ms.size)
+
+    def slice(self, low: int, high: int) -> "MeshColumns":
+        """Rounds ``[low, high)`` as a new block (all pairs kept)."""
+        return MeshColumns(
+            key=self.key,
+            pair_ids=self.pair_ids,
+            times_hours=self.times_hours[low:high],
+            rtt_ms=self.rtt_ms[:, low:high],
+            round_offset=self.round_offset + low,
+        )
+
+    def records(self) -> Iterator[PingRecord]:
+        """Materialize per-sample records (tests/debugging only)."""
+        times = self.times_hours.tolist()
+        for row, pair in enumerate(self.pair_ids.tolist()):
+            rtts = self.rtt_ms[row].tolist()
+            for index in range(len(times)):
+                yield PingRecord(
+                    src=pair,
+                    dst=-1,
+                    version=4,
+                    round_index=self.round_offset + index,
+                    time_hours=times[index],
+                    rtt_ms=rtts[index],
+                )
+
+
+class SyntheticMeshSource:
+    """Random-access block units of one mesh cycle.
+
+    Compatible with :class:`~repro.stream.source.ShardedSource`
+    (``__len__`` / ``unit_at`` / ``kind``): a million-pair cycle at the
+    default block size is ~977 units, each built independently by
+    whichever shard owns its stride.
+    """
+
+    kind = "mesh"
+
+    def __init__(self, config: MeshConfig, cycle: int = 0) -> None:
+        self.config = config
+        self.cycle = int(cycle)
+
+    def __len__(self) -> int:
+        return self.config.blocks
+
+    def unit_at(self, index: int) -> StreamUnit:
+        """Build block ``index`` of this cycle from the counter hash."""
+        cfg = self.config
+        if not 0 <= index < cfg.blocks:
+            raise IndexError(index)
+        low = index * cfg.block_pairs
+        high = min(low + cfg.block_pairs, cfg.pairs)
+        pairs = np.arange(low, high, dtype=np.uint64)
+        rounds = cfg.rounds_per_cycle
+        first_round = self.cycle * rounds
+        absolute = np.arange(first_round, first_round + rounds, dtype=np.uint64)
+        seed = _mix64(np.array([[cfg.seed]], dtype=np.uint64))
+
+        # Per-pair static character: base RTT and congestion affinity.
+        pair_words = _mix64(pairs ^ seed[0])
+        base_u = _uniform01(pair_words)
+        base = cfg.base_rtt_ms + cfg.spread_rtt_ms * base_u**2
+        congested = _uniform01(_mix64(pair_words)) < cfg.congested_fraction
+        amplitude = np.where(congested, cfg.diurnal_ms, 0.0)
+        phase = _uniform01(_mix64(pair_words ^ _MIX_B))
+
+        # Per-sample counter words: pair * capacity + absolute round.
+        counters = pairs[:, None] * _ROUND_CAPACITY + absolute[None, :]
+        words = _mix64(counters ^ seed)
+        jitter_u = _uniform01(words)
+        loss_u = _uniform01(_mix64(words))
+
+        times = absolute.astype(np.float64) * cfg.cadence_hours
+        day_fraction = (times / 24.0) % 1.0
+        diurnal = amplitude[:, None] * (
+            np.sin(2.0 * math.pi * (day_fraction[None, :] + phase[:, None]))
+            ** 2
+        )
+        rtt = (
+            base[:, None]
+            - cfg.jitter_ms * np.log1p(-jitter_u * (1.0 - 1e-12))
+            + diurnal
+        )
+        rtt = np.where(loss_u < cfg.loss_rate, np.nan, rtt)
+
+        obs_metrics.counter("stream.units").inc()
+        key: UnitKey = (self.cycle, index, 4)
+        return StreamUnit(
+            key=key,
+            kind=self.kind,
+            records=(),
+            columns=MeshColumns(
+                key=key,
+                pair_ids=pairs.astype(np.int64),
+                times_hours=times,
+                rtt_ms=rtt,
+                round_offset=first_round,
+            ),
+        )
+
+    def __iter__(self) -> Iterator[StreamUnit]:
+        for index in range(len(self)):
+            yield self.unit_at(index)
+
+
+@dataclass
+class MeshStatsOperator:
+    """Fold mesh blocks into O(1) aggregate state.
+
+    Tracks sample/loss counts, RTT moments and extremes, and a
+    fixed-width integer histogram of per-pair min-max RTT spreads per
+    block -- enough for loss-rate, mean/stddev and spread-percentile
+    figures over an arbitrarily long campaign.  Every field accumulates
+    in unit order, so a checkpoint/resume replay is bit-identical to an
+    uninterrupted run.
+    """
+
+    name = "mesh-stats"
+
+    spread_threshold_ms: float = 10.0
+    spread_bin_ms: float = 0.5
+    spread_max_ms: float = 400.0
+    samples: int = 0
+    lost: int = 0
+    pair_rows: int = 0
+    rtt_sum: float = 0.0
+    rtt_sq_sum: float = 0.0
+    rtt_min: float = math.inf
+    rtt_max: float = -math.inf
+    spread_exceeds: int = 0
+    spread_counts: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def _bins(self) -> int:
+        return int(self.spread_max_ms / self.spread_bin_ms) + 1
+
+    def start_unit(self, key: UnitKey, meta: object = None) -> None:
+        """Mesh blocks carry no per-unit state; nothing to open."""
+
+    def observe_columns(self, columns: MeshColumns) -> None:
+        """Fold one block's matrix into the aggregates (vectorized)."""
+        if self.spread_counts is None:
+            self.spread_counts = np.zeros(self._bins(), dtype=np.int64)
+        rtt = columns.rtt_ms
+        finite = np.isfinite(rtt)
+        valid = finite.sum(axis=1)
+        self.samples += int(rtt.size)
+        self.lost += int(rtt.size - finite.sum())
+        self.pair_rows += int(rtt.shape[0])
+        present = rtt[finite]
+        if present.size:
+            self.rtt_sum += float(present.sum())
+            self.rtt_sq_sum += float(np.square(present).sum())
+            self.rtt_min = min(self.rtt_min, float(present.min()))
+            self.rtt_max = max(self.rtt_max, float(present.max()))
+        highs = np.where(finite, rtt, -np.inf).max(axis=1)
+        lows = np.where(finite, rtt, np.inf).min(axis=1)
+        spread = np.where(valid > 0, highs - lows, 0.0)
+        self.spread_exceeds += int((spread > self.spread_threshold_ms).sum())
+        slots = np.minimum(
+            (spread / self.spread_bin_ms).astype(np.int64), self._bins() - 1
+        )
+        self.spread_counts += np.bincount(slots, minlength=self._bins())
+
+    def _spread_percentile(self, q: float) -> float:
+        """Percentile of the spread distribution from the histogram."""
+        if self.spread_counts is None or self.pair_rows == 0:
+            return 0.0
+        target = math.ceil(q * self.pair_rows)
+        cumulative = np.cumsum(self.spread_counts)
+        slot = int(np.searchsorted(cumulative, target))
+        return min(slot * self.spread_bin_ms, self.spread_max_ms)
+
+    def finalize(self) -> Dict[str, object]:
+        """Aggregate figures as a JSON-stable dict (deterministic)."""
+        observed = self.samples - self.lost
+        mean = self.rtt_sum / observed if observed else 0.0
+        variance = (
+            max(self.rtt_sq_sum / observed - mean * mean, 0.0) if observed else 0.0
+        )
+        return {
+            "samples": self.samples,
+            "lost": self.lost,
+            "loss_rate": round(self.lost / self.samples, 9) if self.samples else 0.0,
+            "pair_rows": self.pair_rows,
+            "rtt_mean_ms": round(mean, 9),
+            "rtt_stddev_ms": round(math.sqrt(variance), 9),
+            "rtt_min_ms": round(self.rtt_min, 9) if observed else None,
+            "rtt_max_ms": round(self.rtt_max, 9) if observed else None,
+            "spread_p50_ms": self._spread_percentile(0.50),
+            "spread_p90_ms": self._spread_percentile(0.90),
+            "spread_p99_ms": self._spread_percentile(0.99),
+            "spread_exceeds": self.spread_exceeds,
+        }
+
+
+def mesh_results(operator: MeshStatsOperator, cycles: int) -> Dict[str, object]:
+    """The mesh campaign's results payload after ``cycles`` cycles."""
+    payload = operator.finalize()
+    payload["cycles"] = int(cycles)
+    return payload

@@ -30,8 +30,11 @@ stream, and the batch pipeline all see the same sample values.
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
 from dataclasses import dataclass
+from queue import Empty as _QueueEmpty
+from queue import Full as _QueueFull
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.datasets.columnar import CampaignKernels
@@ -60,6 +63,7 @@ __all__ = [
     "PingSource",
     "SegmentTraceSource",
     "LongTermFileSource",
+    "WindowedSource",
     "ShardedSource",
     "ShardError",
 ]
@@ -375,6 +379,62 @@ class LongTermFileSource:
             yield trace_unit(timeline, columnar=self.columnar)
 
 
+class WindowedSource:
+    """Restrict a platform source's units to grid rounds ``[low, high)``.
+
+    The campaign service feeds operators one *cycle* (a contiguous slice
+    of the measurement grid) at a time.  Every per-(pair, epoch) RNG
+    stream is position-fixed in the full grid, so the wrapped source
+    still builds each pair's whole-campaign timeline -- identical draws
+    to the batch pipeline -- and the window is cut out afterwards.  The
+    concatenation of a campaign's windows therefore feeds an operator
+    exactly the full timeline, bit for bit, however the grid is cut into
+    cycles (the incremental operators carry their cross-boundary state
+    in ``state.last`` / ring windows / P² estimators).
+
+    Random access (``unit_at``) and ``__len__`` delegate to the wrapped
+    source, so a windowed source shards and resumes exactly like the
+    source it wraps.
+    """
+
+    def __init__(self, source, low: int, high: int) -> None:
+        if low < 0 or high < low:
+            raise ValueError(f"invalid window [{low}, {high})")
+        self.source = source
+        self.low = int(low)
+        self.high = int(high)
+
+    @property
+    def kind(self) -> str:
+        """The wrapped source's unit kind."""
+        return self.source.kind
+
+    def __len__(self) -> int:
+        return len(self.source)
+
+    def unit_at(self, index: int) -> StreamUnit:
+        """The wrapped source's unit, cut down to the window's rounds."""
+        unit = self.source.unit_at(index)
+        if unit.columns is not None:
+            return StreamUnit(
+                key=unit.key,
+                kind=unit.kind,
+                records=(),
+                meta=unit.meta,
+                columns=unit.columns.slice(self.low, self.high),
+            )
+        return StreamUnit(
+            key=unit.key,
+            kind=unit.kind,
+            records=unit.records[self.low:self.high],
+            meta=unit.meta,
+        )
+
+    def __iter__(self) -> Iterator[StreamUnit]:
+        for index in range(len(self.source)):
+            yield self.unit_at(index)
+
+
 # ---------------------------------------------------------------------------
 # Sharded fan-out with bounded per-shard queues
 # ---------------------------------------------------------------------------
@@ -406,26 +466,45 @@ class ShardError(RuntimeError):
         self.metrics_delta = metrics_delta or {}
 
 
-def _shard_worker(source, worker_index: int, shards: int, start: int, queue) -> None:
+def _shard_worker(
+    source, worker_index: int, shards: int, start: int, queue, stop
+) -> None:
     """Worker loop: build this shard's units and push them with telemetry.
 
     The queue is bounded, so ``put`` blocks when the consumer lags --
-    that is the backpressure contract.  Counters incremented inside the
-    builders travel back as per-unit registry snapshot deltas, exactly
-    like :func:`repro.datasets.parallel.fork_map` workers -- and on a
-    crash the delta of the half-finished unit rides along with the
+    that is the backpressure contract.  ``stop`` is the drain event: a
+    consumer that abandons the stream mid-window sets it, and the worker
+    exits cleanly at the next unit boundary (or the next ``put`` retry)
+    instead of being terminated mid-write.  Counters incremented inside
+    the builders travel back as per-unit registry snapshot deltas,
+    exactly like :func:`repro.datasets.parallel.fork_map` workers -- and
+    on a crash the delta of the half-finished unit rides along with the
     traceback.
     """
     registry = obs_metrics.get_registry()
     baseline = registry.snapshot()
+
+    def _put(item) -> bool:
+        """Bounded put that gives up when the consumer has drained away."""
+        while not stop.is_set():
+            try:
+                queue.put(item, timeout=0.1)
+                return True
+            except _QueueFull:
+                continue
+        return False
+
     try:
         for index in range(start + worker_index, len(source), shards):
+            if stop.is_set():
+                return
             baseline = registry.snapshot()
             unit = source.unit_at(index)
-            queue.put(("unit", index, unit, registry.delta_since(baseline)))
-        queue.put((_DONE, worker_index, None, None))
+            if not _put(("unit", index, unit, registry.delta_since(baseline))):
+                return
+        _put((_DONE, worker_index, None, None))
     except BaseException:  # surfaced to the parent, never swallowed
-        queue.put(
+        _put(
             ("error", worker_index, traceback.format_exc(),
              registry.delta_since(baseline))
         )
@@ -447,6 +526,9 @@ class ShardedSource:
         self.source = source
         self.shards = int(shards)
         self.queue_units = int(queue_units)
+        self.last_workers: List[multiprocessing.Process] = []
+        """The worker processes of the most recent fan-out (diagnostics:
+        after the iterator is exhausted or closed, all must be dead)."""
 
     @property
     def kind(self) -> str:
@@ -483,6 +565,13 @@ class ShardedSource:
         status.set_shards(shards)
         depth_gauge = registry.gauge("stream.queue_depth")
         lag_gauge = registry.gauge("stream.merge_lag")
+        # Distribution of the instantaneous lag (units built by workers
+        # but not yet merged), sampled at every pop -- the p99 of this is
+        # the backpressure number the service benchmark reports.
+        lag_hist = registry.histogram(
+            "stream.merge_lag_units", buckets=(0.0, 1.0, 2.0, 4.0, 8.0,
+                                               16.0, 32.0, 64.0, 128.0)
+        )
         shard_depths = [
             registry.gauge(f"stream.queue_depth{{shard={worker}}}")
             for worker in range(shards)
@@ -492,15 +581,17 @@ class ShardedSource:
             for worker in range(shards)
         ]
         context = multiprocessing.get_context("fork")
+        stop = context.Event()
         queues = [context.Queue(maxsize=self.queue_units) for _ in range(shards)]
         workers = [
             context.Process(
                 target=_shard_worker,
-                args=(self.source, worker, shards, start, queues[worker]),
+                args=(self.source, worker, shards, start, queues[worker], stop),
                 daemon=True,
             )
             for worker in range(shards)
         ]
+        self.last_workers = workers
         for process in workers:
             process.start()
         try:
@@ -510,7 +601,9 @@ class ShardedSource:
                 try:
                     depth_gauge.set(queue.qsize())
                     shard_depths[shard].set(queue.qsize())
-                    lag_gauge.set(sum(q.qsize() for q in queues))
+                    lag = sum(q.qsize() for q in queues)
+                    lag_gauge.set(lag)
+                    lag_hist.observe(lag)
                 except NotImplementedError:  # macOS has no qsize
                     pass
                 tag, value, payload, delta = queue.get()
@@ -527,13 +620,41 @@ class ShardedSource:
                 status.shard_unit(shard)
                 yield payload
         finally:
-            for process in workers:
-                process.terminate()
-            for process in workers:
-                process.join()
-            for queue in queues:
-                queue.cancel_join_thread()
-                queue.close()
+            self._drain(workers, queues, stop)
+
+    @staticmethod
+    def _drain(workers, queues, stop, join_timeout: float = 5.0) -> None:
+        """Deterministic shutdown of a (possibly mid-window) fan-out.
+
+        Order matters: signal the stop event first so every producer
+        exits at its next unit boundary or ``put`` retry, then keep the
+        queues empty so a producer blocked inside a full bounded queue
+        can finish its ``put`` and observe the event.  Workers are only
+        terminated as a last resort after the join timeout -- the common
+        path (completion, consumer ``close()``, supervisor drain) ends
+        every worker cleanly with exit code 0 and no stuck queue feeder
+        threads.
+        """
+        stop.set()
+        deadline = time.monotonic() + join_timeout
+        pending = list(workers)
+        while pending and time.monotonic() < deadline:
+            for queue in queues:  # unblock producers stuck in put()
+                try:
+                    while True:
+                        queue.get_nowait()
+                except (_QueueEmpty, OSError, ValueError):
+                    pass
+            pending = [process for process in pending if process.is_alive()]
+            if pending:
+                pending[0].join(timeout=0.05)
+        for process in pending:  # pragma: no cover - hung-worker fallback
+            process.terminate()
+        for process in workers:
+            process.join()
+        for queue in queues:
+            queue.cancel_join_thread()
+            queue.close()
 
     def __iter__(self) -> Iterator[StreamUnit]:
         return self.iter_from(0)

@@ -180,3 +180,78 @@ def test_server_close_is_idempotent_and_releases_port():
     server.close()  # second close is a no-op
     with pytest.raises(OSError):
         urllib.request.urlopen(url + "/health", timeout=1)
+
+
+# ----------------------------------------------------------------------
+# Route table
+# ----------------------------------------------------------------------
+
+def test_live_status_schema_covers_campaigns():
+    assert LIVE_STATUS_SCHEMA == 2  # v2 added the campaigns table
+    status = RunStatus()
+    status.set_campaign("mesh", state="running", cycle=1)
+    server = MetricsServer(
+        registry=MetricsRegistry(), status=status, port=0
+    ).start()
+    try:
+        _, _, body = _get(server.url + "/status")
+        payload = json.loads(body)
+        (row,) = payload["campaigns"]
+        assert (row["name"], row["state"], row["cycle"]) == ("mesh", "running", 1)
+    finally:
+        server.close()
+
+
+def _post(url):
+    request = urllib.request.Request(url, method="POST")
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return response.status, response.read().decode()
+
+
+def test_add_route_mounts_get_and_post_handlers():
+    server = MetricsServer(registry=MetricsRegistry(), port=0)
+    hits = []
+    server.add_route("GET", "/custom", lambda: (200, "text/plain", "got\n"))
+    server.add_route(
+        "post", "/custom", lambda: (hits.append(1), (202, "text/plain", "did\n"))[1]
+    )
+    server.start()
+    try:
+        code, _, body = _get(server.url + "/custom")
+        assert (code, body) == (200, "got\n")
+        code, body = _post(server.url + "/custom")
+        assert (code, body, hits) == (202, "did\n", [1])
+
+        # POST to a GET-only built-in is unknown.
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(server.url + "/metrics")
+        assert err.value.code == 404
+    finally:
+        server.close()
+
+
+def test_route_exception_becomes_500():
+    def exploding():
+        raise RuntimeError("handler boom")
+
+    server = MetricsServer(registry=MetricsRegistry(), port=0)
+    server.add_route("GET", "/boom", exploding)
+    server.start()
+    try:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server.url + "/boom")
+        assert err.value.code == 500
+    finally:
+        server.close()
+
+
+def test_add_route_replaces_existing_handler():
+    server = MetricsServer(registry=MetricsRegistry(), port=0)
+    server.add_route("GET", "/v", lambda: (200, "text/plain", "one\n"))
+    server.add_route("GET", "/v", lambda: (200, "text/plain", "two\n"))
+    server.start()
+    try:
+        _, _, body = _get(server.url + "/v")
+        assert body == "two\n"
+    finally:
+        server.close()

@@ -221,3 +221,46 @@ def test_sigterm_leaves_fresh_final_sample(tmp_path):
         # freshness: the final sample trails the previous one by less
         # than two sampling intervals
         assert lines[-1]["mono"] - lines[-2]["mono"] < 2 * 0.05 + 0.5
+
+
+# ----------------------------------------------------------------------
+# Campaign board
+# ----------------------------------------------------------------------
+
+def test_campaign_rows_merge_and_sort():
+    status = RunStatus()
+    status.set_campaign("pings", state="running", cycle=3)
+    status.set_campaign("mesh", state="idle")
+    status.set_campaign("pings", units_done=7)  # merge, not replace
+    board = status.as_dict()["campaigns"]
+    assert [row["name"] for row in board] == ["mesh", "pings"]
+    pings = board[1]
+    assert pings["state"] == "running"
+    assert pings["cycle"] == 3
+    assert pings["units_done"] == 7
+    assert pings["updated_age_s"] >= 0
+    assert "updated_mono" not in pings
+
+
+def test_drop_campaign_removes_row():
+    status = RunStatus()
+    status.set_campaign("mesh", state="running")
+    status.drop_campaign("mesh")
+    status.drop_campaign("never-there")  # harmless
+    assert status.as_dict()["campaigns"] == []
+
+
+def test_reset_clears_campaigns():
+    status = RunStatus()
+    status.set_campaign("mesh", state="running")
+    status.reset()
+    assert status.as_dict()["campaigns"] == []
+
+
+def test_refresh_derived_gauges_projects_campaign_ages():
+    registry = MetricsRegistry()
+    status = RunStatus()
+    status.set_campaign("mesh", state="running")
+    refresh_derived_gauges(registry, status)
+    gauges = registry.snapshot()["gauges"]
+    assert gauges["live.campaign_update_age_seconds{campaign=mesh}"] >= 0

@@ -170,3 +170,44 @@ def test_parser_requires_exactly_one_source():
         assert exc.code == 2
     else:  # pragma: no cover
         raise AssertionError("parser accepted no source")
+
+
+# ----------------------------------------------------------------------
+# campaign table
+# ----------------------------------------------------------------------
+
+def test_campaign_rows_take_latest_sample():
+    first = _sample(0, 10.0, 10)
+    second = _sample(1, 11.0, 20)
+    second["status"]["campaigns"] = [
+        {"name": "mesh", "state": "running"},
+        "not-a-row",
+    ]
+    assert top.campaign_rows([]) == []
+    assert top.campaign_rows([first]) == []
+    assert top.campaign_rows([first, second]) == [
+        {"name": "mesh", "state": "running"}
+    ]
+
+
+def test_render_frame_includes_campaign_table():
+    sample = _sample(0, 10.0, 100)
+    sample["status"]["campaigns"] = [
+        {
+            "name": "traceroute-mesh",
+            "state": "running",
+            "cycle": 4,
+            "units_done": 12,
+            "units_total": 64,
+            "next_fire_s": 0.0,
+            "fingerprint": "abcdef0123456789",
+        },
+        {"name": "pings", "state": "idle"},
+    ]
+    frame = top.render_frame([sample])
+    assert "campaign" in frame and "next fire" in frame
+    assert "traceroute-mesh" in frame
+    assert "12/64" in frame
+    assert "abcdef012345" in frame  # fingerprint clipped to 12 chars
+    assert "abcdef0123456789" not in frame
+    assert "pings" in frame

@@ -1,0 +1,19 @@
+"""Shared service-test isolation.
+
+Campaign runs write to the live status board and the default metrics
+registry; every test here starts and ends with both empty so service
+tests neither see state from the wider suite nor leak any into it.
+"""
+
+import pytest
+
+from repro.obs import live, metrics
+
+
+@pytest.fixture(autouse=True)
+def clean_service_state():
+    metrics.get_registry().reset()
+    live.get_status().reset()
+    yield
+    metrics.get_registry().reset()
+    live.get_status().reset()

@@ -1,0 +1,83 @@
+"""Tests for the campaign checkpoint store."""
+
+import pickle
+
+from repro.service.checkpoint import (
+    CAMPAIGN_CHECKPOINT_SCHEMA,
+    CampaignCheckpointStore,
+    campaign_fingerprint,
+)
+from repro.service.config import CampaignConfig
+
+
+class TestCampaignFingerprint:
+    def test_stable_for_equal_configs(self):
+        a = campaign_fingerprint(CampaignConfig(name="m"))
+        b = campaign_fingerprint(CampaignConfig(name="m"))
+        assert a == b
+
+    def test_changes_with_any_knob(self):
+        base = campaign_fingerprint(CampaignConfig(name="m"))
+        assert base != campaign_fingerprint(CampaignConfig(name="m", shards=2))
+        assert base != campaign_fingerprint(
+            CampaignConfig(name="m", rounds_per_cycle=4)
+        )
+        assert base != campaign_fingerprint(CampaignConfig(name="other"))
+
+
+class TestCampaignCheckpointStore:
+    def _store(self, tmp_path, fingerprint="f" * 8):
+        return CampaignCheckpointStore(tmp_path, "mesh", fingerprint)
+
+    def test_roundtrip(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save(3, 17, {"acc": 42})
+        payload = store.load()
+        assert payload["schema"] == CAMPAIGN_CHECKPOINT_SCHEMA
+        assert payload["cycle"] == 3
+        assert payload["units_done"] == 17
+        assert payload["operator"] == {"acc": 42}
+        assert payload["results"] is None
+
+    def test_final_snapshot_carries_results(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save(5, 0, {"acc": 1}, results={"samples": 9})
+        assert store.load()["results"] == {"samples": 9}
+
+    def test_missing_is_a_miss(self, tmp_path):
+        assert self._store(tmp_path).load() is None
+
+    def test_corrupt_is_a_miss(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save(1, 0, None)
+        store.path.write_bytes(b"not a pickle")
+        assert store.load() is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save(1, 0, None)
+        payload = pickle.loads(store.path.read_bytes())
+        payload["schema"] = CAMPAIGN_CHECKPOINT_SCHEMA + 1
+        store.path.write_bytes(pickle.dumps(payload))
+        assert store.load() is None
+
+    def test_fingerprint_mismatch_is_a_miss(self, tmp_path):
+        self._store(tmp_path, "old").save(2, 4, None)
+        old = CampaignCheckpointStore(tmp_path, "mesh", "old")
+        new = CampaignCheckpointStore(tmp_path, "mesh", "new")
+        assert old.load() is not None
+        assert new.load() is None  # different path entirely
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save(1, 1, None)
+        store.save(2, 2, None)
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_clear(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save(1, 0, None)
+        store.clear()
+        assert store.load() is None
+        store.clear()  # idempotent

@@ -1,0 +1,108 @@
+"""Tests for the service/campaign config shapes and the JSON loader."""
+
+import pytest
+
+from repro.service.config import (
+    CampaignConfig,
+    ServiceConfig,
+    service_config_from_dict,
+)
+from repro.stream.mesh import MeshConfig
+
+
+class TestCampaignConfig:
+    def test_defaults(self):
+        config = CampaignConfig(name="mesh")
+        assert config.kind == "mesh"
+        assert config.shards == 1
+
+    @pytest.mark.parametrize("name", ["", "has space", "has/slash", "a{b}"])
+    def test_rejects_unroutable_names(self, name):
+        with pytest.raises(ValueError, match="invalid campaign name"):
+            CampaignConfig(name=name)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown campaign kind"):
+            CampaignConfig(name="m", kind="icmp")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cadence_s": 0},
+            {"rounds_per_cycle": 0},
+            {"cycles": 0},
+            {"shards": 0},
+            {"queue_units": 0},
+            {"checkpoint_every": 0},
+        ],
+    )
+    def test_rejects_nonpositive_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            CampaignConfig(name="m", **kwargs)
+
+
+class TestServiceConfig:
+    def test_needs_campaigns(self):
+        with pytest.raises(ValueError, match="at least one campaign"):
+            ServiceConfig(campaigns=())
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate campaign names"):
+            ServiceConfig(
+                campaigns=(CampaignConfig(name="m"), CampaignConfig(name="m"))
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"time_scale": 0}, {"live_interval_s": 0}, {"drain_after_s": 0}],
+    )
+    def test_rejects_nonpositive_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(campaigns=(CampaignConfig(name="m"),), **kwargs)
+
+
+class TestServiceConfigFromDict:
+    def test_full_document(self):
+        config = service_config_from_dict(
+            {
+                "campaigns": [
+                    {
+                        "name": "mesh",
+                        "cycles": 2,
+                        "mesh": {"pairs": 1024, "block_pairs": 256},
+                    },
+                    {"name": "pings", "kind": "ping", "cadence_s": 900},
+                ],
+                "scenario": "small",
+                "time_scale": 0.01,
+                "port": 0,
+            }
+        )
+        assert [c.name for c in config.campaigns] == ["mesh", "pings"]
+        assert config.campaigns[0].mesh == MeshConfig(pairs=1024, block_pairs=256)
+        assert config.time_scale == 0.01
+
+    def test_unknown_service_key_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown service keys"):
+            service_config_from_dict(
+                {"campaigns": [{"name": "m"}], "time_scael": 1.0}
+            )
+
+    def test_unknown_campaign_key_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown campaign keys"):
+            service_config_from_dict({"campaigns": [{"name": "m", "shrads": 2}]})
+
+    def test_unknown_mesh_key_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown mesh keys"):
+            service_config_from_dict(
+                {"campaigns": [{"name": "m", "mesh": {"pears": 7}}]}
+            )
+
+    @pytest.mark.parametrize(
+        "payload",
+        [[], {"campaigns": {}}, {"campaigns": ["m"]},
+         {"campaigns": [{"name": "m", "mesh": 3}]}],
+    )
+    def test_rejects_malformed_documents(self, payload):
+        with pytest.raises(ValueError):
+            service_config_from_dict(payload)

@@ -1,0 +1,126 @@
+"""Kill-and-restart durability: the service's headline contract.
+
+A supervisor process killed mid-campaign -- gracefully (SIGTERM drains
+to a checkpoint boundary) or brutally (SIGKILL, no goodbye) -- must,
+when restarted against the same config, resume from its last checkpoint
+and finish with results byte-identical to a never-interrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+_REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+# Enough cycles at a real-time cadence that the kill reliably lands
+# mid-run; the resumed run is then compressed to finish immediately.
+_CAMPAIGN = {
+    "name": "mesh",
+    "kind": "mesh",
+    "cadence_s": 0.3,
+    "cycles": 12,
+    "rounds_per_cycle": 4,
+    "checkpoint_every": 2,
+    "mesh": {"pairs": 2048, "block_pairs": 256},
+}
+
+
+def _write_config(tmp_path, name):
+    state = tmp_path / f"{name}-state"
+    config = {
+        "campaigns": [_CAMPAIGN],
+        "checkpoint_dir": str(state),
+        "port": 0,
+    }
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(config))
+    return path, state
+
+
+def _run_service(config_path, *extra, check=True):
+    process = subprocess.run(
+        [sys.executable, "-m", "repro", "service", "run",
+         "--config", str(config_path), "--time-scale", "0.001", *extra],
+        env={**os.environ, "PYTHONPATH": str(_REPO_SRC)},
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if check:
+        assert process.returncode == 0, process.stderr
+    return process
+
+
+def _start_service(config_path):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "service", "run",
+         "--config", str(config_path)],
+        env={**os.environ, "PYTHONPATH": str(_REPO_SRC)},
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for_checkpoint(state_dir, process, timeout=60):
+    """Block until the campaign has durably saved at least once."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if list(state_dir.glob("campaign-mesh-*.ckpt")):
+            return
+        assert process.poll() is None, "service exited before checkpointing"
+        time.sleep(0.05)
+    raise AssertionError("no checkpoint appeared")
+
+
+@pytest.fixture(scope="module")
+def reference_results(tmp_path_factory):
+    """One uninterrupted run's canonical results bytes."""
+    tmp_path = tmp_path_factory.mktemp("reference")
+    config_path, state = _write_config(tmp_path, "reference")
+    _run_service(config_path)
+    return (state / "results-mesh.json").read_bytes()
+
+
+class TestKillAndRestart:
+    def test_sigterm_drains_then_restart_is_byte_identical(
+        self, tmp_path, reference_results
+    ):
+        config_path, state = _write_config(tmp_path, "sigterm")
+        process = _start_service(config_path)
+        try:
+            _wait_for_checkpoint(state, process)
+            assert process.poll() is None, "kill must land mid-run"
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=60) == 0  # graceful drain
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert not (state / "results-mesh.json").exists()
+
+        resumed = _run_service(config_path)
+        assert "mesh: done" in resumed.stdout
+        assert (state / "results-mesh.json").read_bytes() == reference_results
+
+    def test_sigkill_then_restart_is_byte_identical(
+        self, tmp_path, reference_results
+    ):
+        config_path, state = _write_config(tmp_path, "sigkill")
+        process = _start_service(config_path)
+        try:
+            _wait_for_checkpoint(state, process)
+            assert process.poll() is None, "kill must land mid-run"
+            process.kill()
+            process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+        resumed = _run_service(config_path)
+        assert "mesh: done" in resumed.stdout
+        assert (state / "results-mesh.json").read_bytes() == reference_results

@@ -1,0 +1,167 @@
+"""Tests for the synthetic mesh source and its O(1) operator."""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.stream.mesh import (
+    MeshConfig,
+    MeshStatsOperator,
+    SyntheticMeshSource,
+    mesh_results,
+)
+from repro.stream.source import ShardedSource, WindowedSource
+
+CONFIG = MeshConfig(pairs=1000, block_pairs=256, rounds_per_cycle=8)
+
+
+class TestSyntheticMeshSource:
+    def test_block_layout(self):
+        source = SyntheticMeshSource(CONFIG)
+        assert len(source) == 4  # ceil(1000 / 256), last block ragged
+        first = source.unit_at(0).columns
+        last = source.unit_at(3).columns
+        assert first.rtt_ms.shape == (256, 8)
+        assert last.rtt_ms.shape == (1000 - 3 * 256, 8)
+        assert last.pair_ids[0] == 3 * 256
+
+    def test_units_are_bit_identical_across_builds(self):
+        a = SyntheticMeshSource(CONFIG, cycle=2).unit_at(1).columns
+        b = SyntheticMeshSource(CONFIG, cycle=2).unit_at(1).columns
+        np.testing.assert_array_equal(a.rtt_ms, b.rtt_ms)
+        np.testing.assert_array_equal(a.times_hours, b.times_hours)
+
+    def test_order_independent_sampling(self):
+        source = SyntheticMeshSource(CONFIG)
+        backwards = [source.unit_at(i).columns for i in reversed(range(4))]
+        forwards = [source.unit_at(i).columns for i in range(4)]
+        for early, late in zip(forwards, reversed(backwards)):
+            np.testing.assert_array_equal(early.rtt_ms, late.rtt_ms)
+
+    def test_cycles_continue_the_round_counter(self):
+        cycle0 = SyntheticMeshSource(CONFIG, cycle=0).unit_at(0).columns
+        cycle1 = SyntheticMeshSource(CONFIG, cycle=1).unit_at(0).columns
+        assert cycle0.round_offset == 0
+        assert cycle1.round_offset == 8
+        assert cycle1.times_hours[0] == pytest.approx(8 * CONFIG.cadence_hours)
+        # Different rounds hash to different samples.
+        assert not np.array_equal(cycle0.rtt_ms, cycle1.rtt_ms, equal_nan=True)
+
+    def test_seed_changes_every_sample_stream(self):
+        a = SyntheticMeshSource(CONFIG).unit_at(0).columns
+        b = (
+            SyntheticMeshSource(MeshConfig(
+                pairs=1000, block_pairs=256, rounds_per_cycle=8, seed=1
+            )).unit_at(0).columns
+        )
+        assert not np.array_equal(a.rtt_ms, b.rtt_ms, equal_nan=True)
+
+    def test_loss_rate_is_roughly_configured(self):
+        config = MeshConfig(pairs=4096, block_pairs=4096, loss_rate=0.05)
+        columns = SyntheticMeshSource(config).unit_at(0).columns
+        observed = np.isnan(columns.rtt_ms).mean()
+        assert observed == pytest.approx(0.05, abs=0.01)
+
+    def test_records_match_columns(self):
+        columns = SyntheticMeshSource(CONFIG, cycle=1).unit_at(2).columns
+        records = list(columns.records())
+        assert len(records) == len(columns)
+        first = records[0]
+        assert first.src == int(columns.pair_ids[0])
+        assert first.round_index == columns.round_offset
+        cell = float(columns.rtt_ms[0, 0])
+        assert (first.rtt_ms == cell) or (
+            math.isnan(first.rtt_ms) and math.isnan(cell)
+        )
+
+    def test_window_concatenation_matches_full_block(self):
+        source = SyntheticMeshSource(CONFIG)
+        full = source.unit_at(0).columns
+        lowhalf = WindowedSource(source, 0, 4).unit_at(0).columns
+        highhalf = WindowedSource(source, 4, 8).unit_at(0).columns
+        rejoined = np.concatenate([lowhalf.rtt_ms, highhalf.rtt_ms], axis=1)
+        np.testing.assert_array_equal(rejoined, full.rtt_ms)
+        assert highhalf.round_offset == 4
+
+    def test_out_of_range_block_raises(self):
+        source = SyntheticMeshSource(CONFIG)
+        with pytest.raises(IndexError):
+            source.unit_at(4)
+
+    def test_sharded_feed_matches_ordered_feed(self):
+        source = SyntheticMeshSource(CONFIG)
+        operator_a = MeshStatsOperator()
+        for unit in source:
+            operator_a.observe_columns(unit.columns)
+        operator_b = MeshStatsOperator()
+        sharded = ShardedSource(source, shards=2, queue_units=2)
+        for unit in sharded:
+            operator_b.observe_columns(unit.columns)
+        assert operator_a.finalize() == operator_b.finalize()
+
+
+class TestMeshStatsOperator:
+    def _folded(self, cycles=2):
+        operator = MeshStatsOperator()
+        for cycle in range(cycles):
+            for unit in SyntheticMeshSource(CONFIG, cycle=cycle):
+                operator.start_unit(unit.key)
+                operator.observe_columns(unit.columns)
+        return operator
+
+    def test_counts_add_up(self):
+        operator = self._folded()
+        assert operator.samples == 1000 * 8 * 2
+        assert operator.pair_rows == 1000 * 2
+        figures = operator.finalize()
+        assert figures["lost"] == operator.lost
+        assert figures["loss_rate"] == pytest.approx(CONFIG.loss_rate, abs=0.01)
+        assert figures["rtt_min_ms"] >= CONFIG.base_rtt_ms
+        assert figures["rtt_mean_ms"] > figures["rtt_min_ms"]
+
+    def test_spread_percentiles_are_monotone(self):
+        figures = self._folded().finalize()
+        assert (
+            0.0
+            <= figures["spread_p50_ms"]
+            <= figures["spread_p90_ms"]
+            <= figures["spread_p99_ms"]
+        )
+        assert figures["spread_exceeds"] > 0
+
+    def test_all_lost_block_is_harmless(self):
+        operator = MeshStatsOperator()
+        columns = SyntheticMeshSource(CONFIG).unit_at(0).columns
+        all_lost = type(columns)(
+            key=columns.key,
+            pair_ids=columns.pair_ids,
+            times_hours=columns.times_hours,
+            rtt_ms=np.full_like(columns.rtt_ms, np.nan),
+        )
+        operator.observe_columns(all_lost)
+        figures = operator.finalize()
+        assert figures["lost"] == figures["samples"]
+        assert figures["rtt_min_ms"] is None
+        assert figures["spread_p99_ms"] == 0.0
+
+    def test_checkpoint_replay_is_bit_identical(self):
+        source = SyntheticMeshSource(CONFIG)
+        straight = MeshStatsOperator()
+        for unit in source:
+            straight.observe_columns(unit.columns)
+
+        resumed = MeshStatsOperator()
+        for unit in (source.unit_at(0), source.unit_at(1)):
+            resumed.observe_columns(unit.columns)
+        resumed = pickle.loads(pickle.dumps(resumed))  # kill + restore
+        for unit in (source.unit_at(2), source.unit_at(3)):
+            resumed.observe_columns(unit.columns)
+        assert straight.finalize() == resumed.finalize()
+
+    def test_mesh_results_appends_cycles(self):
+        operator = self._folded(cycles=1)
+        payload = mesh_results(operator, 7)
+        assert payload["cycles"] == 7
+        assert payload["samples"] == operator.samples

@@ -175,3 +175,48 @@ class TestShardErrorContext:
         # The doomed unit's delta is merged into the parent registry too.
         partial_after = registry.counter("test.shard_crash.partial_work").value
         assert partial_after == partial_before + 2
+
+
+class TestShardedDrain:
+    """Deterministic shutdown of a sharded stream mid-ingest."""
+
+    def _source(self):
+        from repro.stream.mesh import MeshConfig, SyntheticMeshSource
+
+        return SyntheticMeshSource(
+            MeshConfig(pairs=4096, block_pairs=256)  # 16 units
+        )
+
+    def test_close_mid_stream_joins_all_workers(self):
+        sharded = ShardedSource(self._source(), shards=3, queue_units=1)
+        iterator = sharded.iter_from(0)
+        seen = [next(iterator).key for _ in range(4)]
+        iterator.close()
+        assert len(seen) == 4
+        assert sharded.last_workers, "fan-out should have forked workers"
+        for worker in sharded.last_workers:
+            assert not worker.is_alive()
+            # exitcode 0 means the stop flag drained the worker; a
+            # negative code would mean the parent fell back to terminate.
+            assert worker.exitcode == 0
+
+    def test_exhausted_stream_leaves_workers_dead(self):
+        sharded = ShardedSource(self._source(), shards=2, queue_units=2)
+        units = list(sharded.iter_from(0))
+        assert len(units) == 16
+        for worker in sharded.last_workers:
+            assert not worker.is_alive()
+            assert worker.exitcode == 0
+
+    def test_drained_resume_from_offset_is_exact(self):
+        source = self._source()
+        serial_keys = [source.unit_at(i).key for i in range(16)]
+        sharded = ShardedSource(source, shards=2, queue_units=1)
+        iterator = sharded.iter_from(0)
+        head = [next(iterator).key for _ in range(5)]
+        iterator.close()
+        tail = [
+            unit.key
+            for unit in ShardedSource(source, shards=2, queue_units=1).iter_from(5)
+        ]
+        assert head + tail == serial_keys
