@@ -61,6 +61,35 @@ from repro.obs.trace import Tracer, use_tracer
 _LOG = obs_log.get_logger("repro.cli")
 
 
+def _install_fault_plane(args: argparse.Namespace) -> Optional[bool]:
+    """Install the deterministic fault plane from ``--faults-config``.
+
+    Returns ``True`` when a plane with active injectors is installed,
+    ``False`` when no faults were requested, and ``None`` on a bad
+    config (the caller exits 2).  Chaos runs auto-enable shard
+    supervision so every injected fault is also survivable.
+    """
+    path = getattr(args, "faults_config", None)
+    seed = getattr(args, "faults_seed", None)
+    if not path:
+        if seed is not None:
+            print("error: --faults-seed requires --faults-config",
+                  file=sys.stderr)
+            return None
+        return False
+    from repro.faults.plane import install, load_faults_config
+
+    try:
+        config = load_faults_config(path, seed=seed)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: bad faults config {path!r}: {exc}", file=sys.stderr)
+        return None
+    install(config)
+    _LOG.info("faults.installed", config=path, seed=config.seed,
+              active=config.active)
+    return config.active
+
+
 @contextmanager
 def _live_plane(args: argparse.Namespace, **run_fields: object) -> Iterator[None]:
     """Run the live telemetry plane around a reproduce command.
@@ -192,6 +221,10 @@ def _command_reproduce(args: argparse.Namespace) -> int:
         return _command_reproduce_stream(args)
     if args.checkpoint_dir or args.resume:
         print("error: --checkpoint-dir/--resume require --stream", file=sys.stderr)
+        return 2
+    if args.faults_config or args.faults_seed is not None:
+        print("error: --faults-config/--faults-seed require --stream",
+              file=sys.stderr)
         return 2
 
     wanted = (
@@ -370,8 +403,17 @@ def _command_reproduce_stream(args: argparse.Namespace) -> int:
             cache.clear()
     jobs = args.jobs if args.jobs >= 1 else (os.cpu_count() or 1)
 
+    plane_active = _install_fault_plane(args)
+    if plane_active is None:
+        return 2
+    supervision = None
+    if plane_active:
+        from repro.faults.plane import SupervisionPolicy
+
+        supervision = SupervisionPolicy()
+
     scenario = get_scenario(args.scenario)
-    stream_config = StreamConfig(shards=jobs)
+    stream_config = StreamConfig(shards=jobs, supervision=supervision)
     _LOG.info("reproduce.stream.start", scenario=args.scenario, seed=args.seed,
               shards=jobs, experiments=",".join(wanted), resume=args.resume)
 
@@ -484,6 +526,15 @@ def _command_service_run(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: bad service override: {exc}", file=sys.stderr)
             return 2
+
+    plane_active = _install_fault_plane(args)
+    if plane_active is None:
+        return 2
+    if plane_active and config.supervision is None:
+        # A chaos run without explicit supervision still self-heals.
+        from repro.faults.plane import SupervisionPolicy
+
+        config = dataclasses.replace(config, supervision=SupervisionPolicy())
 
     registry = get_registry()
     registry.reset()
@@ -626,6 +677,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a run manifest: config fingerprints, metric snapshot, "
              "span summary",
     )
+    reproduce.add_argument(
+        "--faults-config", default=None, metavar="FILE",
+        help="with --stream: inject a deterministic fault schedule from "
+             "this JSON config (auto-enables shard supervision)",
+    )
+    reproduce.add_argument(
+        "--faults-seed", type=int, default=None, metavar="N",
+        help="override the faults config's schedule seed",
+    )
     reproduce.set_defaults(handler=_command_reproduce)
 
     service = commands.add_parser(
@@ -676,6 +736,15 @@ def build_parser() -> argparse.ArgumentParser:
     service_run.add_argument(
         "--live-interval", type=float, default=None, metavar="SECONDS",
         help="override the flight-recorder sampling interval",
+    )
+    service_run.add_argument(
+        "--faults-config", default=None, metavar="FILE",
+        help="inject a deterministic fault schedule from this JSON config "
+             "(auto-enables shard supervision when the config sets none)",
+    )
+    service_run.add_argument(
+        "--faults-seed", type=int, default=None, metavar="N",
+        help="override the faults config's schedule seed",
     )
     service_run.set_defaults(handler=_command_service_run)
     return parser

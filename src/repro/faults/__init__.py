@@ -1,0 +1,45 @@
+"""repro.faults -- deterministic fault injection + recovery policies.
+
+Stdlib-only (no numpy): the plane must be importable from forked shard
+workers, the service supervisor, and the linter alike.
+"""
+
+from repro.faults.completeness import (
+    CompletenessView,
+    DataCompleteness,
+    MissingUnit,
+)
+from repro.faults.plane import (
+    FaultsConfig,
+    FaultSchedule,
+    InjectedFault,
+    RetryPolicy,
+    SupervisionPolicy,
+    backoff_delay,
+    faults_config_from_dict,
+    get_plane,
+    install,
+    load_faults_config,
+    retry_policy_from_dict,
+    supervision_policy_from_dict,
+    uninstall,
+)
+
+__all__ = [
+    "CompletenessView",
+    "DataCompleteness",
+    "FaultSchedule",
+    "FaultsConfig",
+    "InjectedFault",
+    "MissingUnit",
+    "RetryPolicy",
+    "SupervisionPolicy",
+    "backoff_delay",
+    "faults_config_from_dict",
+    "get_plane",
+    "install",
+    "load_faults_config",
+    "retry_policy_from_dict",
+    "supervision_policy_from_dict",
+    "uninstall",
+]

@@ -1,0 +1,199 @@
+"""Data-completeness accounting for degraded runs.
+
+When a shard is quarantined or a unit exhausts its retry budget, the
+merge keeps going -- but downstream figures must be able to report
+*coverage* instead of silently shifting.  :class:`DataCompleteness` is
+the accountant: it counts delivered units and records exactly which
+``(unit index, shard)`` slots went missing and why, yielding a
+machine-readable deficit report that is byte-stable under JSON
+canonicalization (sorted keys, missing rows ordered by unit index).
+
+The expected-unit total is derived (``delivered + missing``) rather
+than pre-registered, which makes the accountant resume-safe: a
+checkpointed run restores its state and keeps counting without
+re-declaring units it already processed.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["CompletenessView", "DataCompleteness", "MissingUnit"]
+
+
+@dataclass(frozen=True)
+class MissingUnit:
+    """A unit the supervised merge could not deliver.
+
+    Yielded by the supervised :class:`~repro.stream.source.ShardedSource`
+    in place of the real :class:`~repro.stream.source.StreamUnit` so the
+    consumer's unit counter (and therefore checkpoint/resume offsets)
+    stays aligned with unit indices.  ``key`` is the unit's logical
+    identity -- for platform sources the ``(src, dst, version)`` task,
+    for the mesh the ``(cycle, block, rounds)`` tuple -- when the source
+    can name it without building the unit.
+    """
+
+    index: int
+    shard: int
+    reason: str
+    key: Optional[tuple] = None
+
+
+class DataCompleteness:
+    """Thread-safe delivered/missing accountant for one run or campaign."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._delivered = 0
+        self._missing: Dict[int, dict] = {}
+
+    # -- recording ---------------------------------------------------
+    def deliver(self, index: int) -> None:
+        """Count one delivered unit (healing a prior missing record)."""
+        with self._lock:
+            self._delivered += 1
+            self._missing.pop(index, None)
+
+    def record_missing(self, missing: MissingUnit) -> None:
+        """Record one undeliverable unit (idempotent per index)."""
+        row = {
+            "index": missing.index,
+            "shard": missing.shard,
+            "reason": missing.reason,
+            "key": list(missing.key) if missing.key is not None else None,
+        }
+        with self._lock:
+            self._missing[missing.index] = row
+
+    # -- queries -----------------------------------------------------
+    @property
+    def delivered(self) -> int:
+        with self._lock:
+            return self._delivered
+
+    @property
+    def missing_count(self) -> int:
+        with self._lock:
+            return len(self._missing)
+
+    @property
+    def complete(self) -> bool:
+        """True when every expected unit was delivered."""
+        with self._lock:
+            return not self._missing
+
+    def coverage(self) -> float:
+        """Delivered fraction of expected units (1.0 when nothing ran)."""
+        with self._lock:
+            expected = self._delivered + len(self._missing)
+            if expected == 0:
+                return 1.0
+            return self._delivered / expected
+
+    def missing_indices(self) -> List[int]:
+        with self._lock:
+            return sorted(self._missing)
+
+    def report(self) -> dict:
+        """The machine-readable deficit: expected/delivered/missing rows."""
+        with self._lock:
+            missing = [self._missing[index] for index in sorted(self._missing)]
+            expected = self._delivered + len(missing)
+            coverage = 1.0 if expected == 0 else self._delivered / expected
+            return {
+                "expected": expected,
+                "delivered": self._delivered,
+                "missing": missing,
+                "coverage": coverage,
+            }
+
+    # -- checkpoint round-trip ---------------------------------------
+    def state(self) -> dict:
+        """Picklable snapshot for checkpoint payloads."""
+        with self._lock:
+            return {
+                "delivered": self._delivered,
+                "missing": [
+                    self._missing[index] for index in sorted(self._missing)
+                ],
+            }
+
+    @classmethod
+    def from_state(cls, state: Optional[dict]) -> "DataCompleteness":
+        """Rebuild an accountant from :meth:`state` (None = fresh)."""
+        accountant = cls()
+        if not state:
+            return accountant
+        accountant._delivered = int(state.get("delivered", 0))
+        for row in state.get("missing", ()):
+            accountant._missing[int(row["index"])] = {
+                "index": int(row["index"]),
+                "shard": int(row["shard"]),
+                "reason": str(row["reason"]),
+                "key": list(row["key"]) if row.get("key") is not None else None,
+            }
+        return accountant
+
+    def adopt(self, state: Optional[dict]) -> None:
+        """Replace this accountant's contents with a checkpoint snapshot."""
+        fresh = DataCompleteness.from_state(state)
+        with self._lock:
+            self._delivered = fresh._delivered
+            self._missing = fresh._missing
+
+    def offset_view(self, offset: int) -> "CompletenessView":
+        """A recording view that shifts unit indices by ``offset``.
+
+        Multi-cycle campaigns (and multi-phase streams) reuse per-source
+        unit indices starting at 0, so the accountant that spans them
+        needs each cycle's indices mapped into a disjoint global range --
+        otherwise cycle 1's ``deliver(3)`` would heal cycle 0's genuine
+        miss of unit 3.
+        """
+        return CompletenessView(self, offset)
+
+    def shard_missing(self, shard: int) -> List[int]:
+        """Unit indices recorded missing against one shard (for tests)."""
+        with self._lock:
+            return sorted(
+                index for index, row in self._missing.items()
+                if row["shard"] == shard
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (
+                f"DataCompleteness(delivered={self._delivered}, "
+                f"missing={len(self._missing)})"
+            )
+
+
+class CompletenessView:
+    """Index-shifted recording facade over a :class:`DataCompleteness`.
+
+    Exposes only the recording half of the accountant's interface
+    (what a :class:`~repro.stream.source.ShardedSource` and its consumer
+    call); queries and checkpointing go through the parent.  The
+    ``key``/``shard``/``reason`` of a missing row pass through
+    unchanged -- only the global index moves.
+    """
+
+    def __init__(self, parent: DataCompleteness, offset: int) -> None:
+        self.parent = parent
+        self.offset = int(offset)
+
+    def deliver(self, index: int) -> None:
+        self.parent.deliver(index + self.offset)
+
+    def record_missing(self, missing: MissingUnit) -> None:
+        self.parent.record_missing(
+            MissingUnit(
+                index=missing.index + self.offset,
+                shard=missing.shard,
+                reason=missing.reason,
+                key=missing.key,
+            )
+        )

@@ -178,7 +178,12 @@ class RunStatus:
         """(Re)initialize the shard table for a fan-out of ``count``."""
         with self._lock:
             self._shards = {
-                shard: {"units": 0.0, "last_unit_mono": time.monotonic()}
+                shard: {
+                    "units": 0.0,
+                    "last_unit_mono": time.monotonic(),
+                    "state": "ok",
+                    "restarts": 0.0,
+                }
                 for shard in range(int(count))
             }
 
@@ -186,10 +191,26 @@ class RunStatus:
         """Credit ``units`` received from ``shard`` (its heartbeat)."""
         with self._lock:
             entry = self._shards.setdefault(
-                int(shard), {"units": 0.0, "last_unit_mono": 0.0}
+                int(shard),
+                {"units": 0.0, "last_unit_mono": 0.0,
+                 "state": "ok", "restarts": 0.0},
             )
             entry["units"] += units
             entry["last_unit_mono"] = time.monotonic()
+
+    def shard_state(
+        self, shard: int, state: str, restarts: Optional[int] = None
+    ) -> None:
+        """Record a shard's supervision state (ok/restarting/quarantined)."""
+        with self._lock:
+            entry = self._shards.setdefault(
+                int(shard),
+                {"units": 0.0, "last_unit_mono": 0.0,
+                 "state": "ok", "restarts": 0.0},
+            )
+            entry["state"] = str(state)
+            if restarts is not None:
+                entry["restarts"] = float(restarts)
 
     def set_checkpoint(self, **fields: object) -> None:
         """Record the latest checkpoint save (fingerprint, units_done, ...)."""
@@ -230,6 +251,8 @@ class RunStatus:
                     "shard": shard,
                     "units": int(entry["units"]),
                     "heartbeat_age_s": round(now - entry["last_unit_mono"], 3),
+                    "state": entry.get("state", "ok"),
+                    "restarts": int(entry.get("restarts", 0)),
                 }
                 for shard, entry in sorted(self._shards.items())
             ]

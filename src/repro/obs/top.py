@@ -93,11 +93,17 @@ def _fmt(value: Optional[float], suffix: str = "", precision: int = 1) -> str:
 
 def shard_rows(
     samples: Sequence[Dict[str, object]],
-) -> List[Tuple[int, int, Optional[float], Optional[float], Optional[float]]]:
-    """Per-shard ``(shard, units, units_per_s, queue_depth, heartbeat_age_s)``.
+) -> List[
+    Tuple[int, int, Optional[float], Optional[float], Optional[float], str]
+]:
+    """Per-shard ``(shard, units, units_per_s, queue_depth,
+    heartbeat_age_s, state)``.
 
-    Units come from the status board's shard table; rates from the
-    per-shard receive counters across the sample history.
+    Units and supervision state come from the status board's shard
+    table; rates from the per-shard receive counters across the sample
+    history.  ``state`` folds the restart count in
+    (``restarting*2`` after the second restart) so the dashboard shows
+    flapping shards at a glance.
     """
     if not samples:
         return []
@@ -109,6 +115,10 @@ def shard_rows(
         rate = _rate(
             samples, lambda s, n=shard: _counter(s, f"stream.shard_units{{shard={n}}}")
         )
+        state = str(entry.get("state", "ok"))
+        restarts = int(entry.get("restarts", 0) or 0)
+        if restarts and state != "quarantined":
+            state = f"{state}*{restarts}"
         rows.append(
             (
                 shard,
@@ -116,6 +126,7 @@ def shard_rows(
                 rate,
                 _gauge(latest, f"stream.queue_depth{{shard={shard}}}"),
                 entry.get("heartbeat_age_s"),
+                state,
             )
         )
     return rows
@@ -203,22 +214,33 @@ def render_frame(samples: Sequence[Dict[str, object]], width: int = 78) -> str:
             )
             next_fire = row.get("next_fire_s")
             fingerprint = str(row.get("fingerprint", "-"))[:12]
+            coverage = row.get("coverage")
+            extra = ""
+            if coverage is not None:
+                extra = (
+                    f"  cov {float(coverage) * 100:.1f}%"
+                    f" (-{row.get('units_missing', '?')})"
+                )
+            if row.get("reason"):
+                extra += f"  {row['reason']}"
             lines.append(
                 f"{str(row.get('name', '-'))[:18]:<18} "
                 f"{str(row.get('state', '-'))[:9]:<9} "
                 f"{row.get('cycle', '-'):>5} {units:>11} "
                 f"{_fmt(next_fire, 's'):>9} {fingerprint:<12}"
+                f"{extra}"
             )
 
     rows = shard_rows(samples)
     if rows:
         lines.append("")
         lines.append(f"{'shard':>5} {'units':>8} {'units/s':>9} "
-                     f"{'queue':>6} {'hb age':>8}")
-        for shard, units, rate, depth, age in rows:
+                     f"{'queue':>6} {'hb age':>8} {'state':<14}")
+        for shard, units, rate, depth, age, state in rows:
             lines.append(
                 f"{shard:>5} {units:>8} {_fmt(rate):>9} "
-                f"{_fmt(depth, precision=0):>6} {_fmt(age, 's'):>8}"
+                f"{_fmt(depth, precision=0):>6} {_fmt(age, 's'):>8} "
+                f"{state:<14}"
             )
 
     final = latest.get("final")

@@ -26,6 +26,8 @@ from typing import Dict, Iterator, Optional
 
 from repro.datasets.longterm import LongTermConfig
 from repro.datasets.shortterm import ShortTermConfig
+from repro.faults.completeness import DataCompleteness, MissingUnit
+from repro.faults.plane import SupervisionPolicy
 from repro.measurement.platform import MeasurementPlatform
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
@@ -238,9 +240,12 @@ class Campaign:
         config: CampaignConfig,
         driver,
         checkpoint_dir: Path,
+        supervision: Optional[SupervisionPolicy] = None,
     ) -> None:
         self.config = config
         self.driver = driver
+        self.supervision = supervision
+        self.completeness = DataCompleteness()
         self.fingerprint = campaign_fingerprint(*driver.fingerprint_parts())
         self.store = CampaignCheckpointStore(
             checkpoint_dir, config.name, self.fingerprint
@@ -285,6 +290,24 @@ class Campaign:
         """Ask the cycle loop to checkpoint and stop at the next boundary."""
         self._drain.set()
 
+    def mark_degraded(self, reason: str) -> None:
+        """Park the campaign: crash-looping or hung, but not fatal.
+
+        A degraded campaign stops being scheduled; its state (and the
+        reason) is visible via ``GET /campaigns`` and ``top``, and the
+        rest of the service keeps running.
+        """
+        obs_metrics.counter("campaign.degraded").inc()
+        obs_metrics.counter(
+            f"campaign.degraded{{campaign={self.config.name}}}"
+        ).inc()
+        self._set_board(state="degraded", reason=reason)
+        _LOG.warning(
+            "service.campaign.degraded",
+            campaign=self.config.name,
+            reason=reason,
+        )
+
     # ------------------------------------------------------------------
     # Durability
     # ------------------------------------------------------------------
@@ -298,6 +321,7 @@ class Campaign:
         self.cycle = int(payload["cycle"])
         self.units_done = int(payload["units_done"])
         self.operator = payload["operator"]
+        self.completeness.adopt(payload.get("completeness"))
         results = payload.get("results")
         if results is not None:
             self.results = results
@@ -355,6 +379,21 @@ class Campaign:
                 self.operator.observe(record)
 
     def _units(self, source) -> Iterator[StreamUnit]:
+        if self.supervision is not None:
+            # Supervised runs always fan out (even one shard forks), so
+            # a crash kills a worker, never the campaign.  The offset
+            # view maps this cycle's unit indices into the campaign-wide
+            # range (cycle sources all have the same length).
+            sharded = ShardedSource(
+                source,
+                max(1, self.config.shards),
+                self.config.queue_units,
+                supervision=self.supervision,
+                completeness=self.completeness.offset_view(
+                    self.cycle * len(source)
+                ),
+            )
+            return sharded.iter_from(self.units_done)
         if self.config.shards > 1:
             sharded = ShardedSource(
                 source, self.config.shards, self.config.queue_units
@@ -364,6 +403,15 @@ class Campaign:
             source.unit_at(index)
             for index in range(self.units_done, len(source))
         )
+
+    def _coverage_fields(self) -> Dict[str, object]:
+        """Board fields surfacing an incomplete campaign's coverage."""
+        if self.completeness.complete:
+            return {}
+        return {
+            "coverage": round(self.completeness.coverage(), 6),
+            "units_missing": self.completeness.missing_count,
+        }
 
     def run_cycle(self) -> str:
         """Ingest one cycle; returns ``completed|finished|drained|skipped``.
@@ -379,6 +427,9 @@ class Campaign:
         total_units = len(source)
         units_counter = obs_metrics.counter(f"service.units{{campaign={name}}}")
         records_counter = obs_metrics.counter(f"service.records{{campaign={name}}}")
+        missing_counter = obs_metrics.counter(
+            f"service.units_missing{{campaign={name}}}"
+        )
         self._set_board(
             state="running",
             cycle=self.cycle,
@@ -389,8 +440,14 @@ class Campaign:
         try:
             while True:
                 if not self._wait_gate():
-                    self.store.save(self.cycle, self.units_done, self.operator)
-                    self._set_board(state="drained", units_done=self.units_done)
+                    self.store.save(
+                        self.cycle, self.units_done, self.operator,
+                        completeness=self.completeness.state(),
+                    )
+                    self._set_board(
+                        state="drained", units_done=self.units_done,
+                        **self._coverage_fields(),
+                    )
                     _LOG.info(
                         "service.campaign.drained",
                         campaign=name,
@@ -402,16 +459,31 @@ class Campaign:
                     unit = next(iterator)
                 except StopIteration:
                     break
-                self._feed(unit)
+                if isinstance(unit, MissingUnit):
+                    # A quarantined shard's slot: accounted by the
+                    # completeness accountant, counted here, and the
+                    # unit offset still advances so checkpoint/resume
+                    # indices stay aligned with unit indices.
+                    missing_counter.inc()
+                else:
+                    self._feed(unit)
+                    self.completeness.deliver(
+                        self.cycle * total_units + self.units_done
+                    )
+                    units_counter.inc()
+                    records_counter.inc(unit.record_count)
                 self.units_done += 1
-                units_counter.inc()
-                records_counter.inc(unit.record_count)
                 if (
                     self.units_done % self.config.checkpoint_every == 0
                     and self.units_done < total_units
                 ):
-                    self.store.save(self.cycle, self.units_done, self.operator)
-                    self._set_board(units_done=self.units_done)
+                    self.store.save(
+                        self.cycle, self.units_done, self.operator,
+                        completeness=self.completeness.state(),
+                    )
+                    self._set_board(
+                        units_done=self.units_done, **self._coverage_fields()
+                    )
         finally:
             close = getattr(iterator, "close", None)
             if close is not None:
@@ -423,13 +495,30 @@ class Campaign:
         total = self.driver.total_cycles
         if total is not None and self.cycle >= total:
             self.results = self.driver.results(self.operator, self.cycle)
-            self.store.save(self.cycle, 0, self.operator, results=self.results)
+            # Every finished campaign reports its coverage -- 1.0 with
+            # an empty missing list on a clean (or fully recovered) run,
+            # so a healed faulty run's results are byte-identical to the
+            # fault-free run's, and the deficit is exact otherwise.
+            self.results["completeness"] = self.completeness.report()
+            self.store.save(
+                self.cycle, 0, self.operator, results=self.results,
+                completeness=self.completeness.state(),
+            )
             self._write_results()
-            self._set_board(state="done", cycle=self.cycle, units_done=0)
+            self._set_board(
+                state="done", cycle=self.cycle, units_done=0,
+                **self._coverage_fields(),
+            )
             _LOG.info(
                 "service.campaign.finished", campaign=name, cycles=self.cycle
             )
             return "finished"
-        self.store.save(self.cycle, 0, self.operator)
-        self._set_board(state="idle", cycle=self.cycle, units_done=0)
+        self.store.save(
+            self.cycle, 0, self.operator,
+            completeness=self.completeness.state(),
+        )
+        self._set_board(
+            state="idle", cycle=self.cycle, units_done=0,
+            **self._coverage_fields(),
+        )
         return "completed"

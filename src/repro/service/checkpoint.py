@@ -16,16 +16,23 @@ payload's field set against ``schema_snapshot.json``.
 
 from __future__ import annotations
 
-import os
-import pickle
 import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.faults.plane import get_plane
 from repro.harness.engine import config_fingerprint
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import get_logger
+from repro.stream.snapshot import (
+    SnapshotCorrupt,
+    corrupt_file,
+    fallback_path,
+    reap_stale_temps,
+    read_snapshot,
+    write_snapshot,
+)
 
 __all__ = [
     "CAMPAIGN_CHECKPOINT_SCHEMA",
@@ -33,8 +40,13 @@ __all__ = [
     "CampaignCheckpointStore",
 ]
 
-CAMPAIGN_CHECKPOINT_SCHEMA = 1
+CAMPAIGN_CHECKPOINT_SCHEMA = 2
 """Bump when the pickled campaign snapshot changes shape.
+
+Version 2: snapshots moved to the checksummed, generation-rotated
+framing of :mod:`repro.stream.snapshot`, and the payload carries the
+campaign's :class:`~repro.faults.completeness.DataCompleteness` state
+so a resumed degraded campaign still reports its exact deficit.
 
 Part of the checkpoint fingerprint surface (CCH001's contract): bumping
 it orphans every existing snapshot as a schema mismatch instead of
@@ -70,6 +82,20 @@ class CampaignCheckpointStore:
         self.directory = Path(directory)
         self.name = name
         self.fingerprint = fingerprint
+        self._saves = 0
+        reaped = reap_stale_temps(
+            self.directory, f"campaign-{name}-{fingerprint}"
+        )
+        if reaped:
+            obs_metrics.counter(
+                f"service.checkpoint.temps_reaped{{campaign={name}}}"
+            ).inc(len(reaped))
+            _LOG.info(
+                "service.checkpoint.temps_reaped",
+                campaign=name,
+                count=len(reaped),
+                paths=",".join(p.name for p in reaped),
+            )
 
     @property
     def path(self) -> Path:
@@ -82,6 +108,7 @@ class CampaignCheckpointStore:
         units_done: int,
         operator_state: object,
         results: Optional[Dict[str, object]] = None,
+        completeness: Optional[Dict[str, object]] = None,
     ) -> None:
         """Snapshot the campaign mid-cycle (or finished, with results).
 
@@ -89,6 +116,8 @@ class CampaignCheckpointStore:
         how many of its units the operator has fully consumed;
         ``results`` is only present on the final snapshot of a finished
         campaign (the restart then re-serves them without re-ingesting).
+        ``completeness`` carries the campaign's delivered/missing
+        accounting so a degraded campaign's deficit survives restarts.
         """
         started = time.perf_counter()
         payload = {
@@ -99,12 +128,21 @@ class CampaignCheckpointStore:
             "units_done": int(units_done),
             "operator": operator_state,
             "results": results,
+            "completeness": completeness,
         }
-        self.directory.mkdir(parents=True, exist_ok=True)
-        temp = self.path.with_suffix(f".tmp.{os.getpid()}")
-        with open(temp, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(temp, self.path)
+        write_snapshot(self.path, payload)
+        plane = get_plane()
+        if plane is not None and plane.corrupt(
+            f"campaign-{self.name}", self._saves
+        ):
+            obs_metrics.counter("faults.injected").inc()
+            obs_metrics.counter("faults.injected{kind=corrupt}").inc()
+            _LOG.warning(
+                "faults.injected", kind="corrupt",
+                store=f"campaign-{self.name}", save=self._saves,
+            )
+            corrupt_file(self.path)
+        self._saves += 1
         elapsed = time.perf_counter() - started
         obs_metrics.counter(
             f"service.checkpoint.saves{{campaign={self.name}}}"
@@ -125,16 +163,43 @@ class CampaignCheckpointStore:
         )
 
     def load(self) -> Optional[Dict[str, object]]:
-        """The snapshot, or ``None`` when absent, corrupt, or mismatched."""
-        if not self.path.exists():
-            return None
+        """The snapshot, or ``None`` when absent, corrupt, or mismatched.
+
+        A corrupt or torn primary falls back to the previous generation
+        (``.1``); replaying the few extra units from the older resume
+        point is bit-identical, so recovery is always safe.
+        """
+        payload = None
+        primary_corrupt = False
         try:
-            with open(self.path, "rb") as handle:
-                payload = pickle.load(handle)
-        except Exception:
+            payload = read_snapshot(self.path)
+        except FileNotFoundError:
+            pass
+        except SnapshotCorrupt:
+            primary_corrupt = True
             obs_metrics.counter("service.checkpoint.corrupt").inc()
             _LOG.warning("service.checkpoint.corrupt", path=str(self.path))
-            return None
+        if payload is None:
+            fallback = fallback_path(self.path)
+            try:
+                payload = read_snapshot(fallback)
+            except FileNotFoundError:
+                return None
+            except SnapshotCorrupt:
+                if primary_corrupt:
+                    _LOG.warning(
+                        "service.checkpoint.fallback_corrupt",
+                        path=str(fallback),
+                    )
+                return None
+            obs_metrics.counter(
+                f"service.checkpoint.recovered{{campaign={self.name}}}"
+            ).inc()
+            _LOG.warning(
+                "service.checkpoint.recovered",
+                campaign=self.name,
+                path=str(fallback),
+            )
         if not isinstance(payload, dict):
             obs_metrics.counter("service.checkpoint.corrupt").inc()
             return None
@@ -155,8 +220,12 @@ class CampaignCheckpointStore:
         return payload
 
     def clear(self) -> None:
-        """Remove the snapshot."""
-        try:
-            self.path.unlink()
-        except FileNotFoundError:
-            pass
+        """Remove the snapshot, its fallback generation, and any temps."""
+        for stale in (self.path, fallback_path(self.path)):
+            try:
+                stale.unlink()
+            except FileNotFoundError:
+                pass
+        reap_stale_temps(
+            self.directory, f"campaign-{self.name}-{self.fingerprint}"
+        )

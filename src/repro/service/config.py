@@ -26,6 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.faults.plane import (
+    RetryPolicy,
+    SupervisionPolicy,
+    retry_policy_from_dict,
+    supervision_policy_from_dict,
+)
 from repro.obs.expo import DEFAULT_METRICS_PORT
 from repro.stream.mesh import MeshConfig
 
@@ -62,6 +68,12 @@ class CampaignConfig:
     queue_units: int = 4
     checkpoint_every: int = 64
     mesh: Optional[MeshConfig] = None
+    retry: Optional[RetryPolicy] = None
+    """Cycle retry/crash-loop budget; ``None`` uses the supervisor's
+    default :class:`~repro.faults.plane.RetryPolicy`.  Part of the
+    checkpoint fingerprint (like every campaign knob): changing the
+    retry budget restarts the campaign rather than resuming state that
+    ran under different failure semantics."""
 
     def __post_init__(self) -> None:
         if not self.name or any(c in self.name for c in " /{}"):
@@ -95,6 +107,16 @@ class ServiceConfig:
     drain_after_s: Optional[float] = None
     """Automatic drain deadline on the monotonic clock (CI smoke runs);
     ``None`` means run until SIGTERM or a ``/drain`` request."""
+    drain_grace_s: float = 30.0
+    """How long a drain waits for an in-flight cycle before abandoning
+    it and marking the campaign degraded (hung-cycle detection).  Scaled
+    by ``time_scale`` like every other schedule knob."""
+    supervision: Optional[SupervisionPolicy] = None
+    """Shard supervision for every campaign's stream fan-out; ``None``
+    keeps the unsupervised fail-fast path.  Service-wide (not per
+    campaign) and deliberately *outside* the campaign checkpoint
+    fingerprint: supervision changes recovery behavior, never results,
+    so tightening a timeout must not orphan checkpoints."""
 
     def __post_init__(self) -> None:
         if not self.campaigns:
@@ -108,6 +130,8 @@ class ServiceConfig:
             raise ValueError("live_interval_s must be positive")
         if self.drain_after_s is not None and self.drain_after_s <= 0:
             raise ValueError("drain_after_s must be positive when set")
+        if self.drain_grace_s <= 0:
+            raise ValueError("drain_grace_s must be positive")
 
 
 _CAMPAIGN_FIELDS = {f.name for f in CampaignConfig.__dataclass_fields__.values()}
@@ -145,6 +169,9 @@ def service_config_from_dict(payload: Dict[str, object]) -> ServiceConfig:
             if unknown:
                 raise ValueError(f"unknown mesh keys: {sorted(unknown)}")
             fields["mesh"] = MeshConfig(**mesh)
+        retry = fields.get("retry")
+        if retry is not None:
+            fields["retry"] = retry_policy_from_dict(retry)
         built.append(CampaignConfig(**fields))
     service = {
         key: value for key, value in payload.items() if key != "campaigns"
@@ -152,4 +179,7 @@ def service_config_from_dict(payload: Dict[str, object]) -> ServiceConfig:
     unknown = set(service) - _SERVICE_FIELDS
     if unknown:
         raise ValueError(f"unknown service keys: {sorted(unknown)}")
+    supervision = service.get("supervision")
+    if supervision is not None:
+        service["supervision"] = supervision_policy_from_dict(supervision)
     return ServiceConfig(campaigns=tuple(built), **service)

@@ -25,6 +25,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.faults.plane import RetryPolicy, backoff_delay, get_plane
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs.expo import MetricsServer
@@ -78,6 +79,7 @@ class ServiceSupervisor:
                     shortterm_config=shortterm_config,
                 ),
                 checkpoint_dir,
+                supervision=config.supervision,
             )
             for entry in config.campaigns
         ]
@@ -87,6 +89,9 @@ class ServiceSupervisor:
         self._serve = serve
         self._started_mono: Optional[float] = None
         self._draining = False
+        self._abandoned = False
+        """A hung cycle was abandoned on the executor; shutdown must not
+        wait for its thread (it may never return)."""
         self._drain_async: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._executor = concurrent.futures.ThreadPoolExecutor(
@@ -181,7 +186,12 @@ class ServiceSupervisor:
             )
         finally:
             self._remove_signal_handlers()
-            self._executor.shutdown(wait=True)
+            # A hung cycle's thread may never return; waiting on it
+            # would turn "exit cleanly despite a hung campaign" into a
+            # deadlock.  (Python keeps a non-daemon executor thread
+            # alive until interpreter exit regardless -- tests unhang
+            # their fakes; a real hang is an operator page.)
+            self._executor.shutdown(wait=not self._abandoned)
             if self.server is not None:
                 self.server.close()
         results = {
@@ -217,10 +227,72 @@ class ServiceSupervisor:
         except asyncio.TimeoutError:
             pass
 
+    async def _await_cycle(self, campaign: Campaign, name: str) -> str:
+        """One cycle on the executor; ``__failed__``/``__hung__`` on trouble.
+
+        If a drain lands while the cycle runs, the cycle gets
+        ``drain_grace_s`` (time-scaled) to reach its next unit boundary;
+        a cycle that never returns -- a hung executor task -- is then
+        *abandoned*: the campaign is reported hung and shutdown stops
+        waiting for its thread, so the process still exits cleanly.
+        """
+        future = self._loop.run_in_executor(self._executor, campaign.run_cycle)
+        drain_wait = asyncio.ensure_future(self._drain_async.wait())
+        try:
+            done, _ = await asyncio.wait(
+                {future, drain_wait}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if future not in done:
+                grace = self.config.drain_grace_s * self.config.time_scale
+                try:
+                    return str(
+                        await asyncio.wait_for(asyncio.shield(future), grace)
+                    )
+                except asyncio.TimeoutError:
+                    self._abandoned = True
+                    _LOG.warning(
+                        "service.campaign.cycle_hung",
+                        campaign=name,
+                        grace_s=grace,
+                    )
+                    return "__hung__"
+                except Exception as exc:
+                    _LOG.warning(
+                        "service.campaign.cycle_failed",
+                        campaign=name,
+                        error=repr(exc),
+                    )
+                    return "__failed__"
+            try:
+                return str(future.result())
+            except Exception as exc:
+                _LOG.warning(
+                    "service.campaign.cycle_failed",
+                    campaign=name,
+                    error=repr(exc),
+                )
+                return "__failed__"
+        finally:
+            drain_wait.cancel()
+
     async def _campaign_loop(self, campaign: Campaign) -> str:
-        """Fire cycles at the campaign's cadence until done or drained."""
+        """Fire cycles at the campaign's cadence until done or drained.
+
+        Cycle failures are retried under the campaign's
+        :class:`~repro.faults.plane.RetryPolicy` (deterministic
+        exponential backoff with hash-jitter); ``max_attempts``
+        *consecutive* failures are a crash loop, which parks the
+        campaign as ``degraded`` instead of killing the service.  An
+        installed fault plane may also skew cadence ticks --
+        scheduling only, results unaffected.
+        """
         name = campaign.config.name
         cadence = campaign.config.cadence_s * self.config.time_scale
+        retry = campaign.config.retry or RetryPolicy()
+        plane = get_plane()
+        seed = plane.config.seed if plane is not None else 0
+        jitter_key = sum(name.encode("utf-8"))
+        failures = 0
         if campaign.done:
             return "done"
         next_fire = time.monotonic()  # first cycle fires immediately
@@ -235,17 +307,31 @@ class ServiceSupervisor:
                 return "drained"
             fired_at = time.monotonic()
             obs_live.get_status().set_campaign(name, next_fire_s=0.0)
-            try:
-                outcome = await self._loop.run_in_executor(
-                    self._executor, campaign.run_cycle
-                )
-            except Exception:
+            outcome = await self._await_cycle(campaign, name)
+            if outcome == "__hung__":
+                campaign.mark_degraded("hung-cycle")
+                return "degraded"
+            if outcome == "__failed__":
+                failures += 1
                 obs_metrics.counter(
                     f"service.cycle_failures{{campaign={name}}}"
                 ).inc()
-                obs_live.get_status().set_campaign(name, state="failed")
-                _LOG.warning("service.campaign.cycle_failed", campaign=name)
-                raise
+                if failures >= retry.max_attempts:
+                    campaign.mark_degraded(
+                        f"crash-loop: {failures} consecutive cycle failures"
+                    )
+                    return "degraded"
+                delay = backoff_delay(
+                    retry.backoff_s * self.config.time_scale,
+                    retry.backoff_ceiling_s * self.config.time_scale,
+                    failures, seed, jitter_key,
+                )
+                obs_live.get_status().set_campaign(
+                    name, state="retrying", failures=failures
+                )
+                next_fire = time.monotonic() + delay
+                continue
+            failures = 0
             if outcome in ("finished", "skipped"):
                 return "done"
             if outcome == "drained":
@@ -253,3 +339,12 @@ class ServiceSupervisor:
             # Next fire keeps the cadence grid: a slow cycle fires the
             # next one immediately rather than drifting the schedule.
             next_fire = fired_at + cadence
+            if plane is not None:
+                skew = (
+                    plane.cadence_skew_s(name, campaign.cycle)
+                    * self.config.time_scale
+                )
+                if skew:
+                    obs_metrics.counter("faults.injected").inc()
+                    obs_metrics.counter("faults.injected{kind=skew}").inc()
+                    next_fire = max(fired_at, next_fire + skew)

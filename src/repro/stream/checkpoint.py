@@ -18,16 +18,23 @@ corrupt snapshot reads as "no checkpoint" and the run starts over.
 
 from __future__ import annotations
 
-import os
-import pickle
 import time
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
+from repro.faults.plane import get_plane
 from repro.harness.engine import config_fingerprint
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import get_logger
+from repro.stream.snapshot import (
+    SnapshotCorrupt,
+    corrupt_file,
+    fallback_path,
+    reap_stale_temps,
+    read_snapshot,
+    write_snapshot,
+)
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
@@ -35,8 +42,13 @@ __all__ = [
     "CheckpointStore",
 ]
 
-CHECKPOINT_SCHEMA_VERSION = 2
+CHECKPOINT_SCHEMA_VERSION = 3
 """Bump when the pickled layout of operator state changes shape.
+
+Version 3: snapshots moved to the checksummed, generation-rotated
+framing of :mod:`repro.stream.snapshot` (magic + SHA-256 digest +
+pickle body, with a ``.1`` previous-generation fallback); raw-pickle
+version-2 files fail the magic check and read as misses.
 
 Version 2: :class:`~repro.stream.operators.PathStatsOperator` dropped
 its per-path p90 estimators (write-only state no summary ever read), so
@@ -60,16 +72,29 @@ def checkpoint_fingerprint(*parts: object) -> str:
 
 
 class CheckpointStore:
-    """Atomic on-disk snapshots, one file per run fingerprint.
+    """Checksummed, generation-rotated snapshots keyed by run fingerprint.
 
-    Writes go to a temp file in the same directory followed by an atomic
-    rename, so a crash mid-save leaves the previous snapshot intact and a
-    resume never observes a torn file.
+    Writes go through an fsynced temp file and two atomic renames: the
+    previous snapshot rotates to a ``.1`` fallback before the new one
+    lands, so a crash mid-save -- or a snapshot corrupted at rest --
+    recovers to the prior generation instead of aborting the resume.
+    Stale temp files from dead writers are reaped on store open.
     """
 
     def __init__(self, directory: Union[str, Path], fingerprint: str) -> None:
         self.directory = Path(directory)
         self.fingerprint = fingerprint
+        self._saves = 0
+        reaped = reap_stale_temps(self.directory, f"stream-{fingerprint}")
+        if reaped:
+            obs_metrics.counter("stream.checkpoint.temps_reaped").inc(
+                len(reaped)
+            )
+            _LOG.info(
+                "stream.checkpoint.temps_reaped",
+                count=len(reaped),
+                paths=",".join(p.name for p in reaped),
+            )
 
     @property
     def path(self) -> Path:
@@ -93,11 +118,17 @@ class CheckpointStore:
             "operator": operator_state,
             "completed": completed,
         }
-        self.directory.mkdir(parents=True, exist_ok=True)
-        temp = self.path.with_suffix(f".tmp.{os.getpid()}")
-        with open(temp, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(temp, self.path)
+        write_snapshot(self.path, payload)
+        plane = get_plane()
+        if plane is not None and plane.corrupt("stream", self._saves):
+            obs_metrics.counter("faults.injected").inc()
+            obs_metrics.counter("faults.injected{kind=corrupt}").inc()
+            _LOG.warning(
+                "faults.injected", kind="corrupt", store="stream",
+                save=self._saves,
+            )
+            corrupt_file(self.path)
+        self._saves += 1
         elapsed = time.perf_counter() - started
         obs_metrics.counter("stream.checkpoint.saves").inc()
         obs_metrics.histogram("stream.checkpoint_seconds").observe(elapsed)
@@ -116,16 +147,38 @@ class CheckpointStore:
         )
 
     def load(self) -> Optional[Dict[str, object]]:
-        """The snapshot, or ``None`` when absent, corrupt, or mismatched."""
-        if not self.path.exists():
-            return None
+        """The snapshot, or ``None`` when absent, corrupt, or mismatched.
+
+        A corrupt or torn primary falls back to the previous generation
+        (``.1``): recovery to a slightly older resume point beats
+        restarting the campaign from zero, and replaying the extra
+        units is bit-identical anyway.
+        """
+        payload = None
+        primary_corrupt = False
         try:
-            with open(self.path, "rb") as handle:
-                payload = pickle.load(handle)
-        except Exception:
+            payload = read_snapshot(self.path)
+        except FileNotFoundError:
+            pass
+        except SnapshotCorrupt:
+            primary_corrupt = True
             obs_metrics.counter("stream.checkpoint.corrupt").inc()
             _LOG.warning("stream.checkpoint.corrupt", path=str(self.path))
-            return None
+        if payload is None:
+            fallback = fallback_path(self.path)
+            try:
+                payload = read_snapshot(fallback)
+            except FileNotFoundError:
+                return None
+            except SnapshotCorrupt:
+                if primary_corrupt:
+                    _LOG.warning(
+                        "stream.checkpoint.fallback_corrupt",
+                        path=str(fallback),
+                    )
+                return None
+            obs_metrics.counter("stream.checkpoint.recovered").inc()
+            _LOG.warning("stream.checkpoint.recovered", path=str(fallback))
         if not isinstance(payload, dict):
             obs_metrics.counter("stream.checkpoint.corrupt").inc()
             return None
@@ -144,11 +197,13 @@ class CheckpointStore:
         return payload
 
     def clear(self) -> None:
-        """Remove the snapshot (a completed run needs no resume point)."""
-        try:
-            self.path.unlink()
-        except FileNotFoundError:
-            pass
+        """Remove the snapshot, its fallback generation, and any temps."""
+        for stale in (self.path, fallback_path(self.path)):
+            try:
+                stale.unlink()
+            except FileNotFoundError:
+                pass
+        reap_stale_temps(self.directory, f"stream-{self.fingerprint}")
 
 
 def required_phases(experiments: Sequence[str]) -> Dict[str, bool]:

@@ -52,6 +52,8 @@ from repro.stream.operators import (
     PathStatsOperator,
     SegmentWindowOperator,
 )
+from repro.faults.completeness import DataCompleteness, MissingUnit
+from repro.faults.plane import SupervisionPolicy
 from repro.stream.source import (
     LongTermTraceSource,
     PingSource,
@@ -110,6 +112,10 @@ class StreamConfig:
     checkpoint_every: int = 64
     trim_realizations: bool = True
     columnar: bool = True
+    supervision: Optional[SupervisionPolicy] = None
+    """Shard supervision (restart/backoff/quarantine) for the fan-out;
+    ``None`` keeps the fail-fast :class:`ShardError` behavior.  Part of
+    the checkpoint fingerprint like every stream knob."""
 
 
 class StreamInterrupted(RuntimeError):
@@ -159,6 +165,12 @@ class StreamEngine:
         self._completed: Dict[str, object] = {}
         self._processed = 0
         self._max_units: Optional[int] = None
+        self.completeness = DataCompleteness()
+        """Delivered/missing accounting across all phases (only a
+        supervised fan-out ever records misses)."""
+        self._completeness_base = 0
+        """Global unit-index offset of the next phase (phases reuse
+        indices from 0, the accountant needs disjoint ranges)."""
 
     # ------------------------------------------------------------------
     # Phase driving
@@ -182,7 +194,15 @@ class StreamEngine:
     def _consume(self, phase: str, source, operator, units_done: int) -> None:
         """Feed units ``units_done..`` of a phase into its operator."""
         total = len(source)
-        sharded = ShardedSource(source, self.config.shards, self.config.queue_units)
+        base = self._completeness_base
+        self._completeness_base = base + total
+        sharded = ShardedSource(
+            source,
+            self.config.shards,
+            self.config.queue_units,
+            supervision=self.config.supervision,
+            completeness=self.completeness.offset_view(base),
+        )
         records_counter = obs_metrics.counter("stream.records")
         store = self.checkpoint_store
         every = self.config.checkpoint_every
@@ -197,9 +217,17 @@ class StreamEngine:
             started = time.perf_counter()
             records = 0
             for unit in sharded.iter_from(units_done):
-                self._feed(operator, unit)
-                records += unit.record_count
-                records_counter.inc(unit.record_count)
+                if isinstance(unit, MissingUnit):
+                    # Quarantined/exhausted unit: the completeness
+                    # accountant already holds the deficit row; the
+                    # stream keeps its cursor moving so the rest of the
+                    # phase still lands.
+                    pass
+                else:
+                    self._feed(operator, unit)
+                    self.completeness.deliver(base + units_done)
+                    records += unit.record_count
+                    records_counter.inc(unit.record_count)
                 units_done += 1
                 self._processed += 1
                 units_done_gauge.set(units_done)

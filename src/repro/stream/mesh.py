@@ -161,6 +161,13 @@ class SyntheticMeshSource:
     def __len__(self) -> int:
         return self.config.blocks
 
+    def key_hint(self, index: int) -> UnitKey:
+        """The unit key for ``index`` without building the block --
+        completeness reports name missing units by key, not just index."""
+        if not 0 <= index < self.config.blocks:
+            raise IndexError(index)
+        return (self.cycle, index, 4)
+
     def unit_at(self, index: int) -> StreamUnit:
         """Build block ``index`` of this cycle from the counter hash."""
         cfg = self.config

@@ -30,14 +30,26 @@ stream, and the batch pipeline all see the same sample values.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
 from dataclasses import dataclass
 from queue import Empty as _QueueEmpty
 from queue import Full as _QueueFull
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.datasets.columnar import CampaignKernels
+from repro.faults.completeness import (
+    CompletenessView,
+    DataCompleteness,
+    MissingUnit,
+)
+from repro.faults.plane import (
+    InjectedFault,
+    SupervisionPolicy,
+    backoff_delay,
+    get_plane,
+)
 from repro.datasets.longterm import LongTermConfig, _build_timeline
 from repro.datasets.shortterm import (
     SegmentSeries,
@@ -66,6 +78,7 @@ __all__ = [
     "WindowedSource",
     "ShardedSource",
     "ShardError",
+    "MissingUnit",
 ]
 
 
@@ -232,6 +245,11 @@ class _PlatformSource:
 
     def _build(self, src: Server, dst: Server, version) -> StreamUnit:
         raise NotImplementedError
+
+    def key_hint(self, index: int) -> Tuple[int, int, int]:
+        """The unit's logical key without building it (deficit reports)."""
+        src, dst, version = self.tasks[index]
+        return (src.server_id, dst.server_id, int(version))
 
     def unit_at(self, index: int) -> StreamUnit:
         """Build the unit of one task (random access, for shards/resume)."""
@@ -412,6 +430,11 @@ class WindowedSource:
     def __len__(self) -> int:
         return len(self.source)
 
+    def key_hint(self, index: int):
+        """Delegate the unit's logical key to the wrapped source."""
+        hint = getattr(self.source, "key_hint", None)
+        return hint(index) if hint is not None else None
+
     def unit_at(self, index: int) -> StreamUnit:
         """The wrapped source's unit, cut down to the window's rounds."""
         unit = self.source.unit_at(index)
@@ -510,6 +533,112 @@ def _shard_worker(
         )
 
 
+_FAILED = "__unit_failed__"
+
+
+def _injectors(plane, index: int, attempt: int, registry, queue=None) -> None:
+    """Fire the per-unit fault injectors scheduled for this attempt.
+
+    Crash exits the process mid-unit (its counter is recomputed by the
+    supervising parent -- an ``os._exit`` ships no registry delta);
+    stall sleeps inside the unit's delta window; transient raises
+    :class:`~repro.faults.plane.InjectedFault` for the retry loop.
+
+    A crash first flushes the queue's feeder thread: units the worker
+    already handed off must not be lost to the exit, or the parent
+    would misattribute the crash to an earlier index and the
+    attempt-gated schedule would lose determinism.
+    """
+    if plane is None:
+        return
+    if plane.crash(index, attempt):
+        if queue is not None:
+            queue.close()
+            queue.join_thread()
+        os._exit(41)
+    stall = plane.stall_s_for(index, attempt)
+    if stall > 0:
+        registry.counter("faults.injected").inc()
+        registry.counter("faults.injected{kind=stall}").inc()
+        time.sleep(stall)
+    if plane.transient(index, attempt):
+        registry.counter("faults.injected").inc()
+        registry.counter("faults.injected{kind=transient}").inc()
+        raise InjectedFault("transient", f"unit {index} attempt {attempt}")
+
+
+def _supervised_worker(
+    source,
+    worker_index: int,
+    shards: int,
+    start: int,
+    queue,
+    stop,
+    resume_from: int,
+    resume_attempt: int,
+    policy: SupervisionPolicy,
+) -> None:
+    """Shard worker with in-process unit retry and fault injection.
+
+    Like :func:`_shard_worker`, but a unit whose build raises (injected
+    transient or real) is retried up to ``policy.unit_attempts`` times
+    before the worker reports it as *failed* and moves on -- a sick unit
+    costs itself, never the shard.  ``resume_from``/``resume_attempt``
+    let a restarted incarnation skip the stride prefix its predecessor
+    already delivered and continue that unit's attempt numbering, which
+    keeps the attempt-gated fault schedule deterministic across
+    restarts.
+    """
+    registry = obs_metrics.get_registry()
+    plane = get_plane()
+    baseline = registry.snapshot()
+
+    def _put(item) -> bool:
+        while not stop.is_set():
+            try:
+                queue.put(item, timeout=0.1)
+                return True
+            except _QueueFull:
+                continue
+        return False
+
+    try:
+        for index in range(start + worker_index, len(source), shards):
+            if index < resume_from:
+                continue
+            if stop.is_set():
+                return
+            base = resume_attempt if index == resume_from else 0
+            attempt = base
+            baseline = registry.snapshot()
+            unit = None
+            failure = None
+            while True:
+                try:
+                    _injectors(plane, index, attempt, registry, queue)
+                    unit = source.unit_at(index)
+                    break
+                except Exception:
+                    attempt += 1
+                    if attempt - base >= policy.unit_attempts:
+                        failure = traceback.format_exc()
+                        break
+            if failure is not None:
+                if not _put(
+                    (_FAILED, index, failure, registry.delta_since(baseline))
+                ):
+                    return
+                continue
+            if not _put(("unit", index, unit, registry.delta_since(baseline))):
+                return
+        _put((_DONE, worker_index, None, None))
+    except BaseException:  # infra failure: surfaced, shard restarts
+        _put(
+            ("error", worker_index, traceback.format_exc(),
+             registry.delta_since(baseline))
+        )
+
+
 class ShardedSource:
     """Fan a platform source's units across forked workers.
 
@@ -518,14 +647,35 @@ class ShardedSource:
     (``queue_units`` deep); the parent pops queues round-robin in global
     unit order, so consumers see exactly the serial order.  Falls back to
     the serial loop for one shard or platforms without ``fork``.
+
+    With a :class:`~repro.faults.plane.SupervisionPolicy` the fan-out is
+    *supervised*: a dead or stalled worker is restarted with
+    deterministic exponential backoff (bounded per shard), a shard that
+    exhausts its restart budget is quarantined -- the merge keeps going
+    and yields :class:`~repro.faults.completeness.MissingUnit` markers
+    for the units that shard owned -- with every miss recorded in a
+    :class:`DataCompleteness` accountant (consumers record deliveries,
+    so supervised and unsupervised runs account identically).  Because
+    units are independent pure functions of their index, any schedule of
+    crashes and restarts that still delivers every index yields a stream
+    byte-identical to the fault-free one.
     """
 
-    def __init__(self, source, shards: int, queue_units: int = 4) -> None:
+    def __init__(
+        self,
+        source,
+        shards: int,
+        queue_units: int = 4,
+        supervision: Optional[SupervisionPolicy] = None,
+        completeness: Optional["DataCompleteness | CompletenessView"] = None,
+    ) -> None:
         if queue_units < 1:
             raise ValueError("queue_units must be positive")
         self.source = source
         self.shards = int(shards)
         self.queue_units = int(queue_units)
+        self.supervision = supervision
+        self.completeness = completeness or DataCompleteness()
         self.last_workers: List[multiprocessing.Process] = []
         """The worker processes of the most recent fan-out (diagnostics:
         after the iterator is exhausted or closed, all must be dead)."""
@@ -552,6 +702,12 @@ class ShardedSource:
         shards = min(self.shards, max(1, total - start))
         registry = obs_metrics.get_registry()
         status = obs_live.get_status()
+        if self.supervision is not None:
+            if "fork" in multiprocessing.get_all_start_methods():
+                yield from self._iter_supervised(start, total, shards)
+            else:  # pragma: no cover - non-fork platforms
+                yield from self._iter_serial_supervised(start, total)
+            return
         if shards <= 1 or "fork" not in multiprocessing.get_all_start_methods():
             status.set_shards(1)
             serial_units = registry.counter("stream.shard_units{shard=0}")
@@ -621,6 +777,271 @@ class ShardedSource:
                 yield payload
         finally:
             self._drain(workers, queues, stop)
+
+    def _iter_supervised(
+        self, start: int, total: int, shards: int
+    ) -> Iterator[object]:
+        """Supervised merge: restart, backoff, quarantine, account.
+
+        Yields :class:`StreamUnit` for delivered units and
+        :class:`MissingUnit` markers (same global index order) for units
+        lost to a quarantined shard or an exhausted retry budget, so the
+        consumer's unit counter -- and therefore checkpoint offsets --
+        never skews against unit indices.
+        """
+        policy = self.supervision
+        plane = get_plane()
+        registry = obs_metrics.get_registry()
+        status = obs_live.get_status()
+        completeness = self.completeness
+        seed = plane.config.seed if plane is not None else 0
+        key_hint = getattr(self.source, "key_hint", None)
+
+        status.set_shards(shards)
+        depth_gauge = registry.gauge("stream.queue_depth")
+        lag_gauge = registry.gauge("stream.merge_lag")
+        lag_hist = registry.histogram(
+            "stream.merge_lag_units", buckets=(0.0, 1.0, 2.0, 4.0, 8.0,
+                                               16.0, 32.0, 64.0, 128.0)
+        )
+        shard_units = [
+            registry.counter(f"stream.shard_units{{shard={worker}}}")
+            for worker in range(shards)
+        ]
+
+        context = multiprocessing.get_context("fork")
+        stop = context.Event()
+        all_workers: List[multiprocessing.Process] = []
+        all_queues: List[object] = []
+        queues: List[object] = [None] * shards
+        procs: List[Optional[multiprocessing.Process]] = [None] * shards
+        restarts = [0] * shards
+        attempts: Dict[int, int] = {}
+        quarantined: Set[int] = set()
+
+        def _spawn(shard: int, resume_from: int, resume_attempt: int) -> None:
+            queue = context.Queue(maxsize=self.queue_units)
+            process = context.Process(
+                target=_supervised_worker,
+                args=(self.source, shard, shards, start, queue, stop,
+                      resume_from, resume_attempt, policy),
+                daemon=True,
+            )
+            queues[shard] = queue
+            procs[shard] = process
+            all_queues.append(queue)
+            all_workers.append(process)
+            process.start()
+
+        def _missing(index: int, shard: int, reason: str) -> MissingUnit:
+            key = None
+            if key_hint is not None:
+                try:
+                    key = key_hint(index)
+                except Exception:
+                    key = None
+            marker = MissingUnit(
+                index=index, shard=shard, reason=reason, key=key
+            )
+            completeness.record_missing(marker)
+            registry.counter("stream.units_missing").inc()
+            return marker
+
+        def _handle_down(shard: int, index: int, cause: str) -> None:
+            """One worker incarnation is gone: restart or quarantine."""
+            attempt = attempts.get(index, 0)
+            if plane is not None and cause == "crash" and plane.crash(
+                index, attempt
+            ):
+                # The exiting worker could not ship this counter itself.
+                registry.counter("faults.injected").inc()
+                registry.counter("faults.injected{kind=crash}").inc()
+            if plane is not None and cause == "stall" and plane.stall_s_for(
+                index, attempt
+            ) > 0:
+                registry.counter("faults.injected").inc()
+                registry.counter("faults.injected{kind=stall}").inc()
+            attempts[index] = attempt + 1
+            restarts[shard] += 1
+            registry.counter("shard.restarts").inc()
+            registry.counter(f"shard.restarts{{shard={shard}}}").inc()
+            if restarts[shard] > policy.max_restarts:
+                quarantined.add(shard)
+                registry.counter("shard.quarantined").inc()
+                registry.counter(f"shard.quarantined{{shard={shard}}}").inc()
+                status.shard_state(
+                    shard, "quarantined", restarts=restarts[shard]
+                )
+                return
+            status.shard_state(shard, "restarting", restarts=restarts[shard])
+            delay = backoff_delay(
+                policy.restart_backoff_s, policy.backoff_ceiling_s,
+                restarts[shard], seed, shard,
+            )
+            if delay > 0:
+                time.sleep(delay)
+            _spawn(shard, index, attempts[index])
+            status.shard_state(shard, "ok", restarts=restarts[shard])
+
+        for shard in range(shards):
+            _spawn(shard, start, 0)
+        self.last_workers = all_workers
+
+        try:
+            for index in range(start, total):
+                shard = (index - start) % shards
+                result = None
+                wait_started = time.monotonic()
+                while result is None:
+                    if shard in quarantined:
+                        result = _missing(index, shard, "quarantined")
+                        break
+                    queue = queues[shard]
+                    process = procs[shard]
+                    try:
+                        depth_gauge.set(queue.qsize())
+                        lag = sum(
+                            queues[s].qsize() for s in range(shards)
+                            if s not in quarantined
+                        )
+                        lag_gauge.set(lag)
+                        lag_hist.observe(lag)
+                    except NotImplementedError:  # macOS has no qsize
+                        pass
+                    try:
+                        item = queue.get(timeout=policy.poll_s)
+                    except _QueueEmpty:
+                        if not process.is_alive():
+                            try:  # the dying worker may have delivered
+                                item = queue.get_nowait()
+                            except _QueueEmpty:
+                                _handle_down(shard, index, "crash")
+                                wait_started = time.monotonic()
+                                continue
+                        elif (
+                            time.monotonic() - wait_started
+                            > policy.stall_timeout_s
+                        ):
+                            process.terminate()
+                            process.join()
+                            _handle_down(shard, index, "stall")
+                            wait_started = time.monotonic()
+                            continue
+                        else:
+                            continue
+                    tag, value, payload, delta = item
+                    if tag == "unit":
+                        if value != index:  # pragma: no cover - invariant
+                            raise RuntimeError(
+                                f"stream shard returned unit {value}, "
+                                f"expected {index}"
+                            )
+                        registry.merge(delta)
+                        result = payload
+                    elif tag == _FAILED:
+                        if value != index:  # pragma: no cover - invariant
+                            raise RuntimeError(
+                                f"stream shard failed unit {value}, "
+                                f"expected {index}"
+                            )
+                        if delta:
+                            registry.merge(delta)
+                        registry.counter("stream.unit_failures").inc()
+                        result = _missing(index, shard, "unit_failed")
+                    elif tag == "error":
+                        if delta:
+                            registry.merge(delta)
+                        process.join()
+                        _handle_down(shard, index, "error")
+                        wait_started = time.monotonic()
+                    elif tag == _DONE:  # pragma: no cover - invariant
+                        raise RuntimeError(
+                            f"stream shard {shard} finished early at "
+                            f"unit {index}"
+                        )
+                if isinstance(result, MissingUnit):
+                    yield result
+                else:
+                    # Delivery accounting belongs to the consumer (it
+                    # runs identically on unsupervised paths, keeping
+                    # completeness reports byte-identical across modes);
+                    # the fan-out only ever records misses.
+                    shard_units[shard].inc()
+                    status.shard_unit(shard)
+                    yield result
+        finally:
+            self._drain(all_workers, all_queues, stop)
+
+    def _iter_serial_supervised(
+        self, start: int, total: int
+    ) -> Iterator[object]:  # pragma: no cover - non-fork platforms
+        """In-process fallback with the same retry/accounting contract.
+
+        Without ``fork`` a crash injection cannot kill a worker process,
+        so crash and stall degrade to retryable in-process faults with a
+        budget equivalent to the forked path's
+        (``max(unit_attempts, max_restarts + 1)``).
+        """
+        policy = self.supervision
+        plane = get_plane()
+        registry = obs_metrics.get_registry()
+        status = obs_live.get_status()
+        key_hint = getattr(self.source, "key_hint", None)
+        status.set_shards(1)
+        serial_units = registry.counter("stream.shard_units{shard=0}")
+        budget = max(policy.unit_attempts, policy.max_restarts + 1)
+        for index in range(start, total):
+            attempt = 0
+            unit = None
+            while True:
+                try:
+                    if plane is not None:
+                        if plane.crash(index, attempt):
+                            registry.counter("faults.injected").inc()
+                            registry.counter(
+                                "faults.injected{kind=crash}"
+                            ).inc()
+                            raise InjectedFault(
+                                "crash", f"unit {index} (in-process)"
+                            )
+                        stall = plane.stall_s_for(index, attempt)
+                        if stall > 0:
+                            registry.counter("faults.injected").inc()
+                            registry.counter(
+                                "faults.injected{kind=stall}"
+                            ).inc()
+                            time.sleep(stall)
+                        if plane.transient(index, attempt):
+                            registry.counter("faults.injected").inc()
+                            registry.counter(
+                                "faults.injected{kind=transient}"
+                            ).inc()
+                            raise InjectedFault(
+                                "transient", f"unit {index} attempt {attempt}"
+                            )
+                    unit = self.source.unit_at(index)
+                    break
+                except Exception:
+                    attempt += 1
+                    if attempt >= budget:
+                        break
+            if unit is None:
+                key = None
+                if key_hint is not None:
+                    try:
+                        key = key_hint(index)
+                    except Exception:
+                        key = None
+                marker = MissingUnit(
+                    index=index, shard=0, reason="unit_failed", key=key
+                )
+                self.completeness.record_missing(marker)
+                registry.counter("stream.units_missing").inc()
+                yield marker
+            else:
+                serial_units.inc()
+                status.shard_unit(0)
+                yield unit
 
     @staticmethod
     def _drain(workers, queues, stop, join_timeout: float = 5.0) -> None:

@@ -1,0 +1,15 @@
+"""Fault-plane test isolation: never leak an installed plane."""
+
+import pytest
+
+from repro.faults.plane import uninstall
+from repro.obs.metrics import get_registry
+
+
+@pytest.fixture(autouse=True)
+def _clean_plane():
+    """Uninstall the global fault plane and reset metrics after each test."""
+    get_registry().reset()
+    yield
+    uninstall()
+    get_registry().reset()

@@ -1,0 +1,93 @@
+"""Tests for the data-completeness accountant."""
+
+from repro.faults.completeness import CompletenessView, DataCompleteness, MissingUnit
+
+
+class TestDataCompleteness:
+    def test_all_delivered(self):
+        acc = DataCompleteness()
+        for i in range(4):
+            acc.deliver(i)
+        report = acc.report()
+        assert report["expected"] == 4
+        assert report["delivered"] == 4
+        assert report["missing"] == []
+        assert report["coverage"] == 1.0
+        assert acc.coverage() == 1.0
+
+    def test_missing_units_are_reported_exactly(self):
+        acc = DataCompleteness()
+        acc.deliver(0)
+        acc.record_missing(MissingUnit(index=1, shard=1, reason="quarantined"))
+        acc.deliver(2)
+        acc.record_missing(
+            MissingUnit(index=3, shard=1, reason="failed", key=(0, 3, 4))
+        )
+        report = acc.report()
+        assert report["expected"] == 4
+        assert report["delivered"] == 2
+        assert report["coverage"] == 0.5
+        assert [row["index"] for row in report["missing"]] == [1, 3]
+        assert report["missing"][0]["reason"] == "quarantined"
+        assert report["missing"][1]["key"] == [0, 3, 4]  # JSON-friendly list
+
+    def test_missing_is_idempotent_per_index(self):
+        acc = DataCompleteness()
+        acc.record_missing(MissingUnit(index=5, shard=0, reason="failed"))
+        acc.record_missing(MissingUnit(index=5, shard=0, reason="failed"))
+        assert len(acc.report()["missing"]) == 1
+
+    def test_delivery_heals_a_recorded_miss(self):
+        acc = DataCompleteness()
+        acc.record_missing(MissingUnit(index=2, shard=0, reason="failed"))
+        assert acc.coverage() < 1.0
+        acc.deliver(2)
+        report = acc.report()
+        assert report["missing"] == []
+        assert report["coverage"] == 1.0
+
+    def test_empty_accountant_is_complete(self):
+        assert DataCompleteness().coverage() == 1.0
+
+    def test_shard_missing(self):
+        acc = DataCompleteness()
+        acc.record_missing(MissingUnit(index=1, shard=1, reason="quarantined"))
+        acc.record_missing(MissingUnit(index=3, shard=1, reason="quarantined"))
+        acc.record_missing(MissingUnit(index=2, shard=0, reason="failed"))
+        assert acc.shard_missing(1) == [1, 3]
+        assert acc.shard_missing(0) == [2]
+        assert acc.shard_missing(7) == []
+
+    def test_state_round_trip(self):
+        acc = DataCompleteness()
+        acc.deliver(0)
+        acc.record_missing(MissingUnit(index=1, shard=2, reason="failed"))
+        clone = DataCompleteness.from_state(acc.state())
+        assert clone.report() == acc.report()
+        adopted = DataCompleteness()
+        adopted.adopt(acc.state())
+        assert adopted.report() == acc.report()
+
+
+class TestCompletenessView:
+    def test_offsets_indices_into_parent(self):
+        acc = DataCompleteness()
+        view = acc.offset_view(10)
+        assert isinstance(view, CompletenessView)
+        view.deliver(0)
+        view.record_missing(MissingUnit(index=3, shard=1, reason="failed"))
+        report = acc.report()
+        assert report["delivered"] == 1
+        assert [row["index"] for row in report["missing"]] == [13]
+
+    def test_disjoint_cycles_do_not_collide(self):
+        # Without offsetting, cycle 1's delivery of unit 3 would heal
+        # cycle 0's genuine miss of unit 3.
+        acc = DataCompleteness()
+        cycle0 = acc.offset_view(0)
+        cycle1 = acc.offset_view(4)
+        cycle0.record_missing(MissingUnit(index=3, shard=0, reason="failed"))
+        cycle1.deliver(3)
+        report = acc.report()
+        assert [row["index"] for row in report["missing"]] == [3]
+        assert report["delivered"] == 1

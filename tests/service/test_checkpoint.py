@@ -1,6 +1,6 @@
 """Tests for the campaign checkpoint store."""
 
-import pickle
+from repro.stream.snapshot import read_snapshot, write_snapshot
 
 from repro.service.checkpoint import (
     CAMPAIGN_CHECKPOINT_SCHEMA,
@@ -56,9 +56,9 @@ class TestCampaignCheckpointStore:
     def test_schema_mismatch_is_a_miss(self, tmp_path):
         store = self._store(tmp_path)
         store.save(1, 0, None)
-        payload = pickle.loads(store.path.read_bytes())
+        payload = read_snapshot(store.path)
         payload["schema"] = CAMPAIGN_CHECKPOINT_SCHEMA + 1
-        store.path.write_bytes(pickle.dumps(payload))
+        write_snapshot(store.path, payload)
         assert store.load() is None
 
     def test_fingerprint_mismatch_is_a_miss(self, tmp_path):

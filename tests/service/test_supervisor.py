@@ -103,6 +103,84 @@ class TestSupervisorRun:
         assert board[0]["cycle"] == 2
 
 
+class TestDegradedCampaigns:
+    def test_hung_cycle_races_drain_deadline_and_degrades(self, tmp_path):
+        """A cycle that never returns must not block the drain deadline.
+
+        The drain fires while the cycle hangs on the executor; after
+        ``drain_grace_s`` the supervisor abandons the thread, parks the
+        campaign as degraded, and still exits cleanly.
+        """
+        config = _service_config(
+            tmp_path,
+            [_mesh("hang", cycles=5, cadence_s=0.05)],
+            time_scale=1.0,
+            drain_after_s=0.2,
+            drain_grace_s=0.2,
+        )
+        supervisor = ServiceSupervisor(config, serve=False)
+        release = threading.Event()
+        campaign = supervisor.campaign("hang")
+
+        def hung_cycle():
+            release.wait()
+            return "completed"
+
+        campaign.run_cycle = hung_cycle
+        try:
+            outcomes = supervisor.run()
+        finally:
+            release.set()  # unhang the fake so the executor thread exits
+        assert outcomes == {"hang": "degraded"}
+        assert campaign.state == "degraded"
+        board = obs_live.get_status().as_dict()["campaigns"]
+        assert board[0]["state"] == "degraded"
+        assert board[0]["reason"] == "hung-cycle"
+
+    def test_crash_loop_parks_campaign_as_degraded(self, tmp_path):
+        from repro.faults.plane import RetryPolicy
+        from repro.obs.metrics import get_registry
+
+        retry = RetryPolicy(
+            max_attempts=2, backoff_s=0.01, backoff_ceiling_s=0.02
+        )
+        config = _service_config(
+            tmp_path, [_mesh("sick", retry=retry), _mesh("ok")]
+        )
+        supervisor = ServiceSupervisor(config, serve=False)
+        sick = supervisor.campaign("sick")
+
+        def failing_cycle():
+            raise RuntimeError("boom")
+
+        sick.run_cycle = failing_cycle
+        outcomes = supervisor.run()
+        # The crash-looping campaign degrades; its sibling still finishes.
+        assert outcomes == {"sick": "degraded", "ok": "done"}
+        assert sick.state == "degraded"
+        registry = get_registry()
+        assert registry.counter(
+            "service.cycle_failures{campaign=sick}"
+        ).value == 2
+        assert registry.counter("campaign.degraded").value >= 1
+
+    def test_degraded_campaign_visible_via_campaigns_route(self, tmp_path):
+        config = _service_config(tmp_path, [_mesh("deg")])
+        supervisor = ServiceSupervisor(config, serve=False)
+        campaign = supervisor.campaign("deg")
+        campaign.mark_degraded("crash-loop: 3 consecutive cycle failures")
+        from repro.service.api import ServiceAPI
+
+        class _Routes:
+            def add_route(self, *args):
+                pass
+
+        payload = ServiceAPI(supervisor, _Routes()).campaigns_payload()
+        (row,) = payload["campaigns"]
+        assert row["state"] == "degraded"
+        assert row["reason"].startswith("crash-loop")
+
+
 class TestControlAPI:
     @pytest.fixture
     def running_service(self, tmp_path):

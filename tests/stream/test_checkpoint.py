@@ -1,13 +1,12 @@
 """Tests for checkpoint snapshots and their fingerprint keying."""
 
-import pickle
-
 from repro.stream.checkpoint import (
     CHECKPOINT_SCHEMA_VERSION,
     CheckpointStore,
     checkpoint_fingerprint,
     required_phases,
 )
+from repro.stream.snapshot import read_snapshot, write_snapshot
 
 
 class TestFingerprint:
@@ -42,9 +41,9 @@ class TestCheckpointStore:
     def test_schema_mismatch_is_none(self, tmp_path):
         store = CheckpointStore(tmp_path, "abc123")
         store.save("ping", 1, None, {})
-        payload = pickle.loads(store.path.read_bytes())
+        payload = read_snapshot(store.path)
         payload["schema"] = CHECKPOINT_SCHEMA_VERSION + 1
-        store.path.write_bytes(pickle.dumps(payload))
+        write_snapshot(store.path, payload)
         assert store.load() is None
 
     def test_fingerprint_mismatch_is_none(self, tmp_path):
